@@ -1,0 +1,47 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (1) the regenerated data as an aligned table, (2) a
+// "paper vs measured" comparison for the quantities the paper reports,
+// and (3) optionally a CSV block for external plotting. Values never need
+// to match the paper's absolute numbers (their testbed, our model), but
+// the *shape* checks below make regressions loud.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace lbs::bench {
+
+struct Comparison {
+  std::string quantity;
+  std::string paper;
+  std::string measured;
+  bool shape_holds = true;
+};
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==================================================================\n"
+            << title << '\n'
+            << "==================================================================\n";
+}
+
+inline int print_comparisons(const std::vector<Comparison>& comparisons) {
+  support::Table table({"quantity", "paper", "this reproduction", "shape"});
+  int failures = 0;
+  for (const auto& row : comparisons) {
+    table.add_row({row.quantity, row.paper, row.measured,
+                   row.shape_holds ? "ok" : "MISMATCH"});
+    if (!row.shape_holds) ++failures;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  if (failures > 0) {
+    std::cout << failures << " shape check(s) FAILED\n";
+  }
+  return failures;
+}
+
+}  // namespace lbs::bench

@@ -1,0 +1,63 @@
+// Figure 2 reproduction: the original program (uniform MPI_Scatter
+// distribution) on the Table 1 testbed, n = 817,101 rays.
+//
+// Paper reports: "the earliest processor finishing after 259 s and the
+// latest after 853 s" — a huge imbalance. We regenerate the per-processor
+// series (total time, communication time, amount of data) from the grid
+// simulator and check the shape: >3x imbalance, latest in the 700-950 s
+// band (the absolute value depends on their measured alphas, which we use
+// verbatim, so it lands close).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/testbed.hpp"
+#include "support/csv.hpp"
+
+int main() {
+  using namespace lbs;
+  bench::print_header(
+      "Figure 2 — original program, uniform distribution (n = 817,101)");
+
+  auto grid = model::paper_testbed();
+  auto platform = core::ordered_platform(grid, model::paper_root(grid),
+                                         core::OrderingPolicy::DescendingBandwidth);
+  auto plan = core::plan_scatter(platform, model::kPaperRayCount,
+                                 core::Algorithm::Uniform);
+  auto sim = gridsim::simulate_scatter(platform, plan.distribution);
+  const auto& timeline = sim.timeline;
+
+  support::Table table({"processor", "amount of data", "comm. time (s)",
+                        "total time (s)"});
+  for (const auto& trace : timeline.traces) {
+    table.add_row({trace.label, support::format_count(trace.items),
+                   support::format_double(trace.comm_time(), 2),
+                   support::format_double(trace.finish(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncsv,processor,items,comm_s,total_s\n";
+  for (const auto& trace : timeline.traces) {
+    std::cout << "csv," << trace.label << ',' << trace.items << ','
+              << support::CsvWriter::cell(trace.comm_time()) << ','
+              << support::CsvWriter::cell(trace.finish()) << '\n';
+  }
+
+  double earliest = timeline.earliest_finish();
+  double latest = timeline.latest_finish();
+  std::vector<bench::Comparison> comparisons{
+      {"earliest finish", "259 s", support::format_double(earliest, 1) + " s",
+       earliest > 150.0 && earliest < 350.0},
+      {"latest finish", "853 s", support::format_double(latest, 1) + " s",
+       latest > 700.0 && latest < 950.0},
+      {"imbalance (latest/earliest)", "3.3x",
+       support::format_double(latest / earliest, 2) + "x", latest / earliest > 3.0},
+      {"slowest machine", "seven (R12K/300)",
+       timeline.traces[3].finish() >= latest - 2.0 ? "seven" : "other",
+       timeline.traces[3].finish() >= latest - 2.0},
+  };
+  return bench::print_comparisons(comparisons);
+}

@@ -1,0 +1,78 @@
+// Figure 3 reproduction: load-balanced execution, nodes sorted by
+// descending bandwidth, n = 817,101 rays.
+//
+// Paper reports: earliest/latest finish 405 s / 430 s (spread ~6% of the
+// total duration; theirs includes real-world noise), and "the total
+// execution duration is approximately half the duration of the first
+// experiment". We regenerate the series both deterministically (spread
+// ~0) and with the simulator's compute-noise model (paper-like spread).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/testbed.hpp"
+#include "support/csv.hpp"
+
+int main() {
+  using namespace lbs;
+  bench::print_header(
+      "Figure 3 — load-balanced, descending bandwidth (n = 817,101)");
+
+  auto grid = model::paper_testbed();
+  auto platform = core::ordered_platform(grid, model::paper_root(grid),
+                                         core::OrderingPolicy::DescendingBandwidth);
+  auto balanced = core::plan_scatter(platform, model::kPaperRayCount);
+  auto uniform = core::plan_scatter(platform, model::kPaperRayCount,
+                                    core::Algorithm::Uniform);
+
+  auto deterministic = gridsim::simulate_scatter(platform, balanced.distribution);
+  gridsim::SimOptions noisy_options;
+  noisy_options.compute_noise = 0.02;  // ~2% per-run compute jitter
+  noisy_options.noise_seed = 1999;
+  auto noisy = gridsim::simulate_scatter(platform, balanced.distribution, noisy_options);
+  auto uniform_sim = gridsim::simulate_scatter(platform, uniform.distribution);
+
+  support::Table table({"processor", "amount of data", "comm. time (s)",
+                        "total time (s)", "total, 2% noise (s)"});
+  for (std::size_t i = 0; i < deterministic.timeline.traces.size(); ++i) {
+    const auto& trace = deterministic.timeline.traces[i];
+    table.add_row({trace.label, support::format_count(trace.items),
+                   support::format_double(trace.comm_time(), 2),
+                   support::format_double(trace.finish(), 1),
+                   support::format_double(noisy.timeline.traces[i].finish(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncsv,processor,items,comm_s,total_s,total_noisy_s\n";
+  for (std::size_t i = 0; i < deterministic.timeline.traces.size(); ++i) {
+    const auto& trace = deterministic.timeline.traces[i];
+    std::cout << "csv," << trace.label << ',' << trace.items << ','
+              << support::CsvWriter::cell(trace.comm_time()) << ','
+              << support::CsvWriter::cell(trace.finish()) << ','
+              << support::CsvWriter::cell(noisy.timeline.traces[i].finish()) << '\n';
+  }
+
+  double t_balanced = deterministic.timeline.makespan();
+  double t_uniform = uniform_sim.timeline.makespan();
+  std::vector<bench::Comparison> comparisons{
+      {"earliest finish", "405 s",
+       support::format_double(deterministic.timeline.earliest_finish(), 1) + " s",
+       deterministic.timeline.earliest_finish() > 320.0 &&
+           deterministic.timeline.earliest_finish() < 480.0},
+      {"latest finish", "430 s", support::format_double(t_balanced, 1) + " s",
+       t_balanced > 340.0 && t_balanced < 500.0},
+      {"finish spread (deterministic)", "6% (incl. noise)",
+       support::format_percent(deterministic.timeline.finish_spread()),
+       deterministic.timeline.finish_spread() < 0.02},
+      {"finish spread (2% noise run)", "6%",
+       support::format_percent(noisy.timeline.finish_spread()),
+       noisy.timeline.finish_spread() < 0.15},
+      {"duration vs uniform run", "~half",
+       support::format_double(t_balanced / t_uniform, 2) + "x",
+       t_balanced / t_uniform > 0.35 && t_balanced / t_uniform < 0.65},
+  };
+  return bench::print_comparisons(comparisons);
+}

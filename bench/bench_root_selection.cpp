@@ -1,0 +1,94 @@
+// Ablation: choice of the root processor (Section 3.4).
+//
+// "The best root processor is then the processor minimizing this whole
+// execution time, when picked as root. This is just the result of a
+// minimization over the p candidates." We run that minimization on the
+// Table 1 testbed (where dinadan, the data home, should win — the links
+// out of it cost more than they save) and on an asymmetric hub topology
+// where staging the data to a better-connected machine pays off.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/root_selection.hpp"
+#include "model/testbed.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+lbs::model::Grid hub_topology() {
+  using namespace lbs;
+  model::Grid grid;
+  model::Machine archive;
+  archive.name = "archive";
+  archive.comp = model::Cost::linear(1.0);
+  int archive_idx = grid.add_machine(archive);
+  model::Machine hub;
+  hub.name = "hub";
+  hub.comp = model::Cost::linear(1e-4);
+  int hub_idx = grid.add_machine(hub);
+  for (int w = 0; w < 3; ++w) {
+    model::Machine worker;
+    worker.name = "worker" + std::to_string(w);
+    worker.cpu_count = 2;
+    worker.comp = model::Cost::linear(1e-4);
+    int idx = grid.add_machine(worker);
+    grid.set_link(archive_idx, idx, model::Cost::linear(1e-4));
+    grid.set_link(hub_idx, idx, model::Cost::linear(1e-6));
+  }
+  grid.set_link(archive_idx, hub_idx, model::Cost::linear(1e-6));
+  for (int a = 2; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) grid.set_link(a, b, model::Cost::linear(1e-6));
+  }
+  grid.set_data_home(archive_idx);
+  return grid;
+}
+
+void print_candidates(const lbs::core::RootSelectionResult& result) {
+  using namespace lbs;
+  support::Table table({"candidate root", "staging (s)", "scatter+compute (s)",
+                        "total (s)", ""});
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const auto& candidate = result.candidates[i];
+    table.add_row({candidate.label, support::format_double(candidate.staging_time, 2),
+                   support::format_double(candidate.scatter_makespan, 2),
+                   support::format_double(candidate.total_time, 2),
+                   static_cast<int>(i) == result.best_index ? "<- best" : ""});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbs;
+  bench::print_header("Ablation — root selection (Section 3.4)");
+
+  std::cout << "\nTable 1 testbed, n = 817,101 (data home: dinadan):\n";
+  auto testbed = model::paper_testbed();
+  auto testbed_result = core::select_root(testbed, model::kPaperRayCount);
+  print_candidates(testbed_result);
+
+  std::cout << "\nhub topology, n = 1,000,000 (data home: archive; archive's\n"
+               "direct links to workers are 100x slower than via the hub):\n";
+  auto hub = hub_topology();
+  auto hub_result = core::select_root(hub, 1000000);
+  print_candidates(hub_result);
+
+  // How much the minimization buys in the hub case: best vs data-home root.
+  double home_total = 0.0;
+  for (const auto& candidate : hub_result.candidates) {
+    if (candidate.label == "archive") home_total = candidate.total_time;
+  }
+
+  std::vector<bench::Comparison> comparisons{
+      {"testbed best root", "dinadan (the data home)", testbed_result.best().label,
+       testbed_result.best().label == "dinadan"},
+      {"hub-topology best root", "a remote, better-connected machine",
+       hub_result.best().label, hub_result.best().label == "hub"},
+      {"gain from selecting the root (hub case)", "staging pays for itself",
+       support::format_double(home_total / hub_result.best().total_time, 2) + "x faster",
+       hub_result.best().total_time < home_total},
+  };
+  return bench::print_comparisons(comparisons);
+}

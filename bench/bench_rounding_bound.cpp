@@ -1,0 +1,77 @@
+// Ablation: the rounding scheme and its Eq. 4 guarantee.
+//
+// The paper's Section 3.3 proves that rounding the rational LP optimum
+// costs at most  sum_j Tcomm(j,1) + max_i Tcomp(i,1)  over the integer
+// optimum. This ablation sweeps random affine platforms and measures the
+// *actual* excess T' - T_rat against the guaranteed bound: the guarantee
+// must always hold and the realized excess should use only a small
+// fraction of it.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/heuristic.hpp"
+#include "core/rounding.hpp"
+#include "model/testbed.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lbs;
+  bench::print_header("Ablation — rounding scheme guarantee (Eq. 4)");
+
+  support::Rng rng(20030301);
+  constexpr int kTrials = 200;
+
+  std::vector<double> slack_fraction_used;
+  int guarantee_violations = 0;
+  int max_deviation_violations = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int machines = static_cast<int>(rng.uniform_int(2, 6));
+    model::Grid grid = model::random_grid(rng, machines, /*affine=*/true);
+    model::Platform platform = make_platform(grid, {grid.data_home(), 0});
+    long long n = rng.uniform_int(100, 100000);
+
+    auto result = core::lp_heuristic(platform, n);
+
+    // Guarantee: T' <= T_rat + slack (T_rat <= T_opt <= T').
+    double excess = result.makespan - result.rational_makespan;
+    if (excess < -1e-9 || excess > result.guarantee_slack + 1e-9) {
+      ++guarantee_violations;
+    }
+    slack_fraction_used.push_back(excess / result.guarantee_slack);
+
+    // Per-share deviation: |n'_i - n_i| < 1.
+    for (std::size_t i = 0; i < result.rational_shares.size(); ++i) {
+      double deviation = std::abs(
+          static_cast<double>(result.distribution.counts[i]) - result.rational_shares[i]);
+      if (deviation >= 1.0 + 1e-6) ++max_deviation_violations;
+    }
+  }
+
+  auto usage = support::summarize(slack_fraction_used);
+  support::Table table({"metric", "value"});
+  table.add_row({"trials", std::to_string(kTrials)});
+  table.add_row({"guarantee violations", std::to_string(guarantee_violations)});
+  table.add_row({"per-share |n' - n| >= 1", std::to_string(max_deviation_violations)});
+  table.add_row({"slack fraction used, mean", support::format_percent(usage.mean)});
+  table.add_row({"slack fraction used, max", support::format_percent(usage.max)});
+  table.add_row({"slack fraction used, p90",
+                 support::format_percent(support::quantile(slack_fraction_used, 0.9))});
+  table.print(std::cout);
+
+  std::vector<bench::Comparison> comparisons{
+      {"Eq. 4 guarantee", "always holds",
+       guarantee_violations == 0 ? "0 violations" : "VIOLATED",
+       guarantee_violations == 0},
+      {"rounding moves each share", "< 1 item",
+       max_deviation_violations == 0 ? "all within 1" : "VIOLATED",
+       max_deviation_violations == 0},
+      {"realized excess", "far below the bound",
+       "mean " + support::format_percent(usage.mean) + " of slack",
+       usage.mean < 0.5},
+  };
+  return bench::print_comparisons(comparisons);
+}

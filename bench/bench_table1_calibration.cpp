@@ -1,0 +1,143 @@
+// Table 1 reproduction: processor and network characteristics.
+//
+// The paper's Table 1 "values come from a series of benchmarks we
+// performed on our application". This bench reproduces the table and,
+// more importantly, the *procedure*:
+//   1. the encoded testbed's alpha/beta with ratings recomputed from the
+//      alphas (paper: rating = inverse of alpha, normalized to the
+//      PIII/933) — the printed ratings must match the paper's column;
+//   2. a real calibration of the seismic ray tracer on THIS host: time
+//      batches, least-squares fit, observe that the intercept is
+//      negligible (the paper's justification for the linear model) —
+//      producing this host's own "alpha (s/ray)" row;
+//   3. a calibration of an emulated network link through the mq runtime:
+//      time paced transfers of several sizes, fit beta, recover the
+//      configured value.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/calibration.hpp"
+#include "model/testbed.hpp"
+#include "mq/runtime.hpp"
+#include "seismic/catalog.hpp"
+#include "seismic/earth_model.hpp"
+#include "seismic/ray.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+double expected_rating(const std::string& machine) {
+  if (machine == "dinadan") return 1.0;
+  if (machine == "pellinore") return 0.99;
+  if (machine == "caseb") return 2.0;
+  if (machine == "sekhmet") return 1.90;
+  if (machine == "merlin") return 2.33;
+  if (machine == "seven") return 0.57;
+  if (machine == "leda") return 0.95;
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbs;
+  bench::print_header("Table 1 — processors and links of the testbed");
+
+  auto grid = model::paper_testbed();
+  int dinadan = grid.machine_index("dinadan");
+  double reference_alpha = grid.machine(dinadan).comp.per_item_slope();
+
+  bool ratings_match = true;
+  support::Table table({"machine", "CPUs", "type", "alpha (s/ray)", "rating",
+                        "beta (s/ray)"});
+  for (std::size_t m = 0; m < grid.machines().size(); ++m) {
+    const auto& machine = grid.machine(static_cast<int>(m));
+    double alpha = machine.comp.per_item_slope();
+    double rating = model::rating(alpha, reference_alpha);
+    if (std::abs(rating - expected_rating(machine.name)) > 0.015) {
+      ratings_match = false;
+    }
+    double beta = static_cast<int>(m) == dinadan
+                      ? 0.0
+                      : grid.link(dinadan, static_cast<int>(m)).per_item_slope();
+    table.add_row({machine.name, std::to_string(machine.cpu_count),
+                   machine.cpu_description, support::format_double(alpha, 6),
+                   support::format_double(rating, 2),
+                   beta == 0.0 ? "0" : support::format_double(beta * 1e5, 2) + "e-5"});
+  }
+  table.print(std::cout);
+
+  // --- 2. real per-ray compute calibration on this host -------------------
+  auto earth = seismic::EarthModel::prem_like();
+  support::Rng rng(2026);
+  auto events = seismic::generate_catalog(rng, 1600);
+  seismic::compute_work(earth, events.data(), 200);  // warm-up
+
+  // Min-of-3 per batch size: the minimum is the noise-robust estimator
+  // for timing benchmarks (OS jitter only ever adds time).
+  std::vector<std::pair<long long, double>> samples;
+  for (long long batch : {200LL, 400LL, 800LL, 1600LL}) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int repetition = 0; repetition < 3; ++repetition) {
+      auto start = std::chrono::steady_clock::now();
+      seismic::compute_work(earth, events.data(), static_cast<std::size_t>(batch));
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      best = std::min(best, std::chrono::duration<double>(elapsed).count());
+    }
+    samples.emplace_back(batch, best);
+  }
+  auto host_fit = model::calibrate(samples, /*intercept_tolerance=*/0.05);
+  std::cout << "\nthis host, real ray tracer: alpha = "
+            << support::format_double(host_fit.alpha * 1e6, 2)
+            << "e-6 s/ray, model = " << (host_fit.linear_model ? "linear" : "affine")
+            << ", r^2 = " << support::format_double(host_fit.r_squared, 4)
+            << "  (rating vs PIII/933: "
+            << support::format_double(model::rating(host_fit.alpha, reference_alpha), 0)
+            << ")\n";
+
+  // --- 3. link calibration through the mq runtime --------------------------
+  constexpr double kConfiguredBeta = 2.0e-7;  // nominal s/byte
+  constexpr double kTimeScale = 1.0;
+  mq::RuntimeOptions options;
+  options.ranks = 2;
+  options.time_scale = kTimeScale;
+  options.link_cost = [](int, int, std::size_t bytes) {
+    return kConfiguredBeta * static_cast<double>(bytes);
+  };
+  std::vector<std::pair<long long, double>> link_samples;
+  mq::Runtime::run(options, [&](mq::Comm& comm) {
+    for (long long bytes : {20000LL, 40000LL, 80000LL, 160000LL}) {
+      if (comm.rank() == 0) {
+        std::vector<std::byte> payload(static_cast<std::size_t>(bytes));
+        double t0 = comm.wtime();
+        comm.send_bytes(1, 0, payload);
+        link_samples.emplace_back(bytes, comm.wtime() - t0);
+      } else {
+        comm.recv_message(0, 0);
+      }
+      comm.barrier();
+    }
+  });
+  auto link_fit = model::calibrate(link_samples, /*intercept_tolerance=*/0.2);
+  double recovered_beta = link_fit.alpha / kTimeScale;
+  std::cout << "mq link calibration: configured beta = 2.00e-7 s/byte, "
+            << "recovered = " << support::format_double(recovered_beta * 1e7, 2)
+            << "e-7 s/byte\n";
+
+  std::vector<bench::Comparison> comparisons{
+      {"ratings recomputed from alphas", "0.99 / 2 / 1.90 / 2.33 / 0.57 / 0.95",
+       ratings_match ? "all match" : "mismatch", ratings_match},
+      {"per-ray cost model on this host", "linear (latency negligible)",
+       host_fit.linear_model ? "linear, r^2 > 0.99" : "affine",
+       host_fit.linear_model && host_fit.r_squared > 0.99},
+      {"recovered link beta", "matches configured",
+       support::format_double(recovered_beta / kConfiguredBeta, 2) + "x configured",
+       recovered_beta > 0.8 * kConfiguredBeta && recovered_beta < 1.6 * kConfiguredBeta},
+  };
+  return bench::print_comparisons(comparisons);
+}

@@ -1,0 +1,27 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains only the bench binaries and
+# `for b in build/bench/*; do $b; done` runs the whole harness.
+function(lbs_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE ${ARGN} lbs_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+lbs_add_bench(bench_table1_calibration lbs_core lbs_mq lbs_seismic)
+lbs_add_bench(bench_fig1_stair lbs_gridsim)
+lbs_add_bench(bench_fig2_uniform lbs_gridsim)
+lbs_add_bench(bench_fig3_balanced lbs_gridsim)
+lbs_add_bench(bench_fig4_ascending lbs_gridsim)
+lbs_add_bench(bench_algorithms lbs_core benchmark::benchmark)
+lbs_add_bench(bench_heuristic_quality lbs_core)
+lbs_add_bench(bench_ordering lbs_core)
+lbs_add_bench(bench_rounding_bound lbs_core)
+lbs_add_bench(bench_root_selection lbs_core)
+lbs_add_bench(bench_overlap lbs_gridsim)
+lbs_add_bench(bench_installments lbs_core)
+lbs_add_bench(bench_roundtrip lbs_core)
+lbs_add_bench(bench_heterogeneity lbs_core)
+lbs_add_bench(bench_bcast_trees lbs_des)
+lbs_add_bench(bench_hier_scatter lbs_core)

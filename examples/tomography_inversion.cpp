@@ -1,0 +1,171 @@
+// Iterative tomographic inversion distributed over the mq runtime.
+//
+//   ./build/examples/tomography_inversion [rays-per-round]   (default 1200)
+//
+// The full loop the paper's application belongs to, run for real across
+// threads: each round the root scatters the event batch with a
+// load-balanced scatterv, every rank traces its share through the current
+// velocity model (genuine numerical work, so more ranks = real speedup),
+// the per-rank tomographic normal equations come back through an
+// element-wise reduce, the root solves the damped least-squares update,
+// and the refreshed model is broadcast for the next round. Ground truth
+// is a PREM-like Earth with a 3% slow lower mantle; watch the rms misfit
+// collapse and the anomaly being recovered.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "model/testbed.hpp"
+#include "mq/runtime.hpp"
+#include "seismic/catalog.hpp"
+#include "seismic/inversion.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kRounds = 3;
+constexpr double kDamping = 0.1;
+
+using namespace lbs;
+
+seismic::EarthModel model_from_velocities(const std::vector<double>& velocities) {
+  auto shells = seismic::EarthModel::prem_like().shells();
+  for (std::size_t s = 0; s < shells.size(); ++s) {
+    shells[s].velocity_km_s = velocities[s];
+  }
+  return seismic::EarthModel(std::move(shells));
+}
+
+std::vector<double> velocities_of(const seismic::EarthModel& model) {
+  std::vector<double> velocities;
+  for (const auto& shell : model.shells()) velocities.push_back(shell.velocity_km_s);
+  return velocities;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long rays = 1200;
+  if (argc > 1) rays = std::atoll(argv[1]);
+  if (rays <= 0) {
+    std::cerr << "usage: tomography_inversion [rays>0]\n";
+    return 1;
+  }
+
+  // Ground truth: lower mantle 3% slower. Observed times = tracing the
+  // (teleseismic part of a) synthetic catalog through the truth.
+  auto truth_shells = seismic::EarthModel::prem_like().shells();
+  for (auto& shell : truth_shells) {
+    if (shell.name == "lower mantle") shell.velocity_km_s /= 1.03;
+  }
+  seismic::EarthModel truth(std::move(truth_shells));
+
+  support::Rng rng(1999);
+  auto raw_catalog = seismic::generate_catalog(rng, rays);
+  std::vector<seismic::SeismicEvent> events;
+  std::vector<double> observed;
+  for (auto& event : raw_catalog) {
+    event.wave = seismic::WaveType::P;
+    double distance = seismic::epicentral_distance_deg(
+        event.source_lat_deg, event.source_lon_deg, event.receiver_lat_deg,
+        event.receiver_lon_deg);
+    if (distance < 25.0 || distance > 95.0) continue;  // clean mantle branch
+    auto path = seismic::trace_ray(truth, event);
+    if (!path.converged) continue;
+    events.push_back(event);
+    observed.push_back(path.travel_time_s);
+  }
+  std::cout << "catalog: " << events.size() << " teleseismic P rays ("
+            << rays << " generated)\n";
+
+  // The scatter plan: rank compute speeds are homogeneous here (threads on
+  // one host), so the balanced plan is near-uniform; we keep plan_scatter
+  // in the loop to show the full transformation. (Run the
+  // seismic_tomography example for the heterogeneity-emulated version.)
+  model::Platform platform;
+  for (int r = 0; r < kRanks; ++r) {
+    model::Processor p;
+    p.label = "rank" + std::to_string(r);
+    p.comm = r + 1 == kRanks ? model::Cost::zero() : model::Cost::linear(1e-7);
+    p.comp = model::Cost::linear(1e-4);
+    platform.processors.push_back(p);
+  }
+  auto plan = core::plan_scatter(platform, static_cast<long long>(events.size()));
+
+  std::size_t shell_count = seismic::EarthModel::prem_like().shells().size();
+  support::Table table({"round", "rays used", "rms before (s)", "rms after (s)",
+                        "lower-mantle scale"});
+
+  std::vector<double> current = velocities_of(seismic::EarthModel::prem_like());
+
+  mq::RuntimeOptions options;
+  options.ranks = kRanks;
+  const int root = kRanks - 1;
+
+  mq::Runtime::run(options, [&](mq::Comm& comm) {
+    // Observed times travel with the events once, up front.
+    std::span<const seismic::SeismicEvent> send_events;
+    std::span<const double> send_observed;
+    if (comm.rank() == root) {
+      send_events = events;
+      send_observed = observed;
+    }
+    auto my_events =
+        comm.scatterv<seismic::SeismicEvent>(root, send_events, plan.distribution.counts);
+    auto my_observed =
+        comm.scatterv<double>(root, send_observed, plan.distribution.counts);
+
+    std::vector<double> velocities = current;
+    comm.bcast(root, velocities);
+
+    for (int round = 0; round < kRounds; ++round) {
+      auto model_earth = model_from_velocities(velocities);
+
+      // compute_work: trace my share, build my part of the normal equations.
+      seismic::TomographicSystem local(shell_count);
+      for (std::size_t i = 0; i < my_events.size(); ++i) {
+        auto path = seismic::trace_ray(model_earth, my_events[i]);
+        if (!path.converged) continue;
+        local.add_ray(path.time_per_shell, my_observed[i]);
+      }
+
+      // Element-wise reduce of the flattened normal equations.
+      auto flat = local.serialize();
+      auto merged_flat = comm.reduce<double>(
+          root, flat, [](const double& a, const double& b) { return a + b; });
+
+      if (comm.rank() == root) {
+        auto merged = seismic::TomographicSystem::deserialize(shell_count, merged_flat);
+        auto scales = merged.solve(kDamping);
+        auto updated = seismic::apply_scales(model_earth, scales);
+
+        // Remeasure misfit under the updated model (root-side, cheap).
+        seismic::TomographicSystem check(shell_count);
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          auto path = seismic::trace_ray(updated, events[i]);
+          if (!path.converged) continue;
+          check.add_ray(path.time_per_shell, observed[i]);
+        }
+        table.add_row({std::to_string(round + 1), std::to_string(merged.ray_count()),
+                       support::format_double(merged.rms_misfit(), 3),
+                       support::format_double(check.rms_misfit(), 3),
+                       support::format_double(scales[2], 4)});
+        velocities = velocities_of(updated);
+      }
+      comm.bcast(root, velocities);
+      if (comm.rank() == root) current = velocities;
+    }
+  });
+
+  table.print(std::cout);
+
+  double recovered =
+      seismic::EarthModel::prem_like().shells()[2].velocity_km_s / current[2];
+  std::cout << "\nrecovered lower-mantle slowness factor: "
+            << support::format_double(recovered, 4) << " (truth: 1.0300)\n";
+  return 0;
+}

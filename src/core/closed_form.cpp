@@ -1,0 +1,156 @@
+#include "core/closed_form.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+using support::Rational;
+
+LinearCoefficients linear_coefficients(const model::Platform& platform) {
+  LinearCoefficients coeffs;
+  for (int i = 0; i < platform.size(); ++i) {
+    auto comm = platform[i].comm.affine();
+    auto comp = platform[i].comp.affine();
+    LBS_CHECK_MSG(comm && comp && comm->fixed == 0.0 && comp->fixed == 0.0,
+                  "linear closed form requires linear cost functions");
+    coeffs.beta.push_back(comm->per_item);
+    coeffs.alpha.push_back(comp->per_item);
+  }
+  return coeffs;
+}
+
+// Generic over double / Rational: the suffix accumulation
+//   S_p = 1/(α_p+β_p),  S_i = (1 + α_i·S_{i+1}) / (α_i+β_i)
+// yields D(P_i..P_p) = 1/S_i; Theorem 2's condition for P_i to receive
+// work, β_i <= D(P_{i+1}..P_p), is β_i·S_{i+1} <= 1. Eliminated
+// processors contribute nothing downstream (S unchanged).
+//
+// (Derivation from Eq. 1 with simultaneous endings: T_i = T_{i-1} gives
+// n_i = α_{i-1}·n_{i-1} / (α_i+β_i), hence the α_j/(α_j+β_j) prefix
+// products; sanity check: with β = 0 and equal α this yields t = n·α/p.)
+namespace {
+
+template <typename Number>
+struct ChainResult {
+  std::vector<Number> share;
+  std::vector<bool> active;
+  Number duration;
+};
+
+template <typename Number>
+ChainResult<Number> solve_chain(std::span<const Number> alpha,
+                                std::span<const Number> beta, const Number& items) {
+  std::size_t p = alpha.size();
+  LBS_CHECK(p == beta.size());
+  LBS_CHECK_MSG(p >= 1, "empty platform");
+  for (std::size_t i = 0; i < p; ++i) {
+    LBS_CHECK_MSG(alpha[i] > Number(0), "closed form requires positive compute cost");
+    LBS_CHECK_MSG(!(beta[i] < Number(0)), "negative communication cost");
+  }
+
+  ChainResult<Number> result;
+  result.active.assign(p, false);
+  result.share.assign(p, Number(0));
+
+  // Right-to-left: S over the *active* suffix.
+  std::vector<Number> suffix(p + 1, Number(0));  // suffix[i] = S over active P_i..P_p
+  result.active[p - 1] = true;  // the root always works (β_p is typically 0)
+  suffix[p - 1] = (Number(1)) / (alpha[p - 1] + beta[p - 1]);
+  for (std::size_t idx = p - 1; idx-- > 0;) {
+    if (beta[idx] * suffix[idx + 1] <= Number(1)) {
+      result.active[idx] = true;
+      suffix[idx] = (Number(1) + alpha[idx] * suffix[idx + 1]) / (alpha[idx] + beta[idx]);
+    } else {
+      result.active[idx] = false;
+      suffix[idx] = suffix[idx + 1];
+    }
+  }
+
+  // t = n / S_1; shares left-to-right per Eq. 8, restricted to active
+  // processors (prefix factor only accumulates over active ones).
+  result.duration = items / suffix[0];
+  Number prefix = Number(1);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (!result.active[i]) continue;
+    result.share[i] = result.duration * prefix / (alpha[i] + beta[i]);
+    prefix = prefix * (alpha[i] / (alpha[i] + beta[i]));
+  }
+  return result;
+}
+
+}  // namespace
+
+double closed_form_duration_factor(std::span<const double> alpha,
+                                   std::span<const double> beta) {
+  std::size_t p = alpha.size();
+  LBS_CHECK(p == beta.size() && p >= 1);
+  // D = 1 / sum_i [ 1/(α_i+β_i) · prod_{j<i} α_j/(α_j+β_j) ].
+  double sum = 0.0;
+  double prefix = 1.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    double denom = alpha[i] + beta[i];
+    LBS_CHECK_MSG(denom > 0.0, "processor with zero total cost");
+    sum += prefix / denom;
+    prefix *= alpha[i] / denom;
+  }
+  return 1.0 / sum;
+}
+
+RationalSolution solve_linear(std::span<const double> alpha,
+                              std::span<const double> beta, double items) {
+  auto chain = solve_chain<double>(alpha, beta, items);
+  RationalSolution solution;
+  solution.share = std::move(chain.share);
+  solution.active = std::move(chain.active);
+  solution.duration = chain.duration;
+  return solution;
+}
+
+RationalSolution solve_linear(const model::Platform& platform, long long items) {
+  auto coeffs = linear_coefficients(platform);
+  return solve_linear(coeffs.alpha, coeffs.beta, static_cast<double>(items));
+}
+
+double makespan_lower_bound(const model::Platform& platform, long long items) {
+  auto coeffs = linear_coefficients(platform);
+  std::size_t p = coeffs.alpha.size();
+  if (items == 0) return 0.0;
+  double n = static_cast<double>(items);
+
+  // Work conservation.
+  double throughput = 0.0;
+  for (double alpha : coeffs.alpha) throughput += 1.0 / alpha;
+  double bound = n / throughput;
+
+  // Root egress: items the root does not compute must cross its port at
+  // >= beta_min each, while the root absorbs at most t / alpha_root.
+  double beta_min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < p; ++i) beta_min = std::min(beta_min, coeffs.beta[i]);
+  if (p >= 2 && beta_min > 0.0) {
+    double alpha_root = coeffs.alpha[p - 1];
+    bound = std::max(bound, n * beta_min * alpha_root / (alpha_root + beta_min));
+  }
+
+  // Single item.
+  double single = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < p; ++i) {
+    single = std::min(single, coeffs.beta[i] + coeffs.alpha[i]);
+  }
+  return std::max(bound, single);
+}
+
+ExactRationalSolution solve_linear_exact(std::span<const Rational> alpha,
+                                         std::span<const Rational> beta,
+                                         const Rational& items) {
+  auto chain = solve_chain<Rational>(alpha, beta, items);
+  ExactRationalSolution solution;
+  solution.share = std::move(chain.share);
+  solution.active = std::move(chain.active);
+  solution.duration = chain.duration;
+  return solution;
+}
+
+}  // namespace lbs::core

@@ -1,0 +1,74 @@
+// Closed-form rational solutions for the linear case (paper Section 4).
+//
+// With Tcomm(i,n) = β_i·n and Tcomp(i,n) = α_i·n, Theorem 1 gives the
+// execution duration t = n · D(P_1..P_p) where
+//
+//   D(P_1..P_p) = 1 / sum_i [ 1/(α_i+β_i) · prod_{j<i} α_j/(α_j+β_j) ]
+//
+// and shares n_i = t/(α_i+β_i) · prod_{j<i} α_j/(α_j+β_j) (Eq. 8), valid
+// when every processor receives work and all finish simultaneously, which
+// Theorem 2 characterizes: β_i <= D(P_{i+1}..P_p) for all i. Processors
+// violating the condition "are not interesting for our problem": they
+// receive nothing and are skipped.
+//
+// Two implementations: doubles for production, exact rationals for tests
+// (so "all finish at the same date" is an equality, not an epsilon).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+#include "support/rational.hpp"
+
+namespace lbs::core {
+
+// α_i/β_i extracted from a platform whose costs are all linear
+// (affine with zero fixed term). Throws otherwise.
+struct LinearCoefficients {
+  std::vector<double> alpha;
+  std::vector<double> beta;
+};
+LinearCoefficients linear_coefficients(const model::Platform& platform);
+
+// D(P_1..P_p) over the given coefficient arrays (all processors used).
+double closed_form_duration_factor(std::span<const double> alpha,
+                                   std::span<const double> beta);
+
+// The rational (fractional-share) optimum for the linear case, with
+// Theorem 2's elimination applied right-to-left.
+struct RationalSolution {
+  std::vector<double> share;   // n_i, fractional; 0 for eliminated processors
+  std::vector<bool> active;    // share > 0 possible (Theorem 2 condition held)
+  double duration = 0.0;       // t: common finish time of active processors
+};
+RationalSolution solve_linear(std::span<const double> alpha,
+                              std::span<const double> beta, double items);
+RationalSolution solve_linear(const model::Platform& platform, long long items);
+
+// Independent lower bounds on the makespan achievable by any *integer*
+// distribution under *linear* costs, used as optimality certificates in
+// tests and benches (any claimed integer optimum must lie at or above
+// every bound; the single-item term can exceed the fractional optimum for
+// tiny n, so this does not bound rational solutions):
+//   - work conservation: even with free communication,
+//     t >= n / sum_i (1/alpha_i);
+//   - root egress: every item not computed at the root crosses its port,
+//     and the root can absorb at most t/alpha_root items by itself, so
+//     t >= (n - t/alpha_root) * beta_min  =>
+//     t >= n * beta_min * alpha_root / (alpha_root + beta_min);
+//   - single item: t >= min_i (Tcomm(i,1) + Tcomp(i,1)) when n >= 1.
+double makespan_lower_bound(const model::Platform& platform, long long items);
+
+// Exact counterpart on rationals, for tests and proofs-by-execution.
+struct ExactRationalSolution {
+  std::vector<support::Rational> share;
+  std::vector<bool> active;
+  support::Rational duration;
+};
+ExactRationalSolution solve_linear_exact(std::span<const support::Rational> alpha,
+                                         std::span<const support::Rational> beta,
+                                         const support::Rational& items);
+
+}  // namespace lbs::core

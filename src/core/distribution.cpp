@@ -1,0 +1,79 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+long long Distribution::total() const {
+  long long sum = 0;
+  for (long long c : counts) sum += c;
+  return sum;
+}
+
+std::vector<long long> Distribution::displacements() const {
+  std::vector<long long> displs(counts.size(), 0);
+  long long offset = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    displs[i] = offset;
+    offset += counts[i];
+  }
+  return displs;
+}
+
+Distribution uniform_distribution(long long items, int processors) {
+  LBS_CHECK(items >= 0);
+  LBS_CHECK(processors >= 1);
+  Distribution dist;
+  long long base = items / processors;
+  long long extra = items % processors;
+  dist.counts.assign(static_cast<std::size_t>(processors), base);
+  for (long long i = 0; i < extra; ++i) dist.counts[static_cast<std::size_t>(i)] += 1;
+  return dist;
+}
+
+std::vector<double> finish_times(const model::Platform& platform,
+                                 const Distribution& distribution) {
+  LBS_CHECK_MSG(distribution.size() == platform.size(),
+                "distribution/platform size mismatch");
+  std::vector<double> times(distribution.counts.size(), 0.0);
+  double comm_elapsed = 0.0;
+  for (int i = 0; i < platform.size(); ++i) {
+    long long n_i = distribution.counts[static_cast<std::size_t>(i)];
+    LBS_CHECK_MSG(n_i >= 0, "negative item count");
+    comm_elapsed += platform[i].comm(n_i);
+    times[static_cast<std::size_t>(i)] = comm_elapsed + platform[i].comp(n_i);
+  }
+  return times;
+}
+
+double makespan(const model::Platform& platform, const Distribution& distribution) {
+  auto times = finish_times(platform, distribution);
+  return *std::max_element(times.begin(), times.end());
+}
+
+CommWindows comm_windows(const model::Platform& platform,
+                         const Distribution& distribution) {
+  LBS_CHECK(distribution.size() == platform.size());
+  CommWindows windows;
+  windows.start.resize(distribution.counts.size());
+  windows.end.resize(distribution.counts.size());
+  double elapsed = 0.0;
+  for (int i = 0; i < platform.size(); ++i) {
+    windows.start[static_cast<std::size_t>(i)] = elapsed;
+    elapsed += platform[i].comm(distribution.counts[static_cast<std::size_t>(i)]);
+    windows.end[static_cast<std::size_t>(i)] = elapsed;
+  }
+  return windows;
+}
+
+void validate(const model::Platform& platform, const Distribution& distribution,
+              long long items) {
+  LBS_CHECK_MSG(distribution.size() == platform.size(),
+                "distribution/platform size mismatch");
+  for (long long c : distribution.counts) LBS_CHECK_MSG(c >= 0, "negative item count");
+  LBS_CHECK_MSG(distribution.total() == items, "distribution does not sum to n");
+}
+
+}  // namespace lbs::core

@@ -1,0 +1,51 @@
+// Data distributions and their evaluation under the paper's cost model.
+//
+// A Distribution assigns n_i data items to each processor of a Platform
+// (same ordering). Under the single-port model (Section 2.3), processor
+// P_i starts receiving only after P_1..P_{i-1} have been served, so
+// (Eq. 1)  T_i = sum_{j<=i} Tcomm(j, n_j) + Tcomp(i, n_i)
+// (Eq. 2)  T   = max_i T_i
+#pragma once
+
+#include <vector>
+
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+struct Distribution {
+  std::vector<long long> counts;
+
+  [[nodiscard]] long long total() const;
+  [[nodiscard]] int size() const { return static_cast<int>(counts.size()); }
+
+  // Scatterv-style displacements: displs[i] = sum of counts[0..i-1].
+  [[nodiscard]] std::vector<long long> displacements() const;
+};
+
+// The original program's distribution: floor(n/p) items each, the first
+// (n mod p) processors taking one extra (Section 2.2's MPI_Scatter).
+Distribution uniform_distribution(long long items, int processors);
+
+// Per-processor finish times, Eq. 1. The distribution must match the
+// platform's size and have non-negative counts.
+std::vector<double> finish_times(const model::Platform& platform,
+                                 const Distribution& distribution);
+
+// Overall execution time, Eq. 2.
+double makespan(const model::Platform& platform, const Distribution& distribution);
+
+// Time at which P_i's data starts/finishes arriving (root's in-turn sends).
+// start[i] = sum_{j<i} Tcomm(j, n_j); end[i] = start[i] + Tcomm(i, n_i).
+struct CommWindows {
+  std::vector<double> start;
+  std::vector<double> end;
+};
+CommWindows comm_windows(const model::Platform& platform,
+                         const Distribution& distribution);
+
+// Validates shape and non-negativity, and that counts sum to `items`.
+void validate(const model::Platform& platform, const Distribution& distribution,
+              long long items);
+
+}  // namespace lbs::core

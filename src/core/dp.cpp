@@ -1,0 +1,164 @@
+#include "core/dp.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+namespace {
+
+// Shared scaffolding: cost[d] holds the column for processors P_{i+1}..P_p
+// while column i is computed in place of next[d]; choice[d][i] records the
+// optimal share e of P_i when d items remain, for reconstruction.
+struct DpTables {
+  explicit DpTables(long long items, int processors)
+      : n(items),
+        p(processors),
+        cost(static_cast<std::size_t>(items) + 1, 0.0),
+        next(static_cast<std::size_t>(items) + 1, 0.0),
+        choice(static_cast<std::size_t>(processors),
+               std::vector<std::int64_t>(static_cast<std::size_t>(items) + 1, 0)) {}
+
+  long long n;
+  int p;
+  std::vector<double> cost;
+  std::vector<double> next;
+  std::vector<std::vector<std::int64_t>> choice;  // [i][d]
+
+  // Seeds the last column: P_p handles everything it is given.
+  void seed_last(const model::Platform& platform) {
+    const auto& proc = platform[p - 1];
+    for (long long d = 0; d <= n; ++d) {
+      cost[static_cast<std::size_t>(d)] = proc.comm(d) + proc.comp(d);
+      choice[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(d)] = d;
+    }
+  }
+
+  DpResult reconstruct(const model::Platform& platform) const {
+    DpResult result;
+    result.cost = cost[static_cast<std::size_t>(n)];
+    result.distribution.counts.resize(static_cast<std::size_t>(p));
+    long long remaining = n;
+    for (int i = 0; i < p; ++i) {
+      long long share = choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(remaining)];
+      result.distribution.counts[static_cast<std::size_t>(i)] = share;
+      remaining -= share;
+    }
+    LBS_CHECK_MSG(remaining == 0, "dp reconstruction lost items");
+    validate(platform, result.distribution, n);
+    return result;
+  }
+};
+
+void check_preconditions(const model::Platform& platform, long long items) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  for (int i = 0; i < platform.size(); ++i) {
+    LBS_CHECK_MSG(platform[i].comm(0) == 0.0 && platform[i].comp(0) == 0.0,
+                  "cost functions must be null at 0 (paper framework)");
+  }
+}
+
+}  // namespace
+
+DpResult exact_dp(const model::Platform& platform, long long items) {
+  check_preconditions(platform, items);
+  DpTables tables(items, platform.size());
+  tables.seed_last(platform);
+
+  for (int i = tables.p - 2; i >= 0; --i) {
+    const auto& proc = platform[i];
+    auto& column_choice = tables.choice[static_cast<std::size_t>(i)];
+    tables.next[0] = 0.0;
+    column_choice[0] = 0;
+    for (long long d = 1; d <= tables.n; ++d) {
+      // e = 0: P_i takes nothing; downstream handles everything.
+      long long sol = 0;
+      double best = tables.cost[static_cast<std::size_t>(d)];
+      for (long long e = 1; e <= d; ++e) {
+        double m = proc.comm(e) +
+                   std::max(proc.comp(e), tables.cost[static_cast<std::size_t>(d - e)]);
+        if (m < best) {
+          best = m;
+          sol = e;
+        }
+      }
+      tables.next[static_cast<std::size_t>(d)] = best;
+      column_choice[static_cast<std::size_t>(d)] = sol;
+    }
+    std::swap(tables.cost, tables.next);
+  }
+  return tables.reconstruct(platform);
+}
+
+DpResult optimized_dp(const model::Platform& platform, long long items) {
+  check_preconditions(platform, items);
+  LBS_CHECK_MSG(platform.all_costs_increasing(),
+                "Algorithm 2 requires increasing cost functions");
+  DpTables tables(items, platform.size());
+  tables.seed_last(platform);
+
+  for (int i = tables.p - 2; i >= 0; --i) {
+    const auto& proc = platform[i];
+    auto& column_choice = tables.choice[static_cast<std::size_t>(i)];
+    const auto& downstream = tables.cost;
+    tables.next[0] = 0.0;
+    column_choice[0] = 0;
+    for (long long d = 1; d <= tables.n; ++d) {
+      long long sol = 0;
+      double min_cost = 0.0;
+      if (proc.comp(0) >= downstream[static_cast<std::size_t>(d)]) {
+        // Even taking nothing, P_i's (null) computation dominates: giving it
+        // anything only adds communication. (Paper line 12.)
+        sol = 0;
+        min_cost = proc.comm(0) + proc.comp(0);
+      } else if (proc.comp(d) < downstream[0]) {
+        // Taking everything still finishes before the (empty) downstream:
+        // degenerate, kept for faithfulness to the paper (line 13-14).
+        sol = d;
+        min_cost = proc.comm(d) + downstream[0];
+      } else {
+        // Binary search for e_max: the smallest e such that
+        // Tcomp(i, e) >= cost[d-e][i+1]. Invariant: comp(e_min) < down,
+        // comp(e_max) >= down. (Paper lines 16-26.)
+        long long e_min = 0;
+        long long e_max = d;
+        long long e = d / 2;
+        while (e != e_min) {
+          if (proc.comp(e) < downstream[static_cast<std::size_t>(d - e)]) {
+            e_min = e;
+          } else {
+            e_max = e;
+          }
+          e = (e_min + e_max) / 2;
+        }
+        sol = e_max;
+        min_cost = proc.comm(e_max) + proc.comp(e_max);
+      }
+
+      // Downward scan over e < sol, where downstream cost dominates
+      // computation; break once the (increasing, as e decreases) downstream
+      // cost alone reaches the best total. (Paper lines 28-35.)
+      for (long long e = sol - 1; e >= 0; --e) {
+        double down = downstream[static_cast<std::size_t>(d - e)];
+        double m = proc.comm(e) + down;
+        if (m < min_cost) {
+          min_cost = m;
+          sol = e;
+        } else if (down >= min_cost) {
+          break;
+        }
+      }
+
+      tables.next[static_cast<std::size_t>(d)] = min_cost;
+      column_choice[static_cast<std::size_t>(d)] = sol;
+    }
+    std::swap(tables.cost, tables.next);
+  }
+  return tables.reconstruct(platform);
+}
+
+}  // namespace lbs::core

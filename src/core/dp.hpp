@@ -1,0 +1,33 @@
+// The paper's dynamic-programming algorithms for optimal distributions.
+//
+// Both compute, for d = 0..n and i = p..1, the minimal time cost[d][i] to
+// process d items on processors P_i..P_p, exploiting (Section 3.2):
+//
+//   cost[d][i] = min_{0<=e<=d} Tcomm(i,e) + max(Tcomp(i,e), cost[d-e][i+1])
+//
+// - Algorithm 1 (`exact_dp`) scans all e: O(p n^2) time, only requires the
+//   cost functions to be non-negative and null at 0.
+// - Algorithm 2 (`optimized_dp`) additionally requires increasing cost
+//   functions; it binary-searches the crossover e_max where computation
+//   overtakes the downstream cost, then scans downward with an early
+//   break. Same worst case, O(p n) best case, far faster in practice
+//   (the paper: > 2 days vs 6 minutes at n = 817,101).
+#pragma once
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+struct DpResult {
+  Distribution distribution;
+  double cost = 0.0;  // predicted makespan of the optimal distribution
+};
+
+// Algorithm 1. Requires items >= 0 and a non-empty platform.
+DpResult exact_dp(const model::Platform& platform, long long items);
+
+// Algorithm 2. Additionally requires platform.all_costs_increasing().
+DpResult optimized_dp(const model::Platform& platform, long long items);
+
+}  // namespace lbs::core

@@ -1,0 +1,200 @@
+#include "core/heuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rounding.hpp"
+#include "lp/exact_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+HeuristicResult lp_heuristic(const model::Platform& platform, long long items) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  LBS_CHECK_MSG(platform.all_costs_affine(),
+                "the LP heuristic requires affine cost functions");
+
+  int p = platform.size();
+  std::vector<model::AffineCoeffs> comm(static_cast<std::size_t>(p));
+  std::vector<model::AffineCoeffs> comp(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    comm[static_cast<std::size_t>(i)] = *platform[i].comm.affine();
+    comp[static_cast<std::size_t>(i)] = *platform[i].comp.affine();
+  }
+
+  // Variables: x_0..x_{p-1} = n_i, x_p = T. Minimize T.
+  lp::Problem problem;
+  std::vector<double> objective(static_cast<std::size_t>(p) + 1, 0.0);
+  objective.back() = 1.0;
+  problem.minimize(std::move(objective));
+
+  {
+    std::vector<double> coeffs(static_cast<std::size_t>(p) + 1, 0.0);
+    for (int i = 0; i < p; ++i) coeffs[static_cast<std::size_t>(i)] = 1.0;
+    problem.add(std::move(coeffs), lp::Relation::Equal, static_cast<double>(items));
+  }
+
+  // For each i: sum_{j<=i} β_j n_j + α_i n_i - T <= -(sum_{j<=i} b_j + c_i),
+  // where Tcomm(j,x) = b_j + β_j x and Tcomp(i,x) = c_i + α_i x.
+  double fixed_comm_prefix = 0.0;
+  for (int i = 0; i < p; ++i) {
+    fixed_comm_prefix += comm[static_cast<std::size_t>(i)].fixed;
+    std::vector<double> coeffs(static_cast<std::size_t>(p) + 1, 0.0);
+    for (int j = 0; j <= i; ++j) {
+      coeffs[static_cast<std::size_t>(j)] = comm[static_cast<std::size_t>(j)].per_item;
+    }
+    coeffs[static_cast<std::size_t>(i)] += comp[static_cast<std::size_t>(i)].per_item;
+    coeffs.back() = -1.0;
+    double rhs = -(fixed_comm_prefix + comp[static_cast<std::size_t>(i)].fixed);
+    problem.add(std::move(coeffs), lp::Relation::LessEq, rhs);
+  }
+
+  auto solution = lp::solve(problem);
+  LBS_CHECK_MSG(solution.optimal(),
+                "scatter LP not optimal: " + lp::to_string(solution.status));
+
+  HeuristicResult result;
+  result.rational_shares.assign(solution.x.begin(), solution.x.end() - 1);
+  result.rational_makespan = solution.objective;
+  result.distribution = round_distribution(result.rational_shares, items);
+  result.makespan = makespan(platform, result.distribution);
+  result.guarantee_slack = rounding_guarantee_slack(platform);
+  return result;
+}
+
+ExactHeuristicResult lp_heuristic_exact(const model::Platform& platform,
+                                        long long items, long long max_denominator) {
+  using support::Rational;
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  LBS_CHECK_MSG(platform.all_costs_affine(),
+                "the LP heuristic requires affine cost functions");
+
+  int p = platform.size();
+
+  // Rescale the time unit so every nonzero coefficient is >= 1 before
+  // approximating: with an absolute denominator bound, a raw beta of
+  // ~1e-5 s/item would otherwise round to 0 (and huge bounds overflow the
+  // 128-bit exact arithmetic during pivoting). The scale is an exact
+  // power of ten, divided back out of T at the end; the shares n_i are
+  // unit-free and unaffected.
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < p; ++i) {
+    for (double value : {platform[i].comm.affine()->fixed,
+                         platform[i].comm.affine()->per_item,
+                         platform[i].comp.affine()->fixed,
+                         platform[i].comp.affine()->per_item}) {
+      if (value > 0.0) min_positive = std::min(min_positive, value);
+    }
+  }
+  Rational scale(1);
+  if (std::isfinite(min_positive) && min_positive < 1.0) {
+    double factor = 1.0;
+    while (min_positive * factor < 1.0) {
+      factor *= 10.0;
+      scale *= Rational(10);
+    }
+  }
+  double scale_dbl = scale.to_double();
+  auto approx = [max_denominator, scale_dbl](double value) {
+    return Rational::approximate(value * scale_dbl, max_denominator);
+  };
+
+  std::vector<Rational> comm_fixed(static_cast<std::size_t>(p));
+  std::vector<Rational> comm_slope(static_cast<std::size_t>(p));
+  std::vector<Rational> comp_fixed(static_cast<std::size_t>(p));
+  std::vector<Rational> comp_slope(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    auto comm = *platform[i].comm.affine();
+    auto comp = *platform[i].comp.affine();
+    comm_fixed[static_cast<std::size_t>(i)] = approx(comm.fixed);
+    comm_slope[static_cast<std::size_t>(i)] = approx(comm.per_item);
+    comp_fixed[static_cast<std::size_t>(i)] = approx(comp.fixed);
+    comp_slope[static_cast<std::size_t>(i)] = approx(comp.per_item);
+  }
+
+  lp::ExactProblem problem;
+  std::vector<Rational> objective(static_cast<std::size_t>(p) + 1);
+  objective.back() = Rational(1);
+  problem.minimize(std::move(objective));
+  {
+    std::vector<Rational> coeffs(static_cast<std::size_t>(p) + 1);
+    for (int i = 0; i < p; ++i) coeffs[static_cast<std::size_t>(i)] = Rational(1);
+    problem.add(std::move(coeffs), lp::Relation::Equal, Rational(items));
+  }
+  Rational fixed_comm_prefix;
+  for (int i = 0; i < p; ++i) {
+    fixed_comm_prefix += comm_fixed[static_cast<std::size_t>(i)];
+    std::vector<Rational> coeffs(static_cast<std::size_t>(p) + 1);
+    for (int j = 0; j <= i; ++j) {
+      coeffs[static_cast<std::size_t>(j)] = comm_slope[static_cast<std::size_t>(j)];
+    }
+    coeffs[static_cast<std::size_t>(i)] += comp_slope[static_cast<std::size_t>(i)];
+    coeffs.back() = Rational(-1);
+    problem.add(std::move(coeffs), lp::Relation::LessEq,
+                -(fixed_comm_prefix + comp_fixed[static_cast<std::size_t>(i)]));
+  }
+
+  auto solution = lp::solve_exact(problem);
+  LBS_CHECK_MSG(solution.optimal(),
+                "exact scatter LP not optimal: " + lp::to_string(solution.status));
+
+  ExactHeuristicResult result;
+  result.rational_shares.assign(solution.x.begin(), solution.x.end() - 1);
+  result.rational_makespan =
+      solution.objective / support::BigRational::from_rational(scale);
+  result.distribution = round_distribution_exact(result.rational_shares, items);
+  result.makespan = makespan(platform, result.distribution);
+  return result;
+}
+
+std::optional<std::vector<double>> affine_equal_finish_shares(
+    const model::Platform& platform, long long items) {
+  LBS_CHECK(platform.all_costs_affine());
+  int p = platform.size();
+  LBS_CHECK(p >= 1);
+
+  // n_i = u_i + v_i · n_p, backward from n_p (u_p = 0, v_p = 1):
+  //   α_i n_i + c_i = (β_{i+1} + α_{i+1}) n_{i+1} + b_{i+1} + c_{i+1}.
+  std::vector<double> u(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(p), 0.0);
+  u[static_cast<std::size_t>(p - 1)] = 0.0;
+  v[static_cast<std::size_t>(p - 1)] = 1.0;
+  for (int i = p - 2; i >= 0; --i) {
+    auto comm_next = *platform[i + 1].comm.affine();
+    auto comp_next = *platform[i + 1].comp.affine();
+    auto comp_here = *platform[i].comp.affine();
+    if (comp_here.per_item <= 0.0) return std::nullopt;
+    double slope = comm_next.per_item + comp_next.per_item;
+    double constant = comm_next.fixed + comp_next.fixed - comp_here.fixed;
+    u[static_cast<std::size_t>(i)] =
+        (slope * u[static_cast<std::size_t>(i + 1)] + constant) / comp_here.per_item;
+    v[static_cast<std::size_t>(i)] =
+        slope * v[static_cast<std::size_t>(i + 1)] / comp_here.per_item;
+  }
+
+  double sum_u = 0.0;
+  double sum_v = 0.0;
+  for (int i = 0; i < p; ++i) {
+    sum_u += u[static_cast<std::size_t>(i)];
+    sum_v += v[static_cast<std::size_t>(i)];
+  }
+  if (sum_v <= 0.0) return std::nullopt;
+  double last = (static_cast<double>(items) - sum_u) / sum_v;
+
+  std::vector<double> shares(static_cast<std::size_t>(p), 0.0);
+  for (int i = 0; i < p; ++i) {
+    shares[static_cast<std::size_t>(i)] =
+        u[static_cast<std::size_t>(i)] + v[static_cast<std::size_t>(i)] * last;
+    if (!(shares[static_cast<std::size_t>(i)] > 0.0) ||
+        !std::isfinite(shares[static_cast<std::size_t>(i)])) {
+      return std::nullopt;
+    }
+  }
+  return shares;
+}
+
+}  // namespace lbs::core

@@ -1,0 +1,64 @@
+// The guaranteed LP heuristic (paper Section 3.3).
+//
+// For affine cost functions, Eq. (2) is coded as the linear program (3):
+//
+//   minimize T  s.t.  n_i >= 0,  sum_i n_i = n,
+//   forall i:  T >= sum_{j<=i} Tcomm(j, n_j) + Tcomp(i, n_i)
+//
+// solved in rationals, then rounded with the Section 3.3 scheme, giving
+// (Eq. 4):  T_opt <= T' <= T_opt + sum_j Tcomm(j,1) + max_i Tcomp(i,1).
+//
+// Note the LP treats an affine cost as affine *everywhere*, including at
+// n_i = 0 where the true cost is 0 — one reason this is a heuristic, exact
+// in the linear case modulo rounding.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+#include "support/bigrational.hpp"
+#include "support/rational.hpp"
+
+namespace lbs::core {
+
+struct HeuristicResult {
+  Distribution distribution;      // rounded, sums to n
+  double makespan = 0.0;          // T': true cost (Eq. 2) of `distribution`
+  std::vector<double> rational_shares;  // the LP optimum n_1..n_p
+  double rational_makespan = 0.0;       // the LP objective T
+  double guarantee_slack = 0.0;   // Eq. 4 additive slack
+};
+
+// Requires platform.all_costs_affine(). Throws lbs::Error if the LP solver
+// fails (cannot happen for a well-formed platform: the LP is always
+// feasible and bounded).
+HeuristicResult lp_heuristic(const model::Platform& platform, long long items);
+
+// Exact-rational variant, matching the paper's actual procedure (it used
+// pipMP, an exact solver): the affine coefficients are approximated by
+// rationals with denominator <= max_denominator (continued fractions),
+// the LP is solved by the exact simplex, and the rounding scheme runs in
+// exact arithmetic. `makespan` is still evaluated on the platform's true
+// (double) cost model.
+struct ExactHeuristicResult {
+  Distribution distribution;
+  double makespan = 0.0;
+  std::vector<support::BigRational> rational_shares;
+  support::BigRational rational_makespan;  // of the approximated LP
+};
+ExactHeuristicResult lp_heuristic_exact(const model::Platform& platform,
+                                        long long items,
+                                        long long max_denominator = 1000000);
+
+// Independent cross-check used by tests: assuming *every* processor works
+// and all finish simultaneously, the affine equal-finish chain
+//   Tcomp(i, n_i) = Tcomm(i+1, n_{i+1}) + Tcomp(i+1, n_{i+1})
+// is a linear system with one degree of freedom, closed by sum n_i = n.
+// Returns nullopt when the assumption fails (some share comes out <= 0) —
+// in that case the LP (which can zero processors out) is the answer.
+std::optional<std::vector<double>> affine_equal_finish_shares(
+    const model::Platform& platform, long long items);
+
+}  // namespace lbs::core

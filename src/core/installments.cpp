@@ -1,0 +1,61 @@
+#include "core/installments.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+double installment_makespan(const model::Platform& platform,
+                            const Distribution& distribution, int installments) {
+  LBS_CHECK_MSG(installments >= 1, "need at least one installment");
+  LBS_CHECK_MSG(distribution.size() == platform.size(),
+                "distribution/platform size mismatch");
+
+  int p = platform.size();
+  auto k = static_cast<long long>(installments);
+
+  // Chunk sizes per processor: first (n_i mod k) chunks get one extra.
+  auto chunk_size = [&](int proc, long long round) {
+    long long n_i = distribution.counts[static_cast<std::size_t>(proc)];
+    long long base = n_i / k;
+    long long extra = n_i % k;
+    return base + (round < extra ? 1 : 0);
+  };
+
+  double port_time = 0.0;  // the root's single port
+  std::vector<double> compute_free(static_cast<std::size_t>(p), 0.0);
+  for (long long round = 0; round < k; ++round) {
+    for (int i = 0; i < p; ++i) {
+      long long chunk = chunk_size(i, round);
+      if (chunk == 0) continue;
+      port_time += platform[i].comm(chunk);  // serialized, in turn
+      double start = std::max(port_time, compute_free[static_cast<std::size_t>(i)]);
+      compute_free[static_cast<std::size_t>(i)] = start + platform[i].comp(chunk);
+    }
+  }
+  double makespan = 0.0;
+  for (double t : compute_free) makespan = std::max(makespan, t);
+  return makespan;
+}
+
+InstallmentSweep sweep_installments(const model::Platform& platform,
+                                    const Distribution& distribution,
+                                    int max_installments) {
+  LBS_CHECK_MSG(max_installments >= 1, "need at least one installment");
+  InstallmentSweep sweep;
+  sweep.best_makespan = installment_makespan(platform, distribution, 1);
+  sweep.best_installments = 1;
+  sweep.makespans.emplace_back(1, sweep.best_makespan);
+  for (int k = 2; k <= max_installments; ++k) {
+    double makespan = installment_makespan(platform, distribution, k);
+    sweep.makespans.emplace_back(k, makespan);
+    if (makespan < sweep.best_makespan) {
+      sweep.best_makespan = makespan;
+      sweep.best_installments = k;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace lbs::core

@@ -1,0 +1,43 @@
+// Multi-installment scatter (divisible load theory extension).
+//
+// The paper's scatter sends each processor its whole share in one message,
+// so P_i idles until P_1..P_{i-1} are fully served (Figure 1's stair). The
+// divisible-load literature the paper cites ([6]) splits shares into k
+// installments: the root cycles through the processors k times with
+// chunks, so everyone starts computing after only ~1/k of the stair.
+// The catch: with affine costs every extra installment pays the
+// per-message latency again — there is an optimal finite k.
+//
+// This module evaluates a distribution under k installments (analytic,
+// same single-port model) and sweeps k; it is the quantitative companion
+// to the paper's single-installment design choice.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+// Completion time when each share is split into `installments` chunks
+// (first n_i mod k chunks one item larger) and the root sends chunk r of
+// every processor, in platform order, before chunk r+1 of anyone.
+// Cost functions apply per chunk: affine fixed terms are paid per
+// installment, which is exactly the modeled overhead.
+double installment_makespan(const model::Platform& platform,
+                            const Distribution& distribution, int installments);
+
+struct InstallmentSweep {
+  std::vector<std::pair<int, double>> makespans;  // (k, makespan)
+  int best_installments = 1;
+  double best_makespan = 0.0;
+};
+
+// Evaluates k = 1..max_installments for the given distribution.
+InstallmentSweep sweep_installments(const model::Platform& platform,
+                                    const Distribution& distribution,
+                                    int max_installments);
+
+}  // namespace lbs::core

@@ -1,0 +1,98 @@
+#include "core/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+namespace {
+
+// β used for ordering: the per-item slope of the root→machine link
+// (1/bandwidth). Affine links order by slope, matching the paper's
+// "decreasing order of their bandwidth".
+double link_slope(const model::Grid& grid, int root_machine, int machine) {
+  if (machine == root_machine) return 0.0;
+  auto coeffs = grid.link(root_machine, machine).affine();
+  LBS_CHECK_MSG(coeffs.has_value(),
+                "ordering by bandwidth requires affine link costs");
+  return coeffs->per_item;
+}
+
+}  // namespace
+
+std::vector<model::ProcessorRef> order_processors(const model::Grid& grid,
+                                                  model::ProcessorRef root,
+                                                  OrderingPolicy policy,
+                                                  support::Rng* rng) {
+  auto refs = grid.all_processors();
+  std::erase(refs, root);
+
+  switch (policy) {
+    case OrderingPolicy::GridOrder:
+      break;
+    case OrderingPolicy::DescendingBandwidth:
+      std::stable_sort(refs.begin(), refs.end(),
+                       [&](const model::ProcessorRef& a, const model::ProcessorRef& b) {
+                         return link_slope(grid, root.machine, a.machine) <
+                                link_slope(grid, root.machine, b.machine);
+                       });
+      break;
+    case OrderingPolicy::AscendingBandwidth:
+      std::stable_sort(refs.begin(), refs.end(),
+                       [&](const model::ProcessorRef& a, const model::ProcessorRef& b) {
+                         return link_slope(grid, root.machine, a.machine) >
+                                link_slope(grid, root.machine, b.machine);
+                       });
+      break;
+    case OrderingPolicy::Random: {
+      LBS_CHECK_MSG(rng != nullptr, "random ordering needs an Rng");
+      for (std::size_t i = refs.size(); i > 1; --i) {
+        auto j = static_cast<std::size_t>(rng->uniform_int(0, static_cast<long long>(i) - 1));
+        std::swap(refs[i - 1], refs[j]);
+      }
+      break;
+    }
+  }
+  return refs;
+}
+
+model::Platform ordered_platform(const model::Grid& grid, model::ProcessorRef root,
+                                 OrderingPolicy policy, support::Rng* rng) {
+  auto order = order_processors(grid, root, policy, rng);
+  return make_platform(grid, root, order);
+}
+
+OrderingSearchResult exhaustive_best_ordering(
+    const model::Grid& grid, model::ProcessorRef root,
+    const std::function<double(const model::Platform&)>& evaluate) {
+  auto refs = grid.all_processors();
+  std::erase(refs, root);
+  LBS_CHECK_MSG(refs.size() <= 9, "exhaustive ordering search limited to 9 processors");
+
+  // Iterate permutations in lexicographic order over grid order.
+  std::sort(refs.begin(), refs.end(),
+            [](const model::ProcessorRef& a, const model::ProcessorRef& b) {
+              return a.machine != b.machine ? a.machine < b.machine : a.cpu < b.cpu;
+            });
+
+  OrderingSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  do {
+    model::Platform platform = make_platform(grid, root, refs);
+    double cost = evaluate(platform);
+    ++best.permutations_tried;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.order = refs;
+    }
+  } while (std::next_permutation(
+      refs.begin(), refs.end(),
+      [](const model::ProcessorRef& a, const model::ProcessorRef& b) {
+        return a.machine != b.machine ? a.machine < b.machine : a.cpu < b.cpu;
+      }));
+  return best;
+}
+
+}  // namespace lbs::core

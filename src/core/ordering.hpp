@@ -1,0 +1,52 @@
+// Processor ordering policies (paper Section 4.3 / 4.4).
+//
+// Under the single-port model the completion time is *not* symmetric in
+// the processors. Theorem 3: in the linear case the optimal order serves
+// processors by decreasing bandwidth to the root (increasing β), root
+// last; and with the rounding scheme this policy is guaranteed in the
+// linear case (Section 4.4). The ascending order is implemented too — the
+// paper's Figure 4 measures exactly that policy inversion — plus the raw
+// grid order (what a programmer gets by default from MPI ranks) and an
+// exhaustive search for small p used to validate Theorem 3.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/platform.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+
+enum class OrderingPolicy {
+  DescendingBandwidth,  // the paper's policy (Theorem 3)
+  AscendingBandwidth,   // the adversarial inverse (Figure 4)
+  GridOrder,            // machines as declared; no reordering
+  Random,               // a uniformly random shuffle
+};
+
+// Non-root processors in scatter order (the root is appended last by
+// make_platform). Bandwidth ties break by grid order, so results are
+// deterministic. `rng` is only used by OrderingPolicy::Random.
+std::vector<model::ProcessorRef> order_processors(const model::Grid& grid,
+                                                  model::ProcessorRef root,
+                                                  OrderingPolicy policy,
+                                                  support::Rng* rng = nullptr);
+
+// Convenience: ordered platform in one call.
+model::Platform ordered_platform(const model::Grid& grid, model::ProcessorRef root,
+                                 OrderingPolicy policy, support::Rng* rng = nullptr);
+
+// Exhaustive validation helper: tries every permutation of the non-root
+// processors (p - 1 <= 9 enforced), evaluating each ordered platform with
+// `evaluate` (which returns the predicted makespan), and returns the best.
+struct OrderingSearchResult {
+  std::vector<model::ProcessorRef> order;  // best non-root order found
+  double cost = 0.0;
+  long long permutations_tried = 0;
+};
+OrderingSearchResult exhaustive_best_ordering(
+    const model::Grid& grid, model::ProcessorRef root,
+    const std::function<double(const model::Platform&)>& evaluate);
+
+}  // namespace lbs::core

@@ -1,0 +1,84 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "core/closed_form.hpp"
+#include "core/dp.hpp"
+#include "core/heuristic.hpp"
+#include "core/rounding.hpp"
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::Auto: return "auto";
+    case Algorithm::ExactDp: return "exact-dp (Algorithm 1)";
+    case Algorithm::OptimizedDp: return "optimized-dp (Algorithm 2)";
+    case Algorithm::LpHeuristic: return "lp-heuristic (Section 3.3)";
+    case Algorithm::LinearClosedForm: return "linear-closed-form (Section 4)";
+    case Algorithm::Uniform: return "uniform (original program)";
+  }
+  return "?";
+}
+
+namespace {
+
+bool all_costs_linear(const model::Platform& platform) {
+  for (int i = 0; i < platform.size(); ++i) {
+    auto comm = platform[i].comm.affine();
+    auto comp = platform[i].comp.affine();
+    if (!comm || !comp || comm->fixed != 0.0 || comp->fixed != 0.0) return false;
+  }
+  return true;
+}
+
+Algorithm resolve(const model::Platform& platform, Algorithm requested) {
+  if (requested != Algorithm::Auto) return requested;
+  if (all_costs_linear(platform)) return Algorithm::LinearClosedForm;
+  if (platform.all_costs_affine()) return Algorithm::LpHeuristic;
+  if (platform.all_costs_increasing()) return Algorithm::OptimizedDp;
+  return Algorithm::ExactDp;
+}
+
+}  // namespace
+
+ScatterPlan plan_scatter(const model::Platform& platform, long long items,
+                         Algorithm algorithm) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+
+  ScatterPlan plan;
+  plan.algorithm_used = resolve(platform, algorithm);
+
+  switch (plan.algorithm_used) {
+    case Algorithm::ExactDp:
+      plan.distribution = exact_dp(platform, items).distribution;
+      break;
+    case Algorithm::OptimizedDp:
+      plan.distribution = optimized_dp(platform, items).distribution;
+      break;
+    case Algorithm::LpHeuristic:
+      plan.distribution = lp_heuristic(platform, items).distribution;
+      break;
+    case Algorithm::LinearClosedForm: {
+      auto rational = solve_linear(platform, items);
+      plan.distribution = round_distribution(rational.share, items);
+      break;
+    }
+    case Algorithm::Uniform:
+      plan.distribution = uniform_distribution(items, platform.size());
+      break;
+    case Algorithm::Auto:
+      LBS_CHECK_MSG(false, "unreachable: Auto resolved above");
+  }
+
+  validate(platform, plan.distribution, items);
+  plan.displacements = plan.distribution.displacements();
+  plan.predicted_finish = finish_times(platform, plan.distribution);
+  plan.predicted_makespan =
+      *std::max_element(plan.predicted_finish.begin(), plan.predicted_finish.end());
+  return plan;
+}
+
+}  // namespace lbs::core

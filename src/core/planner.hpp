@@ -1,0 +1,45 @@
+// High-level planning API: the library's main entry point.
+//
+// plan_scatter() turns (platform, n) into the counts/displacements vector
+// a parameterized scatter (MPI_Scatterv or mq::Comm::scatterv) needs,
+// choosing the strongest applicable method:
+//   - linear costs   -> closed form (Section 4) + rounding scheme,
+//   - affine costs   -> guaranteed LP heuristic (Section 3.3),
+//   - increasing     -> Algorithm 2,
+//   - anything else  -> Algorithm 1.
+// An explicit algorithm can be forced for studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+enum class Algorithm {
+  Auto,
+  ExactDp,          // Algorithm 1
+  OptimizedDp,      // Algorithm 2
+  LpHeuristic,      // Section 3.3
+  LinearClosedForm, // Section 4 (+ rounding)
+  Uniform,          // the original program's equal shares (baseline)
+};
+
+std::string to_string(Algorithm algorithm);
+
+struct ScatterPlan {
+  Distribution distribution;
+  std::vector<long long> displacements;
+  double predicted_makespan = 0.0;          // Eq. 2 on the true cost model
+  std::vector<double> predicted_finish;     // Eq. 1 per processor
+  Algorithm algorithm_used = Algorithm::Auto;
+};
+
+// Throws lbs::Error when a forced algorithm's preconditions do not hold
+// (e.g. LpHeuristic on non-affine costs).
+ScatterPlan plan_scatter(const model::Platform& platform, long long items,
+                         Algorithm algorithm = Algorithm::Auto);
+
+}  // namespace lbs::core

@@ -1,0 +1,41 @@
+// Root-processor selection (paper Section 3.4).
+//
+// The n data items initially live on computer C (the grid's data_home).
+// If the chosen root is not on C, the whole execution pays the C→root
+// transfer of all n items *before* the scatter even starts. The best root
+// minimizes (transfer from C) + (planned scatter+compute makespan); this
+// is a plain minimization over the p candidates.
+#pragma once
+
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+struct RootCandidate {
+  model::ProcessorRef root;
+  std::string label;
+  double staging_time = 0.0;    // C -> root transfer of all n items
+  double scatter_makespan = 0.0;
+  double total_time = 0.0;
+};
+
+struct RootSelectionResult {
+  std::vector<RootCandidate> candidates;  // one per processor, grid order
+  int best_index = -1;
+
+  [[nodiscard]] const RootCandidate& best() const;
+};
+
+// Evaluates every processor as a candidate root. The platform for each
+// candidate is ordered with `policy` (descending bandwidth by default,
+// per Section 4.4), and distributions are planned with `algorithm`.
+// Requires grid.data_home() >= 0.
+RootSelectionResult select_root(const model::Grid& grid, long long items,
+                                OrderingPolicy policy = OrderingPolicy::DescendingBandwidth,
+                                Algorithm algorithm = Algorithm::Auto);
+
+}  // namespace lbs::core

@@ -1,0 +1,42 @@
+// The paper's rounding scheme (Section 3.3).
+//
+// Given a rational distribution n_1..n_p summing to the integer n, produce
+// an integer distribution n'_1..n'_p with sum n and |n'_i - n_i| < 1 for
+// every i. That closeness is what powers the guarantee (Eq. 4):
+//
+//   T_opt <= T' <= T_opt + sum_j Tcomm(j,1) + max_i Tcomp(i,1)
+//
+// Scheme: round first the share nearest to an integer and track the
+// accumulated error e; while e < 0 round the share nearest to its ceiling
+// up, while e > 0 round the share nearest to its floor down; the last
+// share absorbs the remaining error exactly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+#include "support/bigrational.hpp"
+#include "support/rational.hpp"
+
+namespace lbs::core {
+
+// `shares` must be non-negative and sum to `items` (up to floating-point
+// noise from the LP solver; a residual below 0.5 is absorbed).
+Distribution round_distribution(std::span<const double> shares, long long items);
+
+// Exact counterpart: the same scheme executed in rational arithmetic, as
+// the paper states it. `shares` must be non-negative and sum to exactly
+// `items`; every |n'_i - n_i| < 1 holds exactly. Overloads for the 128-bit
+// Rational and the arbitrary-precision BigRational (the exact simplex's
+// solutions can exceed 128 bits).
+Distribution round_distribution_exact(std::span<const support::Rational> shares,
+                                      long long items);
+Distribution round_distribution_exact(std::span<const support::BigRational> shares,
+                                      long long items);
+
+// The additive slack of Eq. 4: sum_j Tcomm(j, 1) + max_i Tcomp(i, 1).
+double rounding_guarantee_slack(const model::Platform& platform);
+
+}  // namespace lbs::core

@@ -1,0 +1,101 @@
+#include "core/roundtrip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+double roundtrip_makespan(const model::Platform& platform,
+                          const Distribution& distribution, double gather_ratio) {
+  LBS_CHECK_MSG(gather_ratio >= 0.0, "negative gather ratio");
+  auto finish = finish_times(platform, distribution);
+  if (gather_ratio == 0.0) {
+    return *std::max_element(finish.begin(), finish.end());
+  }
+
+  int p = platform.size();
+  int root = p - 1;
+
+  // Gather jobs: (release = compute finish, duration = result transfer).
+  struct Job {
+    double release;
+    double duration;
+  };
+  std::vector<Job> jobs;
+  double makespan = finish[static_cast<std::size_t>(root)];  // root: no transfer
+  for (int i = 0; i < p; ++i) {
+    if (i == root) continue;
+    long long items = distribution.counts[static_cast<std::size_t>(i)];
+    if (items == 0) continue;
+    auto result_items =
+        static_cast<long long>(std::llround(gather_ratio * static_cast<double>(items)));
+    jobs.push_back(Job{finish[static_cast<std::size_t>(i)],
+                       platform[i].comm(result_items)});
+  }
+
+  // Earliest-release-date-first on the single root port (= FIFO arrival
+  // order), makespan-optimal for 1 | r_j | Cmax.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.release < b.release; });
+  double port_free = 0.0;
+  for (const auto& job : jobs) {
+    port_free = std::max(port_free, job.release) + job.duration;
+  }
+  return std::max(makespan, port_free);
+}
+
+RoundTripPlan optimize_roundtrip(const model::Platform& platform, long long items,
+                                 const RoundTripOptions& options) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  LBS_CHECK_MSG(options.max_passes >= 0, "negative pass budget");
+
+  RoundTripPlan plan;
+  plan.distribution = plan_scatter(platform, items).distribution;
+  plan.seed_makespan =
+      roundtrip_makespan(platform, plan.distribution, options.gather_ratio);
+  plan.makespan = plan.seed_makespan;
+
+  int p = platform.size();
+  if (p == 1 || items == 0) return plan;
+
+  // Pairwise item moves with a geometric step schedule: move `step` items
+  // from i to j whenever it improves the round-trip makespan; halve the
+  // step when a full pass finds nothing.
+  long long step = std::max<long long>(1, items / (4 * p));
+  for (int pass = 0; pass < options.max_passes && step >= 1; ++pass) {
+    ++plan.passes_used;
+    bool improved = false;
+    for (int from = 0; from < p; ++from) {
+      auto from_idx = static_cast<std::size_t>(from);
+      if (plan.distribution.counts[from_idx] < step) continue;
+      for (int to = 0; to < p; ++to) {
+        if (to == from) continue;
+        auto to_idx = static_cast<std::size_t>(to);
+        plan.distribution.counts[from_idx] -= step;
+        plan.distribution.counts[to_idx] += step;
+        double candidate =
+            roundtrip_makespan(platform, plan.distribution, options.gather_ratio);
+        if (candidate < plan.makespan - 1e-12) {
+          plan.makespan = candidate;
+          improved = true;
+        } else {
+          plan.distribution.counts[from_idx] += step;
+          plan.distribution.counts[to_idx] -= step;
+        }
+        if (plan.distribution.counts[from_idx] < step) break;
+      }
+    }
+    if (!improved) step /= 2;
+  }
+
+  validate(platform, plan.distribution, items);
+  return plan;
+}
+
+}  // namespace lbs::core

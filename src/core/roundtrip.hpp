@@ -1,0 +1,49 @@
+// Round-trip planning: scatter + compute + gather.
+//
+// The paper optimizes the scatter+compute makespan and treats the result
+// collection as out of scope. Real codes (the seismic application
+// included) ship results back; under the same single-port model the root
+// then *receives* transfers serialized in availability order. This module
+// extends the planner to the full round trip:
+//
+//   - roundtrip_makespan(): analytic evaluation. Finish times come from
+//     Eq. 1; the gather is a single-machine schedule with release dates
+//     (T_i) and processing times Tcomm(i, gather_ratio * n_i), served
+//     earliest-release-date first, which is makespan-optimal and exactly
+//     what a FIFO root port does.
+//   - optimize_roundtrip(): local search (pairwise item moves with a
+//     shrinking step) starting from the scatter-optimal distribution.
+//     The gather couples processors in ways the DP's independent suffix
+//     structure cannot capture, so an exact algorithm is an open problem;
+//     the hill climber is monotone and never returns something worse than
+//     its seed.
+#pragma once
+
+#include "core/distribution.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+// Completion time of the full scatter -> compute -> gather round.
+// gather_ratio scales item counts into result counts (0 = no gather, the
+// plain Eq. 2 makespan). The root's own results need no transfer.
+double roundtrip_makespan(const model::Platform& platform,
+                          const Distribution& distribution, double gather_ratio);
+
+struct RoundTripOptions {
+  double gather_ratio = 1.0;
+  int max_passes = 60;  // local-search sweeps over all processor pairs
+};
+
+struct RoundTripPlan {
+  Distribution distribution;
+  double makespan = 0.0;          // round-trip time of `distribution`
+  double seed_makespan = 0.0;     // round-trip time of the scatter-optimal seed
+  int passes_used = 0;
+};
+
+// Requires a platform with at least one processor and items >= 0.
+RoundTripPlan optimize_roundtrip(const model::Platform& platform, long long items,
+                                 const RoundTripOptions& options = {});
+
+}  // namespace lbs::core

@@ -1,0 +1,162 @@
+#include "core/two_level.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/closed_form.hpp"
+#include "core/ordering.hpp"
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+namespace {
+
+// Intra-site platform rooted at the coordinator: members ordered by
+// descending bandwidth *from the coordinator*, coordinator's CPUs last
+// (its first CPU is the local root).
+model::Platform site_platform(const model::Grid& grid,
+                              const std::vector<int>& machines, int coordinator) {
+  std::vector<model::ProcessorRef> order;
+  // Non-coordinator processors, sorted by link slope from the coordinator.
+  std::vector<int> others;
+  for (int m : machines) {
+    if (m != coordinator) others.push_back(m);
+  }
+  std::stable_sort(others.begin(), others.end(), [&](int a, int b) {
+    return grid.link(coordinator, a).per_item_slope() <
+           grid.link(coordinator, b).per_item_slope();
+  });
+  for (int m : others) {
+    for (int cpu = 0; cpu < grid.machine(m).cpu_count; ++cpu) {
+      order.push_back({m, cpu});
+    }
+  }
+  // Coordinator's extra CPUs (beyond cpu 0, the local root) join the
+  // workers with zero comm cost — put them first (free bandwidth).
+  std::vector<model::ProcessorRef> co_cpus;
+  for (int cpu = 1; cpu < grid.machine(coordinator).cpu_count; ++cpu) {
+    co_cpus.push_back({coordinator, cpu});
+  }
+  order.insert(order.begin(), co_cpus.begin(), co_cpus.end());
+  return make_platform(grid, {coordinator, 0}, order);
+}
+
+}  // namespace
+
+TwoLevelPlan plan_two_level(const model::Grid& grid, model::ProcessorRef root,
+                            long long items) {
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+
+  // Group machines by site label.
+  std::map<std::string, std::vector<int>> machines_by_site;
+  for (std::size_t m = 0; m < grid.machines().size(); ++m) {
+    const auto& machine = grid.machine(static_cast<int>(m));
+    LBS_CHECK_MSG(!machine.site.empty(),
+                  "two-level planning needs a site label on every machine");
+    machines_by_site[machine.site].push_back(static_cast<int>(m));
+  }
+  const std::string root_site = grid.machine(root.machine).site;
+
+  // Build each site's inner platform and its virtual-processor costs.
+  struct VirtualSite {
+    std::string name;
+    int coordinator = -1;
+    model::Platform platform;
+    double d_eff;       // inner makespan per item (linear: t = n * d_eff)
+    model::Cost wan;    // root machine -> coordinator transfer cost
+  };
+  std::vector<VirtualSite> remote;
+  VirtualSite root_virtual;
+  for (auto& [site, machines] : machines_by_site) {
+    int coordinator;
+    if (site == root_site) {
+      coordinator = root.machine;
+    } else {
+      // Fastest WAN link from the root's machine.
+      coordinator = machines.front();
+      for (int m : machines) {
+        if (grid.link(root.machine, m).per_item_slope() <
+            grid.link(root.machine, coordinator).per_item_slope()) {
+          coordinator = m;
+        }
+      }
+    }
+    VirtualSite virtual_site;
+    virtual_site.name = site;
+    virtual_site.coordinator = coordinator;
+    virtual_site.platform = site_platform(grid, machines, coordinator);
+    // Inner per-item duration via the closed form (with Theorem 2's
+    // elimination folded in): linear costs make it exactly n * d_eff.
+    virtual_site.d_eff = solve_linear(virtual_site.platform, 1).duration;
+    virtual_site.wan = site == root_site ? model::Cost::zero()
+                                         : grid.link(root.machine, coordinator);
+    if (site == root_site) {
+      root_virtual = std::move(virtual_site);
+    } else {
+      remote.push_back(std::move(virtual_site));
+    }
+  }
+
+  // Outer platform: remote sites by descending WAN bandwidth, root site
+  // last (the paper's convention, one level up).
+  std::stable_sort(remote.begin(), remote.end(),
+                   [](const VirtualSite& a, const VirtualSite& b) {
+                     return a.wan.per_item_slope() < b.wan.per_item_slope();
+                   });
+  model::Platform outer;
+  for (const auto& site : remote) {
+    model::Processor p;
+    p.label = site.name;
+    p.comm = site.wan;
+    p.comp = model::Cost::linear(site.d_eff);
+    outer.processors.push_back(p);
+  }
+  {
+    model::Processor p;
+    p.label = root_virtual.name;
+    p.comm = model::Cost::zero();
+    p.comp = model::Cost::linear(root_virtual.d_eff);
+    outer.processors.push_back(p);
+  }
+
+  auto outer_plan = plan_scatter(outer, items);
+
+  // Inner plans, and the exact composed makespan: site i's aggregate
+  // finishes arriving at the outer comm-window end; its processors then
+  // realize the inner plan's finish times.
+  TwoLevelPlan result;
+  auto windows = comm_windows(outer, outer_plan.distribution);
+  std::vector<const VirtualSite*> in_order;
+  for (const auto& site : remote) in_order.push_back(&site);
+  in_order.push_back(&root_virtual);
+
+  for (std::size_t i = 0; i < in_order.size(); ++i) {
+    const VirtualSite& virtual_site = *in_order[i];
+    SitePlan site_plan;
+    site_plan.site = virtual_site.name;
+    site_plan.coordinator = {virtual_site.coordinator, 0};
+    site_plan.items = outer_plan.distribution.counts[i];
+    site_plan.platform = virtual_site.platform;
+    site_plan.plan = plan_scatter(virtual_site.platform, site_plan.items);
+
+    double arrival = windows.end[i];
+    double site_finish = arrival + site_plan.plan.predicted_makespan;
+    result.predicted_makespan = std::max(result.predicted_makespan, site_finish);
+
+    for (int p = 0; p < site_plan.platform.size(); ++p) {
+      result.counts.emplace_back(
+          site_plan.platform[p].ref,
+          site_plan.plan.distribution.counts[static_cast<std::size_t>(p)]);
+    }
+    result.sites.push_back(std::move(site_plan));
+  }
+  return result;
+}
+
+double flat_plan_makespan(const model::Grid& grid, model::ProcessorRef root,
+                          long long items) {
+  auto platform = ordered_platform(grid, root, OrderingPolicy::DescendingBandwidth);
+  return plan_scatter(platform, items).predicted_makespan;
+}
+
+}  // namespace lbs::core

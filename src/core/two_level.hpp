@@ -1,0 +1,59 @@
+// Two-level (topology-aware) scatter planning.
+//
+// The paper's framework composes with itself: a whole *site* behaves like
+// one virtual processor whose Tcomm is the WAN transfer of its aggregate
+// and whose Tcomp is the site's own internal scatter+compute makespan —
+// which, for linear intra-site costs, is itself linear in the items
+// assigned (Theorem 1: t = n · D_site). So the outer problem (root + one
+// virtual processor per remote site) is again an instance of the paper's
+// problem, solvable by plan_scatter; each site's share is then planned
+// internally the same way, rooted at the site coordinator. This is the
+// planning companion of mq/hier_scatter.hpp, and the quantitative answer
+// to "when should a grid code scatter through site coordinators?"
+//
+// Requirements: every machine carries a non-empty `site` label, intra-
+// site cost functions are linear (the closed form prices the virtual
+// processors), and WAN links (root machine <-> coordinator machines) may
+// be affine — their fixed term (per-message latency) is precisely what
+// makes two-level routing win.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+struct SitePlan {
+  std::string site;
+  model::ProcessorRef coordinator;     // receives the site aggregate
+  long long items = 0;                 // site aggregate size
+  model::Platform platform;            // intra-site, coordinator last
+  ScatterPlan plan;                    // inner distribution of `items`
+};
+
+struct TwoLevelPlan {
+  std::vector<SitePlan> sites;         // outer scatter order; root site last
+  double predicted_makespan = 0.0;     // exact per Eqs. 1-2 composition
+  // Per-processor counts flattened across sites (order: sites in outer
+  // order, processors in each site's inner order).
+  std::vector<std::pair<model::ProcessorRef, long long>> counts;
+};
+
+// Plans a two-level scatter of `items` rooted at `root` (which must be on
+// the grid's data-home side of the WAN only in the sense that transfers
+// are priced from its machine). Coordinators are chosen per site as the
+// machine with the fastest link from the root's machine. Throws
+// lbs::Error if a machine has an empty site label or intra-site costs are
+// not linear.
+TwoLevelPlan plan_two_level(const model::Grid& grid, model::ProcessorRef root,
+                            long long items);
+
+// The flat baseline's makespan on the same grid (descending-bandwidth
+// ordering), for comparisons.
+double flat_plan_makespan(const model::Grid& grid, model::ProcessorRef root,
+                          long long items);
+
+}  // namespace lbs::core

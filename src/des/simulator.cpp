@@ -1,0 +1,116 @@
+#include "des/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace lbs::des {
+
+void Simulator::schedule(double delay, Callback callback) {
+  LBS_CHECK_MSG(delay >= 0.0, "scheduling into the past");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+void Simulator::schedule_at(double time, Callback callback) {
+  LBS_CHECK_MSG(time >= now_, "scheduling into the past");
+  LBS_CHECK_MSG(callback != nullptr, "null event callback");
+  queue_.push(Event{time, next_seq_++, std::move(callback)});
+}
+
+double Simulator::run() {
+  return run_until(std::numeric_limits<double>::infinity());
+}
+
+double Simulator::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the callback is wasteful, so pop into a local through extraction.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+  if (queue_.empty()) return now_;
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+void SerialResource::request(double duration, Simulator::Callback done,
+                             Simulator::Callback started) {
+  LBS_CHECK_MSG(duration >= 0.0, "negative service duration");
+  Pending pending{duration, std::move(done), std::move(started)};
+  if (busy_) {
+    waiting_.push(std::move(pending));
+  } else {
+    begin(std::move(pending));
+  }
+}
+
+void SerialResource::begin(Pending pending) {
+  busy_ = true;
+  if (pending.started) pending.started();
+  sim_.schedule(pending.duration,
+                [this, done = std::move(pending.done)]() mutable { finish(std::move(done)); });
+}
+
+void SerialResource::finish(Simulator::Callback done) {
+  // Stay marked busy while the completion callback runs: a request issued
+  // from inside `done` must queue behind already-waiting requests (FIFO),
+  // not grab the resource out of turn.
+  if (done) done();
+  busy_ = false;
+  if (!waiting_.empty()) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop();
+    begin(std::move(next));
+  }
+}
+
+void SpeedProfile::add_segment(double from, double to, double factor) {
+  LBS_CHECK_MSG(to > from, "empty speed segment");
+  LBS_CHECK_MSG(factor > 0.0, "non-positive speed factor");
+  segments_.push_back(Segment{from, to, factor});
+}
+
+double SpeedProfile::speed_at(double time) const {
+  double speed = 1.0;
+  for (const auto& segment : segments_) {
+    if (time >= segment.from && time < segment.to) speed *= segment.factor;
+  }
+  return speed;
+}
+
+double SpeedProfile::finish_time(double start, double nominal_seconds) const {
+  LBS_CHECK(nominal_seconds >= 0.0);
+  if (nominal_seconds == 0.0) return start;
+
+  // Collect breakpoints after `start`; between consecutive breakpoints the
+  // speed is constant.
+  std::vector<double> breakpoints;
+  for (const auto& segment : segments_) {
+    if (segment.from > start) breakpoints.push_back(segment.from);
+    if (segment.to > start) breakpoints.push_back(segment.to);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  double t = start;
+  double remaining = nominal_seconds;
+  for (double next : breakpoints) {
+    double speed = speed_at(t);
+    double capacity = (next - t) * speed;
+    if (capacity >= remaining) return t + remaining / speed;
+    remaining -= capacity;
+    t = next;
+  }
+  // Past the last breakpoint speed is constant forever.
+  double speed = speed_at(t);
+  LBS_CHECK_MSG(speed > 0.0, "zero speed tail");
+  return t + remaining / speed;
+}
+
+}  // namespace lbs::des

@@ -1,0 +1,114 @@
+// Discrete-event simulation engine.
+//
+// A minimal but complete DES core: a virtual clock, a stable event queue
+// (ties broken by insertion order, so runs are deterministic), and
+// callback-style processes. The grid simulator (gridsim/) uses it to
+// replay scatter+compute executions on modeled platforms; it exists as its
+// own substrate so richer experiments (perturbations, gathers, multiple
+// rounds) compose naturally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lbs::des {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  // Current virtual time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  // Schedules `callback` to fire `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Callback callback);
+
+  // Schedules at an absolute time (>= now()).
+  void schedule_at(double time, Callback callback);
+
+  // Runs until the queue drains (or `until`, if given). Returns the final
+  // virtual time. Callbacks may schedule further events.
+  double run();
+  double run_until(double until);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// A resource serving one request at a time, FIFO — the single-port root
+// NIC of the paper's hardware model (Section 2.3). Each request occupies
+// the resource for `duration` seconds; `done` fires on completion.
+class SerialResource {
+ public:
+  explicit SerialResource(Simulator& sim) : sim_(sim) {}
+
+  // Enqueues a request. `started` (optional) fires when service begins.
+  void request(double duration, Simulator::Callback done,
+               Simulator::Callback started = nullptr);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiting_.size(); }
+
+ private:
+  struct Pending {
+    double duration;
+    Simulator::Callback done;
+    Simulator::Callback started;
+  };
+
+  void begin(Pending pending);
+  void finish(Simulator::Callback done);
+
+  Simulator& sim_;
+  bool busy_ = false;
+  std::queue<Pending> waiting_;
+};
+
+// Piecewise-constant speed multiplier over time. speed 1.0 = nominal.
+// Used to model background load: the paper's Figure 4 notes "a peak load
+// on sekhmet during the experiment".
+class SpeedProfile {
+ public:
+  // Nominal speed outside all segments is 1.0.
+  SpeedProfile() = default;
+
+  // During [from, to), speed is multiplied by `factor` (> 0). Segments may
+  // overlap; factors compose multiplicatively.
+  void add_segment(double from, double to, double factor);
+
+  [[nodiscard]] double speed_at(double time) const;
+
+  // Time at which `nominal_seconds` of work finishes when started at
+  // `start`: solves integral_start^T speed dt = nominal_seconds.
+  [[nodiscard]] double finish_time(double start, double nominal_seconds) const;
+
+ private:
+  struct Segment {
+    double from;
+    double to;
+    double factor;
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace lbs::des

@@ -1,0 +1,198 @@
+#include "gridsim/gridsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::gridsim {
+
+namespace {
+
+// One scatter + compute (+ gather) round starting at `start_time`.
+// Returns the timeline (absolute times) and leaves `sim` drained.
+Timeline run_round(des::Simulator& sim, const model::Platform& platform,
+                   const core::Distribution& distribution,
+                   const SimOptions& options, double start_time,
+                   support::Rng& noise_rng) {
+  int p = platform.size();
+  Timeline timeline;
+  timeline.traces.resize(static_cast<std::size_t>(p));
+
+  // Per-processor speed profiles from perturbations.
+  std::vector<des::SpeedProfile> profiles(static_cast<std::size_t>(p));
+  for (const auto& perturbation : options.perturbations) {
+    LBS_CHECK_MSG(perturbation.processor >= 0 && perturbation.processor < p,
+                  "perturbation references unknown processor");
+    profiles[static_cast<std::size_t>(perturbation.processor)].add_segment(
+        perturbation.from, perturbation.to, perturbation.speed_factor);
+  }
+
+  des::SerialResource root_port(sim);
+
+  for (int i = 0; i < p; ++i) {
+    auto& trace = timeline.traces[static_cast<std::size_t>(i)];
+    trace.label = platform[i].label;
+    trace.items = distribution.counts[static_cast<std::size_t>(i)];
+  }
+
+  // The root sends to processors in turn (rank order): enqueue all sends
+  // up front; the serial port serializes them in order.
+  sim.schedule_at(start_time, [&] {
+    for (int i = 0; i < p; ++i) {
+      auto& trace = timeline.traces[static_cast<std::size_t>(i)];
+      double send_duration = platform[i].comm(trace.items);
+      root_port.request(
+          send_duration,
+          /*done=*/
+          [&, i] {
+            auto& t = timeline.traces[static_cast<std::size_t>(i)];
+            t.recv_end = sim.now();
+            // Compute phase: nominal seconds modulated by noise and the
+            // processor's speed profile.
+            double nominal = platform[i].comp(t.items);
+            if (options.compute_noise > 0.0) {
+              double factor =
+                  std::max(0.05, 1.0 + options.compute_noise * noise_rng.normal());
+              nominal *= factor;
+            }
+            double finish =
+                profiles[static_cast<std::size_t>(i)].finish_time(sim.now(), nominal);
+            sim.schedule_at(finish, [&, i] {
+              auto& done_trace = timeline.traces[static_cast<std::size_t>(i)];
+              done_trace.compute_end = sim.now();
+              if (options.gather_ratio > 0.0) {
+                // Result transfer back through the root port, FIFO.
+                double volume = options.gather_ratio *
+                                static_cast<double>(done_trace.items);
+                double duration =
+                    platform[i].comm(static_cast<long long>(std::llround(volume)));
+                root_port.request(duration, [&, i] {
+                  timeline.traces[static_cast<std::size_t>(i)].gather_end = sim.now();
+                });
+              }
+            });
+          },
+          /*started=*/
+          [&, i] { timeline.traces[static_cast<std::size_t>(i)].recv_start = sim.now(); });
+    }
+  });
+
+  sim.run();
+  return timeline;
+}
+
+}  // namespace
+
+SimResult simulate_scatter(const model::Platform& platform,
+                           const core::Distribution& distribution,
+                           const SimOptions& options) {
+  core::validate(platform, distribution, distribution.total());
+  LBS_CHECK_MSG(options.gather_ratio >= 0.0, "negative gather ratio");
+  LBS_CHECK_MSG(options.compute_noise >= 0.0, "negative noise");
+
+  des::Simulator sim;
+  support::Rng noise_rng(options.noise_seed);
+  SimResult result;
+  result.timeline = run_round(sim, platform, distribution, options, 0.0, noise_rng);
+  result.events_processed = sim.processed_events();
+  return result;
+}
+
+std::vector<SimResult> simulate_rounds_overlapped(
+    const model::Platform& platform, const core::Distribution& distribution,
+    int rounds) {
+  LBS_CHECK_MSG(rounds >= 1, "need at least one round");
+  core::validate(platform, distribution, distribution.total());
+
+  int p = platform.size();
+  des::Simulator sim;
+  des::SerialResource root_port(sim);
+
+  std::vector<Timeline> timelines(static_cast<std::size_t>(rounds));
+  for (auto& timeline : timelines) {
+    timeline.traces.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      timeline.traces[static_cast<std::size_t>(i)].label = platform[i].label;
+      timeline.traces[static_cast<std::size_t>(i)].items =
+          distribution.counts[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // compute_end of the previous round per processor (round dependency).
+  std::vector<double> previous_end(static_cast<std::size_t>(p), 0.0);
+
+  // Enqueue every round's sends in order; the FIFO port serializes them,
+  // so round r+1's transfers start exactly when the port goes idle.
+  sim.schedule_at(0.0, [&] {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < p; ++i) {
+        auto& trace = timelines[static_cast<std::size_t>(r)]
+                          .traces[static_cast<std::size_t>(i)];
+        double send_duration = platform[i].comm(trace.items);
+        root_port.request(
+            send_duration,
+            /*done=*/
+            [&, r, i] {
+              auto& done_trace = timelines[static_cast<std::size_t>(r)]
+                                     .traces[static_cast<std::size_t>(i)];
+              done_trace.recv_end = sim.now();
+              // Compute starts once the data is here AND the previous
+              // round's compute is finished. (The root is the last port
+              // request of its round, so its compute waits for the whole
+              // round to be sent.)
+              double start =
+                  std::max(sim.now(), previous_end[static_cast<std::size_t>(i)]);
+              double end = start + platform[i].comp(done_trace.items);
+              previous_end[static_cast<std::size_t>(i)] = end;
+              sim.schedule_at(end, [&, r, i] {
+                timelines[static_cast<std::size_t>(r)]
+                    .traces[static_cast<std::size_t>(i)]
+                    .compute_end = sim.now();
+              });
+            },
+            /*started=*/
+            [&, r, i] {
+              timelines[static_cast<std::size_t>(r)]
+                  .traces[static_cast<std::size_t>(i)]
+                  .recv_start = sim.now();
+            });
+      }
+    }
+  });
+  sim.run();
+
+  std::vector<SimResult> results;
+  for (auto& timeline : timelines) {
+    SimResult result;
+    result.timeline = std::move(timeline);
+    results.push_back(std::move(result));
+  }
+  if (!results.empty()) {
+    results.back().events_processed = sim.processed_events();
+  }
+  return results;
+}
+
+std::vector<SimResult> simulate_rounds(const model::Platform& platform,
+                                       const core::Distribution& distribution,
+                                       int rounds, const SimOptions& options) {
+  LBS_CHECK_MSG(rounds >= 1, "need at least one round");
+  core::validate(platform, distribution, distribution.total());
+
+  std::vector<SimResult> results;
+  des::Simulator sim;
+  support::Rng noise_rng(options.noise_seed);
+  double start = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    SimResult result;
+    std::uint64_t before = sim.processed_events();
+    result.timeline = run_round(sim, platform, distribution, options, start, noise_rng);
+    result.events_processed = sim.processed_events() - before;
+    start = result.timeline.latest_finish();  // barrier before the next round
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace lbs::gridsim

@@ -1,0 +1,81 @@
+// Grid execution simulator.
+//
+// Replays a scatter + compute (+ optional gather) execution of a
+// distribution on a platform under the paper's hardware model: a
+// single-port root serving receivers in turn (Section 2.3), per-processor
+// cost functions, and optional background-load perturbations (piecewise
+// speed profiles, e.g. Figure 4's "peak load on sekhmet"). Built on the
+// des/ engine so richer scenarios (multi-round iterative codes) compose.
+//
+// With no perturbations, no noise, and no gather, the simulated finish
+// times equal Eq. 1 exactly — the simulator and the analytic model agree
+// by construction, which is what lets the bench harness regenerate the
+// paper's figures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "des/simulator.hpp"
+#include "gridsim/timeline.hpp"
+#include "model/platform.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::gridsim {
+
+struct SimOptions {
+  // Per-item result volume sent back to the root after computing; 0
+  // disables the gather phase. The gather uses the same link cost
+  // functions and a single-port root, first-come first-served.
+  double gather_ratio = 0.0;
+
+  // Multiplicative log-normal-ish noise on compute durations: each
+  // processor's compute time is scaled by max(0.05, 1 + noise * N(0,1)).
+  // 0 = deterministic. Models the measurement scatter of real runs.
+  double compute_noise = 0.0;
+  std::uint64_t noise_seed = 1;
+
+  // Background-load perturbations, indexed by processor position.
+  struct Perturbation {
+    int processor = 0;
+    double from = 0.0;
+    double to = 0.0;
+    double speed_factor = 1.0;  // < 1 slows the processor down
+  };
+  std::vector<Perturbation> perturbations;
+};
+
+struct SimResult {
+  Timeline timeline;
+  std::uint64_t events_processed = 0;
+};
+
+// Simulates one scatter + compute (+ gather) round.
+SimResult simulate_scatter(const model::Platform& platform,
+                           const core::Distribution& distribution,
+                           const SimOptions& options = {});
+
+// Simulates `rounds` identical rounds back-to-back (an iterative code that
+// re-scatters each iteration, as seismic tomography does across velocity-
+// model updates). Round r+1's scatter starts only after every processor
+// finished round r (the barrier an MPI collective implies). Returns one
+// timeline per round, with absolute times.
+std::vector<SimResult> simulate_rounds(const model::Platform& platform,
+                                       const core::Distribution& distribution,
+                                       int rounds, const SimOptions& options = {});
+
+// Ablation of the paper's no-overlap design choice ("we chose to keep the
+// same communication structure as the original program... we do not
+// consider interlacing computation and communication phases"): a
+// pipelined schedule where the root streams round r+1's data as soon as
+// its port is free, while processors still compute round r. Processor i's
+// round-r compute starts at max(recv_end(i, r), compute_end(i, r-1)); the
+// root computes a round once it has sent that round's data. Perturbations,
+// noise, and gather are not supported in this mode (it isolates the pure
+// pipelining effect). Returns one timeline per round, absolute times.
+std::vector<SimResult> simulate_rounds_overlapped(
+    const model::Platform& platform, const core::Distribution& distribution,
+    int rounds);
+
+}  // namespace lbs::gridsim

@@ -1,0 +1,61 @@
+#include "gridsim/timeline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::gridsim {
+
+double Timeline::makespan() const {
+  return latest_finish();
+}
+
+double Timeline::earliest_finish() const {
+  LBS_CHECK_MSG(!traces.empty(), "empty timeline");
+  double earliest = traces.front().finish();
+  for (const auto& trace : traces) earliest = std::min(earliest, trace.finish());
+  return earliest;
+}
+
+double Timeline::latest_finish() const {
+  LBS_CHECK_MSG(!traces.empty(), "empty timeline");
+  double latest = traces.front().finish();
+  for (const auto& trace : traces) latest = std::max(latest, trace.finish());
+  return latest;
+}
+
+double Timeline::finish_spread() const {
+  double latest = latest_finish();
+  if (latest == 0.0) return 0.0;
+  return (latest - earliest_finish()) / latest;
+}
+
+double Timeline::total_stair_idle() const {
+  double total = 0.0;
+  for (const auto& trace : traces) total += trace.stair_idle();
+  return total;
+}
+
+std::vector<support::GanttRow> Timeline::gantt_rows() const {
+  std::vector<support::GanttRow> rows;
+  for (const auto& trace : traces) {
+    support::GanttRow row;
+    row.label = trace.label;
+    if (trace.recv_end > trace.recv_start) {
+      row.spans.push_back({trace.recv_start, trace.recv_end,
+                           support::PhaseKind::Receive});
+    }
+    if (trace.compute_end > trace.recv_end) {
+      row.spans.push_back({trace.recv_end, trace.compute_end,
+                           support::PhaseKind::Compute});
+    }
+    if (trace.gather_end > trace.compute_end) {
+      row.spans.push_back({trace.compute_end, trace.gather_end,
+                           support::PhaseKind::Send});
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace lbs::gridsim

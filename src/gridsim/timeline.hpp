@@ -1,0 +1,50 @@
+// Execution timelines and their summary metrics.
+//
+// The gridsim simulator produces one ProcessorTrace per processor —
+// exactly the quantities plotted in the paper's Figures 2-4 (per-processor
+// total time, communication time, amount of data) plus the receive window
+// needed to draw Figure 1's stair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/gantt.hpp"
+
+namespace lbs::gridsim {
+
+struct ProcessorTrace {
+  std::string label;
+  long long items = 0;
+  double recv_start = 0.0;   // data starts arriving (root port granted)
+  double recv_end = 0.0;     // data fully received; compute starts
+  double compute_end = 0.0;  // computation finished
+  double gather_end = 0.0;   // results delivered back to root (0 if no gather)
+
+  // "comm. time" in the paper's figures: time spent receiving.
+  [[nodiscard]] double comm_time() const { return recv_end - recv_start; }
+  // Idle time waiting for earlier processors to be served (the stair).
+  [[nodiscard]] double stair_idle() const { return recv_start; }
+  [[nodiscard]] double finish() const {
+    return gather_end > 0.0 ? gather_end : compute_end;
+  }
+};
+
+struct Timeline {
+  std::vector<ProcessorTrace> traces;
+
+  [[nodiscard]] double makespan() const;
+  [[nodiscard]] double earliest_finish() const;
+  [[nodiscard]] double latest_finish() const;
+  // (latest - earliest) / latest: the paper's "maximum difference in
+  // finish times as a fraction of the total duration".
+  [[nodiscard]] double finish_spread() const;
+  // Total idle time spent waiting on the root port across processors —
+  // the area of the stair region in Figure 4's reading.
+  [[nodiscard]] double total_stair_idle() const;
+
+  // Gantt rows (receive + compute phases) for Figure-1-style rendering.
+  [[nodiscard]] std::vector<support::GanttRow> gantt_rows() const;
+};
+
+}  // namespace lbs::gridsim

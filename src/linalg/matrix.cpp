@@ -1,0 +1,88 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {
+  LBS_CHECK_MSG(rows > 0 && cols > 0, "empty matrix dimensions");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(support::Rng& rng, std::size_t rows, std::size_t cols,
+                      double lo, double hi) {
+  Matrix m(rows, cols);
+  for (double& value : m.values_) value = rng.uniform(lo, hi);
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  LBS_CHECK(r < rows_ && c < cols_);
+  return values_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  LBS_CHECK(r < rows_ && c < cols_);
+  return values_[r * cols_ + c];
+}
+
+const double* Matrix::row(std::size_t r) const {
+  LBS_CHECK(r < rows_);
+  return values_.data() + r * cols_;
+}
+
+bool Matrix::allclose(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (std::abs(values_[i] - other.values_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  return multiply_rows(a, b, 0, a.rows());
+}
+
+Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t first,
+                     std::size_t count) {
+  LBS_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch");
+  LBS_CHECK_MSG(first + count <= a.rows(), "row range out of bounds");
+  LBS_CHECK_MSG(count > 0, "empty row range");
+  Matrix c(count, b.cols());
+  // i-k-j loop order: streams B rows, vectorizes the inner j loop.
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* a_row = a.row(first + i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = b.row(k);
+      double* c_row = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+  return c;
+}
+
+double difference_norm(const Matrix& a, const Matrix& b) {
+  LBS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double sum = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      double d = a.at(r, c) - b.at(r, c);
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace lbs::linalg

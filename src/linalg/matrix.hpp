@@ -1,0 +1,57 @@
+// Dense row-major matrices and block operations.
+//
+// A second application substrate: the paper's related work ([3], linear
+// algebra on heterogeneous clusters of PCs) distributes *row blocks* of a
+// matrix product the same way the seismic code distributes rays — one
+// scatter of independent items (rows), per-row compute cost linear in the
+// inner dimension. heterogeneous_matmul builds on this to demonstrate the
+// library on a second real workload with verifiable output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lbs::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix identity(std::size_t n);
+  static Matrix random(support::Rng& rng, std::size_t rows, std::size_t cols,
+                       double lo = -1.0, double hi = 1.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  // Contiguous row-major storage; row r starts at data()[r * cols()].
+  [[nodiscard]] double* data() { return values_.data(); }
+  [[nodiscard]] const double* data() const { return values_.data(); }
+  [[nodiscard]] const double* row(std::size_t r) const;
+
+  [[nodiscard]] bool allclose(const Matrix& other, double tolerance = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+// C = A * B (dimension-checked).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+// Rows [first, first + count) of A times B — the per-processor work item
+// of a row-block distribution. Returns a count x b.cols() block.
+Matrix multiply_rows(const Matrix& a, const Matrix& b, std::size_t first,
+                     std::size_t count);
+
+// Frobenius norm of (a - b); the verification metric.
+double difference_norm(const Matrix& a, const Matrix& b);
+
+}  // namespace lbs::linalg

@@ -1,0 +1,220 @@
+#include "lp/exact_simplex.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::lp {
+
+using support::BigRational;
+using support::Rational;
+
+void ExactProblem::minimize(std::vector<Rational> coeffs) {
+  objective = std::move(coeffs);
+  num_vars = static_cast<int>(objective.size());
+}
+
+void ExactProblem::add(std::vector<Rational> coeffs, Relation relation,
+                       Rational rhs) {
+  LBS_CHECK_MSG(static_cast<int>(coeffs.size()) == num_vars,
+                "constraint width mismatch (set the objective first)");
+  constraints.push_back(ExactConstraint{std::move(coeffs), relation, std::move(rhs)});
+}
+
+namespace {
+
+// Exact canonical-form tableau; mirrors lp/simplex.cpp with Rational
+// arithmetic and exact comparisons (no epsilons anywhere).
+class ExactTableau {
+ public:
+  explicit ExactTableau(const ExactProblem& problem) : n_(problem.num_vars) {
+    int m = static_cast<int>(problem.constraints.size());
+    int slack_count = 0;
+    for (const auto& c : problem.constraints) {
+      if (c.relation != Relation::Equal) ++slack_count;
+    }
+    slack_base_ = n_;
+    artificial_base_ = n_ + slack_count;
+    total_ = artificial_base_ + m;
+
+    rows_.assign(static_cast<std::size_t>(m),
+                 std::vector<BigRational>(static_cast<std::size_t>(total_) + 1));
+    basis_.assign(static_cast<std::size_t>(m), -1);
+
+    int slack = slack_base_;
+    for (int r = 0; r < m; ++r) {
+      const auto& c = problem.constraints[static_cast<std::size_t>(r)];
+      auto& row = rows_[static_cast<std::size_t>(r)];
+      bool flip = c.rhs.is_negative();
+      Relation relation = c.relation;
+      if (flip) {
+        if (relation == Relation::LessEq) relation = Relation::GreaterEq;
+        else if (relation == Relation::GreaterEq) relation = Relation::LessEq;
+      }
+      for (int j = 0; j < n_; ++j) {
+        const Rational& coeff = c.coeffs[static_cast<std::size_t>(j)];
+        row[static_cast<std::size_t>(j)] =
+            BigRational::from_rational(flip ? -coeff : coeff);
+      }
+      row[static_cast<std::size_t>(total_)] = BigRational::from_rational(flip ? -c.rhs : c.rhs);
+
+      if (relation == Relation::LessEq) {
+        row[static_cast<std::size_t>(slack)] = BigRational(1);
+        basis_[static_cast<std::size_t>(r)] = slack;
+        ++slack;
+      } else {
+        if (relation == Relation::GreaterEq) {
+          row[static_cast<std::size_t>(slack)] = BigRational(-1);
+          ++slack;
+        }
+        int art = artificial_base_ + r;
+        row[static_cast<std::size_t>(art)] = BigRational(1);
+        basis_[static_cast<std::size_t>(r)] = art;
+      }
+    }
+  }
+
+  bool optimize(const std::vector<BigRational>& objective, const std::vector<bool>& allow) {
+    int m = static_cast<int>(rows_.size());
+    for (;;) {
+      std::vector<BigRational> reduced = objective;
+      for (int r = 0; r < m; ++r) {
+        const BigRational& cb = objective[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+        if (cb.is_zero()) continue;
+        const auto& row = rows_[static_cast<std::size_t>(r)];
+        for (int j = 0; j < total_; ++j) {
+          if (!row[static_cast<std::size_t>(j)].is_zero()) {
+            reduced[static_cast<std::size_t>(j)] -= cb * row[static_cast<std::size_t>(j)];
+          }
+        }
+      }
+
+      int entering = -1;
+      for (int j = 0; j < total_; ++j) {
+        if (allow[static_cast<std::size_t>(j)] && reduced[static_cast<std::size_t>(j)].is_negative()) {
+          entering = j;
+          break;  // Bland: smallest index
+        }
+      }
+      if (entering < 0) return true;
+
+      int leaving = -1;
+      BigRational best_ratio;
+      for (int r = 0; r < m; ++r) {
+        const BigRational& a = rows_[static_cast<std::size_t>(r)][static_cast<std::size_t>(entering)];
+        if (!(a > BigRational(0))) continue;
+        BigRational ratio = rows_[static_cast<std::size_t>(r)].back() / a;
+        if (leaving < 0 || ratio < best_ratio ||
+            (ratio == best_ratio &&
+             basis_[static_cast<std::size_t>(r)] < basis_[static_cast<std::size_t>(leaving)])) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving < 0) return false;  // unbounded
+
+      pivot(leaving, entering);
+    }
+  }
+
+  [[nodiscard]] BigRational objective_value(const std::vector<BigRational>& objective) const {
+    BigRational value;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const BigRational& cb = objective[static_cast<std::size_t>(basis_[r])];
+      if (!cb.is_zero()) value += cb * rows_[r].back();
+    }
+    return value;
+  }
+
+  void expel_artificials() {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (basis_[r] < artificial_base_) continue;
+      for (int j = 0; j < artificial_base_; ++j) {
+        if (!rows_[r][static_cast<std::size_t>(j)].is_zero()) {
+          pivot(static_cast<int>(r), j);
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<BigRational> extract(int num_vars) const {
+    std::vector<BigRational> x(static_cast<std::size_t>(num_vars));
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (basis_[r] < num_vars) x[static_cast<std::size_t>(basis_[r])] = rows_[r].back();
+    }
+    return x;
+  }
+
+  [[nodiscard]] int total_columns() const { return total_; }
+  [[nodiscard]] int artificial_base() const { return artificial_base_; }
+
+ private:
+  void pivot(int leaving_row, int entering_col) {
+    auto& prow = rows_[static_cast<std::size_t>(leaving_row)];
+    BigRational scale = prow[static_cast<std::size_t>(entering_col)];
+    LBS_CHECK_MSG(!scale.is_zero(), "zero pivot element");
+    for (auto& value : prow) value /= scale;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (static_cast<int>(r) == leaving_row) continue;
+      BigRational factor = rows_[r][static_cast<std::size_t>(entering_col)];
+      if (factor.is_zero()) continue;
+      for (std::size_t j = 0; j < rows_[r].size(); ++j) {
+        if (!prow[j].is_zero()) rows_[r][j] -= factor * prow[j];
+      }
+      rows_[r][static_cast<std::size_t>(entering_col)] = BigRational(0);
+    }
+    basis_[static_cast<std::size_t>(leaving_row)] = entering_col;
+  }
+
+  int n_;
+  int slack_base_ = 0;
+  int artificial_base_ = 0;
+  int total_ = 0;
+  std::vector<std::vector<BigRational>> rows_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+ExactSolution solve_exact(const ExactProblem& problem) {
+  LBS_CHECK_MSG(problem.num_vars > 0, "LP with no variables");
+  LBS_CHECK_MSG(static_cast<int>(problem.objective.size()) == problem.num_vars,
+                "objective width mismatch");
+
+  ExactTableau tableau(problem);
+  int total = tableau.total_columns();
+  int artificial_base = tableau.artificial_base();
+
+  std::vector<BigRational> phase1(static_cast<std::size_t>(total));
+  for (int j = artificial_base; j < total; ++j) phase1[static_cast<std::size_t>(j)] = BigRational(1);
+  std::vector<bool> allow_all(static_cast<std::size_t>(total), true);
+  bool bounded = tableau.optimize(phase1, allow_all);
+  LBS_CHECK_MSG(bounded, "phase-1 LP cannot be unbounded");
+
+  ExactSolution solution;
+  if (!tableau.objective_value(phase1).is_zero()) {
+    solution.status = SolveStatus::Infeasible;
+    return solution;
+  }
+  tableau.expel_artificials();
+
+  std::vector<BigRational> phase2(static_cast<std::size_t>(total));
+  for (int j = 0; j < problem.num_vars; ++j) {
+    phase2[static_cast<std::size_t>(j)] =
+        BigRational::from_rational(problem.objective[static_cast<std::size_t>(j)]);
+  }
+  std::vector<bool> allow(static_cast<std::size_t>(total), true);
+  for (int j = artificial_base; j < total; ++j) allow[static_cast<std::size_t>(j)] = false;
+  if (!tableau.optimize(phase2, allow)) {
+    solution.status = SolveStatus::Unbounded;
+    return solution;
+  }
+
+  solution.status = SolveStatus::Optimal;
+  solution.x = tableau.extract(problem.num_vars);
+  solution.objective = tableau.objective_value(phase2);
+  return solution;
+}
+
+}  // namespace lbs::lp

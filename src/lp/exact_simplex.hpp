@@ -1,0 +1,51 @@
+// Exact two-phase simplex over rationals.
+//
+// The paper's heuristic solved the scatter LP *in rationals* (via pipMP,
+// a parametric integer programming tool) — the rounding-scheme guarantee
+// (Eq. 4) is stated for the exact rational optimum. This solver is the
+// faithful counterpart of lp/simplex.hpp with no floating-point
+// tolerances: Bland's rule over exact lbs::support::Rational arithmetic,
+// so optimality and infeasibility are decided, not estimated.
+//
+// Inputs are 128-bit support::Rational (problem data is small by
+// construction — feed measured doubles through Rational::approximate());
+// all pivot arithmetic and the solution run on arbitrary-precision
+// support::BigRational, so nothing overflows regardless of the pivot
+// sequence.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "support/bigrational.hpp"
+#include "support/rational.hpp"
+
+namespace lbs::lp {
+
+struct ExactConstraint {
+  std::vector<support::Rational> coeffs;
+  Relation relation = Relation::LessEq;
+  support::Rational rhs;
+};
+
+struct ExactProblem {
+  int num_vars = 0;
+  std::vector<support::Rational> objective;  // minimized
+  std::vector<ExactConstraint> constraints;
+
+  void minimize(std::vector<support::Rational> coeffs);
+  void add(std::vector<support::Rational> coeffs, Relation relation,
+           support::Rational rhs);
+};
+
+struct ExactSolution {
+  SolveStatus status = SolveStatus::Infeasible;
+  std::vector<support::BigRational> x;
+  support::BigRational objective;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+ExactSolution solve_exact(const ExactProblem& problem);
+
+}  // namespace lbs::lp

@@ -1,0 +1,53 @@
+// Dense two-phase primal simplex solver.
+//
+// The paper's guaranteed heuristic (Section 3.3) codes the scatter problem
+// as a linear program and solves it in rationals (the authors used pipMP).
+// Our substitute is this small dense solver: the scatter LP has p+1
+// variables and p+1 constraints (p <= a few dozen processors), so a dense
+// tableau with Bland's anti-cycling rule is exact enough (double precision)
+// and runs in microseconds.
+//
+// Problem form: minimize cᵀx subject to row constraints (<=, >=, =) and
+// x >= 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lbs::lp {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+struct Constraint {
+  std::vector<double> coeffs;  // one per variable
+  Relation relation = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  // minimized; one per variable
+  std::vector<Constraint> constraints;
+
+  // Convenience builders.
+  void minimize(std::vector<double> coeffs);
+  void add(std::vector<double> coeffs, Relation relation, double rhs);
+};
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded };
+
+struct Solution {
+  SolveStatus status = SolveStatus::Infeasible;
+  std::vector<double> x;    // engaged iff status == Optimal
+  double objective = 0.0;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+std::string to_string(SolveStatus status);
+
+// Solves with Bland's rule (guaranteed termination). Tolerance is the
+// absolute feasibility/optimality epsilon on the (well-scaled) tableau.
+Solution solve(const Problem& problem, double tolerance = 1e-9);
+
+}  // namespace lbs::lp

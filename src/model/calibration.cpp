@@ -1,0 +1,52 @@
+#include "model/calibration.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace lbs::model {
+
+CalibrationResult calibrate(std::span<const std::pair<long long, double>> samples,
+                            double intercept_tolerance) {
+  LBS_CHECK_MSG(samples.size() >= 2, "calibration needs at least two samples");
+  std::vector<double> xs, ys;
+  long long max_items = 0;
+  xs.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const auto& [items, seconds] : samples) {
+    LBS_CHECK_MSG(items > 0, "calibration sample with non-positive item count");
+    xs.push_back(static_cast<double>(items));
+    ys.push_back(seconds);
+    max_items = std::max(max_items, items);
+  }
+
+  auto fit = support::fit_line(xs, ys);
+  CalibrationResult result;
+  result.r_squared = fit.r_squared;
+  double slope = std::max(fit.slope, 0.0);
+  double intercept = std::max(fit.intercept, 0.0);
+
+  double full_transfer = slope * static_cast<double>(max_items);
+  if (intercept <= intercept_tolerance * full_transfer) {
+    // Latency negligible: refit as purely proportional for a better slope.
+    result.linear_model = true;
+    result.alpha = std::max(support::fit_proportional(xs, ys), 0.0);
+    result.intercept = 0.0;
+    result.cost = Cost::linear(result.alpha);
+  } else {
+    result.linear_model = false;
+    result.alpha = slope;
+    result.intercept = intercept;
+    result.cost = Cost::affine(intercept, slope);
+  }
+  return result;
+}
+
+double rating(double alpha, double reference_alpha) {
+  LBS_CHECK(alpha > 0.0 && reference_alpha > 0.0);
+  return reference_alpha / alpha;
+}
+
+}  // namespace lbs::model

@@ -1,0 +1,38 @@
+// Cost-model calibration from timing samples.
+//
+// The paper's Table 1 "values come from a series of benchmarks we
+// performed on our application". This module turns (items, seconds)
+// samples — e.g. measured on the mq runtime or the seismic ray tracer —
+// into Cost functions, choosing the linear model when the measured
+// intercept is negligible (the paper's own argument for dropping latency).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "model/cost.hpp"
+
+namespace lbs::model {
+
+struct CalibrationResult {
+  Cost cost;
+  double alpha = 0.0;       // fitted per-item slope (s/item)
+  double intercept = 0.0;   // fitted fixed term (s); 0 when linear model chosen
+  double r_squared = 0.0;
+  bool linear_model = false;  // true when the intercept was dropped
+};
+
+// Fits an affine cost to samples; drops the intercept (linear model) when
+// |intercept| < intercept_tolerance * (slope * max_items), mirroring the
+// paper's "latency negligible compared to the sending time" judgement.
+// Requires >= 2 samples with distinct item counts; negative fitted values
+// are clamped to zero.
+CalibrationResult calibrate(std::span<const std::pair<long long, double>> samples,
+                            double intercept_tolerance = 0.01);
+
+// Rating relative to a reference per-item cost, as in Table 1's "Rating"
+// column (reference/alpha, so faster processors rate higher; the PIII/933
+// is the paper's rating-1 reference).
+double rating(double alpha, double reference_alpha);
+
+}  // namespace lbs::model

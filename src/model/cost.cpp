@@ -1,0 +1,200 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lbs::model {
+
+namespace {
+
+class ZeroCost final : public CostFunction {
+ public:
+  double at(long long items) const override {
+    LBS_CHECK(items >= 0);
+    return 0.0;
+  }
+  bool is_increasing() const override { return true; }
+  std::optional<AffineCoeffs> affine() const override {
+    return AffineCoeffs{0.0, 0.0};
+  }
+  std::string describe() const override { return "zero"; }
+};
+
+class LinearCost final : public CostFunction {
+ public:
+  explicit LinearCost(double per_item) : per_item_(per_item) {
+    LBS_CHECK_MSG(per_item >= 0.0, "negative cost slope");
+  }
+  double at(long long items) const override {
+    LBS_CHECK(items >= 0);
+    return per_item_ * static_cast<double>(items);
+  }
+  bool is_increasing() const override { return true; }
+  std::optional<AffineCoeffs> affine() const override {
+    return AffineCoeffs{0.0, per_item_};
+  }
+  std::string describe() const override {
+    std::ostringstream out;
+    out << per_item_ << "*x";
+    return out.str();
+  }
+
+ private:
+  double per_item_;
+};
+
+class AffineCost final : public CostFunction {
+ public:
+  AffineCost(double fixed, double per_item) : fixed_(fixed), per_item_(per_item) {
+    LBS_CHECK_MSG(fixed >= 0.0 && per_item >= 0.0, "negative affine cost");
+  }
+  double at(long long items) const override {
+    LBS_CHECK(items >= 0);
+    if (items == 0) return 0.0;
+    return fixed_ + per_item_ * static_cast<double>(items);
+  }
+  bool is_increasing() const override { return true; }
+  std::optional<AffineCoeffs> affine() const override {
+    return AffineCoeffs{fixed_, per_item_};
+  }
+  std::string describe() const override {
+    std::ostringstream out;
+    out << fixed_ << " + " << per_item_ << "*x";
+    return out.str();
+  }
+
+ private:
+  double fixed_;
+  double per_item_;
+};
+
+class TabulatedCost final : public CostFunction {
+ public:
+  explicit TabulatedCost(std::vector<std::pair<long long, double>> samples)
+      : samples_(std::move(samples)) {
+    LBS_CHECK_MSG(!samples_.empty(), "tabulated cost needs samples");
+    long long prev_x = 0;
+    double prev_y = 0.0;
+    increasing_ = true;
+    for (const auto& [x, y] : samples_) {
+      LBS_CHECK_MSG(x > prev_x || (prev_x == 0 && x > 0),
+                    "tabulated samples must have strictly increasing x > 0");
+      LBS_CHECK_MSG(y >= 0.0, "negative cost sample");
+      if (y < prev_y) increasing_ = false;
+      prev_x = x;
+      prev_y = y;
+    }
+  }
+
+  double at(long long items) const override {
+    LBS_CHECK(items >= 0);
+    if (items == 0) return 0.0;
+    // Find the segment containing `items`; (0,0) is the implicit origin.
+    long long x0 = 0;
+    double y0 = 0.0;
+    for (const auto& [x1, y1] : samples_) {
+      if (items <= x1) {
+        double t = static_cast<double>(items - x0) / static_cast<double>(x1 - x0);
+        return y0 + t * (y1 - y0);
+      }
+      x0 = x1;
+      y0 = y1;
+    }
+    // Extrapolate using the last segment's slope.
+    const auto& [xl, yl] = samples_.back();
+    double slope;
+    if (samples_.size() >= 2) {
+      const auto& [xp, yp] = samples_[samples_.size() - 2];
+      slope = (yl - yp) / static_cast<double>(xl - xp);
+    } else {
+      slope = yl / static_cast<double>(xl);
+    }
+    return yl + slope * static_cast<double>(items - xl);
+  }
+
+  bool is_increasing() const override { return increasing_; }
+  std::optional<AffineCoeffs> affine() const override { return std::nullopt; }
+  std::string describe() const override {
+    std::ostringstream out;
+    out << "tabulated[" << samples_.size() << " samples]";
+    return out.str();
+  }
+
+ private:
+  std::vector<std::pair<long long, double>> samples_;
+  bool increasing_ = true;
+};
+
+class ChunkedCost final : public CostFunction {
+ public:
+  ChunkedCost(double per_item, long long chunk, double step)
+      : per_item_(per_item), chunk_(chunk), step_(step) {
+    LBS_CHECK_MSG(per_item >= 0.0 && step >= 0.0, "negative chunked cost");
+    LBS_CHECK_MSG(chunk > 0, "chunk size must be positive");
+  }
+  double at(long long items) const override {
+    LBS_CHECK(items >= 0);
+    if (items == 0) return 0.0;
+    return per_item_ * static_cast<double>(items) +
+           step_ * static_cast<double>(items / chunk_);
+  }
+  bool is_increasing() const override { return true; }
+  std::optional<AffineCoeffs> affine() const override {
+    if (step_ == 0.0) return AffineCoeffs{0.0, per_item_};
+    return std::nullopt;
+  }
+  std::string describe() const override {
+    std::ostringstream out;
+    out << per_item_ << "*x + " << step_ << "*floor(x/" << chunk_ << ")";
+    return out.str();
+  }
+
+ private:
+  double per_item_;
+  long long chunk_;
+  double step_;
+};
+
+}  // namespace
+
+Cost::Cost() : fn_(std::make_shared<ZeroCost>()) {}
+
+Cost Cost::linear(double per_item) {
+  return Cost(std::make_shared<LinearCost>(per_item));
+}
+
+Cost Cost::affine(double fixed, double per_item) {
+  if (fixed == 0.0) return linear(per_item);
+  return Cost(std::make_shared<AffineCost>(fixed, per_item));
+}
+
+Cost Cost::zero() {
+  return Cost(std::make_shared<ZeroCost>());
+}
+
+Cost Cost::tabulated(std::vector<std::pair<long long, double>> samples) {
+  return Cost(std::make_shared<TabulatedCost>(std::move(samples)));
+}
+
+Cost Cost::chunked(double per_item, long long chunk, double step) {
+  return Cost(std::make_shared<ChunkedCost>(per_item, chunk, step));
+}
+
+Cost Cost::from_bandwidth(double megabits_per_s, std::size_t item_bytes,
+                          double latency_s) {
+  LBS_CHECK_MSG(megabits_per_s > 0.0, "non-positive bandwidth");
+  LBS_CHECK_MSG(item_bytes > 0, "zero item size");
+  double per_item =
+      static_cast<double>(item_bytes) * 8.0 / (megabits_per_s * 1e6);
+  return affine(latency_s, per_item);
+}
+
+double Cost::per_item_slope() const {
+  auto coeffs = fn_->affine();
+  LBS_CHECK_MSG(coeffs.has_value(), "per_item_slope on non-affine cost");
+  return coeffs->per_item;
+}
+
+}  // namespace lbs::model

@@ -1,0 +1,96 @@
+// Cost-function model: Tcomm(i, x) and Tcomp(i, x).
+//
+// The paper's framework (Section 3.1) characterizes each processor by two
+// cost functions of the number of data items x:
+//   - Tcomp(i, x): time for P_i to compute x items,
+//   - Tcomm(i, x): time for the root to send x items to P_i.
+// Algorithm 1 only requires them to be non-negative and null at x = 0;
+// Algorithm 2 additionally requires them to be increasing; the LP heuristic
+// requires them to be affine. This header provides a small closed hierarchy
+// covering all of those cases plus measured (tabulated) costs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lbs::model {
+
+// Coefficients of an affine cost t(x) = fixed + per_item * x for x > 0,
+// t(0) = 0. ("fixed" models per-message latency; the paper's experiments
+// use fixed = 0, i.e. the linear case, because "the network latency is
+// negligible compared to the sending time of the data blocks".)
+struct AffineCoeffs {
+  double fixed = 0.0;
+  double per_item = 0.0;
+};
+
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  // Time in seconds to handle `items` items; items >= 0.
+  // Implementations must return 0 for items == 0 (paper's framework).
+  [[nodiscard]] virtual double at(long long items) const = 0;
+
+  // True when the function is non-decreasing in x (required by Algorithm 2
+  // and by the simultaneous-endings analysis).
+  [[nodiscard]] virtual bool is_increasing() const = 0;
+
+  // The affine coefficients when the function is exactly affine (the LP
+  // heuristic path); nullopt otherwise.
+  [[nodiscard]] virtual std::optional<AffineCoeffs> affine() const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+// Value-semantic handle to an immutable cost function.
+class Cost {
+ public:
+  Cost();  // zero cost
+
+  // t(x) = per_item * x. The paper's linear case (Section 4).
+  static Cost linear(double per_item);
+
+  // t(x) = fixed + per_item * x for x > 0, t(0) = 0.
+  static Cost affine(double fixed, double per_item);
+
+  // t(x) = 0 for all x (e.g. Tcomm of the root processor to itself).
+  static Cost zero();
+
+  // Piecewise-linear interpolation through measured (items, seconds)
+  // samples, extrapolating the last segment's slope; (0,0) is implied.
+  // Samples must have strictly increasing item counts.
+  static Cost tabulated(std::vector<std::pair<long long, double>> samples);
+
+  // t(x) = per_item * x + step * floor(x / chunk): models chunked
+  // transfers where every `chunk` items pay an extra round-trip. Increasing
+  // but *not* affine — exercises the general DP path.
+  static Cost chunked(double per_item, long long chunk, double step);
+
+  // Communication cost from network terms: a link of `megabits_per_s`
+  // moving items of `item_bytes` with per-message `latency_s`. Yields
+  // affine(latency_s, 8 * item_bytes / (megabits_per_s * 1e6)) — the
+  // translation used when describing grids by NIC specs instead of
+  // measured betas (e.g. merlin's 10 Mbit/s hub).
+  static Cost from_bandwidth(double megabits_per_s, std::size_t item_bytes,
+                             double latency_s = 0.0);
+
+  [[nodiscard]] double operator()(long long items) const { return fn_->at(items); }
+  [[nodiscard]] double at(long long items) const { return fn_->at(items); }
+  [[nodiscard]] bool is_increasing() const { return fn_->is_increasing(); }
+  [[nodiscard]] std::optional<AffineCoeffs> affine() const { return fn_->affine(); }
+  [[nodiscard]] std::string describe() const { return fn_->describe(); }
+
+  // Per-item slope when affine/linear; throws otherwise.
+  [[nodiscard]] double per_item_slope() const;
+
+ private:
+  explicit Cost(std::shared_ptr<const CostFunction> fn) : fn_(std::move(fn)) {}
+  std::shared_ptr<const CostFunction> fn_;
+};
+
+}  // namespace lbs::model

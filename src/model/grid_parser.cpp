@@ -1,0 +1,213 @@
+#include "model/grid_parser.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace lbs::model {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != '#') ++i;
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_double(const std::string& token, double& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_int(const std::string& token, int& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+// Parses "key value key value ..." pairs starting at tokens[first].
+bool parse_pairs(const std::vector<std::string>& tokens, std::size_t first,
+                 std::map<std::string, std::string>& out, std::string& error) {
+  if ((tokens.size() - first) % 2 != 0) {
+    error = "expected key/value pairs";
+    return false;
+  }
+  for (std::size_t i = first; i < tokens.size(); i += 2) {
+    if (!out.emplace(tokens[i], tokens[i + 1]).second) {
+      error = "duplicate key '" + tokens[i] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+GridParseResult fail(int line_number, const std::string& message) {
+  GridParseResult result;
+  std::ostringstream out;
+  out << "line " << line_number << ": " << message;
+  result.error = out.str();
+  return result;
+}
+
+}  // namespace
+
+GridParseResult parse_grid(std::string_view text) {
+  Grid grid;
+  struct PendingLink {
+    int line;
+    std::string a, b;
+    Cost cost;
+  };
+  std::vector<PendingLink> pending_links;
+  std::string data_home;
+  int data_home_line = 0;
+
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(pos, eol == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "machine") {
+      if (tokens.size() < 2) return fail(line_number, "machine needs a name");
+      std::map<std::string, std::string> kv;
+      std::string error;
+      if (!parse_pairs(tokens, 2, kv, error)) return fail(line_number, error);
+
+      Machine machine;
+      machine.name = tokens[1];
+      machine.cpu_count = 1;
+      double alpha = -1.0;
+      double fixed = 0.0;
+      for (const auto& [key, value] : kv) {
+        if (key == "cpus") {
+          if (!parse_int(value, machine.cpu_count) || machine.cpu_count < 1) {
+            return fail(line_number, "bad cpus value '" + value + "'");
+          }
+        } else if (key == "alpha") {
+          if (!parse_double(value, alpha) || alpha < 0.0) {
+            return fail(line_number, "bad alpha value '" + value + "'");
+          }
+        } else if (key == "fixed") {
+          if (!parse_double(value, fixed) || fixed < 0.0) {
+            return fail(line_number, "bad fixed value '" + value + "'");
+          }
+        } else if (key == "cpu") {
+          machine.cpu_description = value;
+        } else if (key == "site") {
+          machine.site = value;
+        } else {
+          return fail(line_number, "unknown machine key '" + key + "'");
+        }
+      }
+      if (alpha < 0.0) return fail(line_number, "machine needs alpha");
+      machine.comp = Cost::affine(fixed, alpha);
+      if (grid.machine_index(machine.name) >= 0) {
+        return fail(line_number, "duplicate machine '" + machine.name + "'");
+      }
+      grid.add_machine(std::move(machine));
+    } else if (directive == "link") {
+      if (tokens.size() < 3) return fail(line_number, "link needs two machine names");
+      std::map<std::string, std::string> kv;
+      std::string error;
+      if (!parse_pairs(tokens, 3, kv, error)) return fail(line_number, error);
+      double beta = -1.0;
+      double fixed = 0.0;
+      for (const auto& [key, value] : kv) {
+        if (key == "beta") {
+          if (!parse_double(value, beta) || beta < 0.0) {
+            return fail(line_number, "bad beta value '" + value + "'");
+          }
+        } else if (key == "fixed") {
+          if (!parse_double(value, fixed) || fixed < 0.0) {
+            return fail(line_number, "bad fixed value '" + value + "'");
+          }
+        } else {
+          return fail(line_number, "unknown link key '" + key + "'");
+        }
+      }
+      if (beta < 0.0) return fail(line_number, "link needs beta");
+      pending_links.push_back(
+          PendingLink{line_number, tokens[1], tokens[2], Cost::affine(fixed, beta)});
+    } else if (directive == "data_home") {
+      if (tokens.size() != 2) return fail(line_number, "data_home needs one machine name");
+      data_home = tokens[1];
+      data_home_line = line_number;
+    } else {
+      return fail(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+
+  // Resolve forward references.
+  for (const auto& link : pending_links) {
+    int a = grid.machine_index(link.a);
+    int b = grid.machine_index(link.b);
+    if (a < 0) return fail(link.line, "unknown machine '" + link.a + "'");
+    if (b < 0) return fail(link.line, "unknown machine '" + link.b + "'");
+    if (a == b) return fail(link.line, "link from a machine to itself");
+    grid.set_link(a, b, link.cost);
+  }
+  if (!data_home.empty()) {
+    int home = grid.machine_index(data_home);
+    if (home < 0) return fail(data_home_line, "unknown machine '" + data_home + "'");
+    grid.set_data_home(home);
+  }
+  if (grid.machines().empty()) return fail(line_number, "no machines defined");
+
+  GridParseResult result;
+  result.grid = std::move(grid);
+  return result;
+}
+
+std::string write_grid(const Grid& grid) {
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& machine : grid.machines()) {
+    auto coeffs = machine.comp.affine();
+    out << "machine " << machine.name << " cpus " << machine.cpu_count;
+    if (coeffs) {
+      out << " alpha " << coeffs->per_item;
+      if (coeffs->fixed != 0.0) out << " fixed " << coeffs->fixed;
+    }
+    if (!machine.cpu_description.empty()) out << " cpu " << machine.cpu_description;
+    if (!machine.site.empty()) out << " site " << machine.site;
+    out << '\n';
+  }
+  int n = static_cast<int>(grid.machines().size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!grid.has_link(a, b)) continue;
+      auto coeffs = grid.link(a, b).affine();
+      if (!coeffs) continue;
+      out << "link " << grid.machine(a).name << ' ' << grid.machine(b).name
+          << " beta " << coeffs->per_item;
+      if (coeffs->fixed != 0.0) out << " fixed " << coeffs->fixed;
+      out << '\n';
+    }
+  }
+  if (grid.data_home() >= 0) {
+    out << "data_home " << grid.machine(grid.data_home()).name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lbs::model

@@ -1,0 +1,37 @@
+// Text format for grid descriptions.
+//
+// Lets examples and users describe a platform in a small config file
+// instead of code:
+//
+//   # comment
+//   machine dinadan  cpus 1  alpha 0.009288  [fixed 0.01] [cpu PIII/933] [site strasbourg]
+//   machine leda     cpus 8  alpha 0.009677  site cines
+//   link dinadan leda  beta 3.53e-5  [fixed 0.02]
+//   data_home dinadan
+//
+// `alpha`/`beta` are per-item seconds; the optional `fixed` term makes the
+// cost affine. Malformed input is data, not a programmer error, so parsing
+// returns a result object rather than throwing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/platform.hpp"
+
+namespace lbs::model {
+
+struct GridParseResult {
+  std::optional<Grid> grid;     // engaged on success
+  std::string error;            // "line N: message" on failure
+  [[nodiscard]] bool ok() const { return grid.has_value(); }
+};
+
+GridParseResult parse_grid(std::string_view text);
+
+// Serializes a grid back to the text format (machines, set links,
+// data_home). Only works for zero/linear/affine costs.
+std::string write_grid(const Grid& grid);
+
+}  // namespace lbs::model

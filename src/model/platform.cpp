@@ -1,0 +1,151 @@
+#include "model/platform.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::model {
+
+int Grid::add_machine(Machine machine) {
+  LBS_CHECK_MSG(!machine.name.empty(), "machine with empty name");
+  LBS_CHECK_MSG(machine.cpu_count >= 1, "machine with no CPUs");
+  LBS_CHECK_MSG(machine_index(machine.name) < 0, "duplicate machine name");
+  machines_.push_back(std::move(machine));
+  // Grow the triangular link matrix; new entries are unset except self.
+  int n = static_cast<int>(machines_.size());
+  links_.resize(static_cast<std::size_t>(n) * (n + 1) / 2);
+  link_set_.resize(links_.size(), false);
+  links_[link_slot(n - 1, n - 1)] = Cost::zero();
+  link_set_[link_slot(n - 1, n - 1)] = true;
+  return n - 1;
+}
+
+const Machine& Grid::machine(int index) const {
+  LBS_CHECK(index >= 0 && index < static_cast<int>(machines_.size()));
+  return machines_[static_cast<std::size_t>(index)];
+}
+
+int Grid::machine_index(const std::string& name) const {
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (machines_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t Grid::link_slot(int a, int b) const {
+  LBS_CHECK(a >= 0 && a < static_cast<int>(machines_.size()));
+  LBS_CHECK(b >= 0 && b < static_cast<int>(machines_.size()));
+  if (a > b) std::swap(a, b);
+  // Row-major upper triangle: slot(a,b) = a*n - a(a-1)/2 + (b - a) is
+  // unstable when n grows, so use the column-based triangle instead:
+  // all pairs (i,j) with j <= b come before column b+1.
+  return static_cast<std::size_t>(b) * (b + 1) / 2 + static_cast<std::size_t>(a);
+}
+
+void Grid::set_link(int a, int b, Cost cost) {
+  LBS_CHECK_MSG(a != b, "self links are fixed at zero");
+  auto slot = link_slot(a, b);
+  links_[slot] = std::move(cost);
+  link_set_[slot] = true;
+}
+
+Cost Grid::link(int a, int b) const {
+  auto slot = link_slot(a, b);
+  LBS_CHECK_MSG(link_set_[slot], "link " + machines_[static_cast<std::size_t>(a)].name +
+                                     " <-> " + machines_[static_cast<std::size_t>(b)].name +
+                                     " was never set");
+  return links_[slot];
+}
+
+bool Grid::has_link(int a, int b) const {
+  return link_set_[link_slot(a, b)];
+}
+
+void Grid::set_data_home(int machine_idx) {
+  LBS_CHECK(machine_idx >= 0 && machine_idx < static_cast<int>(machines_.size()));
+  data_home_ = machine_idx;
+}
+
+std::vector<ProcessorRef> Grid::all_processors() const {
+  std::vector<ProcessorRef> refs;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    for (int c = 0; c < machines_[m].cpu_count; ++c) {
+      refs.push_back(ProcessorRef{static_cast<int>(m), c});
+    }
+  }
+  return refs;
+}
+
+int Grid::total_cpus() const {
+  int total = 0;
+  for (const auto& m : machines_) total += m.cpu_count;
+  return total;
+}
+
+std::string Grid::processor_label(const ProcessorRef& ref) const {
+  const Machine& m = machine(ref.machine);
+  LBS_CHECK(ref.cpu >= 0 && ref.cpu < m.cpu_count);
+  if (m.cpu_count == 1) return m.name;
+  return m.name + "#" + std::to_string(ref.cpu);
+}
+
+const Processor& Platform::operator[](int i) const {
+  LBS_CHECK(i >= 0 && i < size());
+  return processors[static_cast<std::size_t>(i)];
+}
+
+bool Platform::all_costs_increasing() const {
+  return std::all_of(processors.begin(), processors.end(), [](const Processor& p) {
+    return p.comm.is_increasing() && p.comp.is_increasing();
+  });
+}
+
+bool Platform::all_costs_affine() const {
+  return std::all_of(processors.begin(), processors.end(), [](const Processor& p) {
+    return p.comm.affine().has_value() && p.comp.affine().has_value();
+  });
+}
+
+Platform make_platform(const Grid& grid, ProcessorRef root,
+                       std::span<const ProcessorRef> order) {
+  Platform platform;
+  auto add = [&](const ProcessorRef& ref) {
+    const Machine& m = grid.machine(ref.machine);
+    LBS_CHECK_MSG(ref.cpu >= 0 && ref.cpu < m.cpu_count, "bad CPU index");
+    Processor p;
+    p.label = grid.processor_label(ref);
+    p.ref = ref;
+    p.comp = m.comp;
+    p.comm = (ref == root) ? Cost::zero() : grid.link(root.machine, ref.machine);
+    platform.processors.push_back(std::move(p));
+  };
+
+  bool saw_root = false;
+  for (const auto& ref : order) {
+    if (ref == root) {
+      LBS_CHECK_MSG(&ref == &order.back(), "root must be ordered last");
+      saw_root = true;
+      continue;  // appended below
+    }
+    add(ref);
+  }
+  (void)saw_root;
+  add(root);
+
+  // Distinctness check.
+  for (std::size_t i = 0; i < platform.processors.size(); ++i) {
+    for (std::size_t j = i + 1; j < platform.processors.size(); ++j) {
+      LBS_CHECK_MSG(!(platform.processors[i].ref == platform.processors[j].ref),
+                    "duplicate processor in order");
+    }
+  }
+  return platform;
+}
+
+Platform make_platform(const Grid& grid, ProcessorRef root) {
+  auto order = grid.all_processors();
+  std::erase(order, root);
+  return make_platform(grid, root, order);
+}
+
+}  // namespace lbs::model

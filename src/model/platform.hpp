@@ -1,0 +1,102 @@
+// Grid and platform description.
+//
+// A Grid is the raw resource inventory: machines (with per-item compute
+// cost and CPU count), pairwise link costs, and the machine holding the
+// input data. A Platform is what the load-balancing algorithms consume: an
+// *ordered* list of processors with their Tcomp / Tcomm-from-root cost
+// functions, the root being the last processor (paper convention,
+// Section 3.1: the root "can only start to process its share after it has
+// sent the other data items to the other processors").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/cost.hpp"
+
+namespace lbs::model {
+
+struct Machine {
+  std::string name;
+  std::string cpu_description;
+  int cpu_count = 1;
+  Cost comp;          // Tcomp for one CPU of this machine, per data item
+  std::string site;   // machines on the same site share LAN-class links
+};
+
+// One CPU of one machine; what the paper calls "a processor".
+struct ProcessorRef {
+  int machine = -1;  // index into Grid::machines()
+  int cpu = 0;       // 0-based CPU index within the machine
+
+  friend bool operator==(const ProcessorRef&, const ProcessorRef&) = default;
+};
+
+class Grid {
+ public:
+  // Adds a machine; returns its index. Names must be unique and non-empty.
+  int add_machine(Machine machine);
+
+  [[nodiscard]] const std::vector<Machine>& machines() const { return machines_; }
+  [[nodiscard]] const Machine& machine(int index) const;
+  [[nodiscard]] int machine_index(const std::string& name) const;  // -1 if absent
+
+  // Symmetric link cost between two machines (time to move x items).
+  // Self links are always zero. Unset links throw on access.
+  void set_link(int a, int b, Cost cost);
+  [[nodiscard]] Cost link(int a, int b) const;
+  [[nodiscard]] bool has_link(int a, int b) const;
+
+  void set_data_home(int machine);
+  [[nodiscard]] int data_home() const { return data_home_; }
+
+  // Every (machine, cpu) pair, grouped by machine in insertion order.
+  [[nodiscard]] std::vector<ProcessorRef> all_processors() const;
+
+  [[nodiscard]] int total_cpus() const;
+
+  [[nodiscard]] std::string processor_label(const ProcessorRef& ref) const;
+
+ private:
+  [[nodiscard]] std::size_t link_slot(int a, int b) const;
+
+  std::vector<Machine> machines_;
+  std::vector<Cost> links_;       // upper-triangular (including diagonal)
+  std::vector<bool> link_set_;
+  int data_home_ = -1;
+};
+
+// The algorithms' view: processors in scatter order, root last.
+struct Processor {
+  std::string label;   // e.g. "leda#3"
+  ProcessorRef ref;
+  Cost comm;           // Tcomm(i, x): time for the root to send x items to i
+  Cost comp;           // Tcomp(i, x)
+};
+
+struct Platform {
+  std::vector<Processor> processors;
+
+  [[nodiscard]] int size() const { return static_cast<int>(processors.size()); }
+  [[nodiscard]] const Processor& operator[](int i) const;
+
+  // True when every cost function is increasing (Algorithm 2 requirement).
+  [[nodiscard]] bool all_costs_increasing() const;
+  // True when every cost function is affine (LP heuristic requirement).
+  [[nodiscard]] bool all_costs_affine() const;
+};
+
+// Builds a Platform from a Grid given the scatter order. `order` must list
+// distinct processors; the processor of `root` placed last. If `order`
+// does not already end with `root`, `root` is appended. All non-root
+// processors get the machine-to-machine link cost from the root's machine;
+// the root gets zero communication cost.
+Platform make_platform(const Grid& grid, ProcessorRef root,
+                       std::span<const ProcessorRef> order);
+
+// Convenience: platform over all processors of the grid, in grid order
+// (root moved to the back).
+Platform make_platform(const Grid& grid, ProcessorRef root);
+
+}  // namespace lbs::model

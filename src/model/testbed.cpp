@@ -1,0 +1,105 @@
+#include "model/testbed.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::model {
+
+namespace {
+
+struct TestbedRow {
+  const char* name;
+  const char* cpu;
+  int cpus;
+  double alpha;  // s/ray
+  double beta;   // s/ray, from dinadan
+  const char* site;
+};
+
+constexpr TestbedRow kRows[] = {
+    {"dinadan", "PIII/933", 1, 0.009288, 0.0, "strasbourg"},
+    {"pellinore", "PIII/800", 1, 0.009365, 1.12e-5, "strasbourg"},
+    {"caseb", "XP1800", 1, 0.004629, 1.00e-5, "strasbourg"},
+    {"sekhmet", "XP1800", 1, 0.004885, 1.70e-5, "strasbourg"},
+    {"merlin", "XP2000", 2, 0.003976, 8.15e-5, "strasbourg"},
+    {"seven", "R12K/300", 2, 0.016156, 2.10e-5, "strasbourg"},
+    {"leda", "R14K/500", 8, 0.009677, 3.53e-5, "cines"},
+};
+
+// Modeled (not measured) link slopes for machine pairs that do not involve
+// dinadan; see header comment.
+constexpr double kLanBeta = 1.00e-5;
+constexpr double kWanBeta = 3.53e-5;
+
+}  // namespace
+
+Grid paper_testbed() {
+  Grid grid;
+  for (const auto& row : kRows) {
+    Machine m;
+    m.name = row.name;
+    m.cpu_description = row.cpu;
+    m.cpu_count = row.cpus;
+    m.comp = Cost::linear(row.alpha);
+    m.site = row.site;
+    grid.add_machine(m);
+  }
+  int dinadan = grid.machine_index("dinadan");
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    int mi = static_cast<int>(i);
+    if (mi == dinadan) continue;
+    grid.set_link(dinadan, mi, Cost::linear(kRows[i].beta));
+  }
+  // Modeled links among non-root machines (root-selection experiments only).
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    for (std::size_t j = i + 1; j < std::size(kRows); ++j) {
+      int a = static_cast<int>(i);
+      int b = static_cast<int>(j);
+      if (a == dinadan || b == dinadan) continue;
+      bool same_site = grid.machine(a).site == grid.machine(b).site;
+      grid.set_link(a, b, Cost::linear(same_site ? kLanBeta : kWanBeta));
+    }
+  }
+  grid.set_data_home(dinadan);
+  return grid;
+}
+
+ProcessorRef paper_root(const Grid& grid) {
+  int dinadan = grid.machine_index("dinadan");
+  LBS_CHECK(dinadan >= 0);
+  return ProcessorRef{dinadan, 0};
+}
+
+Grid random_grid(support::Rng& rng, int machines, bool affine) {
+  LBS_CHECK(machines >= 1);
+  Grid grid;
+  for (int m = 0; m < machines; ++m) {
+    Machine machine;
+    machine.name = "node" + std::to_string(m);
+    machine.cpu_description = "synthetic";
+    machine.cpu_count = static_cast<int>(rng.uniform_int(1, 4));
+    double alpha = std::exp(rng.uniform(std::log(1e-3), std::log(3e-2)));
+    if (affine) {
+      machine.comp = Cost::affine(rng.uniform(0.0, 20e-3), alpha);
+    } else {
+      machine.comp = Cost::linear(alpha);
+    }
+    machine.site = (m % 2 == 0) ? "site-a" : "site-b";
+    grid.add_machine(machine);
+  }
+  for (int a = 0; a < machines; ++a) {
+    for (int b = a + 1; b < machines; ++b) {
+      double beta = std::exp(rng.uniform(std::log(1e-6), std::log(1e-4)));
+      if (affine) {
+        grid.set_link(a, b, Cost::affine(rng.uniform(0.0, 20e-3), beta));
+      } else {
+        grid.set_link(a, b, Cost::linear(beta));
+      }
+    }
+  }
+  grid.set_data_home(0);
+  return grid;
+}
+
+}  // namespace lbs::model

@@ -1,0 +1,49 @@
+// The paper's experimental testbed (Table 1), plus synthetic grids.
+//
+// Table 1 of the paper gives, for each of the 16 processors used in the
+// experiment, the per-ray compute time α (s/ray) and the per-ray
+// communication time β (s/ray) of the link from the root (dinadan):
+//
+//   machine    CPUs  type      α (s/ray)  rating  β (s/ray)
+//   dinadan     1    PIII/933  0.009288   1.00    0          (root)
+//   pellinore   1    PIII/800  0.009365   0.99    1.12e-5
+//   caseb       1    XP1800    0.004629   2.00    1.00e-5
+//   sekhmet     1    XP1800    0.004885   1.90    1.70e-5
+//   merlin      2    XP2000    0.003976   2.33    8.15e-5
+//   seven       2    R12K/300  0.016156   0.57    2.10e-5
+//   leda        8    R14K/500  0.009677   0.95    3.53e-5
+//
+// dinadan..seven are in Strasbourg; leda is an SGI Origin 3800 at CINES
+// (Montpellier). merlin, though local, sat behind a 10 Mbit/s hub, hence
+// its poor bandwidth — the paper's ordering policy demotes it to the end.
+#pragma once
+
+#include <cstdint>
+
+#include "model/platform.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::model {
+
+// Number of rays in the paper's experiment: the full set of seismic events
+// of year 1999.
+inline constexpr long long kPaperRayCount = 817101;
+
+// Builds the Table 1 grid. Only the dinadan row of the link matrix is
+// measured in the paper; links not involving dinadan are modeled (LAN-class
+// 1.0e-5 s/item within a site, leda-class 3.53e-5 s/item across sites) and
+// are used only by the root-selection experiments, never by the
+// figure reproductions.
+Grid paper_testbed();
+
+// The root processor of the paper's experiment: dinadan's single CPU
+// (also where the input data lives).
+ProcessorRef paper_root(const Grid& grid);
+
+// A random heterogeneous grid for property tests and ablations:
+// `machines` machines with 1..4 CPUs, compute slopes log-uniform in
+// [1e-3, 3e-2] s/item and link slopes log-uniform in [1e-6, 1e-4] s/item.
+// When `affine` is true, adds fixed latencies uniform in [0, 20e-3] s.
+Grid random_grid(support::Rng& rng, int machines, bool affine);
+
+}  // namespace lbs::model

@@ -1,0 +1,116 @@
+// Broadcast algorithms over mq: flat, binomial, and hierarchical.
+//
+// Paper, Section 1: "MPICH-G2 performs often better than MPICH to
+// disseminate information held by a processor to several others. While
+// MPICH always use a binomial tree to propagate data, MPICH-G2 is able to
+// switch to a flat tree broadcast when network latency is high", and
+// MagPIe restructures collectives for clustered wide-area systems. These
+// functions implement the three shapes over mq point-to-point so the
+// claim can be measured under emulated pacing (bench_bcast_trees):
+//
+//  - flat: the root sends to every rank in turn (Comm::bcast's default).
+//    Serializes on the root's port; latency is paid once per rank but
+//    never stacked along a path.
+//  - binomial: log2(p) rounds; rank r receives from r - 2^k and forwards
+//    to r + 2^j. Optimal message count, but on a high-latency WAN each
+//    tree level pays the latency again *and* interior nodes re-send big
+//    payloads over slow links.
+//  - hierarchical (MagPIe-style): one WAN transfer per site to a local
+//    coordinator, then a flat LAN broadcast inside each site.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "mq/comm.hpp"
+
+namespace lbs::mq {
+
+// All ranks call with the same `root`; on non-root ranks `data` is
+// replaced by the broadcast payload.
+template <typename T>
+void bcast_flat(Comm& comm, int root, std::vector<T>& data) {
+  comm.bcast(root, data);  // Comm::bcast is the flat tree
+}
+
+// Binomial tree rooted at `root` (ranks virtually rotated so the tree
+// works for any root). Uses a user-visible tag, so do not interleave with
+// unrelated traffic on tag kBcastTreeTag.
+inline constexpr int kBcastTreeTag = 1 << 20;
+
+template <typename T>
+void bcast_binomial(Comm& comm, int root, std::vector<T>& data) {
+  int size = comm.size();
+  int virtual_rank = (comm.rank() - root + size) % size;
+
+  // Receive phase: the lowest set bit of my virtual rank tells me which
+  // round I receive in; my parent cleared that bit.
+  if (virtual_rank != 0) {
+    int lowest_bit = virtual_rank & -virtual_rank;
+    int parent = (virtual_rank - lowest_bit + root) % size;
+    data = comm.recv<T>(parent, kBcastTreeTag);
+  }
+  // Forward phase: send to children virtual_rank + 2^k for growing k,
+  // up to (exclusive) my own lowest set bit; the root forwards on every
+  // power of two.
+  for (int bit = 1; ; bit <<= 1) {
+    if (virtual_rank != 0 && bit >= (virtual_rank & -virtual_rank)) break;
+    int child_virtual = virtual_rank + bit;
+    if (child_virtual >= size) break;
+    int child = (child_virtual + root) % size;
+    comm.send<T>(child, kBcastTreeTag, data);
+  }
+}
+
+// Site assignment for the hierarchical broadcast: site[r] for each rank.
+// Within each site the lowest-ranked member is the coordinator; the root
+// serves its own site directly.
+template <typename T>
+void bcast_hierarchical(Comm& comm, int root, std::vector<T>& data,
+                        const std::vector<int>& site_of_rank) {
+  int size = comm.size();
+  int me = comm.rank();
+  int my_site = site_of_rank[static_cast<std::size_t>(me)];
+  int root_site = site_of_rank[static_cast<std::size_t>(root)];
+
+  // Coordinator of a site: its lowest rank (the root coordinates its own
+  // site regardless of rank order).
+  auto coordinator_of = [&](int site) {
+    if (site == root_site) return root;
+    for (int r = 0; r < size; ++r) {
+      if (site_of_rank[static_cast<std::size_t>(r)] == site) return r;
+    }
+    return -1;
+  };
+  int my_coordinator = coordinator_of(my_site);
+
+  if (me == root) {
+    // WAN phase: one transfer per remote site.
+    std::vector<int> served;
+    for (int r = 0; r < size; ++r) {
+      int site = site_of_rank[static_cast<std::size_t>(r)];
+      if (site == root_site) continue;
+      int coordinator = coordinator_of(site);
+      if (coordinator == r &&
+          std::find(served.begin(), served.end(), site) == served.end()) {
+        comm.send<T>(coordinator, kBcastTreeTag, data);
+        served.push_back(site);
+      }
+    }
+  } else if (me == my_coordinator) {
+    data = comm.recv<T>(root, kBcastTreeTag);
+  }
+
+  // LAN phase: each coordinator flat-broadcasts within its site.
+  if (me == my_coordinator) {
+    for (int r = 0; r < size; ++r) {
+      if (r != me && site_of_rank[static_cast<std::size_t>(r)] == my_site) {
+        comm.send<T>(r, kBcastTreeTag + 1, data);
+      }
+    }
+  } else {
+    data = comm.recv<T>(my_coordinator, kBcastTreeTag + 1);
+  }
+}
+
+}  // namespace lbs::mq

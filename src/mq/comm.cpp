@@ -1,0 +1,161 @@
+#include "mq/comm.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "mq/runtime_state.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+Comm::Comm(int rank, detail::RuntimeState& state) : rank_(rank), state_(state) {}
+
+int Comm::size() const {
+  return state_.options.ranks;
+}
+
+double Comm::wtime() const {
+  auto elapsed = std::chrono::steady_clock::now() - state_.start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+double Comm::time_scale() const {
+  return state_.options.time_scale;
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  LBS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  internal_send(dest, tag, payload);
+}
+
+Message Comm::recv_message(int source, int tag) {
+  LBS_CHECK_MSG(tag >= 0 || tag == kAnyTag,
+                "negative tags are reserved for collectives");
+  return internal_recv(source, tag);
+}
+
+void Comm::internal_send(int dest, int tag, std::span<const std::byte> payload) {
+  LBS_CHECK_MSG(dest >= 0 && dest < size(), "send to unknown rank");
+  LBS_CHECK_MSG(dest != rank_, "send to self (collectives keep local data local)");
+  if (state_.aborted.load(std::memory_order_relaxed)) {
+    throw Error("runtime aborted");
+  }
+
+  // Emulated transfer: the sender's NIC is occupied for the whole
+  // transfer (the single-port model — a root scattering to many ranks
+  // serializes here, whether the sends are blocking or isend workers).
+  if (state_.options.link_cost && state_.options.time_scale > 0.0) {
+    double nominal = state_.options.link_cost(rank_, dest, payload.size());
+    LBS_CHECK_MSG(nominal >= 0.0, "negative link cost");
+    double real = nominal * state_.options.time_scale;
+    if (real > 0.0) {
+      std::lock_guard nic_lock(*state_.nic[static_cast<std::size_t>(rank_)]);
+      std::this_thread::sleep_for(std::chrono::duration<double>(real));
+    }
+  }
+
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload.assign(payload.begin(), payload.end());
+  state_.mailboxes[static_cast<std::size_t>(dest)]->deposit(std::move(message));
+}
+
+Message Comm::internal_recv(int source, int tag) {
+  LBS_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                "receive from unknown rank");
+  return state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve(source, tag);
+}
+
+Request Comm::isend_bytes(int dest, int tag, std::vector<std::byte> payload) {
+  LBS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  auto state = std::make_shared<Request::State>();
+  Request::State* raw = state.get();
+  state->worker = std::thread([this, dest, tag, payload = std::move(payload), raw] {
+    std::exception_ptr failure;
+    try {
+      internal_send(dest, tag, payload);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      std::lock_guard lock(raw->mutex);
+      raw->failure = failure;
+      raw->done = true;
+    }
+    raw->done_cv.notify_all();
+  });
+  return Request(std::move(state));
+}
+
+Request Comm::irecv(int source, int tag) {
+  LBS_CHECK_MSG(tag >= 0 || tag == kAnyTag,
+                "negative tags are reserved for collectives");
+  auto state = std::make_shared<Request::State>();
+  Request::State* raw = state.get();
+  state->worker = std::thread([this, source, tag, raw] {
+    std::exception_ptr failure;
+    std::vector<std::byte> payload;
+    try {
+      payload = internal_recv(source, tag).payload;
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      std::lock_guard lock(raw->mutex);
+      raw->failure = failure;
+      raw->payload = std::move(payload);
+      raw->done = true;
+    }
+    raw->done_cv.notify_all();
+  });
+  return Request(std::move(state));
+}
+
+void Comm::barrier() {
+  // Flat barrier through rank 0: arrive, then wait for release.
+  const std::byte token{1};
+  std::span<const std::byte> payload(&token, 1);
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      internal_recv(kAnySource, kTagBarrierArrive);
+    }
+    for (int r = 1; r < size(); ++r) {
+      internal_send(r, kTagBarrierRelease, payload);
+    }
+  } else {
+    internal_send(0, kTagBarrierArrive, payload);
+    internal_recv(0, kTagBarrierRelease);
+  }
+}
+
+void Comm::internal_send_for_subcomm(int dest, int tag,
+                                     std::span<const std::byte> payload) {
+  LBS_CHECK_MSG(tag <= -100000, "sub-communicator tag outside its block");
+  internal_send(dest, tag, payload);
+}
+
+std::vector<std::byte> Comm::internal_recv_for_subcomm(int source, int tag) {
+  LBS_CHECK_MSG(tag <= -100000, "sub-communicator tag outside its block");
+  return internal_recv(source, tag).payload;
+}
+
+void Comm::check_single(std::size_t count) {
+  LBS_CHECK_MSG(count == 1, "expected exactly one element");
+}
+
+void Comm::check_alignment(std::size_t bytes, std::size_t item_size) {
+  LBS_CHECK_MSG(bytes % item_size == 0, "payload size not a multiple of item size");
+}
+
+void Comm::check_counts(std::size_t count_width) const {
+  LBS_CHECK_MSG(count_width == static_cast<std::size_t>(size()),
+                "counts vector must have one entry per rank");
+}
+
+void Comm::check_range(long long offset, std::size_t count, std::size_t total) {
+  LBS_CHECK_MSG(offset >= 0 && static_cast<std::size_t>(offset) + count <= total,
+                "scatter range exceeds send buffer");
+}
+
+}  // namespace lbs::mq

@@ -1,0 +1,281 @@
+// The mq communicator: an MPI-flavoured message-passing API over threads.
+//
+// This is the substrate standing in for MPICH-G2 in the paper's
+// experiments. Each rank runs on its own thread inside one process; ranks
+// exchange real byte buffers through mailboxes. Network heterogeneity is
+// *emulated*: every send pays the configured link cost for its byte count
+// (scaled by the runtime's time_scale), blocking the sender — which
+// reproduces the single-port root behaviour of Section 2.3: a root
+// executing scatterv sends to ranks in turn, so receiver i waits for
+// receivers 1..i-1 to be served, the "stair effect" of Figure 1.
+//
+// The collective set mirrors what the paper's application needs:
+// barrier, bcast, scatter, scatterv (the load-balancing vehicle),
+// gather/gatherv, reduce, allreduce.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mq/mailbox.hpp"
+#include "mq/request.hpp"
+
+namespace lbs::mq {
+
+namespace detail {
+struct RuntimeState;
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm(int rank, detail::RuntimeState& state);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // Wall-clock seconds since the runtime started (real time; emulated
+  // delays are real sleeps, so this measures the emulated execution).
+  [[nodiscard]] double wtime() const;
+
+  // The runtime's real-seconds-per-nominal-second factor.
+  [[nodiscard]] double time_scale() const;
+
+  // -- point-to-point ------------------------------------------------------
+  // Blocking send: pays the emulated link transfer time, then delivers.
+  // Tags must be >= 0 (negative tags are reserved for collectives).
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+  Message recv_message(int source, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, as_bytes(items));
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    return from_bytes<T>(recv_message(source, tag).payload);
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto items = recv<T>(source, tag);
+    check_single(items.size());
+    return items.front();
+  }
+
+  // -- nonblocking point-to-point -------------------------------------------
+  // The transfer (including its emulated pacing, which holds this rank's
+  // NIC) runs on a worker thread; the caller continues immediately. The
+  // Comm must outlive the returned Request.
+  Request isend_bytes(int dest, int tag, std::vector<std::byte> payload);
+  template <typename T>
+  Request isend(int dest, int tag, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = as_bytes(items);
+    return isend_bytes(dest, tag, std::vector<std::byte>(bytes.begin(), bytes.end()));
+  }
+
+  // Completes when a matching message arrives; fetch it with
+  // request.take_payload() (+ decode<T>() for typed data) after wait().
+  Request irecv(int source, int tag);
+
+  // Decodes a payload previously produced by send/isend of T items.
+  template <typename T>
+  static std::vector<T> decode(const std::vector<std::byte>& payload) {
+    return from_bytes<T>(payload);
+  }
+
+  // -- collectives (must be called by every rank) --------------------------
+  void barrier();
+
+  template <typename T>
+  void bcast(int root, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) internal_send(r, kTagBcast, as_bytes(std::span<const T>(data)));
+      }
+    } else {
+      data = from_bytes<T>(internal_recv(root, kTagBcast).payload);
+    }
+  }
+
+  // Equal-share scatter (MPI_Scatter): root distributes size()*count items.
+  template <typename T>
+  std::vector<T> scatter(int root, std::span<const T> send_data, long long count) {
+    std::vector<long long> counts(static_cast<std::size_t>(size()), count);
+    return scatterv(root, send_data, counts);
+  }
+
+  // Parameterized scatter (MPI_Scatterv): counts[r] items to rank r,
+  // contiguous, in rank order (root's sends serialize — the stair).
+  template <typename T>
+  std::vector<T> scatterv(int root, std::span<const T> send_data,
+                          std::span<const long long> counts) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_counts(counts.size());
+    if (rank_ == root) {
+      long long offset = 0;
+      std::vector<T> own;
+      for (int r = 0; r < size(); ++r) {
+        auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+        check_range(offset, count, send_data.size());
+        std::span<const T> chunk = send_data.subspan(static_cast<std::size_t>(offset), count);
+        if (r == root) {
+          own.assign(chunk.begin(), chunk.end());
+        } else {
+          internal_send(r, kTagScatter, as_bytes(chunk));
+        }
+        offset += counts[static_cast<std::size_t>(r)];
+      }
+      return own;
+    }
+    return from_bytes<T>(internal_recv(root, kTagScatter).payload);
+  }
+
+  // Gather with equal or per-rank counts; data lands in rank order at root.
+  template <typename T>
+  std::vector<T> gatherv(int root, std::span<const T> contribution) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      std::vector<T> all;
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) {
+          all.insert(all.end(), contribution.begin(), contribution.end());
+        } else {
+          auto chunk = from_bytes<T>(internal_recv(r, kTagGather).payload);
+          all.insert(all.end(), chunk.begin(), chunk.end());
+        }
+      }
+      return all;
+    }
+    internal_send(root, kTagGather, as_bytes(contribution));
+    return {};
+  }
+
+  // Element-wise reduction at root; all contributions must be equal length.
+  template <typename T>
+  std::vector<T> reduce(int root, std::span<const T> contribution,
+                        const std::function<T(const T&, const T&)>& op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      std::vector<T> accumulator(contribution.begin(), contribution.end());
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        auto chunk = from_bytes<T>(internal_recv(r, kTagReduce).payload);
+        check_single(chunk.size() == accumulator.size() ? 1 : 0);
+        for (std::size_t i = 0; i < accumulator.size(); ++i) {
+          accumulator[i] = op(accumulator[i], chunk[i]);
+        }
+      }
+      return accumulator;
+    }
+    internal_send(root, kTagReduce, as_bytes(contribution));
+    return {};
+  }
+
+  template <typename T>
+  std::vector<T> allreduce(std::span<const T> contribution,
+                           const std::function<T(const T&, const T&)>& op) {
+    auto result = reduce<T>(0, contribution, op);
+    bcast(0, result);
+    return result;
+  }
+
+  // Everyone contributes, everyone gets the concatenation in rank order
+  // (MPI_Allgatherv): gather to rank 0, then broadcast.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> contribution) {
+    auto all = gatherv<T>(0, contribution);
+    bcast(0, all);
+    return all;
+  }
+
+  // Personalized all-to-all (MPI_Alltoallv): send_blocks[r] goes to rank
+  // r; returns the blocks received, indexed by source rank (a rank's own
+  // block passes through untouched).
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& send_blocks) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_counts(send_blocks.size());
+    std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
+    // Stagger the send order (start at rank+1) so no pair deadlocks and
+    // the root-like rank 0 is not a hotspot.
+    for (int offset = 1; offset < size(); ++offset) {
+      int peer = (rank_ + offset) % size();
+      internal_send(peer, kTagAlltoall,
+                    as_bytes(std::span<const T>(send_blocks[static_cast<std::size_t>(peer)])));
+    }
+    received[static_cast<std::size_t>(rank_)] = send_blocks[static_cast<std::size_t>(rank_)];
+    for (int offset = 1; offset < size(); ++offset) {
+      int peer = (rank_ + size() - offset) % size();
+      received[static_cast<std::size_t>(peer)] =
+          from_bytes<T>(internal_recv(peer, kTagAlltoall).payload);
+    }
+    return received;
+  }
+
+  // Combined send+receive with distinct peers (MPI_Sendrecv): issues the
+  // send nonblockingly so symmetric exchanges cannot deadlock.
+  template <typename T>
+  std::vector<T> sendrecv(int dest, int send_tag, std::span<const T> send_data,
+                          int source, int recv_tag) {
+    auto request = isend<T>(dest, send_tag, send_data);
+    auto received = recv<T>(source, recv_tag);
+    request.wait();
+    return received;
+  }
+
+  // -- internal plumbing for SubComm (mq/subcomm.hpp) -----------------------
+  // Sub-communicators route their collectives through the parent using a
+  // reserved negative-tag block; these are not part of the user API.
+  void internal_send_for_subcomm(int dest, int tag, std::span<const std::byte> payload);
+  std::vector<std::byte> internal_recv_for_subcomm(int source, int tag);
+  // Sequence number of the next split() on this communicator; identical on
+  // every rank because split is collective and ordered.
+  int next_split_id() { return split_count_++; }
+
+ private:
+  static constexpr int kTagBarrierArrive = -2;
+  static constexpr int kTagBarrierRelease = -3;
+  static constexpr int kTagBcast = -4;
+  static constexpr int kTagScatter = -5;
+  static constexpr int kTagGather = -6;
+  static constexpr int kTagReduce = -7;
+  static constexpr int kTagAlltoall = -8;
+
+  template <typename T>
+  static std::span<const std::byte> as_bytes(std::span<const T> items) {
+    return {reinterpret_cast<const std::byte*>(items.data()), items.size_bytes()};
+  }
+  template <typename T>
+  static std::vector<T> from_bytes(const std::vector<std::byte>& payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_alignment(payload.size(), sizeof(T));
+    std::vector<T> items(payload.size() / sizeof(T));
+    if (!items.empty()) std::memcpy(items.data(), payload.data(), payload.size());
+    return items;
+  }
+
+  static void check_single(std::size_t count);
+  static void check_alignment(std::size_t bytes, std::size_t item_size);
+  void check_counts(std::size_t count_width) const;
+  static void check_range(long long offset, std::size_t count, std::size_t total);
+
+  // Like send_bytes but allows reserved (negative) tags.
+  void internal_send(int dest, int tag, std::span<const std::byte> payload);
+  Message internal_recv(int source, int tag);
+
+  int rank_;
+  detail::RuntimeState& state_;
+  int split_count_ = 0;
+};
+
+}  // namespace lbs::mq

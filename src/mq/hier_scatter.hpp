@@ -1,0 +1,113 @@
+// Two-level (topology-aware) scatterv over mq.
+//
+// The flat MPI_Scatterv the paper transforms sends each rank's block over
+// whatever link connects it to the root — on a two-site grid, one WAN
+// message per remote rank. The MagPIe-style alternative sends each remote
+// *site's* blocks as one aggregate to a site coordinator (one WAN message
+// per site), which then re-scatters locally. Data layout and results are
+// identical to flat scatterv; only the routing changes.
+#pragma once
+
+#include <vector>
+
+#include "mq/subcomm.hpp"
+
+namespace lbs::mq {
+
+inline constexpr int kHierScatterTag = 1 << 21;
+
+// Collective. `counts` are per parent rank (like scatterv); `site_of_rank`
+// groups ranks into sites (site ids must lie in [0, comm.size())); each
+// site's coordinator is its lowest rank (the root coordinates its own
+// site). Returns this rank's block.
+template <typename T>
+std::vector<T> hierarchical_scatterv(Comm& comm, int root,
+                                     std::span<const T> send_data,
+                                     std::span<const long long> counts,
+                                     const std::vector<int>& site_of_rank) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  int size = comm.size();
+  int me = comm.rank();
+  int my_site = site_of_rank[static_cast<std::size_t>(me)];
+  int root_site = site_of_rank[static_cast<std::size_t>(root)];
+
+  auto coordinator_of = [&](int site) {
+    if (site == root_site) return root;
+    for (int r = 0; r < size; ++r) {
+      if (site_of_rank[static_cast<std::size_t>(r)] == site) return r;
+    }
+    return -1;
+  };
+  int my_coordinator = coordinator_of(my_site);
+
+  // Site-local communicator; coordinator is sub-rank 0 by key ordering.
+  auto site_comm = split(comm, my_site, me == my_coordinator ? -1 : me);
+
+  // Per-site aggregate counts and this site's per-member counts, ordered
+  // by site_comm sub-rank.
+  std::vector<long long> my_site_counts(static_cast<std::size_t>(site_comm.size()));
+  for (int s = 0; s < site_comm.size(); ++s) {
+    my_site_counts[static_cast<std::size_t>(s)] =
+        counts[static_cast<std::size_t>(site_comm.parent_rank(s))];
+  }
+
+  // Phase 1 (WAN): the root ships each remote site its aggregate, built
+  // by concatenating the site members' blocks in sub-rank order.
+  std::vector<T> site_aggregate;
+  if (me == root) {
+    // Displacements of each rank's block in the flat send buffer.
+    std::vector<long long> displs(static_cast<std::size_t>(size), 0);
+    long long offset = 0;
+    for (int r = 0; r < size; ++r) {
+      displs[static_cast<std::size_t>(r)] = offset;
+      offset += counts[static_cast<std::size_t>(r)];
+    }
+
+    for (int site = 0; site < size; ++site) {  // site ids are arbitrary ints
+      bool exists = false;
+      for (int r = 0; r < size; ++r) {
+        exists = exists || site_of_rank[static_cast<std::size_t>(r)] == site;
+      }
+      if (!exists || site == root_site) continue;
+      // Aggregate: members in coordinator-first order (matching the
+      // site_comm ordering its members computed).
+      std::vector<T> aggregate;
+      int coordinator = coordinator_of(site);
+      auto append_block = [&](int r) {
+        auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+        auto offset_r = static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]);
+        aggregate.insert(aggregate.end(), send_data.begin() + offset_r,
+                         send_data.begin() + offset_r + count);
+      };
+      append_block(coordinator);
+      for (int r = 0; r < size; ++r) {
+        if (r != coordinator && site_of_rank[static_cast<std::size_t>(r)] == site) {
+          append_block(r);
+        }
+      }
+      comm.send<T>(coordinator, kHierScatterTag, aggregate);
+    }
+
+    // Root's own site aggregate stays local.
+    site_aggregate.clear();
+    auto append_local = [&](int r) {
+      auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+      auto offset_r = static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]);
+      site_aggregate.insert(site_aggregate.end(), send_data.begin() + offset_r,
+                            send_data.begin() + offset_r + count);
+    };
+    append_local(root);
+    for (int r = 0; r < size; ++r) {
+      if (r != root && site_of_rank[static_cast<std::size_t>(r)] == root_site) {
+        append_local(r);
+      }
+    }
+  } else if (me == my_coordinator) {
+    site_aggregate = comm.recv<T>(root, kHierScatterTag);
+  }
+
+  // Phase 2 (LAN): each coordinator scatters the aggregate within its site.
+  return site_comm.template scatterv<T>(0, site_aggregate, my_site_counts);
+}
+
+}  // namespace lbs::mq

@@ -1,0 +1,56 @@
+#include "mq/mailbox.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+void Mailbox::deposit(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    messages_.push_back(std::move(message));
+  }
+  available_.notify_all();
+}
+
+bool Mailbox::matches(const Message& message, int source, int tag) const {
+  return (source == kAnySource || message.source == source) &&
+         (tag == kAnyTag || message.tag == tag);
+}
+
+Message Mailbox::retrieve(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (shutdown_) throw Error("mailbox shut down while receiving");
+    auto it = std::find_if(messages_.begin(), messages_.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it != messages_.end()) {
+      Message message = std::move(*it);
+      messages_.erase(it);
+      return message;
+    }
+    available_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard lock(mutex_);
+  return std::any_of(messages_.begin(), messages_.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+void Mailbox::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  available_.notify_all();
+}
+
+std::size_t Mailbox::pending() {
+  std::lock_guard lock(mutex_);
+  return messages_.size();
+}
+
+}  // namespace lbs::mq

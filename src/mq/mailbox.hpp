@@ -1,0 +1,55 @@
+// Thread-safe mailboxes with (source, tag) matching.
+//
+// The delivery substrate of the mq runtime: each rank owns one Mailbox;
+// send() deposits into the destination's box, recv() blocks until a
+// matching message is available. Matching supports MPI-style wildcards.
+// Messages from the same (source, tag) are delivered in deposit order
+// (non-overtaking, like MPI).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace lbs::mq {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  // Deposits a message and wakes matching waiters.
+  void deposit(Message message);
+
+  // Blocks until a message matching (source, tag) arrives (wildcards
+  // kAnySource / kAnyTag allowed), removes and returns it. Throws
+  // lbs::Error if the mailbox is shut down while (or before) waiting.
+  Message retrieve(int source, int tag);
+
+  // Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag);
+
+  // Wakes all waiters with an error; further retrieves throw too. Used to
+  // unblock ranks when a peer dies so the whole runtime can fail cleanly.
+  void shutdown();
+
+  [[nodiscard]] std::size_t pending() ;
+
+ private:
+  [[nodiscard]] bool matches(const Message& message, int source, int tag) const;
+
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Message> messages_;
+  bool shutdown_ = false;
+};
+
+}  // namespace lbs::mq

@@ -1,0 +1,24 @@
+#include "mq/platform_link.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+std::function<double(int, int, std::size_t)> make_link_cost(
+    model::Platform platform, std::size_t item_size) {
+  LBS_CHECK_MSG(item_size > 0, "zero item size");
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  int root = platform.size() - 1;
+
+  return [platform = std::move(platform), item_size, root](
+             int from, int to, std::size_t bytes) -> double {
+    auto items = static_cast<long long>((bytes + item_size - 1) / item_size);
+    if (from == root) return platform[to].comm(items);
+    if (to == root) return platform[from].comm(items);
+    return std::max(platform[from].comm(items), platform[to].comm(items));
+  };
+}
+
+}  // namespace lbs::mq

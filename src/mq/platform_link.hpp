@@ -1,0 +1,23 @@
+// Bridge between the planner's Platform and the mq runtime's link model.
+//
+// Ranks map 1:1 to platform positions (rank i = platform processor i, so
+// the root is rank platform.size()-1, last — the paper's convention).
+// Transfers to/from the root pay that processor's Tcomm for the
+// transferred item count; transfers between two workers pay the slower of
+// the two endpoints' root links (a conservative stand-in; the scatter/
+// gather patterns this library targets never use worker-to-worker links).
+#pragma once
+
+#include <functional>
+
+#include "model/platform.hpp"
+
+namespace lbs::mq {
+
+// Returns a RuntimeOptions::link_cost function. `item_size` converts byte
+// counts back to item counts for the platform's per-item cost functions
+// (partial items round up).
+std::function<double(int, int, std::size_t)> make_link_cost(
+    model::Platform platform, std::size_t item_size);
+
+}  // namespace lbs::mq

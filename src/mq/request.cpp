@@ -1,0 +1,34 @@
+#include "mq/request.hpp"
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+Request::~Request() {
+  if (state_ && state_->worker.joinable()) state_->worker.join();
+}
+
+bool Request::test() {
+  LBS_CHECK_MSG(state_ != nullptr, "test() on an empty request");
+  std::lock_guard lock(state_->mutex);
+  return state_->done;
+}
+
+void Request::wait() {
+  LBS_CHECK_MSG(state_ != nullptr, "wait() on an empty request");
+  {
+    std::unique_lock lock(state_->mutex);
+    state_->done_cv.wait(lock, [&] { return state_->done; });
+  }
+  if (state_->worker.joinable()) state_->worker.join();
+  if (state_->failure) std::rethrow_exception(state_->failure);
+}
+
+std::vector<std::byte> Request::take_payload() {
+  LBS_CHECK_MSG(state_ != nullptr, "take_payload() on an empty request");
+  std::lock_guard lock(state_->mutex);
+  LBS_CHECK_MSG(state_->done, "take_payload() before completion");
+  return std::move(state_->payload);
+}
+
+}  // namespace lbs::mq

@@ -1,0 +1,65 @@
+// Nonblocking-operation handles for the mq runtime (MPI_Isend/Irecv-style).
+//
+// A Request represents an in-flight transfer progressed by a background
+// thread. wait() blocks until completion (rethrowing any failure, e.g. a
+// runtime abort); test() polls. For receives, take_payload() hands over
+// the delivered bytes after completion.
+//
+// The paper deliberately does NOT overlap communication and computation
+// ("we chose to keep the same communication structure as the original
+// program"); these primitives exist to *measure* that design choice — see
+// the overlap ablation — and to round out the runtime's API.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lbs::mq {
+
+class Comm;
+
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  // Joins the worker (completing the operation) if still running.
+  ~Request();
+
+  // True once the operation finished (successfully or not); non-blocking.
+  [[nodiscard]] bool test();
+
+  // Blocks until completion; rethrows the operation's failure if any.
+  void wait();
+
+  // For completed receives: moves the payload out. Requires wait() first.
+  [[nodiscard]] std::vector<std::byte> take_payload();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::exception_ptr failure;
+    std::vector<std::byte> payload;
+    std::thread worker;
+  };
+
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace lbs::mq

@@ -1,0 +1,55 @@
+#include "mq/runtime.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mq/runtime_state.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+void Runtime::run(const RuntimeOptions& options,
+                  const std::function<void(Comm&)>& fn) {
+  LBS_CHECK_MSG(options.ranks >= 1, "need at least one rank");
+  LBS_CHECK_MSG(options.time_scale >= 0.0, "negative time scale");
+  LBS_CHECK_MSG(fn != nullptr, "null rank function");
+
+  detail::RuntimeState state(options);
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.ranks));
+  for (int r = 0; r < options.ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(r, state);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard lock(failure_mutex);
+          if (!first_failure) first_failure = std::current_exception();
+        }
+        // Unblock every rank so the join below cannot deadlock.
+        state.abort_all();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
+void emulate_compute(const Comm& comm, double nominal_seconds) {
+  LBS_CHECK_MSG(nominal_seconds >= 0.0, "negative compute time");
+  double real = nominal_seconds * comm.time_scale();
+  if (real > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(real));
+  }
+}
+
+}  // namespace lbs::mq

@@ -1,0 +1,42 @@
+// The mq runtime: spawns one thread per rank and wires up the emulated
+// network.
+//
+// Link costs are configured per (from, to) machine-rank pair in *nominal*
+// seconds as a function of byte count; `time_scale` shrinks real sleeps so
+// a run modeled in hundreds of seconds finishes in tens of milliseconds
+// while preserving ratios. time_scale = 0 disables pacing entirely
+// (useful for pure correctness tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mq/comm.hpp"
+
+namespace lbs::mq {
+
+struct RuntimeOptions {
+  int ranks = 1;
+
+  // Nominal seconds to move `bytes` from rank `from` to rank `to`.
+  // Default: free network.
+  std::function<double(int from, int to, std::size_t bytes)> link_cost;
+
+  // Real-seconds = nominal-seconds * time_scale for every emulated delay.
+  double time_scale = 0.0;
+};
+
+class Runtime {
+ public:
+  // Runs fn(comm) on options.ranks threads and joins them. If any rank
+  // throws, the other ranks are unblocked (their mailboxes shut down) and
+  // the first exception is rethrown here.
+  static void run(const RuntimeOptions& options,
+                  const std::function<void(Comm&)>& fn);
+};
+
+// Helper for rank functions: burn `nominal_seconds * time_scale` of real
+// time to emulate computation (spin-free sleep).
+void emulate_compute(const Comm& comm, double nominal_seconds);
+
+}  // namespace lbs::mq

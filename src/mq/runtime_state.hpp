@@ -1,0 +1,39 @@
+// Shared state behind a running mq::Runtime (internal header).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mq/mailbox.hpp"
+#include "mq/runtime.hpp"
+
+namespace lbs::mq::detail {
+
+struct RuntimeState {
+  explicit RuntimeState(RuntimeOptions opts) : options(std::move(opts)) {
+    for (int r = 0; r < options.ranks; ++r) {
+      mailboxes.push_back(std::make_unique<Mailbox>());
+      nic.push_back(std::make_unique<std::mutex>());
+    }
+    start = std::chrono::steady_clock::now();
+  }
+
+  RuntimeOptions options;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  // Per-rank network port: held for the duration of an (emulated) transfer
+  // so a rank's outgoing transfers serialize — the single-port model —
+  // even when issued through nonblocking isend workers.
+  std::vector<std::unique_ptr<std::mutex>> nic;
+  std::chrono::steady_clock::time_point start;
+  std::atomic<bool> aborted{false};
+
+  void abort_all() {
+    aborted.store(true, std::memory_order_relaxed);
+    for (auto& mailbox : mailboxes) mailbox->shutdown();
+  }
+};
+
+}  // namespace lbs::mq::detail

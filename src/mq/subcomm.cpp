@@ -1,0 +1,95 @@
+#include "mq/subcomm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+namespace {
+
+// Tag blocks for sub-communicator traffic live far below the collective
+// tags of Comm itself; each split (identified by its sequence number,
+// which is identical on every rank because split is collective) gets its
+// own block.
+constexpr int kSubTagFloor = -100000;
+
+}  // namespace
+
+SubComm::SubComm(Comm& parent, std::vector<int> members, int my_index, int tag_base)
+    : parent_(&parent),
+      members_(std::move(members)),
+      my_index_(my_index),
+      tag_base_(tag_base) {}
+
+int SubComm::parent_rank(int sub_rank) const {
+  LBS_CHECK(sub_rank >= 0 && sub_rank < size());
+  return members_[static_cast<std::size_t>(sub_rank)];
+}
+
+void SubComm::send_to(int sub_rank, int op, std::span<const std::byte> payload) {
+  parent_->internal_send_for_subcomm(parent_rank(sub_rank), op_tag(op), payload);
+}
+
+std::vector<std::byte> SubComm::recv_from(int sub_rank, int op) {
+  return parent_->internal_recv_for_subcomm(parent_rank(sub_rank), op_tag(op));
+}
+
+void SubComm::barrier() {
+  const std::byte token{1};
+  std::span<const std::byte> payload(&token, 1);
+  if (my_index_ == 0) {
+    for (int r = 1; r < size(); ++r) recv_from(r, kOpBarrierArrive);
+    for (int r = 1; r < size(); ++r) send_to(r, kOpBarrierRelease, payload);
+  } else {
+    send_to(0, kOpBarrierArrive, payload);
+    recv_from(0, kOpBarrierRelease);
+  }
+}
+
+std::optional<SubComm> split_optional(Comm& comm, int color, int key) {
+  LBS_CHECK_MSG(color >= 0 || color == kNoColor, "invalid split color");
+
+  // Exchange (color, key) triples through an allgather; every rank then
+  // derives the same membership deterministically.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  std::vector<int> mine{color, key};
+  auto flat = comm.allgather<int>(mine);
+  LBS_CHECK(flat.size() == static_cast<std::size_t>(comm.size()) * 2);
+
+  int split_id = comm.next_split_id();
+  int tag_base = kSubTagFloor - split_id * SubComm::kOpsPerSplit;
+
+  if (color == kNoColor) return std::nullopt;
+
+  std::vector<Entry> group;
+  for (int r = 0; r < comm.size(); ++r) {
+    int r_color = flat[static_cast<std::size_t>(r) * 2];
+    int r_key = flat[static_cast<std::size_t>(r) * 2 + 1];
+    if (r_color == color) group.push_back(Entry{r_color, r_key, r});
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> members;
+  int my_index = -1;
+  for (const auto& entry : group) {
+    if (entry.rank == comm.rank()) my_index = static_cast<int>(members.size());
+    members.push_back(entry.rank);
+  }
+  LBS_CHECK(my_index >= 0);
+  return SubComm(comm, std::move(members), my_index, tag_base);
+}
+
+SubComm split(Comm& comm, int color, int key) {
+  auto sub = split_optional(comm, color, key);
+  LBS_CHECK_MSG(sub.has_value(), "split() requires a color; use split_optional");
+  return std::move(*sub);
+}
+
+}  // namespace lbs::mq

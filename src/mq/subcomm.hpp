@@ -1,0 +1,152 @@
+// Sub-communicators (MPI_Comm_split) for the mq runtime.
+//
+// Grid codes group ranks by site to run site-local collectives (MagPIe's
+// whole design, and how a hierarchical scatter would be structured).
+// split() is collective: every rank of the parent calls it with a color
+// (group id; kNoColor opts out) and a key (intra-group ordering, ties by
+// parent rank). The returned SubComm offers the core collective set over
+// the member subset, implemented on parent point-to-point with a tag
+// block unique to this split, so several SubComms can operate without
+// crosstalk (as long as each is used by its own members only).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mq/comm.hpp"
+
+namespace lbs::mq {
+
+inline constexpr int kNoColor = -1;
+
+class SubComm {
+ public:
+  [[nodiscard]] int rank() const { return my_index_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+
+  // Parent rank of a sub-rank / of this process.
+  [[nodiscard]] int parent_rank(int sub_rank) const;
+  [[nodiscard]] int parent_rank() const { return parent_rank(my_index_); }
+
+  void barrier();
+
+  template <typename T>
+  void bcast(int root, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (my_index_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send_to(r, kOpBcast, as_bytes(std::span<const T>(data)));
+      }
+    } else {
+      data = decode<T>(recv_from(root, kOpBcast));
+    }
+  }
+
+  template <typename T>
+  std::vector<T> gatherv(int root, std::span<const T> contribution) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (my_index_ == root) {
+      std::vector<T> all;
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) {
+          all.insert(all.end(), contribution.begin(), contribution.end());
+        } else {
+          auto chunk = decode<T>(recv_from(r, kOpGather));
+          all.insert(all.end(), chunk.begin(), chunk.end());
+        }
+      }
+      return all;
+    }
+    send_to(root, kOpGather, as_bytes(contribution));
+    return {};
+  }
+
+  // Parameterized scatter within the group (counts indexed by sub-rank).
+  template <typename T>
+  std::vector<T> scatterv(int root, std::span<const T> send_data,
+                          std::span<const long long> counts) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (my_index_ == root) {
+      long long offset = 0;
+      std::vector<T> own;
+      for (int r = 0; r < size(); ++r) {
+        auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+        std::span<const T> chunk =
+            send_data.subspan(static_cast<std::size_t>(offset), count);
+        if (r == root) {
+          own.assign(chunk.begin(), chunk.end());
+        } else {
+          send_to(r, kOpScatter, as_bytes(chunk));
+        }
+        offset += counts[static_cast<std::size_t>(r)];
+      }
+      return own;
+    }
+    return decode<T>(recv_from(root, kOpScatter));
+  }
+
+  template <typename T>
+  std::vector<T> reduce(int root, std::span<const T> contribution,
+                        const std::function<T(const T&, const T&)>& op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (my_index_ == root) {
+      std::vector<T> accumulator(contribution.begin(), contribution.end());
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        auto chunk = decode<T>(recv_from(r, kOpReduce));
+        for (std::size_t i = 0; i < accumulator.size(); ++i) {
+          accumulator[i] = op(accumulator[i], chunk[i]);
+        }
+      }
+      return accumulator;
+    }
+    send_to(root, kOpReduce, as_bytes(contribution));
+    return {};
+  }
+
+ private:
+  friend SubComm split(Comm& comm, int color, int key);
+  friend std::optional<SubComm> split_optional(Comm& comm, int color, int key);
+
+  static constexpr int kOpBarrierArrive = 0;
+  static constexpr int kOpBarrierRelease = 1;
+  static constexpr int kOpBcast = 2;
+  static constexpr int kOpGather = 3;
+  static constexpr int kOpReduce = 4;
+  static constexpr int kOpScatter = 5;
+  static constexpr int kOpsPerSplit = 8;
+
+  SubComm(Comm& parent, std::vector<int> members, int my_index, int tag_base);
+
+  // Ops grow *downward* from tag_base_ so every sub-communicator tag stays
+  // at or below the reserved floor.
+  [[nodiscard]] int op_tag(int op) const { return tag_base_ - op; }
+  void send_to(int sub_rank, int op, std::span<const std::byte> payload);
+  std::vector<std::byte> recv_from(int sub_rank, int op);
+
+  template <typename T>
+  static std::span<const std::byte> as_bytes(std::span<const T> items) {
+    return {reinterpret_cast<const std::byte*>(items.data()), items.size_bytes()};
+  }
+  template <typename T>
+  static std::vector<T> decode(const std::vector<std::byte>& payload) {
+    return Comm::decode<T>(payload);
+  }
+
+  Comm* parent_;
+  std::vector<int> members_;  // parent ranks, in sub-rank order
+  int my_index_;
+  int tag_base_;
+};
+
+// Collective: every parent rank must call, in the same split sequence.
+// Ranks passing kNoColor receive an empty optional (they still
+// participate in the membership exchange).
+std::optional<SubComm> split_optional(Comm& comm, int color, int key = 0);
+
+// Convenience for the common all-ranks-have-a-group case; throws if this
+// rank passed kNoColor.
+SubComm split(Comm& comm, int color, int key = 0);
+
+}  // namespace lbs::mq

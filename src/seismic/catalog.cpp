@@ -1,0 +1,114 @@
+#include "seismic/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace lbs::seismic {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+// Synthetic subduction arcs (lat, lon, extent): rough stand-ins for the
+// Pacific ring of fire and the Alpide belt where most real seismicity
+// clusters.
+struct Arc {
+  double lat, lon, spread_lat, spread_lon;
+};
+constexpr Arc kArcs[] = {
+    {-20.0, -175.0, 15.0, 10.0},  // Tonga
+    {38.0, 142.0, 12.0, 8.0},     // Japan trench
+    {-33.0, -71.0, 20.0, 5.0},    // Chile
+    {36.0, 28.0, 8.0, 25.0},      // Alpide belt
+    {51.0, -175.0, 6.0, 20.0},    // Aleutians
+    {-5.0, 102.0, 8.0, 15.0},     // Sunda arc
+};
+
+// A fixed synthetic station network (the captors "located all around the
+// globe").
+struct Station {
+  double lat, lon;
+};
+constexpr Station kStations[] = {
+    {48.5, 7.5},    // Strasbourg
+    {34.0, -118.0}, {35.7, 139.7},  {-33.9, 151.2}, {64.1, -21.9},
+    {-15.8, -47.9}, {28.6, 77.2},   {55.8, 37.6},   {40.7, -74.0},
+    {-33.9, 18.4},  {21.3, -157.9}, {69.7, 18.9},   {-77.8, 166.7},
+    {19.4, -99.1},  {1.3, 103.8},   {-36.8, 174.8}, {37.0, -7.9},
+    {52.2, 0.1},    {44.8, -68.8},  {-12.0, -77.0},
+};
+
+}  // namespace
+
+std::vector<SeismicEvent> generate_catalog(support::Rng& rng, long long count) {
+  LBS_CHECK(count >= 0);
+  std::vector<SeismicEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    const Arc& arc = kArcs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(std::size(kArcs)) - 1))];
+    SeismicEvent event;
+    event.source_lat_deg = arc.lat + rng.normal(0.0, arc.spread_lat);
+    event.source_lon_deg = arc.lon + rng.normal(0.0, arc.spread_lon);
+    // Clamp to valid coordinates.
+    event.source_lat_deg = std::clamp(event.source_lat_deg, -89.9, 89.9);
+    if (event.source_lon_deg > 180.0) event.source_lon_deg -= 360.0;
+    if (event.source_lon_deg < -180.0) event.source_lon_deg += 360.0;
+    // Depth: mostly shallow, exponential tail to ~650 km.
+    event.source_depth_km = std::min(650.0, rng.exponential(1.0 / 80.0));
+    const Station& station = kStations[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(std::size(kStations)) - 1))];
+    event.receiver_lat_deg = station.lat;
+    event.receiver_lon_deg = station.lon;
+    event.wave = rng.bernoulli(0.7) ? WaveType::P : WaveType::S;
+    events.push_back(event);
+  }
+  return events;
+}
+
+CatalogStatistics catalog_statistics(const std::vector<SeismicEvent>& events) {
+  CatalogStatistics stats;
+  stats.events = static_cast<long long>(events.size());
+  if (events.empty()) return stats;
+
+  long long p_waves = 0, shallow = 0, deep = 0, teleseismic = 0;
+  double depth_sum = 0.0, distance_sum = 0.0;
+  stats.min_distance_deg = 360.0;
+  for (const auto& event : events) {
+    if (event.wave == WaveType::P) ++p_waves;
+    if (event.source_depth_km < 70.0) ++shallow;
+    if (event.source_depth_km > 300.0) ++deep;
+    depth_sum += event.source_depth_km;
+    double distance = epicentral_distance_deg(event.source_lat_deg, event.source_lon_deg,
+                                              event.receiver_lat_deg,
+                                              event.receiver_lon_deg);
+    distance_sum += distance;
+    if (distance >= 30.0 && distance <= 95.0) ++teleseismic;
+    stats.min_distance_deg = std::min(stats.min_distance_deg, distance);
+    stats.max_distance_deg = std::max(stats.max_distance_deg, distance);
+  }
+  auto n = static_cast<double>(events.size());
+  stats.p_wave_fraction = static_cast<double>(p_waves) / n;
+  stats.shallow_fraction = static_cast<double>(shallow) / n;
+  stats.deep_fraction = static_cast<double>(deep) / n;
+  stats.mean_depth_km = depth_sum / n;
+  stats.mean_distance_deg = distance_sum / n;
+  stats.teleseismic_fraction = static_cast<double>(teleseismic) / n;
+  return stats;
+}
+
+double epicentral_distance_deg(double lat1_deg, double lon1_deg,
+                               double lat2_deg, double lon2_deg) {
+  double lat1 = lat1_deg * kDegToRad;
+  double lat2 = lat2_deg * kDegToRad;
+  double dlon = (lon2_deg - lon1_deg) * kDegToRad;
+  double cos_delta = std::sin(lat1) * std::sin(lat2) +
+                     std::cos(lat1) * std::cos(lat2) * std::cos(dlon);
+  cos_delta = std::clamp(cos_delta, -1.0, 1.0);
+  return std::acos(cos_delta) / kDegToRad;
+}
+
+}  // namespace lbs::seismic

@@ -1,0 +1,57 @@
+// Synthetic seismic event catalogs.
+//
+// The paper processed "the full set of seismic events of year 1999":
+// 817,101 rays, each described by source coordinates, receiver
+// coordinates, and a wave type. We cannot ship that catalog, so this
+// module synthesizes one with the same statistical shape: epicentres
+// clustered along synthetic subduction arcs, receivers drawn from a fixed
+// global station network, deterministic from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lbs::seismic {
+
+enum class WaveType : std::uint8_t { P = 0, S = 1 };
+
+// One seismic wave characteristic pair = one ray to trace (the paper's
+// raydata items). Plain trivially-copyable struct so it can travel through
+// mq scatterv buffers unchanged.
+struct SeismicEvent {
+  double source_lat_deg;
+  double source_lon_deg;
+  double source_depth_km;
+  double receiver_lat_deg;
+  double receiver_lon_deg;
+  WaveType wave;
+};
+static_assert(sizeof(SeismicEvent) == 48, "events must pack predictably");
+
+// Generates `count` events, deterministic for a given rng state.
+std::vector<SeismicEvent> generate_catalog(support::Rng& rng, long long count);
+
+// Great-circle angular distance between two (lat, lon) points, degrees.
+double epicentral_distance_deg(double lat1_deg, double lon1_deg,
+                               double lat2_deg, double lon2_deg);
+
+// Summary statistics of a catalog — used to validate that the synthetic
+// generator has the statistical shape of a real teleseismic-era catalog
+// (mostly shallow events, a deep tail, wide distance coverage with a
+// substantial teleseismic fraction, P-dominated phases).
+struct CatalogStatistics {
+  long long events = 0;
+  double p_wave_fraction = 0.0;
+  double shallow_fraction = 0.0;       // depth < 70 km
+  double deep_fraction = 0.0;          // depth > 300 km
+  double mean_depth_km = 0.0;
+  double mean_distance_deg = 0.0;
+  double teleseismic_fraction = 0.0;   // 30 deg <= distance <= 95 deg
+  double min_distance_deg = 0.0;
+  double max_distance_deg = 0.0;
+};
+CatalogStatistics catalog_statistics(const std::vector<SeismicEvent>& events);
+
+}  // namespace lbs::seismic

@@ -1,0 +1,47 @@
+#include "seismic/earth_model.hpp"
+
+#include "support/error.hpp"
+
+namespace lbs::seismic {
+
+EarthModel::EarthModel(std::vector<Shell> shells) : shells_(std::move(shells)) {
+  LBS_CHECK_MSG(!shells_.empty(), "earth model needs at least one shell");
+  double expected_inner = 0.0;
+  for (const auto& shell : shells_) {
+    LBS_CHECK_MSG(shell.inner_radius_km == expected_inner,
+                  "shells must tile contiguously from the centre");
+    LBS_CHECK_MSG(shell.outer_radius_km > shell.inner_radius_km,
+                  "empty shell");
+    LBS_CHECK_MSG(shell.velocity_km_s > 0.0, "non-positive velocity");
+    expected_inner = shell.outer_radius_km;
+  }
+}
+
+EarthModel EarthModel::prem_like() {
+  // Coarse P-wave averages per region (km, km/s).
+  return EarthModel({
+      {0.0, 1221.5, 11.1, "inner core"},
+      {1221.5, 3480.0, 9.0, "outer core"},
+      {3480.0, 5701.0, 12.3, "lower mantle"},
+      {5701.0, 5971.0, 10.2, "transition zone"},
+      {5971.0, 6151.0, 8.8, "upper mantle"},
+      {6151.0, 6291.0, 8.1, "asthenosphere"},
+      {6291.0, 6346.6, 6.8, "lid"},
+      {6346.6, 6371.0, 5.8, "crust"},
+  });
+}
+
+double EarthModel::velocity_at(double radius_km) const {
+  LBS_CHECK_MSG(radius_km > 0.0 && radius_km <= surface_radius_km() + 1e-9,
+                "radius outside the model");
+  for (const auto& shell : shells_) {
+    if (radius_km <= shell.outer_radius_km) return shell.velocity_km_s;
+  }
+  return shells_.back().velocity_km_s;
+}
+
+double EarthModel::slowness_radius(double radius_km) const {
+  return radius_km / velocity_at(radius_km);
+}
+
+}  // namespace lbs::seismic

@@ -1,0 +1,47 @@
+// Layered spherical Earth velocity model.
+//
+// The paper's application [14] traces seismic ray paths through a global
+// Earth mesh to build a velocity model. Our stand-in is a classic
+// radially-symmetric shell model (a coarse PREM-like P-wave profile):
+// enough physics that per-ray work is real numerical integration with a
+// roughly constant cost per ray — the property that makes the workload's
+// Tcomp linear in the number of rays, as the paper measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lbs::seismic {
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+struct Shell {
+  double inner_radius_km = 0.0;
+  double outer_radius_km = 0.0;
+  double velocity_km_s = 0.0;  // constant within the shell
+  std::string name;
+};
+
+class EarthModel {
+ public:
+  // Shells must tile (0, surface] contiguously from the centre outward.
+  explicit EarthModel(std::vector<Shell> shells);
+
+  // A coarse PREM-like P-wave model (crust to inner core, 8 shells).
+  static EarthModel prem_like();
+
+  [[nodiscard]] const std::vector<Shell>& shells() const { return shells_; }
+  [[nodiscard]] double surface_radius_km() const { return shells_.back().outer_radius_km; }
+
+  // P-wave velocity at a radius (km); radius must lie in (0, surface].
+  [[nodiscard]] double velocity_at(double radius_km) const;
+
+  // Slowness radius u(r) = r / v(r), the quantity conserved along a ray
+  // (Benndorf/Snell in spherical media: p = r sin(i) / v).
+  [[nodiscard]] double slowness_radius(double radius_km) const;
+
+ private:
+  std::vector<Shell> shells_;  // ordered centre -> surface
+};
+
+}  // namespace lbs::seismic

@@ -1,0 +1,159 @@
+#include "seismic/inversion.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::seismic {
+
+TomographicSystem::TomographicSystem(std::size_t shell_count)
+    : shells_(shell_count),
+      ata_(shell_count * shell_count, 0.0),
+      atr_(shell_count, 0.0) {
+  LBS_CHECK_MSG(shell_count >= 1, "system needs at least one shell");
+}
+
+void TomographicSystem::add_ray(const std::vector<double>& shell_times,
+                                double observed_time) {
+  LBS_CHECK_MSG(shell_times.size() == shells_, "shell count mismatch");
+  double predicted = 0.0;
+  for (double t : shell_times) predicted += t;
+  double residual = observed_time - predicted;
+  for (std::size_t i = 0; i < shells_; ++i) {
+    if (shell_times[i] == 0.0) continue;
+    atr_[i] += shell_times[i] * residual;
+    for (std::size_t j = 0; j < shells_; ++j) {
+      ata_[i * shells_ + j] += shell_times[i] * shell_times[j];
+    }
+  }
+  ++rays_;
+  misfit_sq_ += residual * residual;
+}
+
+void TomographicSystem::merge(const TomographicSystem& other) {
+  LBS_CHECK_MSG(other.shells_ == shells_, "shell count mismatch");
+  for (std::size_t i = 0; i < ata_.size(); ++i) ata_[i] += other.ata_[i];
+  for (std::size_t i = 0; i < atr_.size(); ++i) atr_[i] += other.atr_[i];
+  rays_ += other.rays_;
+  misfit_sq_ += other.misfit_sq_;
+}
+
+std::vector<double> TomographicSystem::serialize() const {
+  std::vector<double> data;
+  data.reserve(ata_.size() + atr_.size() + 2);
+  data.insert(data.end(), ata_.begin(), ata_.end());
+  data.insert(data.end(), atr_.begin(), atr_.end());
+  data.push_back(static_cast<double>(rays_));
+  data.push_back(misfit_sq_);
+  return data;
+}
+
+TomographicSystem TomographicSystem::deserialize(std::size_t shell_count,
+                                                 const std::vector<double>& data) {
+  TomographicSystem system(shell_count);
+  LBS_CHECK_MSG(data.size() == shell_count * shell_count + shell_count + 2,
+                "serialized system size mismatch");
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < system.ata_.size(); ++i) system.ata_[i] = data[pos++];
+  for (std::size_t i = 0; i < system.atr_.size(); ++i) system.atr_[i] = data[pos++];
+  system.rays_ = static_cast<long long>(data[pos++]);
+  system.misfit_sq_ = data[pos];
+  return system;
+}
+
+double TomographicSystem::rms_misfit() const {
+  if (rays_ == 0) return 0.0;
+  return std::sqrt(misfit_sq_ / static_cast<double>(rays_));
+}
+
+std::vector<double> TomographicSystem::solve(double damping) const {
+  LBS_CHECK_MSG(damping >= 0.0, "negative damping");
+  std::size_t k = shells_;
+
+  // (AᵀA + λI) dx = Aᵀr, λ scaled to the system's magnitude.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < k; ++i) trace += ata_[i * k + i];
+  double lambda = damping * (trace > 0.0 ? trace / static_cast<double>(k) : 1.0);
+  // A floor keeps completely unsampled shells solvable (dx = 0 there).
+  lambda = std::max(lambda, 1e-12);
+
+  std::vector<double> matrix = ata_;
+  for (std::size_t i = 0; i < k; ++i) matrix[i * k + i] += lambda;
+  std::vector<double> rhs = atr_;
+
+  // Gaussian elimination with partial pivoting (k is the shell count,
+  // single digits — no need for anything fancier).
+  std::vector<std::size_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(matrix[perm[col] * k + col]);
+    for (std::size_t row = col + 1; row < k; ++row) {
+      double candidate = std::abs(matrix[perm[row] * k + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    LBS_CHECK_MSG(best > 0.0, "singular tomographic system despite damping");
+    std::swap(perm[col], perm[pivot]);
+    double diagonal = matrix[perm[col] * k + col];
+    for (std::size_t row = col + 1; row < k; ++row) {
+      double factor = matrix[perm[row] * k + col] / diagonal;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < k; ++j) {
+        matrix[perm[row] * k + j] -= factor * matrix[perm[col] * k + j];
+      }
+      rhs[perm[row]] -= factor * rhs[perm[col]];
+    }
+  }
+  std::vector<double> dx(k, 0.0);
+  for (std::size_t col = k; col-- > 0;) {
+    double value = rhs[perm[col]];
+    for (std::size_t j = col + 1; j < k; ++j) {
+      value -= matrix[perm[col] * k + j] * dx[j];
+    }
+    dx[col] = value / matrix[perm[col] * k + col];
+  }
+
+  std::vector<double> scales(k);
+  for (std::size_t i = 0; i < k; ++i) scales[i] = 1.0 + dx[i];
+  return scales;
+}
+
+EarthModel apply_scales(const EarthModel& model, const std::vector<double>& scales) {
+  LBS_CHECK_MSG(scales.size() == model.shells().size(), "shell count mismatch");
+  std::vector<Shell> shells = model.shells();
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    LBS_CHECK_MSG(scales[i] > 0.0, "non-positive slowness scale");
+    shells[i].velocity_km_s /= scales[i];
+  }
+  return EarthModel(std::move(shells));
+}
+
+InversionRound invert_round(const EarthModel& current, const SeismicEvent* events,
+                            std::size_t count, const double* observed_times,
+                            double damping, const TraceOptions& options) {
+  TomographicSystem system(current.shells().size());
+  for (std::size_t i = 0; i < count; ++i) {
+    RayPath path = trace_ray(current, events[i], options);
+    if (!path.converged) continue;  // shadow-zone rays carry no usable signal
+    system.add_ray(path.time_per_shell, observed_times[i]);
+  }
+
+  std::vector<double> scales = system.solve(damping);
+  InversionRound round{apply_scales(current, scales), std::move(scales),
+                       system.rms_misfit(), 0.0, system.ray_count()};
+
+  // Re-trace under the updated model to report the achieved misfit.
+  TomographicSystem check(current.shells().size());
+  for (std::size_t i = 0; i < count; ++i) {
+    RayPath path = trace_ray(round.updated, events[i], options);
+    if (!path.converged) continue;
+    check.add_ray(path.time_per_shell, observed_times[i]);
+  }
+  round.rms_after = check.rms_misfit();
+  return round;
+}
+
+}  // namespace lbs::seismic

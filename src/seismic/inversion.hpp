@@ -1,0 +1,75 @@
+// Linearized travel-time tomography: the velocity-model update step.
+//
+// The paper's application is one building block of a tomography pipeline:
+// "in a final step, a new velocity model that minimizes those differences
+// is computed". This module implements that final step for the layered
+// model: per-shell slowness scale factors x_s are fit by damped least
+// squares so that predicted times Σ_s t_s·x_s match the observed times
+// (t_s = time the ray spends in shell s under the current model), then
+// shell velocities update as v_s → v_s / x_s. Iterating
+// trace → fit → update is the multi-round workload that the scatter
+// load-balancing serves.
+#pragma once
+
+#include <vector>
+
+#include "seismic/earth_model.hpp"
+#include "seismic/ray.hpp"
+
+namespace lbs::seismic {
+
+// Accumulates the normal equations of the damped least-squares system.
+// Rows can be accumulated anywhere (each MPI/mq rank builds its own) and
+// merged, so the fit distributes exactly like the ray tracing does.
+class TomographicSystem {
+ public:
+  explicit TomographicSystem(std::size_t shell_count);
+
+  // Adds one ray: `shell_times` is RayPath::time_per_shell under the
+  // current model, `observed_time` the measured travel time.
+  void add_ray(const std::vector<double>& shell_times, double observed_time);
+
+  // Merges another system over the same shells (for distributed builds).
+  void merge(const TomographicSystem& other);
+
+  // Flattened state for transport through a message-passing reduce:
+  // [ata (k*k), atr (k), rays, misfit_sq]. merge() == element-wise sum.
+  [[nodiscard]] std::vector<double> serialize() const;
+  static TomographicSystem deserialize(std::size_t shell_count,
+                                       const std::vector<double>& data);
+
+  [[nodiscard]] long long ray_count() const { return rays_; }
+  // Root-mean-square misfit of the accumulated rays under the current
+  // model (x = 1).
+  [[nodiscard]] double rms_misfit() const;
+
+  // Solves (AᵀA + λI)·dx = Aᵀr for the slowness-scale perturbation
+  // (x = 1 + dx), with Tikhonov damping λ = damping · trace(AᵀA)/k so
+  // unsampled shells stay at x = 1. Returns x per shell.
+  [[nodiscard]] std::vector<double> solve(double damping = 0.01) const;
+
+ private:
+  std::size_t shells_;
+  std::vector<double> ata_;       // AᵀA, row-major k x k
+  std::vector<double> atr_;       // Aᵀ·(observed - predicted)
+  long long rays_ = 0;
+  double misfit_sq_ = 0.0;
+};
+
+// Applies slowness scales: v_s → v_s / x_s (x must be positive).
+EarthModel apply_scales(const EarthModel& model, const std::vector<double>& scales);
+
+// One full inversion round over a batch of rays.
+struct InversionRound {
+  EarthModel updated;
+  std::vector<double> scales;
+  double rms_before = 0.0;
+  double rms_after = 0.0;
+  long long rays_used = 0;  // converged rays only
+};
+InversionRound invert_round(const EarthModel& current,
+                            const SeismicEvent* events, std::size_t count,
+                            const double* observed_times, double damping = 0.01,
+                            const TraceOptions& options = {});
+
+}  // namespace lbs::seismic

@@ -1,0 +1,196 @@
+#include "seismic/ray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace lbs::seismic {
+
+namespace {
+
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+constexpr double kVpVsRatio = 1.7320508075688772;  // sqrt(3), Poisson solid
+
+// Integrates dDelta and dT across [r_lo, r_hi] within one shell (constant
+// velocity v), for ray parameter p, using the midpoint rule.
+void integrate_segment(double r_lo, double r_hi, double v, double p, int steps,
+                       double& delta_rad, double& time_s) {
+  double h = (r_hi - r_lo) / steps;
+  for (int s = 0; s < steps; ++s) {
+    double r = r_lo + (s + 0.5) * h;
+    double u = r / v;
+    double det = u * u - p * p;
+    if (det <= 0.0) continue;  // below the turning point: no propagation
+    double root = std::sqrt(det);
+    delta_rad += h * p / (r * root);
+    time_s += h * u * u / (r * root);
+  }
+}
+
+}  // namespace
+
+Sweep sweep_ray(const EarthModel& model, double p, int steps_per_shell) {
+  LBS_CHECK_MSG(p >= 0.0, "negative ray parameter");
+  LBS_CHECK_MSG(steps_per_shell >= 1, "need at least one integration step");
+
+  Sweep sweep;
+  const auto& shells = model.shells();
+  sweep.time_per_shell.assign(shells.size(), 0.0);
+  double delta_rad = 0.0;
+  double time_s = 0.0;
+  double turning = 0.0;
+
+  // Walk shells from the surface down; the ray penetrates a shell while
+  // u(r) > p somewhere inside it. Within a constant-velocity shell,
+  // u(r) = r/v is increasing in r, so the turning radius inside the shell
+  // is r_turn = p*v.
+  for (std::size_t index = shells.size(); index-- > 0;) {
+    const Shell& shell = shells[index];
+    double u_outer = shell.outer_radius_km / shell.velocity_km_s;
+    if (u_outer <= p) {
+      // The ray cannot enter this shell: it turned above.
+      turning = std::max(turning, shell.outer_radius_km);
+      break;
+    }
+    double r_turn = p * shell.velocity_km_s;  // u(r_turn) = p
+    double r_lo = std::max(shell.inner_radius_km, r_turn);
+    double shell_time = 0.0;
+    integrate_segment(r_lo, shell.outer_radius_km, shell.velocity_km_s, p,
+                      steps_per_shell, delta_rad, shell_time);
+    time_s += shell_time;
+    sweep.time_per_shell[index] = 2.0 * shell_time;  // down and back up
+    if (r_turn > shell.inner_radius_km) {
+      turning = r_turn;
+      break;
+    }
+    if (shell.inner_radius_km == 0.0) {
+      // Through the centre (p ~ 0).
+      turning = 0.0;
+    }
+  }
+
+  // Down and back up: symmetric.
+  sweep.distance_deg = 2.0 * delta_rad * kRadToDeg;
+  sweep.time_s = 2.0 * time_s;
+  sweep.turning_radius_km = turning;
+  return sweep;
+}
+
+namespace {
+
+// One-leg travel time between radius (surface - depth) and the surface for
+// ray parameter p: the standard first-order source-depth correction — a
+// source at depth skips that much of the down-going leg. Subtracted per
+// shell so time_per_shell stays consistent with travel_time_s.
+void apply_depth_correction(const EarthModel& model, double p, double depth_km,
+                            RayPath& path, int steps_per_shell) {
+  if (depth_km <= 0.0) return;
+  double surface = model.surface_radius_km();
+  double source_radius = std::max(surface - depth_km, path.turning_radius_km);
+  if (source_radius >= surface) return;
+
+  const auto& shells = model.shells();
+  for (std::size_t index = shells.size(); index-- > 0;) {
+    const Shell& shell = shells[index];
+    if (shell.outer_radius_km <= source_radius) break;
+    double r_lo = std::max(shell.inner_radius_km, source_radius);
+    double r_hi = shell.outer_radius_km;
+    if (r_hi <= r_lo) continue;
+    double unused_delta = 0.0;
+    double leg_time = 0.0;
+    integrate_segment(r_lo, r_hi, shell.velocity_km_s, p, steps_per_shell,
+                      unused_delta, leg_time);
+    // One leg only; never remove more than the shell actually holds.
+    double correction = std::min(leg_time, path.time_per_shell[index]);
+    path.time_per_shell[index] -= correction;
+    path.travel_time_s -= correction;
+  }
+}
+
+}  // namespace
+
+RayPath trace_ray(const EarthModel& model, const SeismicEvent& event,
+                  const TraceOptions& options) {
+  RayPath path;
+  path.epicentral_deg =
+      epicentral_distance_deg(event.source_lat_deg, event.source_lon_deg,
+                              event.receiver_lat_deg, event.receiver_lon_deg);
+  double target = std::max(path.epicentral_deg, 0.2);  // avoid the p=0 corner
+
+  double u_surface = model.slowness_radius(model.surface_radius_km());
+  double p_max = u_surface * 0.9999;
+
+  // Coarse scan: distance(p) is not monotonic through the core shadow, so
+  // find the sample bracketing the target with the smallest residual.
+  double best_p_lo = 0.0, best_p_hi = p_max;
+  double best_gap = std::numeric_limits<double>::infinity();
+  double prev_p = 0.0;
+  Sweep prev = sweep_ray(model, prev_p, options.integration_steps_per_shell);
+  for (int s = 1; s <= options.scan_samples; ++s) {
+    double p = p_max * s / options.scan_samples;
+    Sweep current = sweep_ray(model, p, options.integration_steps_per_shell);
+    double lo_d = prev.distance_deg, hi_d = current.distance_deg;
+    if ((lo_d - target) * (hi_d - target) <= 0.0) {
+      double gap = std::abs(lo_d - target) + std::abs(hi_d - target);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_p_lo = prev_p;
+        best_p_hi = p;
+      }
+    }
+    prev_p = p;
+    prev = current;
+  }
+
+  // Bisection within the best bracket.
+  double p_lo = best_p_lo, p_hi = best_p_hi;
+  double lo_distance =
+      sweep_ray(model, p_lo, options.integration_steps_per_shell).distance_deg;
+  Sweep result{};
+  double p_mid = 0.5 * (p_lo + p_hi);
+  for (int i = 0; i < options.bisection_iterations; ++i) {
+    p_mid = 0.5 * (p_lo + p_hi);
+    result = sweep_ray(model, p_mid, options.integration_steps_per_shell);
+    if ((lo_distance - target) * (result.distance_deg - target) <= 0.0) {
+      p_hi = p_mid;
+    } else {
+      p_lo = p_mid;
+      lo_distance = result.distance_deg;
+    }
+  }
+
+  path.ray_parameter = p_mid;
+  path.achieved_deg = result.distance_deg;
+  path.turning_radius_km = result.turning_radius_km;
+  path.travel_time_s = result.time_s;
+  path.time_per_shell = std::move(result.time_per_shell);
+  apply_depth_correction(model, p_mid, event.source_depth_km, path,
+                         options.integration_steps_per_shell);
+  if (event.wave == WaveType::S) {
+    path.travel_time_s *= kVpVsRatio;  // same geometry, slower propagation
+    for (double& t : path.time_per_shell) t *= kVpVsRatio;
+  }
+  path.converged = std::abs(path.achieved_deg - target) <= options.tolerance_deg;
+  return path;
+}
+
+double compute_work(const EarthModel& model, const SeismicEvent* events,
+                    std::size_t count, std::vector<RayPath>* paths,
+                    const TraceOptions& options) {
+  double total_time = 0.0;
+  if (paths != nullptr) {
+    paths->clear();
+    paths->reserve(count);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    RayPath path = trace_ray(model, events[i], options);
+    total_time += path.travel_time_s;
+    if (paths != nullptr) paths->push_back(path);
+  }
+  return total_time;
+}
+
+}  // namespace lbs::seismic

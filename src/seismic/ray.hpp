@@ -1,0 +1,66 @@
+// Spherical ray tracing through a layered Earth.
+//
+// Physics: along a ray in a radially-symmetric medium the ray parameter
+// p = r sin(i) / v is conserved (Benndorf's relation). For a ray with
+// parameter p, between radii the angular distance and travel time obey
+//
+//   dDelta/dr = p / (r sqrt(u(r)^2 - p^2)),
+//   dT/dr     = u(r)^2 / (r sqrt(u(r)^2 - p^2)),     u(r) = r / v(r),
+//
+// down to the turning radius where u(r) = p, then symmetrically back up.
+// We integrate these numerically per shell (midpoint rule with sub-steps)
+// and shoot for the target epicentral distance by scanning + bisecting on
+// p. This is the per-ray computation whose roughly constant cost makes
+// the workload's Tcomp linear — the property the paper's Table 1 measures
+// in seconds/ray.
+#pragma once
+
+#include "seismic/catalog.hpp"
+#include "seismic/earth_model.hpp"
+
+namespace lbs::seismic {
+
+struct RayPath {
+  double travel_time_s = 0.0;       // source -> receiver
+  double epicentral_deg = 0.0;      // target angular distance
+  double achieved_deg = 0.0;        // distance actually reached by the ray
+  double ray_parameter = 0.0;       // s/rad
+  double turning_radius_km = 0.0;
+  bool converged = false;           // |achieved - target| small enough
+  std::vector<double> time_per_shell;  // aligned with model.shells()
+};
+
+struct TraceOptions {
+  int integration_steps_per_shell = 64;
+  int scan_samples = 48;       // coarse scan over p
+  int bisection_iterations = 32;
+  double tolerance_deg = 0.05;
+};
+
+// Angular distance (deg) and travel time (s) of the ray with parameter
+// `p`, from surface to surface (down and back up). p in [0, u(surface)).
+// time_per_shell[s] is the travel time spent inside shell s (aligned with
+// model.shells()); it sums to time_s and feeds the tomographic inversion.
+struct Sweep {
+  double distance_deg = 0.0;
+  double time_s = 0.0;
+  double turning_radius_km = 0.0;
+  std::vector<double> time_per_shell;
+};
+Sweep sweep_ray(const EarthModel& model, double p,
+                int integration_steps_per_shell = 64);
+
+// Traces the ray connecting the event's source and receiver: finds p
+// matching the epicentral distance, returns the path. S waves are modeled
+// as P kinematics scaled by a vp/vs factor of sqrt(3) (Poisson solid).
+RayPath trace_ray(const EarthModel& model, const SeismicEvent& event,
+                  const TraceOptions& options = {});
+
+// The application's compute_work: traces every event, returns the summed
+// travel time (a cheap checksum benches can assert on) and fills `paths`
+// if non-null.
+double compute_work(const EarthModel& model, const SeismicEvent* events,
+                    std::size_t count, std::vector<RayPath>* paths = nullptr,
+                    const TraceOptions& options = {});
+
+}  // namespace lbs::seismic

@@ -1,0 +1,356 @@
+#include "support/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(long long value) {
+  negative_ = value < 0;
+  // Avoid UB on LLONG_MIN by going through unsigned.
+  auto magnitude = negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                             : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+  normalize();
+}
+
+BigInt BigInt::from_int128(__int128 value) {
+  BigInt result;
+  result.negative_ = value < 0;
+  auto magnitude = result.negative_ ? ~static_cast<unsigned __int128>(value) + 1
+                                    : static_cast<unsigned __int128>(value);
+  while (magnitude != 0) {
+    result.limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+  result.normalize();
+  return result;
+}
+
+BigInt BigInt::from_string(std::string_view decimal) {
+  LBS_CHECK_MSG(!decimal.empty(), "empty integer string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (decimal[0] == '+' || decimal[0] == '-') {
+    negative = decimal[0] == '-';
+    pos = 1;
+  }
+  LBS_CHECK_MSG(pos < decimal.size(), "integer string with no digits");
+
+  BigInt result;
+  for (; pos < decimal.size(); ++pos) {
+    char c = decimal[pos];
+    LBS_CHECK_MSG(c >= '0' && c <= '9', "bad digit in integer string");
+    // result = result * 10 + digit (in-place short operations).
+    std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+    for (auto& limb : result.limbs_) {
+      std::uint64_t value = static_cast<std::uint64_t>(limb) * 10 + carry;
+      limb = static_cast<std::uint32_t>(value & 0xffffffffULL);
+      carry = value >> 32;
+    }
+    while (carry != 0) {
+      result.limbs_.push_back(static_cast<std::uint32_t>(carry & 0xffffffffULL));
+      carry >>= 32;
+    }
+  }
+  result.negative_ = negative;
+  result.normalize();
+  return result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated short division by 1e9.
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::string digits;
+  while (!magnitude.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = magnitude.size(); i-- > 0;) {
+      std::uint64_t value = (remainder << 32) | magnitude[i];
+      magnitude[i] = static_cast<std::uint32_t>(value / 1000000000ULL);
+      remainder = value % 1000000000ULL;
+    }
+    while (!magnitude.empty() && magnitude.back() == 0) magnitude.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+int BigInt::signum() const {
+  if (is_zero()) return 0;
+  return negative_ ? -1 : 1;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::strong_ordering BigInt::compare_magnitude(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size()) {
+    return lhs.limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_) {
+    return lhs.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  auto magnitude = BigInt::compare_magnitude(lhs, rhs);
+  return lhs.negative_ ? (0 <=> magnitude) : magnitude;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  LBS_CHECK_MSG(borrow == 0, "sub_magnitude underflow (|a| < |b|)");
+  return result;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    auto cmp = compare_magnitude(*this, rhs);
+    if (cmp == std::strong_ordering::equal) {
+      limbs_.clear();
+      negative_ = false;
+      return *this;
+    }
+    if (cmp == std::strong_ordering::greater) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  return *this += -rhs;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<std::uint32_t> product(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t value = a * rhs.limbs_[j] + product[i + j] + carry;
+      product[i + j] = static_cast<std::uint32_t>(value & 0xffffffffULL);
+      carry = value >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t value = product[k] + carry;
+      product[k] = static_cast<std::uint32_t>(value & 0xffffffffULL);
+      carry = value >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(product);
+  negative_ = negative_ != rhs.negative_;
+  normalize();
+  return *this;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& divisor) const {
+  LBS_CHECK_MSG(!divisor.is_zero(), "BigInt division by zero");
+  DivMod result;
+
+  auto magnitude_cmp = compare_magnitude(*this, divisor);
+  if (magnitude_cmp == std::strong_ordering::less) {
+    result.remainder = *this;
+    return result;
+  }
+
+  if (divisor.limbs_.size() == 1) {
+    // Short division.
+    std::uint64_t d = divisor.limbs_[0];
+    std::vector<std::uint32_t> quotient(limbs_.size(), 0);
+    std::uint64_t remainder = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      std::uint64_t value = (remainder << 32) | limbs_[i];
+      quotient[i] = static_cast<std::uint32_t>(value / d);
+      remainder = value % d;
+    }
+    result.quotient.limbs_ = std::move(quotient);
+    result.quotient.normalize();
+    result.remainder = BigInt(static_cast<long long>(remainder));
+  } else {
+    // Binary long division on magnitudes: O(bits * limbs) — fine at LP
+    // tableau sizes.
+    BigInt remainder;
+    BigInt quotient;
+    std::size_t bits = bit_length();
+    quotient.limbs_.assign((bits + 31) / 32, 0);
+    BigInt divisor_magnitude = divisor.abs();
+    for (std::size_t bit = bits; bit-- > 0;) {
+      // remainder = remainder * 2 + bit(this, bit)
+      std::uint32_t carry =
+          (limbs_[bit / 32] >> (bit % 32)) & 1U;
+      for (auto& limb : remainder.limbs_) {
+        std::uint32_t top = limb >> 31;
+        limb = (limb << 1) | carry;
+        carry = top;
+      }
+      if (carry != 0) remainder.limbs_.push_back(carry);
+      remainder.normalize();
+      if (compare_magnitude(remainder, divisor_magnitude) !=
+          std::strong_ordering::less) {
+        remainder.limbs_ = sub_magnitude(remainder.limbs_, divisor_magnitude.limbs_);
+        remainder.normalize();
+        quotient.limbs_[bit / 32] |= 1U << (bit % 32);
+      }
+    }
+    quotient.normalize();
+    result.quotient = std::move(quotient);
+    result.remainder = std::move(remainder);
+  }
+
+  // Signs: C++ semantics — quotient truncates toward zero, remainder
+  // follows the dividend.
+  result.quotient.negative_ = !result.quotient.is_zero() && (negative_ != divisor.negative_);
+  result.remainder.negative_ = !result.remainder.is_zero() && negative_;
+  return result;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = divmod(rhs).quotient;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = divmod(rhs).remainder;
+  return *this;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a.divmod(b).remainder;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+double BigInt::to_double() const {
+  if (is_zero()) return 0.0;
+  // Combine the top limbs into a 64-bit mantissa and scale.
+  double value = 0.0;
+  std::size_t top = limbs_.size();
+  std::size_t used = std::min<std::size_t>(top, 3);
+  for (std::size_t i = 0; i < used; ++i) {
+    value = value * static_cast<double>(kBase) +
+            static_cast<double>(limbs_[top - 1 - i]);
+  }
+  double scaled = std::ldexp(value, static_cast<int>(32 * (top - used)));
+  return negative_ ? -scaled : scaled;
+}
+
+long long BigInt::to_int64() const {
+  LBS_CHECK_MSG(limbs_.size() <= 2, "BigInt exceeds 64 bits");
+  std::uint64_t magnitude = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = (magnitude << 32) | limbs_[i];
+  }
+  if (negative_) {
+    LBS_CHECK_MSG(magnitude <= static_cast<std::uint64_t>(
+                                   std::numeric_limits<long long>::max()) + 1,
+                  "BigInt exceeds 64 bits");
+    return static_cast<long long>(~magnitude + 1);
+  }
+  LBS_CHECK_MSG(magnitude <= static_cast<std::uint64_t>(
+                                 std::numeric_limits<long long>::max()),
+                "BigInt exceeds 64 bits");
+  return static_cast<long long>(magnitude);
+}
+
+std::size_t BigInt::bit_length() const {
+  if (is_zero()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& out, const BigInt& value) {
+  return out << value.to_string();
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,90 @@
+// Arbitrary-precision signed integers.
+//
+// Backing store for the exact simplex (lp/exact_simplex.hpp): a 17x17
+// exact pivot sequence needs ~50+ decimal digits, beyond __int128. This
+// is a deliberately simple, fully-tested implementation: sign-magnitude
+// over base-2^32 limbs, schoolbook multiplication, shift-subtract long
+// division — plenty fast for LP tableaus of a few hundred entries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbs::support {
+
+class BigInt {
+ public:
+  BigInt() = default;  // zero
+  BigInt(long long value);  // NOLINT(google-explicit-constructor)
+
+  // Parses an optionally signed decimal string; throws lbs::Error on
+  // malformed input.
+  static BigInt from_string(std::string_view decimal);
+  static BigInt from_int128(__int128 value);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] int signum() const;
+
+  [[nodiscard]] BigInt abs() const;
+  BigInt operator-() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  // truncates toward zero
+  BigInt& operator%=(const BigInt& rhs);  // sign follows the dividend
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) = default;
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs);
+
+  // Quotient and remainder in one pass; remainder's sign follows `this`.
+  // (Defined after the class: members of the enclosing, still-incomplete
+  // type.)
+  struct DivMod;
+  [[nodiscard]] DivMod divmod(const BigInt& divisor) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  // Closest double (may lose precision / overflow to inf for huge values).
+  [[nodiscard]] double to_double() const;
+  // Throws lbs::Error when the value does not fit.
+  [[nodiscard]] long long to_int64() const;
+
+  // Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+ private:
+  void normalize();
+  [[nodiscard]] static std::strong_ordering compare_magnitude(const BigInt& lhs,
+                                                              const BigInt& rhs);
+  static std::vector<std::uint32_t> add_magnitude(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32; empty = 0
+};
+
+struct BigInt::DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+std::ostream& operator<<(std::ostream& out, const BigInt& value);
+
+}  // namespace lbs::support

@@ -1,0 +1,135 @@
+#include "support/bigrational.hpp"
+
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+BigRational::BigRational(long long value) : num_(value), den_(1) {}
+
+BigRational::BigRational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  LBS_CHECK_MSG(!den_.is_zero(), "rational with zero denominator");
+  normalize();
+}
+
+BigRational BigRational::from_rational(const Rational& value) {
+  return BigRational(BigInt::from_int128(value.num()), BigInt::from_int128(value.den()));
+}
+
+void BigRational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt divisor = BigInt::gcd(num_, den_);
+  if (divisor != BigInt(1)) {
+    num_ /= divisor;
+    den_ /= divisor;
+  }
+}
+
+double BigRational::to_double() const {
+  return num_.to_double() / den_.to_double();
+}
+
+std::string BigRational::to_string() const {
+  std::string result = num_.to_string();
+  if (!is_integer()) {
+    result.push_back('/');
+    result += den_.to_string();
+  }
+  return result;
+}
+
+BigRational BigRational::floor() const {
+  auto division = num_.divmod(den_);
+  if (!division.remainder.is_zero() && num_.is_negative()) {
+    division.quotient -= BigInt(1);
+  }
+  BigRational result;
+  result.num_ = std::move(division.quotient);
+  return result;
+}
+
+BigRational BigRational::ceil() const {
+  auto division = num_.divmod(den_);
+  if (!division.remainder.is_zero() && !num_.is_negative()) {
+    division.quotient += BigInt(1);
+  }
+  BigRational result;
+  result.num_ = std::move(division.quotient);
+  return result;
+}
+
+BigRational BigRational::round() const {
+  BigRational half(BigInt(1), BigInt(2));
+  if (!num_.is_negative()) return (*this + half).floor();
+  return (*this - half).ceil();
+}
+
+BigRational BigRational::abs() const {
+  return is_negative() ? -*this : *this;
+}
+
+BigRational BigRational::reciprocal() const {
+  LBS_CHECK_MSG(!is_zero(), "reciprocal of zero");
+  return BigRational(den_, num_);
+}
+
+long long BigRational::to_int64() const {
+  LBS_CHECK_MSG(is_integer(), "to_int64 on non-integer rational");
+  return num_.to_int64();
+}
+
+BigRational BigRational::operator-() const {
+  BigRational result = *this;
+  result.num_ = -result.num_;
+  return result;
+}
+
+BigRational& BigRational::operator+=(const BigRational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator-=(const BigRational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator*=(const BigRational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator/=(const BigRational& rhs) {
+  LBS_CHECK_MSG(!rhs.is_zero(), "rational division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigRational& lhs, const BigRational& rhs) {
+  BigInt left = lhs.num_ * rhs.den_;
+  BigInt right = rhs.num_ * lhs.den_;
+  return left <=> right;
+}
+
+std::ostream& operator<<(std::ostream& out, const BigRational& value) {
+  return out << value.to_string();
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,69 @@
+// Exact rational arithmetic over arbitrary-precision integers.
+//
+// The unlimited-precision sibling of support::Rational (which is capped
+// at 128 bits and throws on overflow). Used where pivot sequences or
+// accumulations genuinely exceed 128 bits — notably the exact simplex.
+// Interface mirrors Rational so code can be written generically.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "support/bigint.hpp"
+#include "support/rational.hpp"
+
+namespace lbs::support {
+
+class BigRational {
+ public:
+  BigRational() = default;
+  BigRational(long long value);  // NOLINT(google-explicit-constructor)
+  BigRational(BigInt num, BigInt den);  // reduces; throws on zero den
+
+  static BigRational from_rational(const Rational& value);
+
+  [[nodiscard]] const BigInt& num() const { return num_; }
+  [[nodiscard]] const BigInt& den() const { return den_; }
+
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const { return num_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return num_.is_negative(); }
+  [[nodiscard]] bool is_integer() const { return den_ == BigInt(1); }
+
+  [[nodiscard]] BigRational floor() const;
+  [[nodiscard]] BigRational ceil() const;
+  [[nodiscard]] BigRational round() const;  // halves away from zero
+  [[nodiscard]] BigRational abs() const;
+  [[nodiscard]] BigRational reciprocal() const;
+
+  [[nodiscard]] long long to_int64() const;  // requires is_integer()
+
+  BigRational operator-() const;
+  BigRational& operator+=(const BigRational& rhs);
+  BigRational& operator-=(const BigRational& rhs);
+  BigRational& operator*=(const BigRational& rhs);
+  BigRational& operator/=(const BigRational& rhs);
+
+  friend BigRational operator+(BigRational lhs, const BigRational& rhs) { return lhs += rhs; }
+  friend BigRational operator-(BigRational lhs, const BigRational& rhs) { return lhs -= rhs; }
+  friend BigRational operator*(BigRational lhs, const BigRational& rhs) { return lhs *= rhs; }
+  friend BigRational operator/(BigRational lhs, const BigRational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const BigRational& lhs, const BigRational& rhs) {
+    return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+  }
+  friend std::strong_ordering operator<=>(const BigRational& lhs, const BigRational& rhs);
+
+ private:
+  void normalize();
+
+  BigInt num_;          // reduced
+  BigInt den_ = BigInt(1);  // > 0
+};
+
+std::ostream& operator<<(std::ostream& out, const BigRational& value);
+
+}  // namespace lbs::support

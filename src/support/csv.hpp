@@ -1,0 +1,33 @@
+// Minimal CSV writer (RFC-4180 quoting) for bench output series.
+//
+// Every figure-reproducing bench can dump its series as CSV next to the
+// human-readable table so the plots can be regenerated externally.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbs::support {
+
+class CsvWriter {
+ public:
+  // Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+  // Convenience: formats doubles with full round-trip precision.
+  static std::string cell(double value);
+  static std::string cell(long long value);
+
+ private:
+  std::ostream& out_;
+};
+
+// Quotes a cell if it contains commas, quotes, or newlines.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace lbs::support

@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace lbs::detail {
+
+void raise_check_failure(const char* expr, const std::string& msg,
+                         const std::source_location& loc) {
+  std::ostringstream out;
+  out << "check failed: " << expr;
+  if (!msg.empty()) out << " — " << msg;
+  out << " [" << loc.file_name() << ':' << loc.line() << " in "
+      << loc.function_name() << ']';
+  throw Error(out.str());
+}
+
+}  // namespace lbs::detail

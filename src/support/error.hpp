@@ -1,0 +1,45 @@
+// Error handling primitives shared by every lbs module.
+//
+// Policy: programmer errors (violated preconditions, broken invariants)
+// throw lbs::Error; conditions that are data (e.g. "this LP is
+// infeasible") are encoded in return types instead.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace lbs {
+
+// Exception thrown on violated preconditions and broken invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_check_failure(const char* expr, const std::string& msg,
+                                      const std::source_location& loc);
+}  // namespace detail
+
+// Checks a precondition/invariant; throws lbs::Error with location info on
+// failure. Enabled in all build types: the algorithms in this library are
+// cheap relative to the workloads they schedule, and silent corruption of a
+// data distribution is far costlier than a branch.
+#define LBS_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::lbs::detail::raise_check_failure(                             \
+          #expr, std::string{}, std::source_location::current());     \
+    }                                                                 \
+  } while (false)
+
+#define LBS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::lbs::detail::raise_check_failure(                             \
+          #expr, (msg), std::source_location::current());             \
+    }                                                                 \
+  } while (false)
+
+}  // namespace lbs

@@ -1,0 +1,70 @@
+#include "support/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace lbs::support {
+
+GanttChart::GanttChart(int width) : width_(width) {
+  LBS_CHECK_MSG(width >= 10, "gantt axis too narrow");
+}
+
+void GanttChart::add_row(GanttRow row) {
+  for (const auto& span : row.spans) {
+    LBS_CHECK_MSG(span.end >= span.start, "gantt span with negative duration");
+  }
+  rows_.push_back(std::move(row));
+}
+
+char phase_char(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::Idle: return '.';
+    case PhaseKind::Receive: return 'r';
+    case PhaseKind::Send: return 's';
+    case PhaseKind::Compute: return '#';
+  }
+  return '?';
+}
+
+std::string GanttChart::to_string() const {
+  double max_end = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& row : rows_) {
+    label_width = std::max(label_width, row.label.size());
+    for (const auto& span : row.spans) max_end = std::max(max_end, span.end);
+  }
+  if (max_end <= 0.0) max_end = 1.0;
+
+  std::ostringstream out;
+  double cell_duration = max_end / width_;
+  for (const auto& row : rows_) {
+    std::string cells(static_cast<std::size_t>(width_), '.');
+    for (const auto& span : row.spans) {
+      if (span.end <= span.start) continue;
+      auto first = static_cast<int>(std::floor(span.start / cell_duration));
+      auto last = static_cast<int>(std::ceil(span.end / cell_duration)) - 1;
+      first = std::clamp(first, 0, width_ - 1);
+      last = std::clamp(last, first, width_ - 1);
+      for (int c = first; c <= last; ++c) {
+        // Later spans win ties at cell boundaries; compute over receive over idle.
+        cells[static_cast<std::size_t>(c)] = phase_char(span.kind);
+      }
+    }
+    out << row.label << std::string(label_width - row.label.size(), ' ')
+        << " |" << cells << "|\n";
+  }
+
+  // Scale line with start / end markers.
+  out << std::string(label_width, ' ') << " +" << std::string(static_cast<std::size_t>(width_), '-')
+      << "+\n";
+  out << std::string(label_width, ' ') << " 0" << std::string(static_cast<std::size_t>(width_ - 1), ' ')
+      << format_seconds(max_end) << '\n';
+  out << "legend: '.'=idle  'r'=receiving  's'=sending  '#'=computing\n";
+  return out.str();
+}
+
+}  // namespace lbs::support

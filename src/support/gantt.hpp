@@ -1,0 +1,45 @@
+// ASCII Gantt-chart renderer.
+//
+// Reproduces the visual structure of the paper's Figure 1 (idle /
+// receiving / computing phases per processor, the "stair effect") in plain
+// text so bench binaries can show timelines without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lbs::support {
+
+enum class PhaseKind { Idle, Receive, Send, Compute };
+
+// One contiguous activity interval on a row's timeline; times in seconds.
+struct PhaseSpan {
+  double start = 0.0;
+  double end = 0.0;
+  PhaseKind kind = PhaseKind::Idle;
+};
+
+struct GanttRow {
+  std::string label;
+  std::vector<PhaseSpan> spans;  // need not cover the whole axis; gaps render as idle
+};
+
+class GanttChart {
+ public:
+  // width: number of character cells used for the time axis.
+  explicit GanttChart(int width = 72);
+
+  void add_row(GanttRow row);
+
+  // Renders all rows against a common [0, max_end] axis, with a scale line
+  // and a legend. Rows render in insertion order.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int width_;
+  std::vector<GanttRow> rows_;
+};
+
+char phase_char(PhaseKind kind);
+
+}  // namespace lbs::support

@@ -1,0 +1,242 @@
+#include "support/rational.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+using Int = Rational::Int;
+
+constexpr Int kIntMax = (static_cast<Int>(1) << 126) - 1 + (static_cast<Int>(1) << 126);
+constexpr Int kIntMin = -kIntMax - 1;
+
+Int abs128(Int value) {
+  LBS_CHECK_MSG(value != kIntMin, "rational overflow in abs");
+  return value < 0 ? -value : value;
+}
+
+Int gcd128(Int lhs, Int rhs) {
+  lhs = abs128(lhs);
+  rhs = abs128(rhs);
+  while (rhs != 0) {
+    Int tmp = lhs % rhs;
+    lhs = rhs;
+    rhs = tmp;
+  }
+  return lhs;
+}
+
+Int checked_mul(Int lhs, Int rhs) {
+  if (lhs == 0 || rhs == 0) return 0;
+  Int result = 0;
+  bool overflow = __builtin_mul_overflow(lhs, rhs, &result);
+  LBS_CHECK_MSG(!overflow, "rational overflow in multiplication");
+  return result;
+}
+
+Int checked_add(Int lhs, Int rhs) {
+  Int result = 0;
+  bool overflow = __builtin_add_overflow(lhs, rhs, &result);
+  LBS_CHECK_MSG(!overflow, "rational overflow in addition");
+  return result;
+}
+
+std::string int128_to_string(Int value) {
+  if (value == 0) return "0";
+  bool negative = value < 0;
+  // Peel digits from the absolute value; handle kIntMin via unsigned.
+  unsigned __int128 magnitude =
+      negative ? static_cast<unsigned __int128>(-(value + 1)) + 1
+               : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (magnitude != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
+Rational::Rational(long long value) : num_(value), den_(1) {}
+
+Rational::Rational(long long num, long long den) : num_(num), den_(den) {
+  LBS_CHECK_MSG(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+Rational::Rational(Int num, Int den, bool reduce) : num_(num), den_(den) {
+  LBS_CHECK_MSG(den != 0, "rational with zero denominator");
+  if (reduce) normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  Int divisor = gcd128(num_, den_);
+  num_ /= divisor;
+  den_ /= divisor;
+}
+
+Rational Rational::from_double(double value) {
+  LBS_CHECK_MSG(std::isfinite(value), "rational from non-finite double");
+  if (value == 0.0) return Rational{};
+  int exponent = 0;
+  double mantissa = std::frexp(value, &exponent);  // value = mantissa * 2^exponent
+  // 53 bits of mantissa: scale to an integer.
+  auto scaled = static_cast<long long>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  Rational result{scaled, 1};
+  // Multiply or divide by 2^exponent in chunks that cannot overflow per step.
+  while (exponent > 0) {
+    int step = exponent > 62 ? 62 : exponent;
+    result *= Rational(static_cast<Int>(1) << step, 1, false);
+    exponent -= step;
+  }
+  while (exponent < 0) {
+    int step = -exponent > 62 ? 62 : -exponent;
+    result /= Rational(static_cast<Int>(1) << step, 1, false);
+    exponent += step;
+  }
+  return result;
+}
+
+Rational Rational::approximate(double value, long long max_den) {
+  LBS_CHECK_MSG(std::isfinite(value), "approximating a non-finite double");
+  LBS_CHECK_MSG(max_den >= 1, "max_den must be at least 1");
+  bool negative = value < 0.0;
+  double x = negative ? -value : value;
+
+  // Continued-fraction convergents h_k / k_k; stop when the denominator
+  // would exceed max_den and keep the last admissible convergent.
+  long long h_prev = 1, h = static_cast<long long>(std::floor(x));
+  long long k_prev = 0, k = 1;
+  double fraction = x - std::floor(x);
+  for (int iter = 0; iter < 64 && fraction > 1e-18; ++iter) {
+    double inverted = 1.0 / fraction;
+    double floor_inv = std::floor(inverted);
+    // Guard against overflow of the term itself.
+    if (floor_inv > 9e17) break;
+    auto a = static_cast<long long>(floor_inv);
+    long long k_next = a * k + k_prev;
+    if (k_next > max_den || k_next < 0) break;  // < 0: overflow
+    long long h_next = a * h + h_prev;
+    h_prev = h;
+    h = h_next;
+    k_prev = k;
+    k = k_next;
+    fraction = inverted - floor_inv;
+  }
+  Rational result(h, k);
+  return negative ? -result : result;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::string result = int128_to_string(num_);
+  if (den_ != 1) {
+    result.push_back('/');
+    result += int128_to_string(den_);
+  }
+  return result;
+}
+
+Rational Rational::floor() const {
+  Int quotient = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) quotient -= 1;
+  return Rational(quotient, 1, false);
+}
+
+Rational Rational::ceil() const {
+  Int quotient = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) quotient += 1;
+  return Rational(quotient, 1, false);
+}
+
+Rational Rational::round() const {
+  // floor(x + 1/2) for positive halves-away, mirrored for negatives.
+  Rational half{1, 2};
+  if (num_ >= 0) return (*this + half).floor();
+  return (*this - half).ceil();
+}
+
+Rational Rational::abs() const {
+  return num_ < 0 ? -*this : *this;
+}
+
+Rational Rational::reciprocal() const {
+  LBS_CHECK_MSG(num_ != 0, "reciprocal of zero");
+  return Rational(den_, num_, true);
+}
+
+long long Rational::to_int64() const {
+  LBS_CHECK_MSG(is_integer(), "to_int64 on non-integer rational");
+  LBS_CHECK_MSG(num_ <= std::numeric_limits<long long>::max() &&
+                    num_ >= std::numeric_limits<long long>::min(),
+                "rational integer exceeds 64 bits");
+  return static_cast<long long>(num_);
+}
+
+Rational Rational::operator-() const {
+  return Rational(checked_mul(num_, -1), den_, false);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Reduce cross terms by gcd of denominators first to delay overflow.
+  Int divisor = gcd128(den_, rhs.den_);
+  Int lhs_scale = rhs.den_ / divisor;
+  Int rhs_scale = den_ / divisor;
+  Int num = checked_add(checked_mul(num_, lhs_scale), checked_mul(rhs.num_, rhs_scale));
+  Int den = checked_mul(den_, lhs_scale);
+  *this = Rational(num, den, true);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  return *this += -rhs;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  Int g1 = gcd128(num_, rhs.den_);
+  Int g2 = gcd128(rhs.num_, den_);
+  Int num = checked_mul(num_ / g1, rhs.num_ / g2);
+  Int den = checked_mul(den_ / g2, rhs.den_ / g1);
+  *this = Rational(num, den, false);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  LBS_CHECK_MSG(!rhs.is_zero(), "rational division by zero");
+  return *this *= rhs.reciprocal();
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+  // Compare lhs.num * rhs.den <=> rhs.num * lhs.den with overflow checks.
+  Int left = checked_mul(lhs.num_, rhs.den_);
+  Int right = checked_mul(rhs.num_, lhs.den_);
+  if (left < right) return std::strong_ordering::less;
+  if (left > right) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& out, const Rational& value) {
+  return out << value.to_string();
+}
+
+}  // namespace lbs::support

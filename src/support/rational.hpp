@@ -1,0 +1,86 @@
+// Exact rational arithmetic on 128-bit integers with overflow detection.
+//
+// The paper's Section 4 reasons about *rational* optimal solutions
+// (simultaneous endings, the D(P1..Pp) closed form, the rounding scheme of
+// Section 3.3). Tests and the affine chain solver use this type so that
+// statements like "all processors finish at exactly the same date" can be
+// asserted without a floating-point epsilon.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lbs::support {
+
+// A reduced fraction num/den with den > 0. Arithmetic throws lbs::Error on
+// 128-bit overflow rather than wrapping; the library never needs values
+// anywhere near the 2^127 range, so an overflow always indicates a bug in
+// the caller (e.g. an unreduced accumulation loop).
+class Rational {
+ public:
+  using Int = __int128;
+
+  constexpr Rational() = default;
+  Rational(long long value);  // NOLINT(google-explicit-constructor)
+  Rational(long long num, long long den);
+
+  // Exact conversion of an IEEE double (every finite double is a rational
+  // with a power-of-two denominator). Throws if the double is not finite or
+  // the exact value does not fit.
+  static Rational from_double(double value);
+
+  // Best rational approximation of `value` with denominator <= max_den
+  // (continued-fraction convergents). Unlike from_double, the result has a
+  // small denominator, which keeps downstream exact arithmetic (e.g. the
+  // exact simplex) within 128 bits. max_den >= 1.
+  static Rational approximate(double value, long long max_den);
+
+  [[nodiscard]] Int num() const { return num_; }
+  [[nodiscard]] Int den() const { return den_; }
+
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  // Largest integer <= value / smallest integer >= value.
+  [[nodiscard]] Rational floor() const;
+  [[nodiscard]] Rational ceil() const;
+  // Nearest integer; halves round away from zero.
+  [[nodiscard]] Rational round() const;
+  [[nodiscard]] Rational abs() const;
+  [[nodiscard]] Rational reciprocal() const;
+
+  [[nodiscard]] long long to_int64() const;  // requires is_integer()
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& lhs, const Rational& rhs) {
+    return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs);
+
+ private:
+  Rational(Int num, Int den, bool reduce);
+  void normalize();
+
+  Int num_ = 0;
+  Int den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& out, const Rational& value);
+
+}  // namespace lbs::support

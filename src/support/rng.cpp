@@ -1,0 +1,85 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t value, int shift) {
+  return (value << shift) | (value >> (64 - shift));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LBS_CHECK(lo <= hi);
+  auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = max() - max() % range;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  LBS_CHECK(lo <= hi);
+  double unit = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  double u2 = uniform();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::exponential(double rate) {
+  LBS_CHECK(rate > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double probability) {
+  LBS_CHECK(probability >= 0.0 && probability <= 1.0);
+  return uniform() < probability;
+}
+
+Rng Rng::fork() {
+  return Rng(next());
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,88 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+double Summary::relative_spread() const {
+  if (max == 0.0) return 0.0;
+  return (max - min) / max;
+}
+
+Summary summarize(std::span<const double> values) {
+  LBS_CHECK_MSG(!values.empty(), "summarize of empty range");
+  Summary result;
+  result.count = values.size();
+  result.min = values.front();
+  result.max = values.front();
+  for (double v : values) {
+    result.sum += v;
+    result.min = std::min(result.min, v);
+    result.max = std::max(result.max, v);
+  }
+  result.mean = result.sum / static_cast<double>(result.count);
+  double variance = 0.0;
+  for (double v : values) {
+    double d = v - result.mean;
+    variance += d * d;
+  }
+  result.stddev = std::sqrt(variance / static_cast<double>(result.count));
+  return result;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LBS_CHECK(xs.size() == ys.size());
+  LBS_CHECK_MSG(xs.size() >= 2, "fit_line needs at least two samples");
+  auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  LBS_CHECK_MSG(denom != 0.0, "fit_line with degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double r = ys[i] - fit.at(xs[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double fit_proportional(std::span<const double> xs, std::span<const double> ys) {
+  LBS_CHECK(xs.size() == ys.size());
+  LBS_CHECK_MSG(!xs.empty(), "fit_proportional of empty range");
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += xs[i] * ys[i];
+    sxx += xs[i] * xs[i];
+  }
+  LBS_CHECK_MSG(sxx != 0.0, "fit_proportional with all-zero x values");
+  return sxy / sxx;
+}
+
+double quantile(std::span<const double> values, double q) {
+  LBS_CHECK(!values.empty());
+  LBS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  double position = q * static_cast<double>(sorted.size() - 1);
+  auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  double fraction = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,49 @@
+// Small statistics toolkit: summaries and least-squares fits.
+//
+// Used by model calibration (fitting α/β from timing samples, the way the
+// paper's Table 1 was produced from "a series of benchmarks") and by the
+// bench harness to report spreads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lbs::support {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double sum = 0.0;
+
+  // (max - min) / max; the paper reports finish-time spread this way
+  // ("a maximum difference in finish times of 6% of the total duration").
+  [[nodiscard]] double relative_spread() const;
+};
+
+// Summarizes values; requires a non-empty range.
+Summary summarize(std::span<const double> values);
+
+// Ordinary least squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+};
+
+// Requires at least two samples with distinct x values.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+// Fit y = slope * x through the origin (used for the paper's *linear* cost
+// model where Tcomm(i,n) = β·n exactly).
+double fit_proportional(std::span<const double> xs, std::span<const double> ys);
+
+// Quantile with linear interpolation; q in [0, 1]. Copies and sorts.
+double quantile(std::span<const double> values, double q);
+
+}  // namespace lbs::support

@@ -1,0 +1,129 @@
+#include "support/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+const char* phase_color(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::Idle: return "#eeeeee";
+    case PhaseKind::Receive: return "#4878a8";
+    case PhaseKind::Send: return "#5a9a68";
+    case PhaseKind::Compute: return "#e08a3c";
+  }
+  return "#000000";
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string escaped;
+  for (char c : text) {
+    switch (c) {
+      case '&': escaped += "&amp;"; break;
+      case '<': escaped += "&lt;"; break;
+      case '>': escaped += "&gt;"; break;
+      case '"': escaped += "&quot;"; break;
+      default: escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+std::string render_svg_gantt(const std::vector<GanttRow>& rows,
+                             const SvgOptions& options) {
+  LBS_CHECK_MSG(options.width_px > options.label_width_px + 50,
+                "svg too narrow for labels");
+  double max_end = 0.0;
+  for (const auto& row : rows) {
+    for (const auto& span : row.spans) max_end = std::max(max_end, span.end);
+  }
+  if (max_end <= 0.0) max_end = 1.0;
+
+  int header = options.title.empty() ? 10 : 34;
+  int axis_height = 28;
+  int legend_height = 26;
+  int chart_width = options.width_px - options.label_width_px - 20;
+  int height = header + static_cast<int>(rows.size()) * options.row_height_px +
+               axis_height + legend_height;
+  double x_scale = static_cast<double>(chart_width) / max_end;
+  int x0 = options.label_width_px;
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\" font-size=\"12\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    out << "<text x=\"" << options.width_px / 2
+        << "\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">"
+        << xml_escape(options.title) << "</text>\n";
+  }
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    int y = header + static_cast<int>(r) * options.row_height_px;
+    int bar_height = options.row_height_px - 6;
+    out << "<text x=\"" << x0 - 8 << "\" y=\"" << y + bar_height - 4
+        << "\" text-anchor=\"end\">" << xml_escape(rows[r].label) << "</text>\n";
+    // Idle background for the whole row.
+    out << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << chart_width
+        << "\" height=\"" << bar_height << "\" fill=\"" << phase_color(PhaseKind::Idle)
+        << "\"/>\n";
+    for (const auto& span : rows[r].spans) {
+      if (span.end <= span.start) continue;
+      double x = x0 + span.start * x_scale;
+      double width = (span.end - span.start) * x_scale;
+      out << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+          << std::max(width, 0.5) << "\" height=\"" << bar_height << "\" fill=\""
+          << phase_color(span.kind) << "\"/>\n";
+    }
+  }
+
+  // Time axis with 5 ticks.
+  int axis_y = header + static_cast<int>(rows.size()) * options.row_height_px + 4;
+  out << "<line x1=\"" << x0 << "\" y1=\"" << axis_y << "\" x2=\""
+      << x0 + chart_width << "\" y2=\"" << axis_y << "\" stroke=\"black\"/>\n";
+  for (int tick = 0; tick <= 5; ++tick) {
+    double t = max_end * tick / 5.0;
+    double x = x0 + t * x_scale;
+    out << "<line x1=\"" << x << "\" y1=\"" << axis_y << "\" x2=\"" << x
+        << "\" y2=\"" << axis_y + 4 << "\" stroke=\"black\"/>\n";
+    out << "<text x=\"" << x << "\" y=\"" << axis_y + 17
+        << "\" text-anchor=\"middle\">" << format_seconds(t) << "</text>\n";
+  }
+
+  // Legend.
+  int legend_y = axis_y + axis_height;
+  int legend_x = x0;
+  const std::pair<PhaseKind, const char*> entries[] = {
+      {PhaseKind::Receive, "receiving"},
+      {PhaseKind::Compute, "computing"},
+      {PhaseKind::Send, "sending"},
+      {PhaseKind::Idle, "idle"},
+  };
+  for (const auto& [kind, label] : entries) {
+    out << "<rect x=\"" << legend_x << "\" y=\"" << legend_y
+        << "\" width=\"14\" height=\"14\" fill=\"" << phase_color(kind) << "\"/>\n";
+    out << "<text x=\"" << legend_x + 20 << "\" y=\"" << legend_y + 12 << "\">"
+        << label << "</text>\n";
+    legend_x += 110;
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_svg_gantt(const std::string& path, const std::vector<GanttRow>& rows,
+                     const SvgOptions& options) {
+  std::ofstream file(path);
+  LBS_CHECK_MSG(static_cast<bool>(file), "cannot open '" + path + "' for writing");
+  file << render_svg_gantt(rows, options);
+  LBS_CHECK_MSG(static_cast<bool>(file), "failed writing '" + path + "'");
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,32 @@
+// SVG rendering of Gantt timelines.
+//
+// The figure-producing counterpart of the ASCII gantt: benches and
+// examples can write a publication-style timeline (Figure 1/2/3/4 look)
+// to a .svg file with no external dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/gantt.hpp"
+
+namespace lbs::support {
+
+struct SvgOptions {
+  int width_px = 900;
+  int row_height_px = 22;
+  int label_width_px = 110;
+  std::string title;
+};
+
+// Renders rows (same data as GanttChart) to a standalone SVG document.
+// Phase colors: receive = blue, compute = orange, send = green,
+// idle = background. Includes a time axis and a legend.
+std::string render_svg_gantt(const std::vector<GanttRow>& rows,
+                             const SvgOptions& options = {});
+
+// Convenience: render and write to `path`; throws lbs::Error on I/O failure.
+void write_svg_gantt(const std::string& path, const std::vector<GanttRow>& rows,
+                     const SvgOptions& options = {});
+
+}  // namespace lbs::support

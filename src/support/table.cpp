@@ -1,0 +1,127 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == ',' || c == '%' || c == ' ')) {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(cell.front())) ||
+         cell.front() == '-' || cell.front() == '+' || cell.front() == '.';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LBS_CHECK_MSG(!headers_.empty(), "table with no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LBS_CHECK_MSG(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      std::size_t pad = widths[c] - row[c].size();
+      bool right = align_right && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right && c + 1 != row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  out << to_string();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  if (std::abs(seconds) < 1e-3) {
+    out.precision(1);
+    out << seconds * 1e6 << " us";
+  } else if (std::abs(seconds) < 1.0) {
+    out.precision(1);
+    out << seconds * 1e3 << " ms";
+  } else if (std::abs(seconds) < 120.0) {
+    out.precision(1);
+    out << seconds << " s";
+  } else if (std::abs(seconds) < 7200.0) {
+    out.precision(1);
+    out << seconds / 60.0 << " min";
+  } else if (std::abs(seconds) < 2.0 * 86400.0) {
+    out.precision(1);
+    out << seconds / 3600.0 << " h";
+  } else {
+    out.precision(1);
+    out << seconds / 86400.0 << " days";
+  }
+  return out.str();
+}
+
+std::string format_count(long long count) {
+  std::string digits = std::to_string(count < 0 ? -count : count);
+  std::string grouped;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      grouped.push_back(',');
+      since_sep = 0;
+    }
+    grouped.push_back(*it);
+    ++since_sep;
+  }
+  if (count < 0) grouped.push_back('-');
+  return {grouped.rbegin(), grouped.rend()};
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace lbs::support

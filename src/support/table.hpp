@@ -1,0 +1,39 @@
+// Plain-text table rendering for benches and examples.
+//
+// The bench harness reproduces the paper's tables and figure data as
+// aligned text tables (plus CSV, see csv.hpp). This keeps bench binaries
+// dependency-free and their output diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbs::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Renders with a header rule and right-aligned numeric-looking cells.
+  [[nodiscard]] std::string to_string() const;
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers used throughout benches.
+std::string format_double(double value, int precision = 3);
+std::string format_seconds(double seconds);      // "853.2 s" / "6.1 min" / "2.1 days"
+std::string format_count(long long count);       // thousands separators
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace lbs::support

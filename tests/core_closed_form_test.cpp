@@ -1,0 +1,219 @@
+#include "core/closed_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/dp.hpp"
+#include "core/rounding.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+namespace {
+
+using support::Rational;
+
+model::Platform linear_platform(const std::vector<double>& beta,
+                                const std::vector<double>& alpha) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    model::Processor p;
+    p.label = "P" + std::to_string(i + 1);
+    p.comm = model::Cost::linear(beta[i]);
+    p.comp = model::Cost::linear(alpha[i]);
+    platform.processors.push_back(p);
+  }
+  return platform;
+}
+
+TEST(DurationFactor, SingleProcessor) {
+  // D(P1) = α1 + β1: t = n (α1 + β1).
+  std::vector<double> alpha{2.0}, beta{0.5};
+  EXPECT_DOUBLE_EQ(closed_form_duration_factor(alpha, beta), 2.5);
+}
+
+TEST(DurationFactor, TwoProcessorsByHand) {
+  // α = {1, 1}, β = {1, 0}:
+  // sum = 1/(1+1) + (1/(0+1)) * (1/(1+1)) = 1/2 + 1/2 = 1, D = 1.
+  std::vector<double> alpha{1.0, 1.0}, beta{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(closed_form_duration_factor(alpha, beta), 1.0);
+}
+
+TEST(SolveLinear, TwoProcessorsByHand) {
+  // Same platform, n = 10: t = 10, n1 = t/(α1+β1) = 5, n2 = t·(β1/(α1+β1))/1 = 5.
+  std::vector<double> alpha{1.0, 1.0}, beta{1.0, 0.0};
+  auto solution = solve_linear(alpha, beta, 10.0);
+  EXPECT_DOUBLE_EQ(solution.duration, 10.0);
+  EXPECT_DOUBLE_EQ(solution.share[0], 5.0);
+  EXPECT_DOUBLE_EQ(solution.share[1], 5.0);
+  EXPECT_TRUE(solution.active[0]);
+  EXPECT_TRUE(solution.active[1]);
+}
+
+TEST(SolveLinear, SharesSumToN) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto solution = solve_linear(platform, model::kPaperRayCount);
+  double sum = std::accumulate(solution.share.begin(), solution.share.end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(model::kPaperRayCount), 1e-6);
+  for (double share : solution.share) EXPECT_GE(share, 0.0);
+}
+
+TEST(SolveLinear, AllFinishSimultaneously) {
+  // Finish time of each active processor equals `duration` (Theorem 1).
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto coeffs = linear_coefficients(platform);
+  auto solution = solve_linear(platform, model::kPaperRayCount);
+  double comm_elapsed = 0.0;
+  for (std::size_t i = 0; i < solution.share.size(); ++i) {
+    comm_elapsed += coeffs.beta[i] * solution.share[i];
+    if (!solution.active[i]) continue;
+    double finish = comm_elapsed + coeffs.alpha[i] * solution.share[i];
+    EXPECT_NEAR(finish, solution.duration, solution.duration * 1e-12);
+  }
+}
+
+TEST(SolveLinear, EliminatesProcessorWithHopelessLink) {
+  // β1 enormous: sending it anything delays everyone (Theorem 2 violated).
+  std::vector<double> alpha{1.0, 1.0, 1.0}, beta{1000.0, 0.1, 0.0};
+  auto solution = solve_linear(alpha, beta, 100.0);
+  EXPECT_FALSE(solution.active[0]);
+  EXPECT_DOUBLE_EQ(solution.share[0], 0.0);
+  EXPECT_TRUE(solution.active[1]);
+  EXPECT_TRUE(solution.active[2]);
+  double sum = std::accumulate(solution.share.begin(), solution.share.end(), 0.0);
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(SolveLinear, RequiresLinearCosts) {
+  model::Platform platform;
+  model::Processor p;
+  p.label = "affine";
+  p.comm = model::Cost::affine(1.0, 0.5);
+  p.comp = model::Cost::linear(1.0);
+  platform.processors.push_back(p);
+  EXPECT_THROW(solve_linear(platform, 10), lbs::Error);
+}
+
+TEST(SolveLinear, RejectsZeroComputeCost) {
+  std::vector<double> alpha{0.0}, beta{0.0};
+  EXPECT_THROW(solve_linear(alpha, beta, 10.0), lbs::Error);
+}
+
+TEST(SolveLinearExact, SimultaneousEndingIsExact) {
+  // With exact rationals, Theorem 1's "all end at date t" is an equality.
+  std::vector<Rational> alpha{{1, 2}, {1, 3}, {2, 1}};
+  std::vector<Rational> beta{{1, 10}, {1, 5}, {0, 1}};
+  Rational n(60);
+  auto solution = solve_linear_exact(alpha, beta, n);
+
+  Rational total;
+  for (const auto& share : solution.share) total += share;
+  EXPECT_EQ(total, n);
+
+  Rational comm_elapsed;
+  for (std::size_t i = 0; i < solution.share.size(); ++i) {
+    comm_elapsed += beta[i] * solution.share[i];
+    if (!solution.active[i]) continue;
+    Rational finish = comm_elapsed + alpha[i] * solution.share[i];
+    EXPECT_EQ(finish, solution.duration) << "processor " << i;
+  }
+}
+
+TEST(SolveLinearExact, MatchesEquation7ByHand) {
+  // α = {1, 1}, β = {1, 0}, n = 10 (the by-hand double case, exactly).
+  std::vector<Rational> alpha{{1, 1}, {1, 1}};
+  std::vector<Rational> beta{{1, 1}, {0, 1}};
+  auto solution = solve_linear_exact(alpha, beta, Rational(10));
+  EXPECT_EQ(solution.duration, Rational(10));
+  EXPECT_EQ(solution.share[0], Rational(5));
+  EXPECT_EQ(solution.share[1], Rational(5));
+}
+
+TEST(SolveLinearExact, Theorem2ConditionDecidesParticipation) {
+  // Two processors: P2 is the root (β2=0, α2=1). D(P2) = 1.
+  // Theorem 2: P1 works iff β1 <= D(P2) = 1.
+  for (long long b : {0LL, 1LL, 2LL}) {
+    std::vector<Rational> alpha{{1, 1}, {1, 1}};
+    std::vector<Rational> beta{{b, 1}, {0, 1}};
+    auto solution = solve_linear_exact(alpha, beta, Rational(100));
+    EXPECT_EQ(solution.active[0], b <= 1) << "beta1=" << b;
+  }
+}
+
+TEST(SolveLinear, RoundedSolutionNearDpOptimum) {
+  // The rounded closed form must be within the Eq. 4 slack of the true
+  // integer optimum computed by Algorithm 1.
+  support::Rng rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 5));
+    long long n = rng.uniform_int(10, 60);
+    std::vector<double> beta, alpha;
+    for (int i = 0; i < p; ++i) {
+      beta.push_back(i + 1 == p ? 0.0 : rng.uniform(0.0, 1.0));
+      alpha.push_back(rng.uniform(0.2, 4.0));
+    }
+    auto platform = linear_platform(beta, alpha);
+    auto rational = solve_linear(platform, n);
+    auto rounded = round_distribution(rational.share, n);
+    double rounded_makespan = makespan(platform, rounded);
+    auto optimal = exact_dp(platform, n);
+    double slack = rounding_guarantee_slack(platform);
+    EXPECT_GE(rounded_makespan, optimal.cost - 1e-9);
+    EXPECT_LE(rounded_makespan, optimal.cost + slack + 1e-9)
+        << "trial " << trial << " p=" << p << " n=" << n;
+  }
+}
+
+TEST(LowerBound, NeverExceedsTheOptimum) {
+  // Independent certificate: every lower bound must sit at or below the
+  // DP optimum and the rational optimum, on the testbed and random grids.
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  for (long long n : {0LL, 1LL, 100LL, 5000LL}) {
+    double lb = makespan_lower_bound(platform, n);
+    if (n > 0) {
+      // The bound certifies *integer* distributions (the DP optimum); the
+      // fractional optimum can dip below the single-item term at tiny n.
+      EXPECT_LE(lb, optimized_dp(platform, n).cost + 1e-12) << "n=" << n;
+      EXPECT_GT(lb, 0.0);
+    } else {
+      EXPECT_EQ(lb, 0.0);
+    }
+  }
+
+  support::Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::Grid random = model::random_grid(rng, 3, /*affine=*/false);
+    model::Platform rp = make_platform(random, {random.data_home(), 0});
+    long long n = rng.uniform_int(1, 500);
+    EXPECT_LE(makespan_lower_bound(rp, n), optimized_dp(rp, n).cost + 1e-12);
+  }
+}
+
+TEST(LowerBound, IsReasonablyTightOnTheTestbed) {
+  // The bound should carry real information: within ~2x of the optimum
+  // at the paper's scale (work conservation dominates there).
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  long long n = model::kPaperRayCount;
+  double lb = makespan_lower_bound(platform, n);
+  double opt = solve_linear(platform, n).duration;
+  EXPECT_GT(lb, 0.5 * opt);
+}
+
+TEST(SolveLinear, RationalDurationLowerBoundsIntegerOptimum) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  long long n = 2000;
+  auto rational = solve_linear(platform, n);
+  auto optimal = optimized_dp(platform, n);
+  EXPECT_LE(rational.duration, optimal.cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace lbs::core

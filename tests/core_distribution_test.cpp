@@ -1,0 +1,133 @@
+#include "core/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+namespace {
+
+model::Platform tiny_platform() {
+  // Three workers plus root: Tcomm slopes 1, 2, 3, 0; Tcomp slopes 10, 5, 2, 4.
+  model::Platform platform;
+  auto add = [&](double beta, double alpha, const std::string& label) {
+    model::Processor p;
+    p.label = label;
+    p.comm = model::Cost::linear(beta);
+    p.comp = model::Cost::linear(alpha);
+    platform.processors.push_back(p);
+  };
+  add(1.0, 10.0, "P1");
+  add(2.0, 5.0, "P2");
+  add(3.0, 2.0, "P3");
+  add(0.0, 4.0, "root");
+  return platform;
+}
+
+TEST(Distribution, TotalAndDisplacements) {
+  Distribution dist{{3, 0, 5, 2}};
+  EXPECT_EQ(dist.total(), 10);
+  auto displs = dist.displacements();
+  ASSERT_EQ(displs.size(), 4u);
+  EXPECT_EQ(displs[0], 0);
+  EXPECT_EQ(displs[1], 3);
+  EXPECT_EQ(displs[2], 3);
+  EXPECT_EQ(displs[3], 8);
+}
+
+TEST(Uniform, EvenSplit) {
+  auto dist = uniform_distribution(12, 4);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{3, 3, 3, 3}));
+}
+
+TEST(Uniform, RemainderGoesToFirstProcessors) {
+  auto dist = uniform_distribution(14, 4);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{4, 4, 3, 3}));
+  EXPECT_EQ(dist.total(), 14);
+}
+
+TEST(Uniform, FewerItemsThanProcessors) {
+  auto dist = uniform_distribution(2, 5);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{1, 1, 0, 0, 0}));
+}
+
+TEST(Uniform, ZeroItems) {
+  auto dist = uniform_distribution(0, 3);
+  EXPECT_EQ(dist.total(), 0);
+}
+
+TEST(Uniform, InvalidArgumentsThrow) {
+  EXPECT_THROW(uniform_distribution(-1, 3), lbs::Error);
+  EXPECT_THROW(uniform_distribution(5, 0), lbs::Error);
+}
+
+TEST(FinishTimes, MatchesEquationOneByHand) {
+  // Eq. 1: T_i = sum_{j<=i} Tcomm(j, n_j) + Tcomp(i, n_i).
+  auto platform = tiny_platform();
+  Distribution dist{{1, 2, 3, 4}};
+  auto times = finish_times(platform, dist);
+  ASSERT_EQ(times.size(), 4u);
+  // T_1 = 1*1 + 10*1 = 11
+  EXPECT_DOUBLE_EQ(times[0], 11.0);
+  // T_2 = 1 + 2*2 + 5*2 = 15
+  EXPECT_DOUBLE_EQ(times[1], 15.0);
+  // T_3 = 1 + 4 + 3*3 + 2*3 = 20
+  EXPECT_DOUBLE_EQ(times[2], 20.0);
+  // T_root = 1 + 4 + 9 + 0 + 4*4 = 30
+  EXPECT_DOUBLE_EQ(times[3], 30.0);
+  EXPECT_DOUBLE_EQ(makespan(platform, dist), 30.0);
+}
+
+TEST(FinishTimes, ZeroShareCostsNothing) {
+  auto platform = tiny_platform();
+  Distribution dist{{0, 0, 0, 10}};
+  auto times = finish_times(platform, dist);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 0.0);
+  EXPECT_DOUBLE_EQ(times[2], 0.0);
+  EXPECT_DOUBLE_EQ(times[3], 40.0);
+}
+
+TEST(FinishTimes, SizeMismatchThrows) {
+  auto platform = tiny_platform();
+  Distribution dist{{1, 2}};
+  EXPECT_THROW(finish_times(platform, dist), lbs::Error);
+}
+
+TEST(FinishTimes, NegativeCountThrows) {
+  auto platform = tiny_platform();
+  Distribution dist{{1, -2, 3, 4}};
+  EXPECT_THROW(finish_times(platform, dist), lbs::Error);
+}
+
+TEST(CommWindows, SerializedInTurn) {
+  // The single-port root serves receivers in turn: windows are contiguous
+  // and ordered — the paper's "stair effect".
+  auto platform = tiny_platform();
+  Distribution dist{{1, 2, 3, 4}};
+  auto windows = comm_windows(platform, dist);
+  EXPECT_DOUBLE_EQ(windows.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(windows.end[0], 1.0);
+  EXPECT_DOUBLE_EQ(windows.start[1], 1.0);
+  EXPECT_DOUBLE_EQ(windows.end[1], 5.0);
+  EXPECT_DOUBLE_EQ(windows.start[2], 5.0);
+  EXPECT_DOUBLE_EQ(windows.end[2], 14.0);
+  // Root "receives" instantly (zero comm cost).
+  EXPECT_DOUBLE_EQ(windows.start[3], 14.0);
+  EXPECT_DOUBLE_EQ(windows.end[3], 14.0);
+}
+
+TEST(Validate, AcceptsExactSum) {
+  auto platform = tiny_platform();
+  Distribution dist{{1, 2, 3, 4}};
+  EXPECT_NO_THROW(validate(platform, dist, 10));
+}
+
+TEST(Validate, RejectsWrongSum) {
+  auto platform = tiny_platform();
+  Distribution dist{{1, 2, 3, 4}};
+  EXPECT_THROW(validate(platform, dist, 11), lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::core

@@ -1,0 +1,210 @@
+#include "core/dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+namespace {
+
+model::Platform linear_platform(const std::vector<double>& beta,
+                                const std::vector<double>& alpha) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    model::Processor p;
+    p.label = "P" + std::to_string(i + 1);
+    p.comm = model::Cost::linear(beta[i]);
+    p.comp = model::Cost::linear(alpha[i]);
+    platform.processors.push_back(p);
+  }
+  return platform;
+}
+
+// Brute force: minimal makespan over every distribution of `items` items.
+double brute_force_optimum(const model::Platform& platform, long long items) {
+  int p = platform.size();
+  Distribution dist;
+  dist.counts.assign(static_cast<std::size_t>(p), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Recursive enumeration of compositions of `items` into p parts.
+  auto recurse = [&](auto&& self, int index, long long remaining) -> void {
+    if (index == p - 1) {
+      dist.counts[static_cast<std::size_t>(index)] = remaining;
+      best = std::min(best, makespan(platform, dist));
+      return;
+    }
+    for (long long share = 0; share <= remaining; ++share) {
+      dist.counts[static_cast<std::size_t>(index)] = share;
+      self(self, index + 1, remaining - share);
+    }
+  };
+  recurse(recurse, 0, items);
+  return best;
+}
+
+TEST(ExactDp, SingleProcessorTakesEverything) {
+  auto platform = linear_platform({0.0}, {2.0});
+  auto result = exact_dp(platform, 7);
+  EXPECT_EQ(result.distribution.counts, (std::vector<long long>{7}));
+  EXPECT_DOUBLE_EQ(result.cost, 14.0);
+}
+
+TEST(ExactDp, ZeroItems) {
+  auto platform = linear_platform({1.0, 0.0}, {1.0, 1.0});
+  auto result = exact_dp(platform, 0);
+  EXPECT_EQ(result.distribution.total(), 0);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(ExactDp, TwoIdenticalProcessorsNoCommSplitEvenly) {
+  auto platform = linear_platform({0.0, 0.0}, {1.0, 1.0});
+  auto result = exact_dp(platform, 10);
+  EXPECT_EQ(result.distribution.counts, (std::vector<long long>{5, 5}));
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+TEST(ExactDp, MatchesBruteForceOnSmallInstances) {
+  auto platform = linear_platform({0.5, 1.0, 0.0}, {3.0, 1.0, 2.0});
+  for (long long n : {1, 3, 7, 12}) {
+    auto result = exact_dp(platform, n);
+    EXPECT_DOUBLE_EQ(result.cost, brute_force_optimum(platform, n)) << "n=" << n;
+    EXPECT_EQ(result.distribution.total(), n);
+    EXPECT_DOUBLE_EQ(makespan(platform, result.distribution), result.cost);
+  }
+}
+
+TEST(ExactDp, SlowLinkProcessorGetsNothing) {
+  // P1's link is so slow that using it at all is a loss.
+  auto platform = linear_platform({100.0, 0.0}, {1.0, 1.0});
+  auto result = exact_dp(platform, 10);
+  EXPECT_EQ(result.distribution.counts[0], 0);
+  EXPECT_EQ(result.distribution.counts[1], 10);
+}
+
+TEST(ExactDp, HandlesNonIncreasingCosts) {
+  // A tabulated compute cost that *dips* (cache effect): only Algorithm 1
+  // is allowed here.
+  model::Platform platform;
+  model::Processor p1;
+  p1.label = "dip";
+  p1.comm = model::Cost::linear(0.1);
+  p1.comp = model::Cost::tabulated({{5, 10.0}, {10, 4.0}, {20, 8.0}});
+  platform.processors.push_back(p1);
+  model::Processor p2;
+  p2.label = "root";
+  p2.comm = model::Cost::zero();
+  p2.comp = model::Cost::linear(1.0);
+  platform.processors.push_back(p2);
+
+  auto result = exact_dp(platform, 12);
+  EXPECT_DOUBLE_EQ(result.cost, brute_force_optimum(platform, 12));
+  EXPECT_THROW(optimized_dp(platform, 12), lbs::Error);
+}
+
+TEST(ExactDp, RequiresNullCostAtZero) {
+  // A cost function violating the framework (non-null at 0) must be
+  // rejected rather than silently producing nonsense.
+  model::Platform platform;
+  model::Processor p;
+  p.label = "bad";
+  p.comm = model::Cost::zero();
+  p.comp = model::Cost::tabulated({{1, 5.0}});  // fine: 0 -> 0
+  platform.processors.push_back(p);
+  EXPECT_NO_THROW(exact_dp(platform, 1));
+  EXPECT_THROW(exact_dp(platform, -1), lbs::Error);
+}
+
+TEST(OptimizedDp, MatchesExactOnPaperTestbedSample) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  for (long long n : {1, 16, 100, 500}) {
+    auto exact = exact_dp(platform, n);
+    auto optimized = optimized_dp(platform, n);
+    EXPECT_DOUBLE_EQ(optimized.cost, exact.cost) << "n=" << n;
+    EXPECT_EQ(optimized.distribution.total(), n);
+    // The distributions may differ between equal-cost optima, but the cost
+    // realized by each must equal the optimum.
+    EXPECT_DOUBLE_EQ(makespan(platform, optimized.distribution), exact.cost);
+  }
+}
+
+TEST(OptimizedDp, ChunkedCommCosts) {
+  // Increasing but non-affine communication: the optimized DP applies.
+  model::Platform platform;
+  model::Processor p1;
+  p1.label = "chunked";
+  p1.comm = model::Cost::chunked(0.5, 4, 2.0);
+  p1.comp = model::Cost::linear(1.0);
+  platform.processors.push_back(p1);
+  model::Processor p2;
+  p2.label = "root";
+  p2.comm = model::Cost::zero();
+  p2.comp = model::Cost::linear(2.0);
+  platform.processors.push_back(p2);
+
+  for (long long n : {3, 8, 15}) {
+    auto exact = exact_dp(platform, n);
+    auto optimized = optimized_dp(platform, n);
+    EXPECT_DOUBLE_EQ(optimized.cost, exact.cost) << "n=" << n;
+  }
+}
+
+struct DpPropertyCase {
+  std::uint64_t seed;
+  int processors;
+  long long items;
+};
+
+class DpEquivalenceTest : public ::testing::TestWithParam<DpPropertyCase> {};
+
+TEST_P(DpEquivalenceTest, OptimizedMatchesExactOnRandomLinearPlatforms) {
+  auto param = GetParam();
+  support::Rng rng(param.seed);
+  std::vector<double> beta, alpha;
+  for (int i = 0; i < param.processors; ++i) {
+    beta.push_back(i + 1 == param.processors ? 0.0 : rng.uniform(0.0, 2.0));
+    alpha.push_back(rng.uniform(0.1, 5.0));
+  }
+  auto platform = linear_platform(beta, alpha);
+  auto exact = exact_dp(platform, param.items);
+  auto optimized = optimized_dp(platform, param.items);
+  EXPECT_NEAR(optimized.cost, exact.cost, 1e-9);
+  EXPECT_EQ(optimized.distribution.total(), param.items);
+  EXPECT_EQ(exact.distribution.total(), param.items);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPlatforms, DpEquivalenceTest,
+    ::testing::Values(DpPropertyCase{1, 2, 50}, DpPropertyCase{2, 3, 40},
+                      DpPropertyCase{3, 4, 30}, DpPropertyCase{4, 5, 60},
+                      DpPropertyCase{5, 6, 25}, DpPropertyCase{6, 8, 80},
+                      DpPropertyCase{7, 3, 1}, DpPropertyCase{8, 4, 2},
+                      DpPropertyCase{9, 10, 100}, DpPropertyCase{10, 2, 200}));
+
+class DpBruteForceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpBruteForceTest, ExactDpIsTrulyOptimal) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 3));
+    long long n = rng.uniform_int(1, 12);
+    std::vector<double> beta, alpha;
+    for (int i = 0; i < p; ++i) {
+      beta.push_back(i + 1 == p ? 0.0 : rng.uniform(0.0, 2.0));
+      alpha.push_back(rng.uniform(0.1, 5.0));
+    }
+    auto platform = linear_platform(beta, alpha);
+    auto result = exact_dp(platform, n);
+    EXPECT_NEAR(result.cost, brute_force_optimum(platform, n), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpBruteForceTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace lbs::core

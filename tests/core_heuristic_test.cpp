@@ -1,0 +1,216 @@
+#include "core/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/closed_form.hpp"
+#include "core/dp.hpp"
+#include "core/rounding.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+namespace {
+
+model::Platform affine_platform(const std::vector<model::AffineCoeffs>& comm,
+                                const std::vector<model::AffineCoeffs>& comp) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < comm.size(); ++i) {
+    model::Processor p;
+    p.label = "P" + std::to_string(i + 1);
+    p.comm = model::Cost::affine(comm[i].fixed, comm[i].per_item);
+    p.comp = model::Cost::affine(comp[i].fixed, comp[i].per_item);
+    platform.processors.push_back(p);
+  }
+  return platform;
+}
+
+TEST(Rounding, ExactIntegersPassThrough) {
+  std::vector<double> shares{3.0, 0.0, 7.0};
+  auto dist = round_distribution(shares, 10);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{3, 0, 7}));
+}
+
+TEST(Rounding, FractionsRoundWithinOne) {
+  std::vector<double> shares{3.4, 2.8, 3.8};
+  auto dist = round_distribution(shares, 10);
+  EXPECT_EQ(dist.total(), 10);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_LT(std::abs(static_cast<double>(dist.counts[i]) - shares[i]), 1.0)
+        << "i=" << i;
+  }
+}
+
+TEST(Rounding, SingleShare) {
+  std::vector<double> shares{5.0};
+  auto dist = round_distribution(shares, 5);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{5}));
+}
+
+TEST(Rounding, AbsorbsLpSolverNoise) {
+  std::vector<double> shares{3.3333333333, 3.3333333333, 3.3333333334};
+  auto dist = round_distribution(shares, 10);
+  EXPECT_EQ(dist.total(), 10);
+}
+
+TEST(Rounding, RejectsBadSum) {
+  std::vector<double> shares{1.0, 2.0};
+  EXPECT_THROW(round_distribution(shares, 10), lbs::Error);
+}
+
+TEST(Rounding, RejectsNegativeShares) {
+  std::vector<double> shares{-2.0, 12.0};
+  EXPECT_THROW(round_distribution(shares, 10), lbs::Error);
+}
+
+TEST(Rounding, PropertySweep) {
+  support::Rng rng(7777);
+  for (int trial = 0; trial < 200; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(1, 12));
+    long long n = rng.uniform_int(0, 1000);
+    // Random nonnegative shares summing to n.
+    std::vector<double> weights;
+    double total = 0.0;
+    for (int i = 0; i < p; ++i) {
+      weights.push_back(rng.uniform(0.0, 1.0));
+      total += weights.back();
+    }
+    std::vector<double> shares;
+    for (int i = 0; i < p; ++i) {
+      shares.push_back(total == 0.0 ? static_cast<double>(n) / p
+                                    : weights[static_cast<std::size_t>(i)] / total *
+                                          static_cast<double>(n));
+    }
+    auto dist = round_distribution(shares, n);
+    EXPECT_EQ(dist.total(), n);
+    for (int i = 0; i < p; ++i) {
+      EXPECT_GE(dist.counts[static_cast<std::size_t>(i)], 0);
+      EXPECT_LT(std::abs(static_cast<double>(dist.counts[static_cast<std::size_t>(i)]) -
+                         shares[static_cast<std::size_t>(i)]),
+                1.0 + 1e-6);
+    }
+  }
+}
+
+TEST(GuaranteeSlack, MatchesEquation4Definition) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  double slack = rounding_guarantee_slack(platform);
+  // sum of Tcomm(j,1) over 15 non-root links + max Tcomp(i,1) (seven's α).
+  double comm_sum = 1.12e-5 + 1.00e-5 + 1.70e-5 + 2 * 8.15e-5 + 2 * 2.10e-5 + 8 * 3.53e-5;
+  EXPECT_NEAR(slack, comm_sum + 0.016156, 1e-9);
+}
+
+TEST(LpHeuristic, MatchesClosedFormOnLinearCosts) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  long long n = 10000;
+  auto heuristic = lp_heuristic(platform, n);
+  auto closed = solve_linear(platform, n);
+  EXPECT_NEAR(heuristic.rational_makespan, closed.duration,
+              closed.duration * 1e-9);
+  for (std::size_t i = 0; i < closed.share.size(); ++i) {
+    EXPECT_NEAR(heuristic.rational_shares[i], closed.share[i],
+                std::max(1e-6, closed.share[i] * 1e-9));
+  }
+  EXPECT_EQ(heuristic.distribution.total(), n);
+}
+
+TEST(LpHeuristic, WithinGuaranteeOfDpOptimum) {
+  // Eq. 4 on random affine platforms, verified against Algorithm 1.
+  support::Rng rng(555);
+  for (int trial = 0; trial < 6; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 4));
+    long long n = rng.uniform_int(20, 60);
+    std::vector<model::AffineCoeffs> comm, comp;
+    for (int i = 0; i < p; ++i) {
+      comm.push_back({i + 1 == p ? 0.0 : rng.uniform(0.0, 0.1), rng.uniform(0.05, 0.5)});
+      comp.push_back({rng.uniform(0.0, 0.1), rng.uniform(0.2, 3.0)});
+    }
+    auto platform = affine_platform(comm, comp);
+    auto heuristic = lp_heuristic(platform, n);
+    auto optimal = exact_dp(platform, n);
+    EXPECT_GE(heuristic.makespan, optimal.cost - 1e-9);
+    EXPECT_LE(heuristic.makespan, optimal.cost + heuristic.guarantee_slack + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(LpHeuristic, RationalObjectiveLowerBoundsRealizedMakespan) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto result = lp_heuristic(platform, model::kPaperRayCount);
+  // LP relaxation <= realized integer distribution cost.
+  EXPECT_LE(result.rational_makespan, result.makespan + 1e-6);
+  // And the gap is bounded by the Eq. 4 slack.
+  EXPECT_LE(result.makespan - result.rational_makespan,
+            result.guarantee_slack + 1e-6);
+}
+
+TEST(LpHeuristic, PaperScaleErrorIsTiny) {
+  // The paper reports a relative error under 6e-6 vs the optimal solution
+  // at n = 817,101. Our rounding makes different tie-breaking choices, so
+  // assert the same *order of magnitude* via the guarantee: the gap to the
+  // rational lower bound (which over-states the gap to the true optimum)
+  // stays below the Eq. 4 slack, itself ~4e-5 relative at this scale.
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto result = lp_heuristic(platform, model::kPaperRayCount);
+  double relative_gap =
+      (result.makespan - result.rational_makespan) / result.rational_makespan;
+  EXPECT_GE(relative_gap, -1e-12);
+  EXPECT_LT(relative_gap, result.guarantee_slack / result.rational_makespan);
+  EXPECT_LT(relative_gap, 1e-4);
+}
+
+TEST(LpHeuristic, RequiresAffineCosts) {
+  model::Platform platform;
+  model::Processor p;
+  p.label = "tab";
+  p.comm = model::Cost::zero();
+  p.comp = model::Cost::tabulated({{10, 5.0}});
+  platform.processors.push_back(p);
+  EXPECT_THROW(lp_heuristic(platform, 10), lbs::Error);
+}
+
+TEST(LpHeuristic, ZeroItems) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto result = lp_heuristic(platform, 0);
+  EXPECT_EQ(result.distribution.total(), 0);
+  EXPECT_NEAR(result.makespan, 0.0, 1e-12);
+}
+
+TEST(AffineEqualFinish, MatchesLpOnAllActivePlatform) {
+  // A platform where every processor deserves work: the equal-finish chain
+  // and the LP rational optimum agree.
+  std::vector<model::AffineCoeffs> comm{{0.01, 0.1}, {0.02, 0.2}, {0.0, 0.0}};
+  std::vector<model::AffineCoeffs> comp{{0.1, 1.0}, {0.05, 1.5}, {0.2, 2.0}};
+  auto platform = affine_platform(comm, comp);
+  long long n = 300;
+  auto chain = affine_equal_finish_shares(platform, n);
+  ASSERT_TRUE(chain.has_value());
+  auto heuristic = lp_heuristic(platform, n);
+  for (std::size_t i = 0; i < chain->size(); ++i) {
+    EXPECT_NEAR((*chain)[i], heuristic.rational_shares[i], 1e-6) << "i=" << i;
+  }
+  double sum = std::accumulate(chain->begin(), chain->end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(n), 1e-6);
+}
+
+TEST(AffineEqualFinish, RefusesWhenSomeProcessorMustIdle) {
+  // P1's fixed compute cost dwarfs the whole workload: equalizing finish
+  // times would require a negative share, so the all-active assumption
+  // fails and the chain refuses.
+  std::vector<model::AffineCoeffs> comm{{0.0, 0.1}, {0.0, 0.0}};
+  std::vector<model::AffineCoeffs> comp{{1000.0, 1.0}, {0.0, 1.0}};
+  auto platform = affine_platform(comm, comp);
+  auto chain = affine_equal_finish_shares(platform, 10);
+  EXPECT_FALSE(chain.has_value());
+}
+
+}  // namespace
+}  // namespace lbs::core

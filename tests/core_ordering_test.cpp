@@ -1,0 +1,184 @@
+#include "core/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/closed_form.hpp"
+#include "core/dp.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+namespace {
+
+TEST(Ordering, DescendingBandwidthOnPaperTestbed) {
+  // Table 1 betas: caseb 1.00e-5 < pellinore 1.12e-5 < sekhmet 1.70e-5
+  // < seven 2.10e-5 < leda 3.53e-5 < merlin 8.15e-5.
+  auto grid = model::paper_testbed();
+  auto platform = ordered_platform(grid, model::paper_root(grid),
+                                   OrderingPolicy::DescendingBandwidth);
+  ASSERT_EQ(platform.size(), 16);
+  std::vector<std::string> expected_machines{
+      "caseb", "pellinore", "sekhmet", "seven", "seven",
+      "leda",  "leda",      "leda",    "leda",  "leda",
+      "leda",  "leda",      "leda",    "merlin", "merlin", "dinadan"};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(grid.machine(platform[i].ref.machine).name,
+              expected_machines[static_cast<std::size_t>(i)])
+        << "position " << i;
+  }
+}
+
+TEST(Ordering, AscendingBandwidthIsReversedAmongWorkers) {
+  auto grid = model::paper_testbed();
+  auto root = model::paper_root(grid);
+  auto descending = order_processors(grid, root, OrderingPolicy::DescendingBandwidth);
+  auto ascending = order_processors(grid, root, OrderingPolicy::AscendingBandwidth);
+  ASSERT_EQ(descending.size(), ascending.size());
+  // Machine-level mirror: position i in ascending has the machine of
+  // position (last - i) in descending (CPU order within ties is stable).
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    EXPECT_EQ(ascending[i].machine, descending[descending.size() - 1 - i].machine);
+  }
+}
+
+TEST(Ordering, GridOrderKeepsDeclarationOrder) {
+  auto grid = model::paper_testbed();
+  auto order = order_processors(grid, model::paper_root(grid), OrderingPolicy::GridOrder);
+  ASSERT_FALSE(order.empty());
+  // First declared non-root processor is pellinore (dinadan excluded).
+  EXPECT_EQ(grid.machine(order.front().machine).name, "pellinore");
+  EXPECT_EQ(grid.machine(order.back().machine).name, "leda");
+}
+
+TEST(Ordering, RandomPolicyNeedsRngAndPermutes) {
+  auto grid = model::paper_testbed();
+  auto root = model::paper_root(grid);
+  EXPECT_THROW(order_processors(grid, root, OrderingPolicy::Random), lbs::Error);
+  support::Rng rng(3);
+  auto shuffled = order_processors(grid, root, OrderingPolicy::Random, &rng);
+  auto baseline = order_processors(grid, root, OrderingPolicy::GridOrder);
+  ASSERT_EQ(shuffled.size(), baseline.size());
+  // Same multiset of processors.
+  auto key = [](const model::ProcessorRef& r) { return r.machine * 100 + r.cpu; };
+  std::vector<int> a, b;
+  for (const auto& r : shuffled) a.push_back(key(r));
+  for (const auto& r : baseline) b.push_back(key(r));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ordering, RootNeverInWorkerOrder) {
+  auto grid = model::paper_testbed();
+  auto root = model::paper_root(grid);
+  for (auto policy : {OrderingPolicy::DescendingBandwidth,
+                      OrderingPolicy::AscendingBandwidth, OrderingPolicy::GridOrder}) {
+    auto order = order_processors(grid, root, policy);
+    EXPECT_EQ(order.size(), 15u);
+    for (const auto& ref : order) EXPECT_FALSE(ref == root);
+  }
+}
+
+TEST(Theorem3, DescendingBandwidthOptimalInLinearCase) {
+  // Exhaustive validation of the ordering policy on random linear grids
+  // small enough to enumerate: no permutation beats descending bandwidth
+  // (evaluated on the rational closed form, the theorem's setting).
+  support::Rng rng(99);
+  for (int trial = 0; trial < 4; ++trial) {
+    model::Grid grid = model::random_grid(rng, 3, /*affine=*/false);
+    if (grid.total_cpus() > 7) continue;  // keep the factorial small
+    model::ProcessorRef root{grid.data_home(), 0};
+    long long n = 5000;
+
+    auto evaluate = [&](const model::Platform& platform) {
+      return solve_linear(platform, n).duration;
+    };
+    auto best = exhaustive_best_ordering(grid, root, evaluate);
+    auto policy_platform =
+        ordered_platform(grid, root, OrderingPolicy::DescendingBandwidth);
+    double policy_cost = evaluate(policy_platform);
+    EXPECT_LE(policy_cost, best.cost * (1.0 + 1e-12)) << "trial " << trial;
+  }
+}
+
+TEST(Theorem3, DescendingBeatsAscendingOnPaperTestbed) {
+  auto grid = model::paper_testbed();
+  auto root = model::paper_root(grid);
+  long long n = model::kPaperRayCount;
+  auto descending = ordered_platform(grid, root, OrderingPolicy::DescendingBandwidth);
+  auto ascending = ordered_platform(grid, root, OrderingPolicy::AscendingBandwidth);
+  double t_desc = solve_linear(descending, n).duration;
+  double t_asc = solve_linear(ascending, n).duration;
+  EXPECT_LT(t_desc, t_asc);
+}
+
+TEST(Ordering, EqualBandwidthTiesKeepGridOrder) {
+  // Stable sort: leda's eight CPUs (identical beta) must appear in CPU
+  // order, so runs are reproducible.
+  auto grid = model::paper_testbed();
+  auto order = order_processors(grid, model::paper_root(grid),
+                                OrderingPolicy::DescendingBandwidth);
+  int previous_cpu = -1;
+  for (const auto& ref : order) {
+    if (grid.machine(ref.machine).name != "leda") continue;
+    EXPECT_EQ(ref.cpu, previous_cpu + 1);
+    previous_cpu = ref.cpu;
+  }
+  EXPECT_EQ(previous_cpu, 7);
+}
+
+TEST(Ordering, PermutingEqualBandwidthGroupDoesNotChangeOptimum) {
+  // Processors with identical (alpha, beta) are interchangeable: any
+  // permutation within the tie group gives the same rational duration.
+  auto grid = model::paper_testbed();
+  auto root = model::paper_root(grid);
+  auto order = order_processors(grid, root, OrderingPolicy::DescendingBandwidth);
+  long long n = 100000;
+  double baseline =
+      solve_linear(make_platform(grid, root, order), n).duration;
+
+  // Reverse the leda block (positions of machine "leda").
+  auto swapped = order;
+  std::vector<std::size_t> leda_positions;
+  for (std::size_t i = 0; i < swapped.size(); ++i) {
+    if (grid.machine(swapped[i].machine).name == "leda") leda_positions.push_back(i);
+  }
+  ASSERT_EQ(leda_positions.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::swap(swapped[leda_positions[i]], swapped[leda_positions[7 - i]]);
+  }
+  double permuted = solve_linear(make_platform(grid, root, swapped), n).duration;
+  EXPECT_NEAR(permuted, baseline, baseline * 1e-12);
+}
+
+TEST(ExhaustiveSearch, CountsPermutations) {
+  model::Grid grid;
+  for (int m = 0; m < 4; ++m) {
+    model::Machine machine;
+    machine.name = "m" + std::to_string(m);
+    machine.comp = model::Cost::linear(1.0 + m);
+    grid.add_machine(machine);
+  }
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) grid.set_link(a, b, model::Cost::linear(0.1));
+  }
+  grid.set_data_home(0);
+  auto result = exhaustive_best_ordering(
+      grid, model::ProcessorRef{0, 0},
+      [&](const model::Platform& platform) { return solve_linear(platform, 100).duration; });
+  EXPECT_EQ(result.permutations_tried, 6);  // 3! orderings of the workers
+  EXPECT_EQ(result.order.size(), 3u);
+}
+
+TEST(ExhaustiveSearch, RefusesLargePlatforms) {
+  auto grid = model::paper_testbed();  // 15 workers
+  EXPECT_THROW(exhaustive_best_ordering(grid, model::paper_root(grid),
+                                        [](const model::Platform&) { return 0.0; }),
+               lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::core

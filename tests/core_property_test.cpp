@@ -1,0 +1,179 @@
+// Deeper property sweeps across the core algorithms: non-affine cost
+// shapes, invariances, and model/simulator consistency under composition.
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.hpp"
+#include "core/dp.hpp"
+#include "core/installments.hpp"
+#include "core/planner.hpp"
+#include "core/rounding.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/testbed.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::core {
+namespace {
+
+// Random increasing tabulated cost: cumulative positive increments.
+model::Cost random_increasing_tabulated(support::Rng& rng, long long max_items) {
+  std::vector<std::pair<long long, double>> samples;
+  double y = 0.0;
+  long long x = 0;
+  int points = static_cast<int>(rng.uniform_int(2, 6));
+  for (int i = 0; i < points; ++i) {
+    x += rng.uniform_int(1, std::max<long long>(1, max_items / points));
+    y += rng.uniform(0.01, 2.0);
+    samples.emplace_back(x, y);
+  }
+  return model::Cost::tabulated(std::move(samples));
+}
+
+class TabulatedDpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TabulatedDpTest, OptimizedMatchesExactOnIncreasingTabulatedCosts) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 3; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 4));
+    long long n = rng.uniform_int(5, 40);
+    model::Platform platform;
+    for (int i = 0; i < p; ++i) {
+      model::Processor proc;
+      proc.label = "P" + std::to_string(i + 1);
+      proc.comm = i + 1 == p ? model::Cost::zero() : random_increasing_tabulated(rng, n);
+      proc.comp = random_increasing_tabulated(rng, n);
+      platform.processors.push_back(proc);
+    }
+    ASSERT_TRUE(platform.all_costs_increasing());
+    auto exact = exact_dp(platform, n);
+    auto optimized = optimized_dp(platform, n);
+    EXPECT_NEAR(optimized.cost, exact.cost, 1e-12)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TabulatedDpTest,
+                         ::testing::Values(301u, 302u, 303u, 304u, 305u));
+
+TEST(ScaleInvariance, DistributionUnchangedByUniformTimeScaling) {
+  // Multiplying every cost by the same constant rescales time but must
+  // not change the optimal distribution (only its makespan).
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  model::Platform scaled = platform;
+  for (auto& proc : scaled.processors) {
+    proc.comm = model::Cost::linear(3.0 * proc.comm.per_item_slope());
+    proc.comp = model::Cost::linear(3.0 * proc.comp.per_item_slope());
+  }
+  long long n = 4321;
+  auto base = optimized_dp(platform, n);
+  auto stretched = optimized_dp(scaled, n);
+  EXPECT_EQ(base.distribution.counts, stretched.distribution.counts);
+  EXPECT_NEAR(stretched.cost, 3.0 * base.cost, 1e-9 * stretched.cost);
+}
+
+TEST(Monotonicity, MakespanNonDecreasingInN) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  double previous = -1.0;
+  for (long long n : {0LL, 1LL, 10LL, 100LL, 1000LL, 2000LL}) {
+    auto plan = plan_scatter(platform, n);
+    EXPECT_GE(plan.predicted_makespan, previous);
+    previous = plan.predicted_makespan;
+  }
+}
+
+TEST(Monotonicity, AddingAProcessorNeverHurtsOptimal) {
+  // With non-negative costs, the DP can always assign the newcomer zero
+  // items, so the optimum cannot get worse.
+  support::Rng rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 5));
+    std::vector<double> beta, alpha;
+    for (int i = 0; i < p; ++i) {
+      beta.push_back(i + 1 == p ? 0.0 : rng.uniform(0.0, 1.0));
+      alpha.push_back(rng.uniform(0.2, 3.0));
+    }
+    model::Platform small;
+    for (int i = 0; i < p; ++i) {
+      model::Processor proc;
+      proc.label = "P" + std::to_string(i);
+      proc.comm = model::Cost::linear(beta[static_cast<std::size_t>(i)]);
+      proc.comp = model::Cost::linear(alpha[static_cast<std::size_t>(i)]);
+      small.processors.push_back(proc);
+    }
+    model::Platform bigger = small;
+    model::Processor extra;
+    extra.label = "extra";
+    extra.comm = model::Cost::linear(rng.uniform(0.0, 2.0));
+    extra.comp = model::Cost::linear(rng.uniform(0.2, 3.0));
+    // Insert before the root (root must stay last).
+    bigger.processors.insert(bigger.processors.end() - 1, extra);
+
+    long long n = rng.uniform_int(10, 80);
+    EXPECT_LE(optimized_dp(bigger, n).cost, optimized_dp(small, n).cost + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Consistency, MultiRoundSimulationScalesLinearly) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto plan = plan_scatter(platform, 10000);
+  auto rounds = gridsim::simulate_rounds(platform, plan.distribution, 5);
+  double single = plan.predicted_makespan;
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_NEAR(rounds[static_cast<std::size_t>(r)].timeline.latest_finish(),
+                (r + 1) * single, 1e-6 * single * (r + 1));
+  }
+}
+
+TEST(Consistency, InstallmentOneMatchesSimulatorEverywhere) {
+  support::Rng rng(5150);
+  for (int trial = 0; trial < 5; ++trial) {
+    model::Grid grid = model::random_grid(rng, static_cast<int>(rng.uniform_int(2, 4)),
+                                          rng.bernoulli(0.5));
+    model::Platform platform = make_platform(grid, {grid.data_home(), 0});
+    long long n = rng.uniform_int(10, 3000);
+    auto dist = uniform_distribution(n, platform.size());
+    auto sim = gridsim::simulate_scatter(platform, dist);
+    EXPECT_NEAR(installment_makespan(platform, dist, 1), sim.timeline.makespan(),
+                1e-9 + 1e-12 * sim.timeline.makespan());
+  }
+}
+
+TEST(Degenerate, AllWorkOnRootWhenLinksAreHopeless) {
+  // Every worker link is slower than just computing at the root.
+  model::Platform platform;
+  for (int i = 0; i < 3; ++i) {
+    model::Processor proc;
+    proc.label = "worker";
+    proc.comm = model::Cost::linear(10.0);
+    proc.comp = model::Cost::linear(0.1);
+    platform.processors.push_back(proc);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(1.0);
+  platform.processors.push_back(root);
+  auto plan = plan_scatter(platform, 100);
+  EXPECT_EQ(plan.distribution.counts, (std::vector<long long>{0, 0, 0, 100}));
+}
+
+TEST(Degenerate, SingleItemGoesToTheCheapestFinisher) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto result = optimized_dp(platform, 1);
+  EXPECT_EQ(result.distribution.total(), 1);
+  // One item: the root (no comm) with alpha 0.009288 loses to caseb's
+  // 1e-5 + 0.004629. The DP must find whoever minimizes comm+comp.
+  double best = 1e18;
+  for (int i = 0; i < platform.size(); ++i) {
+    best = std::min(best, platform[i].comm(1) + platform[i].comp(1));
+  }
+  EXPECT_NEAR(result.cost, best, 1e-15);
+}
+
+}  // namespace
+}  // namespace lbs::core

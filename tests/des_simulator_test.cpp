@@ -1,0 +1,182 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::des {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.schedule(0.5, tick);
+  };
+  sim.schedule(0.0, tick);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 0.5, 1.0, 1.5}));
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  double t = sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(t, 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), lbs::Error);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), lbs::Error);
+}
+
+TEST(Simulator, RejectsNullCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(1.0, nullptr), lbs::Error);
+}
+
+TEST(SerialResource, ServesFifoOneAtATime) {
+  Simulator sim;
+  SerialResource port(sim);
+  std::vector<std::pair<int, double>> completions;
+  std::vector<double> starts;
+  sim.schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      port.request(
+          2.0, [&, i] { completions.emplace_back(i, sim.now()); },
+          [&] { starts.push_back(sim.now()); });
+    }
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], (std::pair<int, double>{0, 2.0}));
+  EXPECT_EQ(completions[1], (std::pair<int, double>{1, 4.0}));
+  EXPECT_EQ(completions[2], (std::pair<int, double>{2, 6.0}));
+  EXPECT_EQ(starts, (std::vector<double>{0.0, 2.0, 4.0}));
+}
+
+TEST(SerialResource, ZeroDurationRequestsComplete) {
+  Simulator sim;
+  SerialResource port(sim);
+  int done = 0;
+  sim.schedule(0.0, [&] {
+    port.request(0.0, [&] { ++done; });
+    port.request(0.0, [&] { ++done; });
+  });
+  sim.run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(SerialResource, LaterArrivalsQueueBehindBusyPort) {
+  Simulator sim;
+  SerialResource port(sim);
+  std::vector<double> completions;
+  sim.schedule(0.0, [&] { port.request(5.0, [&] { completions.push_back(sim.now()); }); });
+  sim.schedule(1.0, [&] { port.request(1.0, [&] { completions.push_back(sim.now()); }); });
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(SerialResource, RejectsNegativeDuration) {
+  Simulator sim;
+  SerialResource port(sim);
+  EXPECT_THROW(port.request(-1.0, [] {}), lbs::Error);
+}
+
+TEST(SpeedProfile, NominalSpeedIsOne) {
+  SpeedProfile profile;
+  EXPECT_EQ(profile.speed_at(0.0), 1.0);
+  EXPECT_EQ(profile.finish_time(3.0, 10.0), 13.0);
+}
+
+TEST(SpeedProfile, SlowSegmentStretchesWork) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 10.0, 0.5);
+  // 10 s of nominal work at half speed: 5 s done by t=10, rest at full speed.
+  EXPECT_DOUBLE_EQ(profile.finish_time(0.0, 10.0), 15.0);
+}
+
+TEST(SpeedProfile, WorkFinishingInsideSegment) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(profile.finish_time(0.0, 10.0), 20.0);
+}
+
+TEST(SpeedProfile, StartInsideSegment) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 10.0, 0.25);
+  // Start at t=6: 4 s at quarter speed does 1 s of work; 5 s remain.
+  EXPECT_DOUBLE_EQ(profile.finish_time(6.0, 6.0), 15.0);
+}
+
+TEST(SpeedProfile, OverlappingSegmentsCompose) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 10.0, 0.5);
+  profile.add_segment(5.0, 10.0, 0.5);
+  EXPECT_EQ(profile.speed_at(7.0), 0.25);
+  EXPECT_EQ(profile.speed_at(2.0), 0.5);
+  EXPECT_EQ(profile.speed_at(12.0), 1.0);
+}
+
+TEST(SpeedProfile, SpeedupSegment) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 4.0, 2.0);
+  // 10 s nominal: 8 s done by t=4 at double speed, 2 s remain.
+  EXPECT_DOUBLE_EQ(profile.finish_time(0.0, 10.0), 6.0);
+}
+
+TEST(SpeedProfile, ZeroWorkFinishesImmediately) {
+  SpeedProfile profile;
+  profile.add_segment(0.0, 1.0, 0.5);
+  EXPECT_EQ(profile.finish_time(0.5, 0.0), 0.5);
+}
+
+TEST(SpeedProfile, RejectsBadSegments) {
+  SpeedProfile profile;
+  EXPECT_THROW(profile.add_segment(5.0, 5.0, 0.5), lbs::Error);
+  EXPECT_THROW(profile.add_segment(0.0, 1.0, 0.0), lbs::Error);
+  EXPECT_THROW(profile.add_segment(0.0, 1.0, -2.0), lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::des

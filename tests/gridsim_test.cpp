@@ -1,0 +1,237 @@
+#include "gridsim/gridsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+
+namespace lbs::gridsim {
+namespace {
+
+model::Platform paper_platform() {
+  auto grid = model::paper_testbed();
+  return core::ordered_platform(grid, model::paper_root(grid),
+                                core::OrderingPolicy::DescendingBandwidth);
+}
+
+TEST(GridSim, MatchesAnalyticModelExactly) {
+  // With no perturbation/noise/gather, simulated finish times must equal
+  // Eq. 1 — the simulator implements the same hardware model.
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 100000);
+  auto result = simulate_scatter(platform, plan.distribution);
+  ASSERT_EQ(result.timeline.traces.size(), plan.predicted_finish.size());
+  for (std::size_t i = 0; i < plan.predicted_finish.size(); ++i) {
+    EXPECT_NEAR(result.timeline.traces[i].finish(), plan.predicted_finish[i],
+                1e-9 * plan.predicted_makespan)
+        << "processor " << i;
+  }
+  EXPECT_NEAR(result.timeline.makespan(), plan.predicted_makespan, 1e-6);
+}
+
+TEST(GridSim, CommWindowsMatchAnalyticStair) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(16000, platform.size());
+  auto windows = core::comm_windows(platform, dist);
+  auto result = simulate_scatter(platform, dist);
+  for (std::size_t i = 0; i < windows.start.size(); ++i) {
+    EXPECT_NEAR(result.timeline.traces[i].recv_start, windows.start[i], 1e-9);
+    EXPECT_NEAR(result.timeline.traces[i].recv_end, windows.end[i], 1e-9);
+  }
+}
+
+TEST(GridSim, StairEffectMonotoneRecvStarts) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(32000, platform.size());
+  auto result = simulate_scatter(platform, dist);
+  double previous = -1.0;
+  for (const auto& trace : result.timeline.traces) {
+    EXPECT_GE(trace.recv_start, previous);
+    previous = trace.recv_start;
+  }
+  EXPECT_GT(result.timeline.total_stair_idle(), 0.0);
+}
+
+TEST(GridSim, PerturbationDelaysOnlyTheLoadedProcessor) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 100000);
+  SimOptions options;
+  // Halve processor 2's speed over the bulk of the run (Figure 4's
+  // "peak load on sekhmet" scenario).
+  options.perturbations.push_back({2, 0.0, 1000.0, 0.5});
+  auto perturbed = simulate_scatter(platform, plan.distribution, options);
+  auto baseline = simulate_scatter(platform, plan.distribution);
+  EXPECT_GT(perturbed.timeline.traces[2].compute_end,
+            baseline.timeline.traces[2].compute_end * 1.5);
+  // Others unaffected (no contention on compute).
+  for (std::size_t i = 0; i < baseline.timeline.traces.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_NEAR(perturbed.timeline.traces[i].compute_end,
+                baseline.timeline.traces[i].compute_end, 1e-9);
+  }
+}
+
+TEST(GridSim, NoiseIsDeterministicPerSeed) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(50000, platform.size());
+  SimOptions options;
+  options.compute_noise = 0.05;
+  options.noise_seed = 42;
+  auto a = simulate_scatter(platform, dist, options);
+  auto b = simulate_scatter(platform, dist, options);
+  for (std::size_t i = 0; i < a.timeline.traces.size(); ++i) {
+    EXPECT_EQ(a.timeline.traces[i].compute_end, b.timeline.traces[i].compute_end);
+  }
+  options.noise_seed = 43;
+  auto c = simulate_scatter(platform, dist, options);
+  EXPECT_NE(a.timeline.makespan(), c.timeline.makespan());
+}
+
+TEST(GridSim, NoisePerturbsAroundDeterministicRun) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 200000);
+  SimOptions options;
+  options.compute_noise = 0.02;
+  auto noisy = simulate_scatter(platform, plan.distribution, options);
+  // Within a loose band of the deterministic makespan.
+  EXPECT_NEAR(noisy.timeline.makespan(), plan.predicted_makespan,
+              0.2 * plan.predicted_makespan);
+  EXPECT_GT(noisy.timeline.finish_spread(), 0.0);
+}
+
+TEST(GridSim, GatherAddsReturnTraffic) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 50000);
+  SimOptions options;
+  options.gather_ratio = 0.5;
+  auto with_gather = simulate_scatter(platform, plan.distribution, options);
+  auto without = simulate_scatter(platform, plan.distribution);
+  EXPECT_GT(with_gather.timeline.makespan(), without.timeline.makespan());
+  for (const auto& trace : with_gather.timeline.traces) {
+    if (trace.items == 0) continue;
+    EXPECT_GE(trace.gather_end, trace.compute_end);
+  }
+}
+
+TEST(GridSim, RoundsAreSequentialWithBarrier) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 20000);
+  auto rounds = simulate_rounds(platform, plan.distribution, 3);
+  ASSERT_EQ(rounds.size(), 3u);
+  double single = rounds[0].timeline.makespan();
+  // Each round starts at the previous round's barrier.
+  EXPECT_NEAR(rounds[1].timeline.makespan(), 2.0 * single, 1e-6);
+  EXPECT_NEAR(rounds[2].timeline.makespan(), 3.0 * single, 1e-6);
+  // recv_start of round 2's first processor is after round 1's makespan.
+  EXPECT_GE(rounds[1].timeline.traces[0].recv_start, single - 1e-9);
+}
+
+TEST(GridSim, OverlappedRoundsNeverSlowerThanBarriered) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 50000);
+  for (int rounds : {1, 2, 5}) {
+    auto barriered = simulate_rounds(platform, plan.distribution, rounds);
+    auto overlapped = simulate_rounds_overlapped(platform, plan.distribution, rounds);
+    ASSERT_EQ(overlapped.size(), static_cast<std::size_t>(rounds));
+    double barriered_end = barriered.back().timeline.latest_finish();
+    double overlapped_end = 0.0;
+    for (const auto& round : overlapped) {
+      overlapped_end = std::max(overlapped_end, round.timeline.latest_finish());
+    }
+    EXPECT_LE(overlapped_end, barriered_end + 1e-9) << "rounds=" << rounds;
+  }
+}
+
+TEST(GridSim, OverlappedSingleRoundMatchesPlainSimulation) {
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 30000);
+  auto single = simulate_scatter(platform, plan.distribution);
+  auto overlapped = simulate_rounds_overlapped(platform, plan.distribution, 1);
+  ASSERT_EQ(overlapped.size(), 1u);
+  for (std::size_t i = 0; i < single.timeline.traces.size(); ++i) {
+    EXPECT_NEAR(overlapped[0].timeline.traces[i].finish(),
+                single.timeline.traces[i].finish(), 1e-9);
+  }
+}
+
+TEST(GridSim, OverlappedRoundsRespectComputeDependencies) {
+  // A worker's round r+1 compute cannot start before its round r compute
+  // ended, even if the data arrived early: so per-round finish times are
+  // spaced by at least the compute duration.
+  auto platform = paper_platform();
+  auto plan = core::plan_scatter(platform, 50000);
+  auto overlapped = simulate_rounds_overlapped(platform, plan.distribution, 3);
+  for (int i = 0; i < platform.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    long long items = plan.distribution.counts[idx];
+    if (items == 0) continue;
+    double comp = platform[i].comp(items);
+    for (int r = 1; r < 3; ++r) {
+      double gap = overlapped[static_cast<std::size_t>(r)].timeline.traces[idx].compute_end -
+                   overlapped[static_cast<std::size_t>(r - 1)].timeline.traces[idx].compute_end;
+      EXPECT_GE(gap, comp - 1e-9) << "proc " << i << " round " << r;
+    }
+  }
+}
+
+TEST(GridSim, OverlappedInvalidRoundsThrow) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(100, platform.size());
+  EXPECT_THROW(simulate_rounds_overlapped(platform, dist, 0), lbs::Error);
+}
+
+TEST(GridSim, BalancedBeatsUniformInSimulationToo) {
+  auto platform = paper_platform();
+  long long n = model::kPaperRayCount;
+  auto balanced = core::plan_scatter(platform, n);
+  auto uniform = core::plan_scatter(platform, n, core::Algorithm::Uniform);
+  auto balanced_sim = simulate_scatter(platform, balanced.distribution);
+  auto uniform_sim = simulate_scatter(platform, uniform.distribution);
+  EXPECT_LT(balanced_sim.timeline.makespan(), 0.6 * uniform_sim.timeline.makespan());
+  // Figure 3: balanced spread is a few percent; Figure 2: uniform is huge.
+  EXPECT_LT(balanced_sim.timeline.finish_spread(), 0.02);
+  EXPECT_GT(uniform_sim.timeline.finish_spread(), 0.5);
+}
+
+TEST(GridSim, TimelineMetricsConsistent) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(10000, platform.size());
+  auto result = simulate_scatter(platform, dist);
+  const auto& timeline = result.timeline;
+  EXPECT_LE(timeline.earliest_finish(), timeline.latest_finish());
+  EXPECT_EQ(timeline.makespan(), timeline.latest_finish());
+  EXPECT_GE(timeline.finish_spread(), 0.0);
+  EXPECT_LE(timeline.finish_spread(), 1.0);
+  auto rows = timeline.gantt_rows();
+  EXPECT_EQ(rows.size(), timeline.traces.size());
+}
+
+TEST(GridSim, RejectsBadOptions) {
+  auto platform = paper_platform();
+  auto dist = core::uniform_distribution(100, platform.size());
+  SimOptions bad_gather;
+  bad_gather.gather_ratio = -1.0;
+  EXPECT_THROW(simulate_scatter(platform, dist, bad_gather), lbs::Error);
+  SimOptions bad_perturbation;
+  bad_perturbation.perturbations.push_back({99, 0.0, 1.0, 0.5});
+  EXPECT_THROW(simulate_scatter(platform, dist, bad_perturbation), lbs::Error);
+  EXPECT_THROW(simulate_rounds(platform, dist, 0), lbs::Error);
+}
+
+TEST(GridSim, ZeroShareProcessorNeverBusy) {
+  auto platform = paper_platform();
+  core::Distribution dist;
+  dist.counts.assign(static_cast<std::size_t>(platform.size()), 0);
+  dist.counts.back() = 1000;  // root does everything
+  auto result = simulate_scatter(platform, dist);
+  for (int i = 0; i + 1 < platform.size(); ++i) {
+    const auto& trace = result.timeline.traces[static_cast<std::size_t>(i)];
+    EXPECT_EQ(trace.comm_time(), 0.0);
+    EXPECT_EQ(trace.compute_end, trace.recv_end);
+  }
+}
+
+}  // namespace
+}  // namespace lbs::gridsim

@@ -1,0 +1,110 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_EQ(m.at(1, 2), 5.0);
+  EXPECT_EQ(m.data()[1 * 3 + 2], 5.0);  // row-major layout
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), lbs::Error);
+  EXPECT_THROW(m.at(0, 2), lbs::Error);
+  EXPECT_THROW(Matrix(0, 3), lbs::Error);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  support::Rng rng(1);
+  auto a = Matrix::random(rng, 5, 5);
+  auto product = multiply(a, Matrix::identity(5));
+  EXPECT_TRUE(product.allclose(a));
+  auto product_left = multiply(Matrix::identity(5), a);
+  EXPECT_TRUE(product_left.allclose(a));
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  auto c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, RowBlocksReassembleToFullProduct) {
+  // The distribution property the matmul example relies on: computing C
+  // in arbitrary row blocks gives exactly the serial product.
+  support::Rng rng(2);
+  auto a = Matrix::random(rng, 20, 16);
+  auto b = Matrix::random(rng, 16, 12);
+  auto reference = multiply(a, b);
+
+  std::size_t splits[] = {3, 7, 5, 5};
+  std::size_t first = 0;
+  for (std::size_t count : splits) {
+    auto block = multiply_rows(a, b, first, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        EXPECT_DOUBLE_EQ(block.at(i, j), reference.at(first + i, j));
+      }
+    }
+    first += count;
+  }
+  EXPECT_EQ(first, a.rows());
+}
+
+TEST(Matrix, MultiplyDimensionChecks) {
+  Matrix a(2, 3);
+  Matrix b(4, 2);
+  EXPECT_THROW(multiply(a, b), lbs::Error);
+  Matrix ok(3, 2);
+  EXPECT_THROW(multiply_rows(a, ok, 1, 2), lbs::Error);  // rows out of range
+  EXPECT_THROW(multiply_rows(a, ok, 0, 0), lbs::Error);  // empty range
+}
+
+TEST(Matrix, DifferenceNorm) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  b.at(0, 0) = 3.0;
+  b.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(difference_norm(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(difference_norm(b, b), 0.0);
+}
+
+TEST(Matrix, AllcloseRespectsTolerance) {
+  Matrix a(1, 1);
+  Matrix b(1, 1);
+  b.at(0, 0) = 1e-10;
+  EXPECT_TRUE(a.allclose(b, 1e-9));
+  EXPECT_FALSE(a.allclose(b, 1e-11));
+  Matrix c(1, 2);
+  EXPECT_FALSE(a.allclose(c));
+}
+
+TEST(Matrix, RandomIsDeterministicPerSeed) {
+  support::Rng rng1(9), rng2(9);
+  auto a = Matrix::random(rng1, 4, 4);
+  auto b = Matrix::random(rng2, 4, 4);
+  EXPECT_TRUE(a.allclose(b, 0.0));
+}
+
+}  // namespace
+}  // namespace lbs::linalg

@@ -1,0 +1,199 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negation).
+  Problem problem;
+  problem.minimize({-3.0, -5.0});
+  problem.add({1.0, 0.0}, Relation::LessEq, 4.0);
+  problem.add({0.0, 2.0}, Relation::LessEq, 12.0);
+  problem.add({3.0, 2.0}, Relation::LessEq, 18.0);
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 10, x <= 4.
+  Problem problem;
+  problem.minimize({1.0, 2.0});
+  problem.add({1.0, 1.0}, Relation::Equal, 10.0);
+  problem.add({1.0, 0.0}, Relation::LessEq, 4.0);
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(solution.objective, 16.0, 1e-9);
+}
+
+TEST(Simplex, HandlesGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x - y >= -2 (i.e. y - x <= 2).
+  Problem problem;
+  problem.minimize({2.0, 3.0});
+  problem.add({1.0, 1.0}, Relation::GreaterEq, 4.0);
+  problem.add({-1.0, 1.0}, Relation::LessEq, 2.0);
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  // Optimum: all weight on the cheaper variable x: x = 4, y = 0.
+  EXPECT_NEAR(solution.objective, 8.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem problem;
+  problem.minimize({1.0});
+  problem.add({1.0}, Relation::LessEq, 1.0);
+  problem.add({1.0}, Relation::GreaterEq, 2.0);
+  auto solution = solve(problem);
+  EXPECT_EQ(solution.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with only x >= 0 and a vacuous constraint.
+  Problem problem;
+  problem.minimize({-1.0, 0.0});
+  problem.add({0.0, 1.0}, Relation::LessEq, 1.0);
+  auto solution = solve(problem);
+  EXPECT_EQ(solution.status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  Problem problem;
+  problem.minimize({1.0});
+  problem.add({-1.0}, Relation::LessEq, -3.0);
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degeneracy: redundant constraints at the optimum.
+  Problem problem;
+  problem.minimize({-1.0, -1.0});
+  problem.add({1.0, 0.0}, Relation::LessEq, 1.0);
+  problem.add({1.0, 0.0}, Relation::LessEq, 1.0);  // duplicate
+  problem.add({0.0, 1.0}, Relation::LessEq, 1.0);
+  problem.add({1.0, 1.0}, Relation::LessEq, 2.0);  // tight at optimum
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  Problem problem;
+  problem.minimize({1.0, 1.0});
+  problem.add({1.0, 1.0}, Relation::Equal, 4.0);
+  problem.add({2.0, 2.0}, Relation::Equal, 8.0);  // same hyperplane
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, ZeroVariableProblemThrows) {
+  Problem problem;
+  EXPECT_THROW(solve(problem), lbs::Error);
+}
+
+TEST(Simplex, ConstraintWidthMismatchThrows) {
+  Problem problem;
+  problem.minimize({1.0, 2.0});
+  EXPECT_THROW(problem.add({1.0}, Relation::LessEq, 1.0), lbs::Error);
+}
+
+TEST(Simplex, EqualityOnlyFeasiblePoint) {
+  // x + y = 2, x - y = 0 -> unique point (1, 1).
+  Problem problem;
+  problem.minimize({5.0, 7.0});
+  problem.add({1.0, 1.0}, Relation::Equal, 2.0);
+  problem.add({1.0, -1.0}, Relation::Equal, 0.0);
+  auto solution = solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 1.0, 1e-9);
+}
+
+// Property: on random feasible LPs, the simplex optimum is (a) feasible and
+// (b) no worse than a cloud of random feasible points.
+class SimplexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexPropertyTest, OptimumBeatsRandomFeasiblePoints) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int num_vars = static_cast<int>(rng.uniform_int(2, 5));
+    int num_rows = static_cast<int>(rng.uniform_int(1, 5));
+
+    Problem problem;
+    std::vector<double> objective;
+    for (int j = 0; j < num_vars; ++j) objective.push_back(rng.uniform(-2.0, 2.0));
+    problem.minimize(objective);
+
+    // Constraints a.x <= b with a >= 0 and b > 0: x = 0 is feasible and the
+    // region is bounded in every direction with positive objective; add a
+    // box to bound the rest.
+    for (int r = 0; r < num_rows; ++r) {
+      std::vector<double> coeffs;
+      for (int j = 0; j < num_vars; ++j) coeffs.push_back(rng.uniform(0.0, 1.0));
+      problem.add(std::move(coeffs), Relation::LessEq, rng.uniform(1.0, 5.0));
+    }
+    for (int j = 0; j < num_vars; ++j) {
+      std::vector<double> box(static_cast<std::size_t>(num_vars), 0.0);
+      box[static_cast<std::size_t>(j)] = 1.0;
+      problem.add(std::move(box), Relation::LessEq, 10.0);
+    }
+
+    auto solution = solve(problem);
+    ASSERT_TRUE(solution.optimal());
+
+    // (a) feasibility
+    for (const auto& constraint : problem.constraints) {
+      double lhs = 0.0;
+      for (int j = 0; j < num_vars; ++j) {
+        lhs += constraint.coeffs[static_cast<std::size_t>(j)] *
+               solution.x[static_cast<std::size_t>(j)];
+      }
+      EXPECT_LE(lhs, constraint.rhs + 1e-7);
+    }
+    for (double v : solution.x) EXPECT_GE(v, -1e-9);
+
+    // (b) optimality against random feasible points (rejection sampling).
+    for (int sample = 0; sample < 200; ++sample) {
+      std::vector<double> x;
+      for (int j = 0; j < num_vars; ++j) x.push_back(rng.uniform(0.0, 10.0));
+      bool feasible = true;
+      for (const auto& constraint : problem.constraints) {
+        double lhs = 0.0;
+        for (int j = 0; j < num_vars; ++j) {
+          lhs += constraint.coeffs[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+        }
+        if (lhs > constraint.rhs) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double value = 0.0;
+      for (int j = 0; j < num_vars; ++j) {
+        value += problem.objective[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+      }
+      EXPECT_GE(value, solution.objective - 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace lbs::lp

@@ -1,0 +1,177 @@
+#include "model/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/calibration.hpp"
+#include "support/error.hpp"
+
+namespace lbs::model {
+namespace {
+
+TEST(Cost, ZeroIsAlwaysZero) {
+  Cost c = Cost::zero();
+  EXPECT_EQ(c(0), 0.0);
+  EXPECT_EQ(c(1000000), 0.0);
+  EXPECT_TRUE(c.is_increasing());
+  ASSERT_TRUE(c.affine().has_value());
+  EXPECT_EQ(c.affine()->per_item, 0.0);
+}
+
+TEST(Cost, LinearScales) {
+  Cost c = Cost::linear(0.009288);
+  EXPECT_EQ(c(0), 0.0);
+  EXPECT_DOUBLE_EQ(c(1), 0.009288);
+  EXPECT_DOUBLE_EQ(c(1000), 9.288);
+  EXPECT_DOUBLE_EQ(c.per_item_slope(), 0.009288);
+}
+
+TEST(Cost, LinearRejectsNegativeSlope) {
+  EXPECT_THROW(Cost::linear(-1.0), lbs::Error);
+}
+
+TEST(Cost, AffineIsNullAtZero) {
+  // The paper's framework requires Tcomm(i, 0) = Tcomp(i, 0) = 0 even when
+  // a per-message latency exists.
+  Cost c = Cost::affine(0.5, 0.01);
+  EXPECT_EQ(c(0), 0.0);
+  EXPECT_DOUBLE_EQ(c(1), 0.51);
+  EXPECT_DOUBLE_EQ(c(100), 1.5);
+  ASSERT_TRUE(c.affine().has_value());
+  EXPECT_EQ(c.affine()->fixed, 0.5);
+}
+
+TEST(Cost, AffineWithZeroFixedCollapsesToLinear) {
+  Cost c = Cost::affine(0.0, 0.2);
+  EXPECT_DOUBLE_EQ(c(5), 1.0);
+  EXPECT_EQ(c.affine()->fixed, 0.0);
+}
+
+TEST(Cost, NegativeItemsThrow) {
+  EXPECT_THROW(Cost::linear(1.0)(-1), lbs::Error);
+  EXPECT_THROW(Cost::affine(1.0, 1.0)(-5), lbs::Error);
+}
+
+TEST(Cost, TabulatedInterpolates) {
+  Cost c = Cost::tabulated({{10, 1.0}, {20, 3.0}});
+  EXPECT_EQ(c(0), 0.0);
+  EXPECT_DOUBLE_EQ(c(5), 0.5);    // interpolating from implicit (0,0)
+  EXPECT_DOUBLE_EQ(c(10), 1.0);
+  EXPECT_DOUBLE_EQ(c(15), 2.0);
+  EXPECT_DOUBLE_EQ(c(20), 3.0);
+}
+
+TEST(Cost, TabulatedExtrapolatesLastSlope) {
+  Cost c = Cost::tabulated({{10, 1.0}, {20, 3.0}});
+  EXPECT_DOUBLE_EQ(c(30), 5.0);  // slope 0.2 past the last sample
+}
+
+TEST(Cost, TabulatedSingleSampleExtrapolatesProportionally) {
+  Cost c = Cost::tabulated({{10, 2.0}});
+  EXPECT_DOUBLE_EQ(c(20), 4.0);
+}
+
+TEST(Cost, TabulatedIsNotAffine) {
+  Cost c = Cost::tabulated({{10, 1.0}, {20, 3.0}});
+  EXPECT_FALSE(c.affine().has_value());
+  EXPECT_THROW(c.per_item_slope(), lbs::Error);
+}
+
+TEST(Cost, TabulatedDetectsNonIncreasing) {
+  Cost increasing = Cost::tabulated({{10, 1.0}, {20, 3.0}});
+  EXPECT_TRUE(increasing.is_increasing());
+  Cost dipping = Cost::tabulated({{10, 3.0}, {20, 1.0}});
+  EXPECT_FALSE(dipping.is_increasing());
+}
+
+TEST(Cost, TabulatedRejectsUnsortedSamples) {
+  EXPECT_THROW(Cost::tabulated({{20, 1.0}, {10, 2.0}}), lbs::Error);
+  EXPECT_THROW(Cost::tabulated({{10, 1.0}, {10, 2.0}}), lbs::Error);
+  EXPECT_THROW(Cost::tabulated({}), lbs::Error);
+}
+
+TEST(Cost, ChunkedAddsStepPerChunk) {
+  Cost c = Cost::chunked(0.1, 10, 1.0);
+  EXPECT_EQ(c(0), 0.0);
+  EXPECT_DOUBLE_EQ(c(9), 0.9);
+  EXPECT_DOUBLE_EQ(c(10), 2.0);   // 1.0 + one step
+  EXPECT_DOUBLE_EQ(c(25), 4.5);   // 2.5 + two steps
+  EXPECT_TRUE(c.is_increasing());
+  EXPECT_FALSE(c.affine().has_value());
+}
+
+TEST(Cost, ChunkedWithZeroStepIsAffine) {
+  Cost c = Cost::chunked(0.1, 10, 0.0);
+  EXPECT_TRUE(c.affine().has_value());
+}
+
+TEST(Cost, DefaultConstructedIsZero) {
+  Cost c;
+  EXPECT_EQ(c(123), 0.0);
+}
+
+TEST(Cost, FromBandwidthMatchesHandComputation) {
+  // 100 Mbit/s moving 48-byte events: 48*8 / 100e6 = 3.84 us/item.
+  auto cost = Cost::from_bandwidth(100.0, 48);
+  EXPECT_NEAR(cost.per_item_slope(), 3.84e-6, 1e-12);
+  EXPECT_EQ(cost(0), 0.0);
+  // merlin's 10 Mbit/s hub with ~1 KB rays would give ~8.2e-4 s/ray.
+  auto hub = Cost::from_bandwidth(10.0, 1024, 0.001);
+  ASSERT_TRUE(hub.affine().has_value());
+  EXPECT_NEAR(hub.affine()->per_item, 8.192e-4, 1e-9);
+  EXPECT_EQ(hub.affine()->fixed, 0.001);
+}
+
+TEST(Cost, FromBandwidthRejectsBadInput) {
+  EXPECT_THROW(Cost::from_bandwidth(0.0, 48), lbs::Error);
+  EXPECT_THROW(Cost::from_bandwidth(-10.0, 48), lbs::Error);
+  EXPECT_THROW(Cost::from_bandwidth(100.0, 0), lbs::Error);
+}
+
+TEST(Calibrate, RecoversLinearModel) {
+  std::vector<std::pair<long long, double>> samples;
+  for (long long x = 1000; x <= 10000; x += 1000) {
+    samples.emplace_back(x, 0.009288 * static_cast<double>(x));
+  }
+  auto result = calibrate(samples);
+  EXPECT_TRUE(result.linear_model);
+  EXPECT_NEAR(result.alpha, 0.009288, 1e-9);
+  EXPECT_NEAR(result.cost(817101), 0.009288 * 817101, 1e-3);
+}
+
+TEST(Calibrate, KeepsSignificantIntercept) {
+  std::vector<std::pair<long long, double>> samples;
+  for (long long x = 10; x <= 100; x += 10) {
+    samples.emplace_back(x, 5.0 + 0.01 * static_cast<double>(x));
+  }
+  auto result = calibrate(samples);
+  EXPECT_FALSE(result.linear_model);
+  EXPECT_NEAR(result.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(result.alpha, 0.01, 1e-9);
+}
+
+TEST(Calibrate, DropsNegligibleIntercept) {
+  std::vector<std::pair<long long, double>> samples;
+  for (long long x = 100000; x <= 1000000; x += 100000) {
+    samples.emplace_back(x, 0.001 + 1e-5 * static_cast<double>(x));
+  }
+  auto result = calibrate(samples);
+  EXPECT_TRUE(result.linear_model);
+  // The proportional refit absorbs the tiny intercept into the slope, so
+  // allow a proportional-fit bias well under 0.1% of the slope.
+  EXPECT_NEAR(result.alpha, 1e-5, 1e-8);
+}
+
+TEST(Calibrate, RequiresTwoSamples) {
+  std::vector<std::pair<long long, double>> samples{{10, 1.0}};
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+}
+
+TEST(Rating, MatchesTable1Convention) {
+  // Table 1: caseb (α = 0.004629) rates 2.00 relative to dinadan (0.009288).
+  EXPECT_NEAR(rating(0.004629, 0.009288), 2.0, 0.01);
+  EXPECT_NEAR(rating(0.016156, 0.009288), 0.57, 0.005);
+  EXPECT_DOUBLE_EQ(rating(0.009288, 0.009288), 1.0);
+}
+
+}  // namespace
+}  // namespace lbs::model

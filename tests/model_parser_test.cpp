@@ -1,0 +1,147 @@
+#include "model/grid_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/testbed.hpp"
+
+namespace lbs::model {
+namespace {
+
+constexpr const char* kSample = R"(
+# two-site example
+machine dinadan cpus 1 alpha 0.009288 cpu PIII/933 site strasbourg
+machine leda cpus 8 alpha 0.009677 site cines
+link dinadan leda beta 3.53e-5
+data_home dinadan
+)";
+
+TEST(GridParser, ParsesValidConfig) {
+  auto result = parse_grid(kSample);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Grid& grid = *result.grid;
+  ASSERT_EQ(grid.machines().size(), 2u);
+  EXPECT_EQ(grid.machine(0).name, "dinadan");
+  EXPECT_EQ(grid.machine(0).cpu_description, "PIII/933");
+  EXPECT_EQ(grid.machine(1).cpu_count, 8);
+  EXPECT_DOUBLE_EQ(grid.machine(1).comp.per_item_slope(), 0.009677);
+  EXPECT_DOUBLE_EQ(grid.link(0, 1).per_item_slope(), 3.53e-5);
+  EXPECT_EQ(grid.data_home(), 0);
+}
+
+TEST(GridParser, CommentsAndBlankLinesIgnored) {
+  auto result = parse_grid("# just a comment\n\nmachine a alpha 1.0  # trailing\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.grid->machines().size(), 1u);
+  EXPECT_EQ(result.grid->machine(0).cpu_count, 1);  // default
+}
+
+TEST(GridParser, AffineCosts) {
+  auto result = parse_grid(
+      "machine a alpha 0.01 fixed 0.5\n"
+      "machine b alpha 0.02\n"
+      "link a b beta 1e-5 fixed 0.02\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  auto comp = result.grid->machine(0).comp.affine();
+  ASSERT_TRUE(comp.has_value());
+  EXPECT_EQ(comp->fixed, 0.5);
+  auto link = result.grid->link(0, 1).affine();
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->fixed, 0.02);
+}
+
+TEST(GridParser, ForwardLinkReferencesAllowed) {
+  auto result = parse_grid(
+      "link a b beta 1e-5\n"
+      "machine a alpha 0.01\n"
+      "machine b alpha 0.02\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.grid->has_link(0, 1));
+}
+
+TEST(GridParser, ErrorsCarryLineNumbers) {
+  auto result = parse_grid("machine a alpha 0.01\nbogus directive\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+  EXPECT_NE(result.error.find("bogus"), std::string::npos);
+}
+
+TEST(GridParser, RejectsMachineWithoutAlpha) {
+  auto result = parse_grid("machine a cpus 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("alpha"), std::string::npos);
+}
+
+TEST(GridParser, RejectsBadNumbers) {
+  EXPECT_FALSE(parse_grid("machine a alpha xyz\n").ok());
+  EXPECT_FALSE(parse_grid("machine a alpha -0.5\n").ok());
+  EXPECT_FALSE(parse_grid("machine a cpus 0 alpha 1\n").ok());
+  EXPECT_FALSE(parse_grid("machine a alpha 1\nmachine b alpha 1\nlink a b beta nope\n").ok());
+}
+
+TEST(GridParser, RejectsDuplicateMachine) {
+  auto result = parse_grid("machine a alpha 1\nmachine a alpha 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(GridParser, RejectsUnknownLinkEndpoint) {
+  auto result = parse_grid("machine a alpha 1\nlink a ghost beta 1e-5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("ghost"), std::string::npos);
+}
+
+TEST(GridParser, RejectsSelfLink) {
+  auto result = parse_grid("machine a alpha 1\nlink a a beta 1e-5\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GridParser, RejectsUnknownDataHome) {
+  auto result = parse_grid("machine a alpha 1\ndata_home ghost\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GridParser, RejectsEmptyInput) {
+  EXPECT_FALSE(parse_grid("").ok());
+  EXPECT_FALSE(parse_grid("# only comments\n").ok());
+}
+
+TEST(GridParser, RejectsDanglingKey) {
+  auto result = parse_grid("machine a alpha\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("pairs"), std::string::npos);
+}
+
+TEST(GridParser, RejectsDuplicateKey) {
+  auto result = parse_grid("machine a alpha 1 alpha 2\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GridWriter, RoundTripsPaperTestbed) {
+  Grid original = paper_testbed();
+  std::string text = write_grid(original);
+  auto reparsed = parse_grid(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  const Grid& grid = *reparsed.grid;
+  ASSERT_EQ(grid.machines().size(), original.machines().size());
+  for (std::size_t m = 0; m < grid.machines().size(); ++m) {
+    int idx = static_cast<int>(m);
+    EXPECT_EQ(grid.machine(idx).name, original.machine(idx).name);
+    EXPECT_EQ(grid.machine(idx).cpu_count, original.machine(idx).cpu_count);
+    EXPECT_DOUBLE_EQ(grid.machine(idx).comp.per_item_slope(),
+                     original.machine(idx).comp.per_item_slope());
+  }
+  int n = static_cast<int>(grid.machines().size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      ASSERT_EQ(grid.has_link(a, b), original.has_link(a, b));
+      if (grid.has_link(a, b)) {
+        EXPECT_DOUBLE_EQ(grid.link(a, b).per_item_slope(),
+                         original.link(a, b).per_item_slope());
+      }
+    }
+  }
+  EXPECT_EQ(grid.data_home(), original.data_home());
+}
+
+}  // namespace
+}  // namespace lbs::model

@@ -1,0 +1,202 @@
+#include "model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::model {
+namespace {
+
+Grid two_machine_grid() {
+  Grid grid;
+  Machine a;
+  a.name = "root-box";
+  a.cpu_count = 1;
+  a.comp = Cost::linear(0.01);
+  grid.add_machine(a);
+  Machine b;
+  b.name = "worker";
+  b.cpu_count = 2;
+  b.comp = Cost::linear(0.005);
+  grid.add_machine(b);
+  grid.set_link(0, 1, Cost::linear(1e-5));
+  grid.set_data_home(0);
+  return grid;
+}
+
+TEST(Grid, MachineLookup) {
+  Grid grid = two_machine_grid();
+  EXPECT_EQ(grid.machine_index("root-box"), 0);
+  EXPECT_EQ(grid.machine_index("worker"), 1);
+  EXPECT_EQ(grid.machine_index("missing"), -1);
+  EXPECT_EQ(grid.machine(1).cpu_count, 2);
+}
+
+TEST(Grid, DuplicateMachineNameThrows) {
+  Grid grid = two_machine_grid();
+  Machine dup;
+  dup.name = "worker";
+  dup.comp = Cost::linear(1.0);
+  EXPECT_THROW(grid.add_machine(dup), lbs::Error);
+}
+
+TEST(Grid, SelfLinkIsZero) {
+  Grid grid = two_machine_grid();
+  EXPECT_EQ(grid.link(0, 0)(1000), 0.0);
+  EXPECT_THROW(grid.set_link(1, 1, Cost::linear(1.0)), lbs::Error);
+}
+
+TEST(Grid, LinkIsSymmetric) {
+  Grid grid = two_machine_grid();
+  EXPECT_DOUBLE_EQ(grid.link(0, 1)(100), grid.link(1, 0)(100));
+}
+
+TEST(Grid, UnsetLinkThrows) {
+  Grid grid;
+  Machine a;
+  a.name = "a";
+  a.comp = Cost::linear(1.0);
+  grid.add_machine(a);
+  Machine b;
+  b.name = "b";
+  b.comp = Cost::linear(1.0);
+  grid.add_machine(b);
+  EXPECT_FALSE(grid.has_link(0, 1));
+  EXPECT_THROW(grid.link(0, 1), lbs::Error);
+}
+
+TEST(Grid, AllProcessorsEnumeratesCpus) {
+  Grid grid = two_machine_grid();
+  auto procs = grid.all_processors();
+  ASSERT_EQ(procs.size(), 3u);
+  EXPECT_EQ(grid.total_cpus(), 3);
+  EXPECT_EQ(procs[0], (ProcessorRef{0, 0}));
+  EXPECT_EQ(procs[1], (ProcessorRef{1, 0}));
+  EXPECT_EQ(procs[2], (ProcessorRef{1, 1}));
+}
+
+TEST(Grid, ProcessorLabels) {
+  Grid grid = two_machine_grid();
+  EXPECT_EQ(grid.processor_label({0, 0}), "root-box");
+  EXPECT_EQ(grid.processor_label({1, 1}), "worker#1");
+}
+
+TEST(MakePlatform, RootIsLastWithZeroComm) {
+  Grid grid = two_machine_grid();
+  Platform platform = make_platform(grid, ProcessorRef{0, 0});
+  ASSERT_EQ(platform.size(), 3);
+  EXPECT_EQ(platform[2].label, "root-box");
+  EXPECT_EQ(platform[2].comm(100000), 0.0);
+  EXPECT_GT(platform[0].comm(100000), 0.0);
+}
+
+TEST(MakePlatform, RespectsExplicitOrder) {
+  Grid grid = two_machine_grid();
+  std::vector<ProcessorRef> order{{1, 1}, {1, 0}};
+  Platform platform = make_platform(grid, ProcessorRef{0, 0}, order);
+  ASSERT_EQ(platform.size(), 3);
+  EXPECT_EQ(platform[0].label, "worker#1");
+  EXPECT_EQ(platform[1].label, "worker#0");
+  EXPECT_EQ(platform[2].label, "root-box");
+}
+
+TEST(MakePlatform, DuplicateProcessorThrows) {
+  Grid grid = two_machine_grid();
+  std::vector<ProcessorRef> order{{1, 0}, {1, 0}};
+  EXPECT_THROW(make_platform(grid, ProcessorRef{0, 0}, order), lbs::Error);
+}
+
+TEST(MakePlatform, BadCpuIndexThrows) {
+  Grid grid = two_machine_grid();
+  std::vector<ProcessorRef> order{{1, 5}};
+  EXPECT_THROW(make_platform(grid, ProcessorRef{0, 0}, order), lbs::Error);
+}
+
+TEST(Platform, CostPropertyChecks) {
+  Grid grid = two_machine_grid();
+  Platform platform = make_platform(grid, ProcessorRef{0, 0});
+  EXPECT_TRUE(platform.all_costs_increasing());
+  EXPECT_TRUE(platform.all_costs_affine());
+}
+
+TEST(PaperTestbed, MatchesTable1) {
+  Grid grid = paper_testbed();
+  ASSERT_EQ(grid.machines().size(), 7u);
+  EXPECT_EQ(grid.total_cpus(), 16);  // the paper's 16 processors
+
+  int dinadan = grid.machine_index("dinadan");
+  ASSERT_GE(dinadan, 0);
+  EXPECT_EQ(grid.data_home(), dinadan);
+  EXPECT_DOUBLE_EQ(grid.machine(dinadan).comp.per_item_slope(), 0.009288);
+
+  int leda = grid.machine_index("leda");
+  ASSERT_GE(leda, 0);
+  EXPECT_EQ(grid.machine(leda).cpu_count, 8);
+  EXPECT_DOUBLE_EQ(grid.machine(leda).comp.per_item_slope(), 0.009677);
+  EXPECT_DOUBLE_EQ(grid.link(dinadan, leda).per_item_slope(), 3.53e-5);
+
+  int merlin = grid.machine_index("merlin");
+  ASSERT_GE(merlin, 0);
+  // merlin is behind the 10 Mbit/s hub: worst bandwidth in Table 1.
+  EXPECT_DOUBLE_EQ(grid.link(dinadan, merlin).per_item_slope(), 8.15e-5);
+}
+
+TEST(PaperTestbed, RootIsDinadan) {
+  Grid grid = paper_testbed();
+  auto root = paper_root(grid);
+  EXPECT_EQ(grid.processor_label(root), "dinadan");
+}
+
+TEST(PaperTestbed, PlatformHas16ProcessorsRootLast) {
+  Grid grid = paper_testbed();
+  Platform platform = make_platform(grid, paper_root(grid));
+  ASSERT_EQ(platform.size(), 16);
+  EXPECT_EQ(platform[15].label, "dinadan");
+  EXPECT_TRUE(platform.all_costs_affine());
+}
+
+TEST(RandomGrid, IsWellFormed) {
+  support::Rng rng(1234);
+  Grid grid = random_grid(rng, 6, /*affine=*/false);
+  EXPECT_EQ(grid.machines().size(), 6u);
+  EXPECT_GE(grid.data_home(), 0);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      EXPECT_TRUE(grid.has_link(a, b));
+      EXPECT_GT(grid.link(a, b)(1), 0.0);
+    }
+  }
+  Platform platform = make_platform(grid, ProcessorRef{grid.data_home(), 0});
+  EXPECT_EQ(platform.size(), grid.total_cpus());
+  EXPECT_TRUE(platform.all_costs_increasing());
+}
+
+TEST(RandomGrid, AffineVariantHasFixedTerms) {
+  support::Rng rng(99);
+  Grid grid = random_grid(rng, 8, /*affine=*/true);
+  bool any_fixed = false;
+  for (const auto& machine : grid.machines()) {
+    auto coeffs = machine.comp.affine();
+    ASSERT_TRUE(coeffs.has_value());
+    if (coeffs->fixed > 0.0) any_fixed = true;
+  }
+  EXPECT_TRUE(any_fixed);
+}
+
+TEST(RandomGrid, DeterministicForSeed) {
+  support::Rng rng1(7);
+  support::Rng rng2(7);
+  Grid a = random_grid(rng1, 5, false);
+  Grid b = random_grid(rng2, 5, false);
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(a.machine(static_cast<int>(m)).cpu_count,
+              b.machine(static_cast<int>(m)).cpu_count);
+    EXPECT_DOUBLE_EQ(a.machine(static_cast<int>(m)).comp.per_item_slope(),
+                     b.machine(static_cast<int>(m)).comp.per_item_slope());
+  }
+}
+
+}  // namespace
+}  // namespace lbs::model

@@ -1,0 +1,119 @@
+#include "mq/hier_scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mq/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+RuntimeOptions plain(int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  return options;
+}
+
+// Reference: what flat scatterv would deliver to `rank`.
+std::vector<int> expected_block(const std::vector<long long>& counts, int rank,
+                                const std::vector<int>& data) {
+  long long offset = 0;
+  for (int r = 0; r < rank; ++r) offset += counts[static_cast<std::size_t>(r)];
+  auto begin = data.begin() + static_cast<std::ptrdiff_t>(offset);
+  return {begin, begin + static_cast<std::ptrdiff_t>(counts[static_cast<std::size_t>(rank)])};
+}
+
+void run_case(int ranks, int root, const std::vector<long long>& counts,
+              const std::vector<int>& sites) {
+  long long total = std::accumulate(counts.begin(), counts.end(), 0LL);
+  std::vector<int> data(static_cast<std::size_t>(total));
+  std::iota(data.begin(), data.end(), 1000);
+
+  Runtime::run(plain(ranks), [&](Comm& comm) {
+    std::span<const int> send;
+    if (comm.rank() == root) send = data;
+    auto mine = hierarchical_scatterv<int>(comm, root, send, counts, sites);
+    EXPECT_EQ(mine, expected_block(counts, comm.rank(), data))
+        << "rank " << comm.rank();
+  });
+}
+
+TEST(HierScatter, MatchesFlatScattervTwoSites) {
+  run_case(6, 0, {3, 1, 4, 1, 5, 9}, {0, 0, 0, 1, 1, 1});
+}
+
+TEST(HierScatter, InterleavedSites) {
+  run_case(6, 0, {2, 7, 1, 8, 2, 8}, {0, 1, 0, 1, 0, 1});
+}
+
+TEST(HierScatter, RootNotRankZero) {
+  run_case(5, 3, {1, 2, 3, 4, 5}, {0, 0, 1, 1, 1});
+}
+
+TEST(HierScatter, RootNotLowestOfItsSite) {
+  // Root 2's site also contains rank 0; the root must coordinate anyway.
+  run_case(4, 2, {4, 3, 2, 1}, {0, 1, 0, 1});
+}
+
+TEST(HierScatter, ZeroCountsAllowed) {
+  run_case(5, 0, {0, 5, 0, 7, 0}, {0, 0, 1, 1, 1});
+}
+
+TEST(HierScatter, SingleSiteDegeneratesToFlat) {
+  run_case(4, 1, {2, 2, 2, 2}, {0, 0, 0, 0});
+}
+
+TEST(HierScatter, EverySiteSingleton) {
+  run_case(4, 0, {1, 2, 3, 4}, {0, 1, 2, 3});
+}
+
+TEST(HierScatter, WanMessagesCountPerSiteNotPerRank) {
+  // With pacing, the flat scatterv pays WAN occupancy once per remote
+  // rank; the hierarchical one pays it once per remote *site* plus cheap
+  // LAN traffic, so under a slow WAN it finishes sooner.
+  constexpr int kRanks = 8;
+  std::vector<int> sites{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<long long> counts(kRanks, 64);
+  std::vector<int> data(64 * kRanks, 7);
+
+  auto measure = [&](bool hierarchical) {
+    RuntimeOptions options = plain(kRanks);
+    options.time_scale = 1.0;
+    options.link_cost = [&](int from, int to, std::size_t bytes) {
+      bool wan = sites[static_cast<std::size_t>(from)] !=
+                 sites[static_cast<std::size_t>(to)];
+      return static_cast<double>(bytes) * (wan ? 4e-5 : 1e-6);
+    };
+    double completion = 0.0;
+    std::mutex mutex;
+    Runtime::run(options, [&](Comm& comm) {
+      std::span<const int> send;
+      if (comm.rank() == 0) send = data;
+      std::vector<int> mine;
+      if (hierarchical) {
+        mine = hierarchical_scatterv<int>(comm, 0, send, counts, sites);
+      } else {
+        mine = comm.scatterv<int>(0, send, counts);
+      }
+      EXPECT_EQ(mine.size(), 64u);
+      std::lock_guard lock(mutex);
+      completion = std::max(completion, comm.wtime());
+    });
+    return completion;
+  };
+
+  double flat = measure(false);
+  double hierarchical = measure(true);
+  // Under bytes-only pacing both variants move the same WAN byte volume
+  // (4 blocks vs 1 aggregate of 4 blocks), so their times are comparable;
+  // the hierarchical win is the single WAN *handshake*, which per-message
+  // latency modeling shows (see bench_bcast_trees). Assert the honest
+  // property here: same results (checked above) at comparable cost.
+  EXPECT_LT(hierarchical, flat * 1.5);
+  EXPECT_GT(hierarchical, flat * 0.5);
+}
+
+}  // namespace
+}  // namespace lbs::mq

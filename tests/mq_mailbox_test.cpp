@@ -1,0 +1,171 @@
+// Direct unit tests of the mailbox matching/blocking semantics (the mq
+// runtime's core), including concurrent producers and shutdown behavior.
+
+#include "mq/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+Message make_message(int source, int tag, std::byte value = std::byte{0}) {
+  Message message;
+  message.source = source;
+  message.tag = tag;
+  message.payload = {value};
+  return message;
+}
+
+TEST(Mailbox, RetrieveMatchesExactSourceAndTag) {
+  Mailbox mailbox;
+  mailbox.deposit(make_message(1, 10, std::byte{1}));
+  mailbox.deposit(make_message(2, 10, std::byte{2}));
+  mailbox.deposit(make_message(1, 20, std::byte{3}));
+  auto message = mailbox.retrieve(1, 20);
+  EXPECT_EQ(message.payload[0], std::byte{3});
+  EXPECT_EQ(mailbox.pending(), 2u);
+}
+
+TEST(Mailbox, WildcardSourceTakesFirstMatch) {
+  Mailbox mailbox;
+  mailbox.deposit(make_message(5, 7, std::byte{5}));
+  mailbox.deposit(make_message(6, 7, std::byte{6}));
+  auto message = mailbox.retrieve(kAnySource, 7);
+  EXPECT_EQ(message.source, 5);
+}
+
+TEST(Mailbox, WildcardTagTakesFirstFromSource) {
+  Mailbox mailbox;
+  mailbox.deposit(make_message(3, 1, std::byte{1}));
+  mailbox.deposit(make_message(3, 2, std::byte{2}));
+  auto message = mailbox.retrieve(3, kAnyTag);
+  EXPECT_EQ(message.tag, 1);
+}
+
+TEST(Mailbox, NonOvertakingWithinSourceTagPair) {
+  Mailbox mailbox;
+  for (int i = 0; i < 10; ++i) {
+    mailbox.deposit(make_message(1, 1, std::byte{static_cast<unsigned char>(i)}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(mailbox.retrieve(1, 1).payload[0],
+              std::byte{static_cast<unsigned char>(i)});
+  }
+}
+
+TEST(Mailbox, ProbeDoesNotConsume) {
+  Mailbox mailbox;
+  EXPECT_FALSE(mailbox.probe(1, 1));
+  mailbox.deposit(make_message(1, 1));
+  EXPECT_TRUE(mailbox.probe(1, 1));
+  EXPECT_TRUE(mailbox.probe(kAnySource, kAnyTag));
+  EXPECT_FALSE(mailbox.probe(2, 1));
+  EXPECT_EQ(mailbox.pending(), 1u);
+}
+
+TEST(Mailbox, RetrieveBlocksUntilDeposit) {
+  Mailbox mailbox;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto message = mailbox.retrieve(9, 9);
+    EXPECT_EQ(message.payload[0], std::byte{42});
+    got = true;
+  });
+  // Give the consumer a moment to block, then satisfy it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  mailbox.deposit(make_message(9, 9, std::byte{42}));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Mailbox, ShutdownWakesBlockedReceivers) {
+  Mailbox mailbox;
+  std::atomic<int> threw{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      try {
+        mailbox.retrieve(1, 1);
+      } catch (const Error&) {
+        ++threw;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mailbox.shutdown();
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(threw.load(), 4);
+}
+
+TEST(Mailbox, RetrieveAfterShutdownThrowsImmediately) {
+  Mailbox mailbox;
+  mailbox.shutdown();
+  EXPECT_THROW(mailbox.retrieve(1, 1), Error);
+}
+
+TEST(Mailbox, ConcurrentProducersAllDelivered) {
+  Mailbox mailbox;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        mailbox.deposit(make_message(p, i % 3));
+      }
+    });
+  }
+  std::atomic<int> received{0};
+  std::thread consumer([&] {
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+      mailbox.retrieve(kAnySource, kAnyTag);
+      ++received;
+    }
+  });
+  for (auto& producer : producers) producer.join();
+  consumer.join();
+  EXPECT_EQ(received.load(), kProducers * kPerProducer);
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(Mailbox, InterleavedTagsUnderConcurrency) {
+  Mailbox mailbox;
+  constexpr int kMessages = 300;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      mailbox.deposit(make_message(0, i % 2, std::byte{static_cast<unsigned char>(i % 251)}));
+    }
+  });
+  int even_seen = 0;
+  int odd_seen = 0;
+  std::thread even_consumer([&] {
+    for (int i = 0; i < kMessages / 2; ++i) {
+      auto message = mailbox.retrieve(0, 0);
+      EXPECT_EQ(message.tag, 0);
+      ++even_seen;
+    }
+  });
+  std::thread odd_consumer([&] {
+    for (int i = 0; i < kMessages / 2; ++i) {
+      auto message = mailbox.retrieve(0, 1);
+      EXPECT_EQ(message.tag, 1);
+      ++odd_seen;
+    }
+  });
+  producer.join();
+  even_consumer.join();
+  odd_consumer.join();
+  EXPECT_EQ(even_seen, kMessages / 2);
+  EXPECT_EQ(odd_seen, kMessages / 2);
+}
+
+}  // namespace
+}  // namespace lbs::mq

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mq/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+RuntimeOptions plain(int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  return options;
+}
+
+TEST(Nonblocking, IsendIrecvRoundTrip) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data{1.0, 2.0, 3.0};
+      auto request = comm.isend<double>(1, 9, data);
+      request.wait();
+    } else {
+      auto request = comm.irecv(0, 9);
+      request.wait();
+      auto data = Comm::decode<double>(request.take_payload());
+      EXPECT_EQ(data, (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(Nonblocking, ManyOutstandingRequestsComplete) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    constexpr int kMessages = 32;
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      for (int i = 0; i < kMessages; ++i) {
+        std::vector<int> payload{i};
+        requests.push_back(comm.isend<int>(1, i, payload));
+      }
+      for (auto& request : requests) request.wait();
+    } else {
+      // Receive in reverse tag order to prove completion independence.
+      for (int i = kMessages - 1; i >= 0; --i) {
+        auto request = comm.irecv(0, i);
+        request.wait();
+        auto data = Comm::decode<int>(request.take_payload());
+        ASSERT_EQ(data.size(), 1u);
+        EXPECT_EQ(data[0], i);
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, TestPollsWithoutBlocking) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto request = comm.irecv(1, 4);
+      // Nothing sent yet: test() must not hang (may be false).
+      (void)request.test();
+      comm.send_value<int>(1, 3, 1);  // release the peer
+      request.wait();
+      EXPECT_TRUE(request.test());
+      auto data = Comm::decode<int>(request.take_payload());
+      EXPECT_EQ(data[0], 77);
+    } else {
+      comm.recv_value<int>(0, 3);
+      comm.send_value<int>(0, 4, 77);
+    }
+  });
+}
+
+TEST(Nonblocking, SenderOverlapsComputeWithTransfer) {
+  // With pacing on, a blocking send costs the sender the transfer time;
+  // an isend hands it to the worker so the sender's own "compute" overlaps.
+  RuntimeOptions options = plain(2);
+  options.time_scale = 1.0;
+  options.link_cost = [](int from, int, std::size_t) {
+    return from == 0 ? 0.05 : 0.0;
+  };
+  double isend_elapsed = 1e9;
+  Runtime::run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> payload(64);
+      double t0 = comm.wtime();
+      auto request = comm.isend<int>(1, 0, payload);
+      double issue_time = comm.wtime() - t0;
+      request.wait();
+      isend_elapsed = issue_time;
+    } else {
+      comm.recv_message(0, 0);
+    }
+  });
+  // Issuing must return well before the 50 ms transfer completes.
+  EXPECT_LT(isend_elapsed, 0.02);
+}
+
+TEST(Nonblocking, NicSerializesConcurrentIsends) {
+  // Two isends from the same rank with 30 ms pacing each must take >= 60 ms
+  // end-to-end: the per-rank NIC enforces the single-port model.
+  RuntimeOptions options = plain(3);
+  options.time_scale = 1.0;
+  options.link_cost = [](int from, int, std::size_t) {
+    return from == 0 ? 0.03 : 0.0;
+  };
+  double total = 0.0;
+  Runtime::run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> payload(8);
+      double t0 = comm.wtime();
+      auto r1 = comm.isend<int>(1, 0, payload);
+      auto r2 = comm.isend<int>(2, 0, payload);
+      r1.wait();
+      r2.wait();
+      total = comm.wtime() - t0;
+    } else {
+      comm.recv_message(0, 0);
+    }
+  });
+  EXPECT_GE(total, 0.055);
+}
+
+TEST(Nonblocking, EmptyRequestOperationsThrow) {
+  Request request;
+  EXPECT_FALSE(request.valid());
+  EXPECT_THROW(request.wait(), lbs::Error);
+  EXPECT_THROW(request.test(), lbs::Error);
+  EXPECT_THROW((void)request.take_payload(), lbs::Error);
+}
+
+TEST(Nonblocking, TakePayloadBeforeCompletionThrows) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto request = comm.irecv(1, 0);
+      EXPECT_THROW((void)request.take_payload(), lbs::Error);
+      comm.send_value<int>(1, 1, 0);
+      request.wait();
+      (void)request.take_payload();
+    } else {
+      comm.recv_value<int>(0, 1);
+      comm.send_value<int>(0, 0, 5);
+    }
+  });
+}
+
+TEST(Nonblocking, AbortUnblocksPendingIrecv) {
+  // Rank 1 dies while rank 0 has a pending irecv from it: the request's
+  // wait() must surface the shutdown instead of hanging.
+  EXPECT_THROW(
+      Runtime::run(plain(2),
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) throw Error("peer died");
+                     auto request = comm.irecv(1, 0);
+                     request.wait();
+                   }),
+      lbs::Error);
+}
+
+TEST(Collectives, AllgatherConcatenatesInRankOrder) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    std::vector<int> mine{comm.rank() * 10, comm.rank() * 10 + 1};
+    auto all = comm.allgather<int>(mine);
+    ASSERT_EQ(all.size(), 8u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r) * 2], r * 10);
+      EXPECT_EQ(all[static_cast<std::size_t>(r) * 2 + 1], r * 10 + 1);
+    }
+  });
+}
+
+TEST(Collectives, AlltoallExchangesPersonalizedBlocks) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    // Block for peer r: [rank*100 + r] repeated (r+1) times.
+    std::vector<std::vector<long long>> send(4);
+    for (int r = 0; r < 4; ++r) {
+      send[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(r + 1),
+                                               comm.rank() * 100 + r);
+    }
+    auto received = comm.alltoall<long long>(send);
+    ASSERT_EQ(received.size(), 4u);
+    for (int source = 0; source < 4; ++source) {
+      const auto& block = received[static_cast<std::size_t>(source)];
+      ASSERT_EQ(block.size(), static_cast<std::size_t>(comm.rank() + 1))
+          << "from " << source;
+      for (long long value : block) {
+        EXPECT_EQ(value, source * 100 + comm.rank());
+      }
+    }
+  });
+}
+
+TEST(Collectives, AlltoallEmptyBlocksAllowed) {
+  Runtime::run(plain(3), [](Comm& comm) {
+    std::vector<std::vector<int>> send(3);  // everything empty
+    auto received = comm.alltoall<int>(send);
+    for (const auto& block : received) EXPECT_TRUE(block.empty());
+  });
+}
+
+TEST(Collectives, SendrecvRingExchangeDoesNotDeadlock) {
+  Runtime::run(plain(5), [](Comm& comm) {
+    int right = (comm.rank() + 1) % comm.size();
+    int left = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<int> outgoing{comm.rank()};
+    auto incoming = comm.sendrecv<int>(right, 7, outgoing, left, 7);
+    ASSERT_EQ(incoming.size(), 1u);
+    EXPECT_EQ(incoming[0], left);
+  });
+}
+
+TEST(Nonblocking, IsendWithNegativeTagThrows) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.isend_bytes(1, -5, {}), lbs::Error);
+      comm.send_value<int>(1, 0, 1);
+    } else {
+      comm.recv_value<int>(0, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lbs::mq

@@ -1,0 +1,331 @@
+#include "mq/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mq/platform_link.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+RuntimeOptions plain(int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  return options;
+}
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> per_rank(8);
+  Runtime::run(plain(8), [&](Comm& comm) {
+    ++calls;
+    ++per_rank[static_cast<std::size_t>(comm.rank())];
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(calls.load(), 8);
+  for (auto& count : per_rank) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Runtime, SingleRankWorks) {
+  int visited = 0;
+  Runtime::run(plain(1), [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(Runtime, InvalidOptionsThrow) {
+  EXPECT_THROW(Runtime::run(plain(0), [](Comm&) {}), lbs::Error);
+  RuntimeOptions bad = plain(2);
+  bad.time_scale = -1.0;
+  EXPECT_THROW(Runtime::run(bad, [](Comm&) {}), lbs::Error);
+  EXPECT_THROW(Runtime::run(plain(1), nullptr), lbs::Error);
+}
+
+TEST(PointToPoint, SendRecvRoundTrip) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data{1.5, 2.5, 3.5};
+      comm.send<double>(1, 7, data);
+    } else {
+      auto data = comm.recv<double>(0, 7);
+      EXPECT_EQ(data, (std::vector<double>{1.5, 2.5, 3.5}));
+    }
+  });
+}
+
+TEST(PointToPoint, TagMatchingSelectsRightMessage) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 10, 100);
+      comm.send_value<int>(1, 20, 200);
+    } else {
+      // Receive in reverse tag order: matching must skip the tag-10 message.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(PointToPoint, WildcardsMatchAnything) {
+  Runtime::run(plain(3), [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(0, comm.rank(), comm.rank() * 11);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        auto message = comm.recv_message(kAnySource, kAnyTag);
+        sum += message.source;
+        EXPECT_EQ(message.tag, message.source);
+      }
+      EXPECT_EQ(sum, 3);  // ranks 1 and 2
+    }
+  });
+}
+
+TEST(PointToPoint, NonOvertakingSameSourceSameTag) {
+  Runtime::run(plain(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value<int>(1, 5, i);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendThrows) {
+  EXPECT_THROW(Runtime::run(plain(2),
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) comm.send_value<int>(0, 1, 42);
+                              else comm.recv_value<int>(0, 1);
+                            }),
+               lbs::Error);
+}
+
+TEST(PointToPoint, NegativeUserTagThrows) {
+  EXPECT_THROW(Runtime::run(plain(2),
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) comm.send_value<int>(1, -2, 1);
+                              else comm.recv_value<int>(0, 0);
+                            }),
+               lbs::Error);
+}
+
+TEST(Runtime, RankExceptionPropagatesWithoutDeadlock) {
+  // Rank 1 dies; rank 0 is blocked receiving from it. The runtime must
+  // unblock rank 0 and rethrow rank 1's error.
+  EXPECT_THROW(Runtime::run(plain(2),
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw Error("rank 1 exploded");
+                              }
+                              comm.recv_value<int>(1, 0);  // would block forever
+                            }),
+               lbs::Error);
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  Runtime::run(plain(6), [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 6) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Collectives, BcastDistributesFromEveryRoot) {
+  for (int root = 0; root < 3; ++root) {
+    Runtime::run(plain(3), [root](Comm& comm) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, root + 1, root + 2};
+      comm.bcast(root, data);
+      EXPECT_EQ(data, (std::vector<int>{root, root + 1, root + 2}));
+    });
+  }
+}
+
+TEST(Collectives, ScatterEqualShares) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    std::vector<long long> send;
+    if (comm.rank() == 0) {
+      send.resize(20);
+      std::iota(send.begin(), send.end(), 0);
+    }
+    auto mine = comm.scatter<long long>(0, send, 5);
+    ASSERT_EQ(mine.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)], comm.rank() * 5 + i);
+    }
+  });
+}
+
+TEST(Collectives, ScattervUnequalShares) {
+  // The paper's transformation: MPI_Scatterv with custom counts.
+  Runtime::run(plain(4), [](Comm& comm) {
+    std::vector<long long> counts{1, 0, 4, 5};
+    std::vector<int> send;
+    if (comm.rank() == 3) {  // root last, paper convention
+      send.resize(10);
+      std::iota(send.begin(), send.end(), 100);
+    }
+    auto mine = comm.scatterv<int>(3, send, counts);
+    EXPECT_EQ(mine.size(),
+              static_cast<std::size_t>(counts[static_cast<std::size_t>(comm.rank())]));
+    // Rank 2's chunk starts at displacement 1: values 101..104.
+    if (comm.rank() == 2) {
+      EXPECT_EQ(mine.front(), 101);
+      EXPECT_EQ(mine.back(), 104);
+    }
+    if (comm.rank() == 3) {
+      EXPECT_EQ(mine.front(), 105);
+      EXPECT_EQ(mine.back(), 109);
+    }
+  });
+}
+
+TEST(Collectives, ScattervBufferOverrunThrows) {
+  EXPECT_THROW(
+      Runtime::run(plain(2),
+                   [](Comm& comm) {
+                     std::vector<long long> counts{5, 5};
+                     std::vector<int> send(8);  // too small
+                     comm.scatterv<int>(0, send, counts);
+                   }),
+      lbs::Error);
+}
+
+TEST(Collectives, GathervCollectsInRankOrder) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()), comm.rank());
+    auto all = comm.gatherv<int>(0, mine);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Collectives, ReduceSums) {
+  Runtime::run(plain(5), [](Comm& comm) {
+    std::vector<long long> contribution{static_cast<long long>(comm.rank()), 10};
+    auto result = comm.reduce<long long>(
+        0, contribution, [](const long long& a, const long long& b) { return a + b; });
+    if (comm.rank() == 0) {
+      EXPECT_EQ(result, (std::vector<long long>{0 + 1 + 2 + 3 + 4, 50}));
+    }
+  });
+}
+
+TEST(Collectives, AllreduceGivesEveryoneTheResult) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    std::vector<double> contribution{static_cast<double>(comm.rank() + 1)};
+    auto result = comm.allreduce<double>(
+        contribution, [](const double& a, const double& b) { return std::max(a, b); });
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], 4.0);
+  });
+}
+
+TEST(Collectives, RepeatedCollectivesDoNotCrosstalk) {
+  Runtime::run(plain(3), [](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<int> data;
+      if (comm.rank() == 0) data = {round};
+      comm.bcast(0, data);
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_EQ(data[0], round);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Pacing, LinkCostDelaysSends) {
+  RuntimeOptions options = plain(2);
+  options.time_scale = 1.0;
+  options.link_cost = [](int, int, std::size_t bytes) {
+    return static_cast<double>(bytes) * 1e-5;  // 10 us per byte nominal
+  };
+  double elapsed = 0.0;
+  Runtime::run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(2000);  // 20 ms nominal
+      double t0 = comm.wtime();
+      comm.send_bytes(1, 0, payload);
+      elapsed = comm.wtime() - t0;
+    } else {
+      comm.recv_message(0, 0);
+    }
+  });
+  EXPECT_GE(elapsed, 0.018);
+}
+
+TEST(Pacing, TimeScaleShrinksDelays) {
+  RuntimeOptions options = plain(2);
+  options.time_scale = 1e-3;
+  options.link_cost = [](int, int, std::size_t) { return 10.0; };  // 10 s nominal
+  double elapsed = 0.0;
+  Runtime::run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      double t0 = comm.wtime();
+      comm.send_value<int>(1, 0, 1);
+      elapsed = comm.wtime() - t0;
+    } else {
+      comm.recv_value<int>(0, 0);
+    }
+  });
+  EXPECT_GE(elapsed, 0.008);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(Pacing, StairEffectEmerges) {
+  // A root scattering to 3 ranks with per-send delay: receive completion
+  // times must be staggered in rank order (Figure 1's stair).
+  RuntimeOptions options = plain(4);
+  options.time_scale = 1.0;
+  options.link_cost = [](int from, int, std::size_t) {
+    return from == 3 ? 0.02 : 0.0;  // 20 ms per send from the root
+  };
+  std::array<double, 4> recv_time{};
+  Runtime::run(options, [&](Comm& comm) {
+    std::vector<long long> counts{1, 1, 1, 1};
+    std::vector<int> send;
+    if (comm.rank() == 3) send = {0, 1, 2, 3};
+    comm.scatterv<int>(3, send, counts);
+    recv_time[static_cast<std::size_t>(comm.rank())] = comm.wtime();
+  });
+  EXPECT_GE(recv_time[1], recv_time[0] + 0.015);
+  EXPECT_GE(recv_time[2], recv_time[1] + 0.015);
+}
+
+TEST(PlatformLink, RootLinksUsePlatformCosts) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  int root = platform.size() - 1;
+  auto cost = make_link_cost(platform, sizeof(double));
+  // Sending 1000 items (8000 bytes) from root to processor 0 costs
+  // Tcomm(0, 1000).
+  EXPECT_DOUBLE_EQ(cost(root, 0, 8000), platform[0].comm(1000));
+  // Symmetric for gathers.
+  EXPECT_DOUBLE_EQ(cost(0, root, 8000), platform[0].comm(1000));
+  // Partial items round up.
+  EXPECT_DOUBLE_EQ(cost(root, 0, 8001), platform[0].comm(1001));
+}
+
+TEST(PlatformLink, RejectsZeroItemSize) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  EXPECT_THROW(make_link_cost(platform, 0), lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::mq

@@ -1,0 +1,141 @@
+#include "mq/subcomm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mq/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+RuntimeOptions plain(int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  return options;
+}
+
+TEST(Split, GroupsByColorOrderedByParentRank) {
+  Runtime::run(plain(6), [](Comm& comm) {
+    int color = comm.rank() % 2;  // evens and odds
+    auto sub = split(comm, color);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.parent_rank(), comm.rank());
+    // Sub-ranks follow parent order: parent 0,2,4 -> sub 0,1,2 (evens).
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    for (int r = 0; r < sub.size(); ++r) {
+      EXPECT_EQ(sub.parent_rank(r), 2 * r + color);
+    }
+  });
+}
+
+TEST(Split, KeyOverridesParentOrder) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    // All one group, keys reversed: parent 3 becomes sub-rank 0.
+    auto sub = split(comm, 0, comm.size() - comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(Split, NoColorRanksOptOut) {
+  Runtime::run(plain(5), [](Comm& comm) {
+    int color = comm.rank() < 2 ? 0 : kNoColor;
+    auto sub = split_optional(comm, color);
+    if (comm.rank() < 2) {
+      ASSERT_TRUE(sub.has_value());
+      EXPECT_EQ(sub->size(), 2);
+    } else {
+      EXPECT_FALSE(sub.has_value());
+    }
+  });
+}
+
+TEST(SubComm, BcastWithinGroupOnly) {
+  Runtime::run(plain(6), [](Comm& comm) {
+    int site = comm.rank() / 3;  // {0,1,2} and {3,4,5}
+    auto sub = split(comm, site);
+    std::vector<int> data;
+    if (sub.rank() == 0) data = {site * 1000};
+    sub.bcast(0, data);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0], site * 1000);  // each site sees its own payload
+  });
+}
+
+TEST(SubComm, GathervCollectsInSubRankOrder) {
+  Runtime::run(plain(6), [](Comm& comm) {
+    int site = comm.rank() % 2;
+    auto sub = split(comm, site);
+    std::vector<int> mine{comm.rank()};
+    auto all = sub.gatherv<int>(0, mine);
+    if (sub.rank() == 0) {
+      // Evens gather {0,2,4}; odds gather {1,3,5}.
+      ASSERT_EQ(all.size(), 3u);
+      for (int i = 0; i < 3; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], 2 * i + site);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(SubComm, ReduceSumsWithinGroup) {
+  Runtime::run(plain(6), [](Comm& comm) {
+    int site = comm.rank() % 3;
+    auto sub = split(comm, site);
+    std::vector<long long> contribution{static_cast<long long>(comm.rank())};
+    auto result = sub.reduce<long long>(
+        0, contribution, [](const long long& a, const long long& b) { return a + b; });
+    if (sub.rank() == 0) {
+      // Group {site, site + 3}: sum = 2 * site + 3.
+      ASSERT_EQ(result.size(), 1u);
+      EXPECT_EQ(result[0], 2 * site + 3);
+    }
+  });
+}
+
+TEST(SubComm, BarrierSynchronizesGroup) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    auto sub = split(comm, comm.rank() % 2);
+    sub.barrier();  // simply must not deadlock across the two groups
+    sub.barrier();
+    SUCCEED();
+  });
+}
+
+TEST(SubComm, TwoConcurrentSplitsDoNotCrosstalk) {
+  Runtime::run(plain(4), [](Comm& comm) {
+    auto rows = split(comm, comm.rank() / 2);   // {0,1} {2,3}
+    auto cols = split(comm, comm.rank() % 2);   // {0,2} {1,3}
+    // Interleave collectives on both: payloads must not mix.
+    std::vector<int> row_data;
+    if (rows.rank() == 0) row_data = {100 + comm.rank() / 2};
+    std::vector<int> col_data;
+    if (cols.rank() == 0) col_data = {200 + comm.rank() % 2};
+    rows.bcast(0, row_data);
+    cols.bcast(0, col_data);
+    EXPECT_EQ(row_data[0], 100 + comm.rank() / 2);
+    EXPECT_EQ(col_data[0], 200 + comm.rank() % 2);
+  });
+}
+
+TEST(SubComm, HierarchicalReduceThenRootCombine) {
+  // The MagPIe pattern: reduce within each site (one WAN-free phase),
+  // then the site leaders report to the global root.
+  Runtime::run(plain(8), [](Comm& comm) {
+    int site = comm.rank() / 4;  // leaders: parent ranks 0 and 4
+    auto sub = split(comm, site);
+    std::vector<long long> contribution{1LL};
+    auto site_sum = sub.reduce<long long>(
+        0, contribution, [](const long long& a, const long long& b) { return a + b; });
+    if (sub.rank() == 0 && comm.rank() != 0) {
+      comm.send<long long>(0, 3, site_sum);
+    }
+    if (comm.rank() == 0) {
+      long long total = site_sum[0] + comm.recv<long long>(4, 3)[0];
+      EXPECT_EQ(total, 8);  // every rank contributed 1
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lbs::mq

@@ -1,0 +1,176 @@
+// Cross-module robustness: error paths, boundary values, and ordering
+// corner cases that don't belong to any single module's happy path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dp.hpp"
+#include "core/heuristic.hpp"
+#include "core/installments.hpp"
+#include "core/planner.hpp"
+#include "core/rounding.hpp"
+#include "core/roundtrip.hpp"
+#include "des/simulator.hpp"
+#include "model/testbed.hpp"
+#include "support/error.hpp"
+
+namespace lbs {
+namespace {
+
+model::Platform solo_platform(double alpha) {
+  model::Platform platform;
+  model::Processor p;
+  p.label = "solo";
+  p.comm = model::Cost::zero();
+  p.comp = model::Cost::linear(alpha);
+  platform.processors.push_back(p);
+  return platform;
+}
+
+TEST(Robustness, EmptyPlatformRejectedEverywhere) {
+  model::Platform empty;
+  EXPECT_THROW(core::plan_scatter(empty, 10), Error);
+  EXPECT_THROW(core::exact_dp(empty, 10), Error);
+  EXPECT_THROW(core::optimized_dp(empty, 10), Error);
+  EXPECT_THROW(core::lp_heuristic(empty, 10), Error);
+  EXPECT_THROW(core::optimize_roundtrip(empty, 10, {}), Error);
+}
+
+TEST(Robustness, NegativeItemsRejectedEverywhere) {
+  auto platform = solo_platform(1.0);
+  EXPECT_THROW(core::plan_scatter(platform, -1), Error);
+  EXPECT_THROW(core::exact_dp(platform, -1), Error);
+  EXPECT_THROW(core::lp_heuristic(platform, -1), Error);
+  EXPECT_THROW(core::optimize_roundtrip(platform, -1, {}), Error);
+  EXPECT_THROW(core::uniform_distribution(-1, 2), Error);
+}
+
+TEST(Robustness, ZeroItemsIsAlwaysAValidPlan) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  for (auto algorithm :
+       {core::Algorithm::Auto, core::Algorithm::ExactDp, core::Algorithm::OptimizedDp,
+        core::Algorithm::LpHeuristic, core::Algorithm::Uniform}) {
+    auto plan = core::plan_scatter(platform, 0, algorithm);
+    EXPECT_EQ(plan.distribution.total(), 0);
+    EXPECT_EQ(plan.predicted_makespan, 0.0);
+  }
+}
+
+TEST(Robustness, OneItemOneProcessor) {
+  auto platform = solo_platform(2.5);
+  auto plan = core::plan_scatter(platform, 1);
+  EXPECT_EQ(plan.distribution.counts, (std::vector<long long>{1}));
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 2.5);
+}
+
+TEST(Robustness, FewerItemsThanProcessorsStillBalances) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto plan = core::plan_scatter(platform, 5);  // 5 items, 16 processors
+  EXPECT_EQ(plan.distribution.total(), 5);
+  for (long long c : plan.distribution.counts) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 5);
+  }
+  // Must beat the uniform baseline's worst case (which puts an item on
+  // the slow `seven` machine).
+  auto uniform = core::plan_scatter(platform, 5, core::Algorithm::Uniform);
+  EXPECT_LE(plan.predicted_makespan, uniform.predicted_makespan);
+}
+
+TEST(Robustness, RoundingAllZeroShares) {
+  std::vector<double> shares{0.0, 0.0, 0.0};
+  auto dist = core::round_distribution(shares, 0);
+  EXPECT_EQ(dist.counts, (std::vector<long long>{0, 0, 0}));
+}
+
+TEST(Robustness, SimulatorCallbackSchedulingAtNow) {
+  // A callback scheduling another event at the current instant must run
+  // it in the same drain, after all earlier-queued same-time events.
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.0, [&] { order.push_back(3); });
+  });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Robustness, SerialResourceReentrantRequests) {
+  // A completion callback enqueuing a new request must not deadlock or
+  // skip the FIFO order.
+  des::Simulator sim;
+  des::SerialResource port(sim);
+  std::vector<double> completions;
+  sim.schedule(0.0, [&] {
+    port.request(1.0, [&] {
+      completions.push_back(sim.now());
+      port.request(1.0, [&] { completions.push_back(sim.now()); });
+    });
+    port.request(2.0, [&] { completions.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);  // first request
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);  // second (queued before re-entrant)
+  EXPECT_DOUBLE_EQ(completions[2], 4.0);  // re-entrant request
+}
+
+TEST(Robustness, InstallmentsExceedingItemsDegradeGracefully) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  core::Distribution tiny;
+  tiny.counts.assign(static_cast<std::size_t>(platform.size()), 0);
+  tiny.counts[0] = 3;
+  // 100 installments of 3 items: 97 empty chunks skipped.
+  double makespan_100 = core::installment_makespan(platform, tiny, 100);
+  double makespan_3 = core::installment_makespan(platform, tiny, 3);
+  EXPECT_DOUBLE_EQ(makespan_100, makespan_3);
+}
+
+TEST(Robustness, TabulatedFlatTailExtrapolation) {
+  // A cost that plateaus: extrapolation continues the last (zero) slope.
+  auto cost = model::Cost::tabulated({{10, 5.0}, {20, 5.0}});
+  EXPECT_DOUBLE_EQ(cost(30), 5.0);
+  EXPECT_TRUE(cost.is_increasing());
+}
+
+TEST(Robustness, PlannerOnChunkyCostsFindsChunkBoundaries) {
+  // Chunked comm costs: the DP should exploit the free capacity below a
+  // chunk boundary (sending 4 costs the same step as sending 1..4).
+  model::Platform platform;
+  model::Processor worker;
+  worker.label = "chunky";
+  worker.comm = model::Cost::chunked(0.0, 4, 1.0);  // 1 s per 4-item chunk
+  worker.comp = model::Cost::linear(0.1);
+  platform.processors.push_back(worker);
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(0.1);
+  platform.processors.push_back(root);
+
+  auto result = core::optimized_dp(platform, 8);
+  // Makespan should reflect an even-ish split; the worker's comm cost is
+  // step-shaped so its share lands just under a chunk boundary.
+  EXPECT_LE(result.cost, 1.0 + 0.45);
+  EXPECT_EQ(result.distribution.total(), 8);
+}
+
+TEST(Robustness, UniformBaselineMatchesMpiScatterSemantics) {
+  // MPI_Scatter gives exactly floor(n/p) to everyone (the paper's code
+  // handled the remainder separately); our uniform baseline spreads the
+  // remainder over the first ranks — both sum to n and differ by <= 1.
+  auto dist = core::uniform_distribution(817101, 16);
+  long long lo = *std::min_element(dist.counts.begin(), dist.counts.end());
+  long long hi = *std::max_element(dist.counts.begin(), dist.counts.end());
+  EXPECT_EQ(hi - lo, 1);
+  EXPECT_EQ(dist.total(), 817101);
+}
+
+}  // namespace
+}  // namespace lbs

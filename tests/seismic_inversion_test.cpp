@@ -1,0 +1,221 @@
+#include "seismic/inversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::seismic {
+namespace {
+
+// Ground truth: PREM-like with the lower mantle 3% slower (the anomaly
+// the inversion should recover).
+EarthModel perturbed_truth() {
+  auto shells = EarthModel::prem_like().shells();
+  for (auto& shell : shells) {
+    if (shell.name == "lower mantle") shell.velocity_km_s /= 1.03;
+  }
+  return EarthModel(std::move(shells));
+}
+
+std::vector<SeismicEvent> p_wave_catalog(int count, std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto events = generate_catalog(rng, count);
+  for (auto& event : events) event.wave = WaveType::P;  // single-phase inversion
+  return events;
+}
+
+std::vector<double> observe(const EarthModel& truth,
+                            const std::vector<SeismicEvent>& events) {
+  std::vector<double> times;
+  times.reserve(events.size());
+  for (const auto& event : events) {
+    times.push_back(trace_ray(truth, event).travel_time_s);
+  }
+  return times;
+}
+
+TEST(RayShellTimes, SumToTotalTravelTime) {
+  auto model = EarthModel::prem_like();
+  SeismicEvent event{};
+  event.receiver_lon_deg = 60.0;
+  event.wave = WaveType::P;
+  auto path = trace_ray(model, event);
+  double sum = 0.0;
+  for (double t : path.time_per_shell) sum += t;
+  EXPECT_NEAR(sum, path.travel_time_s, 1e-9 * path.travel_time_s);
+  ASSERT_EQ(path.time_per_shell.size(), model.shells().size());
+  // A 60-degree P ray turns in the lower mantle: no core time.
+  EXPECT_EQ(path.time_per_shell[0], 0.0);  // inner core
+  EXPECT_EQ(path.time_per_shell[1], 0.0);  // outer core
+  EXPECT_GT(path.time_per_shell[2], 0.0);  // lower mantle
+}
+
+TEST(TomographicSystem, EmptySystemIsClean) {
+  TomographicSystem system(8);
+  EXPECT_EQ(system.ray_count(), 0);
+  EXPECT_EQ(system.rms_misfit(), 0.0);
+  auto scales = system.solve();
+  for (double s : scales) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(TomographicSystem, PerfectDataGivesUnitScales) {
+  auto model = EarthModel::prem_like();
+  auto events = p_wave_catalog(40, 1);
+  TomographicSystem system(model.shells().size());
+  for (const auto& event : events) {
+    auto path = trace_ray(model, event);
+    if (!path.converged) continue;
+    system.add_ray(path.time_per_shell, path.travel_time_s);  // observed == predicted
+  }
+  EXPECT_NEAR(system.rms_misfit(), 0.0, 1e-9);
+  for (double s : system.solve()) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(TomographicSystem, SingleShellExactRecovery) {
+  // One shell, rays spending t seconds in it, observed 1.1*t: with tiny
+  // damping the scale must come out ~1.1.
+  TomographicSystem system(1);
+  for (int i = 1; i <= 10; ++i) {
+    double t = static_cast<double>(i);
+    system.add_ray({t}, 1.1 * t);
+  }
+  auto scales = system.solve(1e-9);
+  EXPECT_NEAR(scales[0], 1.1, 1e-6);
+}
+
+TEST(TomographicSystem, MergeEqualsJointAccumulation) {
+  auto model = EarthModel::prem_like();
+  auto events = p_wave_catalog(30, 2);
+  auto truth = perturbed_truth();
+  auto observed = observe(truth, events);
+
+  TomographicSystem joint(model.shells().size());
+  TomographicSystem part1(model.shells().size());
+  TomographicSystem part2(model.shells().size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    auto path = trace_ray(model, events[i]);
+    if (!path.converged) continue;
+    joint.add_ray(path.time_per_shell, observed[i]);
+    (i % 2 == 0 ? part1 : part2).add_ray(path.time_per_shell, observed[i]);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.ray_count(), joint.ray_count());
+  EXPECT_NEAR(part1.rms_misfit(), joint.rms_misfit(), 1e-12);
+  auto a = part1.solve();
+  auto b = joint.solve();
+  for (std::size_t s = 0; s < a.size(); ++s) EXPECT_NEAR(a[s], b[s], 1e-12);
+}
+
+TEST(TomographicSystem, SerializeRoundTrips) {
+  auto model = EarthModel::prem_like();
+  auto events = p_wave_catalog(20, 3);
+  auto observed = observe(perturbed_truth(), events);
+  TomographicSystem system(model.shells().size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    auto path = trace_ray(model, events[i]);
+    if (!path.converged) continue;
+    system.add_ray(path.time_per_shell, observed[i]);
+  }
+  auto restored =
+      TomographicSystem::deserialize(model.shells().size(), system.serialize());
+  EXPECT_EQ(restored.ray_count(), system.ray_count());
+  EXPECT_NEAR(restored.rms_misfit(), system.rms_misfit(), 1e-12);
+  auto a = restored.solve();
+  auto b = system.solve();
+  for (std::size_t s = 0; s < a.size(); ++s) EXPECT_NEAR(a[s], b[s], 1e-12);
+}
+
+TEST(TomographicSystem, DeserializeRejectsBadSize) {
+  EXPECT_THROW(TomographicSystem::deserialize(8, std::vector<double>(5)), lbs::Error);
+}
+
+TEST(ApplyScales, DividesVelocities) {
+  auto model = EarthModel::prem_like();
+  std::vector<double> scales(model.shells().size(), 1.0);
+  scales[2] = 1.05;  // lower mantle 5% slower
+  auto updated = apply_scales(model, scales);
+  EXPECT_NEAR(updated.shells()[2].velocity_km_s,
+              model.shells()[2].velocity_km_s / 1.05, 1e-12);
+  EXPECT_EQ(updated.shells()[0].velocity_km_s, model.shells()[0].velocity_km_s);
+}
+
+TEST(ApplyScales, RejectsBadInput) {
+  auto model = EarthModel::prem_like();
+  EXPECT_THROW(apply_scales(model, std::vector<double>(3, 1.0)), lbs::Error);
+  std::vector<double> negative(model.shells().size(), 1.0);
+  negative[0] = -1.0;
+  EXPECT_THROW(apply_scales(model, negative), lbs::Error);
+}
+
+// Teleseismic mantle-P rays at controlled distances (25-95 degrees):
+// clean single-branch geometry sampling the upper and lower mantle, the
+// regime real tomography uses. Random catalogs include shadow-zone and
+// triplication rays whose branch can differ between the two models,
+// producing outliers that don't test the update step itself.
+std::vector<SeismicEvent> teleseismic_fan() {
+  std::vector<SeismicEvent> events;
+  for (double distance = 25.0; distance <= 95.0; distance += 0.5) {
+    SeismicEvent event{};
+    event.receiver_lon_deg = distance;
+    event.wave = WaveType::P;
+    events.push_back(event);
+  }
+  return events;
+}
+
+TEST(InvertRound, ReducesMisfitAgainstPerturbedTruth) {
+  auto start = EarthModel::prem_like();
+  auto truth = perturbed_truth();
+  auto events = teleseismic_fan();
+  auto observed = observe(truth, events);
+
+  auto round = invert_round(start, events.data(), events.size(), observed.data(),
+                            /*damping=*/0.001);
+  EXPECT_GT(round.rays_used, 100);
+  EXPECT_GT(round.rms_before, 1.0);  // a 3% lower-mantle anomaly is seconds of misfit
+  EXPECT_LT(round.rms_after, 0.5 * round.rms_before);
+
+  // The lower-mantle scale moves toward the true 1.03 slowness factor.
+  EXPECT_GT(round.scales[2], 1.01);
+  EXPECT_LT(round.scales[2], 1.05);
+  // The unsampled inner core stays put.
+  EXPECT_NEAR(round.scales[0], 1.0, 0.02);
+}
+
+TEST(InvertRound, IterationStaysAtNoiseFloorAfterRecovery) {
+  // Round 0 recovers the anomaly (rms drops by an order of magnitude);
+  // later rounds cannot improve below the shooting method's re-trace
+  // noise (the ray branch jitters slightly between models), so the test
+  // asserts stability near that floor rather than monotone decrease.
+  auto truth = perturbed_truth();
+  auto events = teleseismic_fan();
+  auto observed = observe(truth, events);
+
+  EarthModel current = EarthModel::prem_like();
+  auto first = invert_round(current, events.data(), events.size(), observed.data(),
+                            /*damping=*/0.1);
+  EXPECT_LT(first.rms_after, 0.2 * first.rms_before);
+  current = first.updated;
+
+  for (int iteration = 1; iteration < 3; ++iteration) {
+    auto round = invert_round(current, events.data(), events.size(), observed.data(),
+                              0.1);
+    EXPECT_LT(round.rms_after, 2.5);  // stays at the noise floor, no divergence
+    for (double scale : round.scales) {
+      EXPECT_GT(scale, 0.95);
+      EXPECT_LT(scale, 1.05);
+    }
+    current = round.updated;
+  }
+  // The net model still carries the recovered anomaly: lower mantle ~3%
+  // slower than PREM-like.
+  double recovered = EarthModel::prem_like().shells()[2].velocity_km_s /
+                     current.shells()[2].velocity_km_s;
+  EXPECT_NEAR(recovered, 1.03, 0.01);
+}
+
+}  // namespace
+}  // namespace lbs::seismic

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "seismic/catalog.hpp"
+#include "seismic/earth_model.hpp"
+#include "seismic/ray.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace lbs::seismic {
+namespace {
+
+TEST(EarthModel, PremLikeIsWellFormed) {
+  auto model = EarthModel::prem_like();
+  EXPECT_EQ(model.surface_radius_km(), kEarthRadiusKm);
+  EXPECT_EQ(model.shells().front().inner_radius_km, 0.0);
+  EXPECT_EQ(model.shells().front().name, "inner core");
+  EXPECT_EQ(model.shells().back().name, "crust");
+}
+
+TEST(EarthModel, VelocityLookup) {
+  auto model = EarthModel::prem_like();
+  EXPECT_DOUBLE_EQ(model.velocity_at(6371.0), 5.8);    // crust
+  EXPECT_DOUBLE_EQ(model.velocity_at(100.0), 11.1);    // inner core
+  EXPECT_DOUBLE_EQ(model.velocity_at(4000.0), 12.3);   // lower mantle
+  EXPECT_DOUBLE_EQ(model.velocity_at(2000.0), 9.0);    // outer core
+}
+
+TEST(EarthModel, OuterCoreIsSlowerThanLowerMantle) {
+  // The P-wave velocity drop at the core-mantle boundary (the feature that
+  // creates the shadow zone and makes distance(p) non-monotonic).
+  auto model = EarthModel::prem_like();
+  EXPECT_LT(model.velocity_at(3000.0), model.velocity_at(3500.0));
+}
+
+TEST(EarthModel, RejectsMalformedShells) {
+  EXPECT_THROW(EarthModel({}), lbs::Error);
+  EXPECT_THROW(EarthModel({{100.0, 200.0, 5.0, "floating"}}), lbs::Error);
+  EXPECT_THROW(EarthModel({{0.0, 100.0, 5.0, "a"}, {150.0, 200.0, 5.0, "gap"}}),
+               lbs::Error);
+  EXPECT_THROW(EarthModel({{0.0, 100.0, -5.0, "negative-v"}}), lbs::Error);
+}
+
+TEST(EarthModel, SlownessRadiusIncreasesWithinShell) {
+  auto model = EarthModel::prem_like();
+  EXPECT_LT(model.slowness_radius(6000.0), model.slowness_radius(6100.0));
+}
+
+TEST(EarthModel, VelocityOutsideModelThrows) {
+  auto model = EarthModel::prem_like();
+  EXPECT_THROW(model.velocity_at(7000.0), lbs::Error);
+  EXPECT_THROW(model.velocity_at(0.0), lbs::Error);
+}
+
+TEST(Catalog, EpicentralDistanceKnownValues) {
+  // Same point: 0. Antipodes: 180. Pole to equator: 90.
+  // acos loses precision near +-1, so allow ~1e-5 degrees there.
+  EXPECT_NEAR(epicentral_distance_deg(10.0, 20.0, 10.0, 20.0), 0.0, 1e-5);
+  EXPECT_NEAR(epicentral_distance_deg(0.0, 0.0, 0.0, 180.0), 180.0, 1e-5);
+  EXPECT_NEAR(epicentral_distance_deg(90.0, 0.0, 0.0, 50.0), 90.0, 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(epicentral_distance_deg(48.5, 7.5, 35.7, 139.7),
+              epicentral_distance_deg(35.7, 139.7, 48.5, 7.5), 1e-12);
+}
+
+TEST(Catalog, GeneratesRequestedCount) {
+  support::Rng rng(1);
+  auto events = generate_catalog(rng, 1000);
+  EXPECT_EQ(events.size(), 1000u);
+}
+
+TEST(Catalog, DeterministicPerSeed) {
+  support::Rng rng1(7), rng2(7);
+  auto a = generate_catalog(rng1, 50);
+  auto b = generate_catalog(rng2, 50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source_lat_deg, b[i].source_lat_deg);
+    EXPECT_EQ(a[i].receiver_lon_deg, b[i].receiver_lon_deg);
+  }
+}
+
+TEST(Catalog, EventsHaveValidCoordinates) {
+  support::Rng rng(3);
+  auto events = generate_catalog(rng, 2000);
+  for (const auto& event : events) {
+    EXPECT_GE(event.source_lat_deg, -90.0);
+    EXPECT_LE(event.source_lat_deg, 90.0);
+    EXPECT_GE(event.source_lon_deg, -180.0);
+    EXPECT_LE(event.source_lon_deg, 180.0);
+    EXPECT_GE(event.source_depth_km, 0.0);
+    EXPECT_LE(event.source_depth_km, 650.0);
+  }
+}
+
+TEST(Catalog, StatisticsMatchRealCatalogShape) {
+  // The claim DESIGN.md makes for the substitution: the synthetic catalog
+  // has the statistical shape of a real one — mostly-shallow depths with
+  // a deep tail, P-dominated phases, broad distance coverage with a large
+  // teleseismic fraction.
+  support::Rng rng(1999);
+  auto events = generate_catalog(rng, 20000);
+  auto stats = catalog_statistics(events);
+  EXPECT_EQ(stats.events, 20000);
+  EXPECT_NEAR(stats.p_wave_fraction, 0.7, 0.02);
+  EXPECT_GT(stats.shallow_fraction, 0.5);   // exponential depth, mean 80 km
+  EXPECT_GT(stats.deep_fraction, 0.005);    // but a real deep tail
+  EXPECT_LT(stats.deep_fraction, 0.10);
+  EXPECT_NEAR(stats.mean_depth_km, 80.0, 15.0);
+  EXPECT_GT(stats.teleseismic_fraction, 0.25);
+  EXPECT_LT(stats.min_distance_deg, 15.0);   // local recordings exist
+  EXPECT_GT(stats.max_distance_deg, 140.0);  // and antipodal-ish ones
+}
+
+TEST(Catalog, StatisticsOfEmptyCatalog) {
+  auto stats = catalog_statistics({});
+  EXPECT_EQ(stats.events, 0);
+  EXPECT_EQ(stats.p_wave_fraction, 0.0);
+}
+
+TEST(Catalog, MixesWaveTypes) {
+  support::Rng rng(5);
+  auto events = generate_catalog(rng, 1000);
+  int p_count = 0;
+  for (const auto& event : events) p_count += event.wave == WaveType::P ? 1 : 0;
+  EXPECT_GT(p_count, 500);
+  EXPECT_LT(p_count, 900);
+}
+
+TEST(SweepRay, NearVerticalRayGoesDeep) {
+  auto model = EarthModel::prem_like();
+  auto sweep = sweep_ray(model, 1.0);
+  EXPECT_LT(sweep.turning_radius_km, 1300.0);  // reaches the inner core
+  EXPECT_GT(sweep.time_s, 1000.0);             // PKIKP-ish: ~20 minutes
+  EXPECT_LT(sweep.time_s, 2000.0);
+}
+
+TEST(SweepRay, GrazingRayStaysShallow) {
+  auto model = EarthModel::prem_like();
+  double u_surface = model.slowness_radius(kEarthRadiusKm);
+  auto sweep = sweep_ray(model, u_surface * 0.999);
+  EXPECT_GT(sweep.turning_radius_km, 6000.0);
+  EXPECT_LT(sweep.distance_deg, 30.0);
+}
+
+TEST(SweepRay, DistanceIncreasesWithDecreasingPInMantle) {
+  auto model = EarthModel::prem_like();
+  // Within the lower-mantle branch, smaller p -> deeper -> farther.
+  // (Near shell boundaries distance(p) is non-monotonic — the grazing-ray
+  // artifact of constant-velocity shells — so stay inside one branch.)
+  auto shallow = sweep_ray(model, 450.0);
+  auto deep = sweep_ray(model, 400.0);
+  EXPECT_GT(deep.distance_deg, shallow.distance_deg);
+  EXPECT_GT(deep.time_s, shallow.time_s);
+}
+
+TEST(TraceRay, ConvergesForTeleseismicDistance) {
+  auto model = EarthModel::prem_like();
+  SeismicEvent event{};
+  event.source_lat_deg = 0.0;
+  event.source_lon_deg = 0.0;
+  event.receiver_lat_deg = 0.0;
+  event.receiver_lon_deg = 60.0;  // 60 degrees: clean mantle P
+  event.wave = WaveType::P;
+  auto path = trace_ray(model, event);
+  EXPECT_TRUE(path.converged);
+  EXPECT_NEAR(path.achieved_deg, 60.0, 0.05);
+  // IASP91 P at 60 deg is ~600 s; our coarse model should be within ~15%.
+  EXPECT_GT(path.travel_time_s, 500.0);
+  EXPECT_LT(path.travel_time_s, 720.0);
+}
+
+TEST(TraceRay, TravelTimeIncreasesWithDistance) {
+  auto model = EarthModel::prem_like();
+  double previous_time = 0.0;
+  for (double distance : {20.0, 40.0, 60.0, 80.0}) {
+    SeismicEvent event{};
+    event.receiver_lon_deg = distance;
+    event.wave = WaveType::P;
+    auto path = trace_ray(model, event);
+    EXPECT_TRUE(path.converged) << "distance " << distance;
+    EXPECT_GT(path.travel_time_s, previous_time);
+    previous_time = path.travel_time_s;
+  }
+}
+
+TEST(TraceRay, DeeperSourceArrivesEarlier) {
+  // Source depth skips part of the down-going leg: the deeper the source,
+  // the shorter the travel time, monotonically.
+  auto model = EarthModel::prem_like();
+  double previous = std::numeric_limits<double>::infinity();
+  for (double depth : {0.0, 100.0, 300.0, 600.0}) {
+    SeismicEvent event{};
+    event.receiver_lon_deg = 60.0;
+    event.source_depth_km = depth;
+    event.wave = WaveType::P;
+    auto path = trace_ray(model, event);
+    EXPECT_LT(path.travel_time_s, previous) << "depth " << depth;
+    previous = path.travel_time_s;
+  }
+}
+
+TEST(TraceRay, DepthCorrectionKeepsShellTimesConsistent) {
+  auto model = EarthModel::prem_like();
+  SeismicEvent event{};
+  event.receiver_lon_deg = 45.0;
+  event.source_depth_km = 250.0;
+  event.wave = WaveType::P;
+  auto path = trace_ray(model, event);
+  double sum = 0.0;
+  for (double t : path.time_per_shell) {
+    EXPECT_GE(t, 0.0);
+    sum += t;
+  }
+  EXPECT_NEAR(sum, path.travel_time_s, 1e-9 * path.travel_time_s);
+}
+
+TEST(TraceRay, DepthCorrectionMagnitudeIsPlausible) {
+  // A 300 km deep source under a ~8-9 km/s mantle saves very roughly
+  // 300 km / 8.5 km/s / cos(i) of one leg: tens of seconds.
+  auto model = EarthModel::prem_like();
+  SeismicEvent surface{};
+  surface.receiver_lon_deg = 60.0;
+  surface.wave = WaveType::P;
+  SeismicEvent deep = surface;
+  deep.source_depth_km = 300.0;
+  double saving = trace_ray(model, surface).travel_time_s -
+                  trace_ray(model, deep).travel_time_s;
+  EXPECT_GT(saving, 20.0);
+  EXPECT_LT(saving, 90.0);
+}
+
+TEST(TraceRay, SWaveSlowerThanP) {
+  auto model = EarthModel::prem_like();
+  SeismicEvent p_event{};
+  p_event.receiver_lon_deg = 50.0;
+  p_event.wave = WaveType::P;
+  SeismicEvent s_event = p_event;
+  s_event.wave = WaveType::S;
+  auto p_path = trace_ray(model, p_event);
+  auto s_path = trace_ray(model, s_event);
+  EXPECT_NEAR(s_path.travel_time_s / p_path.travel_time_s, std::sqrt(3.0), 1e-6);
+}
+
+TEST(ComputeWork, SumsTravelTimesAndFillsPaths) {
+  auto model = EarthModel::prem_like();
+  support::Rng rng(11);
+  auto events = generate_catalog(rng, 20);
+  std::vector<RayPath> paths;
+  double total = compute_work(model, events.data(), events.size(), &paths);
+  ASSERT_EQ(paths.size(), 20u);
+  double manual = 0.0;
+  for (const auto& path : paths) manual += path.travel_time_s;
+  EXPECT_DOUBLE_EQ(total, manual);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ComputeWork, MostCatalogRaysConverge) {
+  auto model = EarthModel::prem_like();
+  support::Rng rng(13);
+  auto events = generate_catalog(rng, 300);
+  std::vector<RayPath> paths;
+  compute_work(model, events.data(), events.size(), &paths);
+  int converged = 0;
+  for (const auto& path : paths) converged += path.converged ? 1 : 0;
+  // The core shadow zone makes a few distances genuinely unreachable with
+  // direct rays; the overwhelming majority must converge.
+  EXPECT_GT(converged, 270);
+}
+
+TEST(ComputeWork, PerRayCostIsRoughlyConstant) {
+  // The property the whole paper rests on: Tcomp linear in the ray count.
+  // Compare per-ray times of two batch sizes; they must be within 3x
+  // (loose bound — CI machines are noisy).
+  auto model = EarthModel::prem_like();
+  support::Rng rng(17);
+  auto events = generate_catalog(rng, 600);
+  auto time_batch = [&](std::size_t count) {
+    auto start = std::chrono::steady_clock::now();
+    compute_work(model, events.data(), count);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count() / static_cast<double>(count);
+  };
+  time_batch(100);  // warm up
+  double small = time_batch(150);
+  double large = time_batch(600);
+  EXPECT_LT(large / small, 3.0);
+  EXPECT_GT(large / small, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace lbs::seismic

@@ -1,0 +1,248 @@
+#include "support/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/bigrational.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.signum(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.bit_length(), 0u);
+}
+
+TEST(BigInt, SmallValuesRoundTrip) {
+  for (long long v : {0LL, 1LL, -1LL, 42LL, -42LL, 1000000007LL, -987654321LL}) {
+    BigInt big(v);
+    EXPECT_EQ(big.to_int64(), v);
+    EXPECT_EQ(big.to_string(), std::to_string(v));
+    EXPECT_EQ(BigInt::from_string(std::to_string(v)), big);
+  }
+}
+
+TEST(BigInt, Int64Extremes) {
+  long long max = std::numeric_limits<long long>::max();
+  long long min = std::numeric_limits<long long>::min();
+  EXPECT_EQ(BigInt(max).to_int64(), max);
+  EXPECT_EQ(BigInt(min).to_int64(), min);
+  EXPECT_EQ(BigInt(min).to_string(), std::to_string(min));
+}
+
+TEST(BigInt, FromStringValidation) {
+  EXPECT_EQ(BigInt::from_string("+123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("00042"), BigInt(42));
+  EXPECT_THROW(BigInt::from_string(""), Error);
+  EXPECT_THROW(BigInt::from_string("-"), Error);
+  EXPECT_THROW(BigInt::from_string("12a3"), Error);
+}
+
+TEST(BigInt, LargeValueArithmetic) {
+  // 2^128 = 340282366920938463463374607431768211456 — beyond __int128 max.
+  BigInt two_127 = BigInt::from_string("170141183460469231731687303715884105728");
+  BigInt two_128 = two_127 + two_127;
+  EXPECT_EQ(two_128.to_string(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(two_128 / BigInt(2), two_127);
+  EXPECT_EQ(two_128 % two_127, BigInt(0));
+  EXPECT_EQ(two_128.bit_length(), 129u);
+}
+
+TEST(BigInt, KnownBigProduct) {
+  // 99999999999999999999 * 99999999999999999999
+  BigInt a = BigInt::from_string("99999999999999999999");
+  BigInt product = a * a;
+  EXPECT_EQ(product.to_string(), "9999999999999999999800000000000000000001");
+}
+
+TEST(BigInt, SignRulesForDivision) {
+  // C++ semantics: quotient truncates toward zero, remainder follows
+  // the dividend.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).to_int64(), -1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), Error);
+  EXPECT_THROW(BigInt(1) % BigInt(0), Error);
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::from_string("10000000000000000000000"), BigInt(1));
+  EXPECT_LT(-BigInt::from_string("10000000000000000000000"), BigInt(-1));
+  EXPECT_EQ(BigInt(7), BigInt::from_string("7"));
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+  // gcd(2^100, 2^60) = 2^60
+  BigInt two_100 = BigInt::from_string("1267650600228229401496703205376");
+  BigInt two_60 = BigInt::from_string("1152921504606846976");
+  EXPECT_EQ(BigInt::gcd(two_100, two_60), two_60);
+}
+
+TEST(BigInt, FromInt128) {
+  __int128 value = static_cast<__int128>(1) << 100;
+  EXPECT_EQ(BigInt::from_int128(value).to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::from_int128(-value).to_string(), "-1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::from_int128(0), BigInt(0));
+}
+
+TEST(BigInt, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(1000000).to_double(), 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).to_double(), -12345.0);
+  BigInt huge = BigInt::from_string("1000000000000000000000000000000");
+  EXPECT_NEAR(huge.to_double(), 1e30, 1e15);
+}
+
+TEST(BigInt, ToInt64OverflowThrows) {
+  BigInt too_big = BigInt::from_string("9223372036854775808");  // 2^63
+  EXPECT_THROW(too_big.to_int64(), Error);
+  BigInt min_ok = BigInt::from_string("-9223372036854775808");  // -2^63 fits
+  EXPECT_EQ(min_ok.to_int64(), std::numeric_limits<long long>::min());
+  EXPECT_THROW(BigInt::from_string("-9223372036854775809").to_int64(), Error);
+}
+
+class BigIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntPropertyTest, AgreesWithInt128OnRandomValues) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    long long a = rng.uniform_int(-1000000000LL, 1000000000LL);
+    long long b = rng.uniform_int(-1000000000LL, 1000000000LL);
+    BigInt ba(a), bb(b);
+    EXPECT_EQ((ba + bb).to_int64(), a + b);
+    EXPECT_EQ((ba - bb).to_int64(), a - b);
+    EXPECT_EQ((ba * bb).to_string(),
+              BigInt::from_int128(static_cast<__int128>(a) * b).to_string());
+    if (b != 0) {
+      EXPECT_EQ((ba / bb).to_int64(), a / b);
+      EXPECT_EQ((ba % bb).to_int64(), a % b);
+    }
+    EXPECT_EQ(ba < bb, a < b);
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModIdentityOnHugeValues) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 60; ++i) {
+    // Build ~40-digit dividends and ~15-digit divisors.
+    std::string digits_a, digits_b;
+    for (int d = 0; d < 40; ++d) {
+      digits_a.push_back(static_cast<char>('0' + rng.uniform_int(d == 0 ? 1 : 0, 9)));
+    }
+    for (int d = 0; d < 15; ++d) {
+      digits_b.push_back(static_cast<char>('0' + rng.uniform_int(d == 0 ? 1 : 0, 9)));
+    }
+    BigInt a = BigInt::from_string(digits_a);
+    BigInt b = BigInt::from_string(digits_b);
+    if (rng.bernoulli(0.5)) a = -a;
+    if (rng.bernoulli(0.5)) b = -b;
+
+    auto division = a.divmod(b);
+    // a == q*b + r, |r| < |b|, sign(r) == sign(a) (or r == 0).
+    EXPECT_EQ(division.quotient * b + division.remainder, a);
+    EXPECT_LT(division.remainder.abs(), b.abs());
+    if (!division.remainder.is_zero()) {
+      EXPECT_EQ(division.remainder.is_negative(), a.is_negative());
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTripOnHugeValues) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 50; ++i) {
+    std::string digits;
+    int length = static_cast<int>(rng.uniform_int(1, 80));
+    for (int d = 0; d < length; ++d) {
+      digits.push_back(static_cast<char>('0' + rng.uniform_int(d == 0 ? 1 : 0, 9)));
+    }
+    if (rng.bernoulli(0.5)) digits.insert(digits.begin(), '-');
+    EXPECT_EQ(BigInt::from_string(digits).to_string(), digits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest, ::testing::Values(1u, 2u, 3u));
+
+TEST(BigRational, BasicArithmetic) {
+  BigRational a(BigInt(1), BigInt(3));
+  BigRational b(BigInt(1), BigInt(6));
+  EXPECT_EQ(a + b, BigRational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(a - b, BigRational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(a * b, BigRational(BigInt(1), BigInt(18)));
+  EXPECT_EQ(a / b, BigRational(2));
+}
+
+TEST(BigRational, ReducesAndNormalizesSign) {
+  EXPECT_EQ(BigRational(BigInt(6), BigInt(4)).to_string(), "3/2");
+  EXPECT_EQ(BigRational(BigInt(6), BigInt(-4)).to_string(), "-3/2");
+  EXPECT_EQ(BigRational(BigInt(0), BigInt(-7)).to_string(), "0");
+  EXPECT_THROW(BigRational(BigInt(1), BigInt(0)), Error);
+}
+
+TEST(BigRational, FloorCeilRound) {
+  BigRational seven_halves(BigInt(7), BigInt(2));
+  EXPECT_EQ(seven_halves.floor(), BigRational(3));
+  EXPECT_EQ(seven_halves.ceil(), BigRational(4));
+  EXPECT_EQ(seven_halves.round(), BigRational(4));
+  BigRational negative(BigInt(-7), BigInt(2));
+  EXPECT_EQ(negative.floor(), BigRational(-4));
+  EXPECT_EQ(negative.ceil(), BigRational(-3));
+  EXPECT_EQ(negative.round(), BigRational(-4));
+}
+
+TEST(BigRational, FromRationalAgrees) {
+  Rational r(22, 7);
+  BigRational b = BigRational::from_rational(r);
+  EXPECT_EQ(b.to_string(), "22/7");
+  EXPECT_DOUBLE_EQ(b.to_double(), r.to_double());
+}
+
+TEST(BigRational, HandlesDenominatorsBeyond128Bits) {
+  // (1/2^100) + (1/3^50): denominators far beyond __int128.
+  BigRational tiny1(BigInt(1), BigInt::from_string("1267650600228229401496703205376"));
+  BigRational tiny2(BigInt(1), BigInt::from_string("717897987691852588770249"));
+  BigRational sum = tiny1 + tiny2;
+  EXPECT_GT(sum, BigRational(0));
+  EXPECT_EQ(sum - tiny2, tiny1);
+  EXPECT_EQ((tiny1 * tiny2) / tiny2, tiny1);
+}
+
+TEST(BigRational, ComparisonsAndOrdering) {
+  EXPECT_LT(BigRational(BigInt(1), BigInt(3)), BigRational(BigInt(1), BigInt(2)));
+  EXPECT_GT(BigRational(BigInt(-1), BigInt(3)), BigRational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(BigRational(BigInt(2), BigInt(4)), BigRational(BigInt(1), BigInt(2)));
+}
+
+TEST(BigRational, FieldPropertySweep) {
+  Rng rng(4242);
+  for (int i = 0; i < 100; ++i) {
+    BigRational a(BigInt(rng.uniform_int(-500, 500)), BigInt(rng.uniform_int(1, 500)));
+    BigRational b(BigInt(rng.uniform_int(-500, 500)), BigInt(rng.uniform_int(1, 500)));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a - a, BigRational(0));
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+    EXPECT_EQ(a.floor() <= a && a <= a.ceil(), true);
+  }
+}
+
+}  // namespace
+}  // namespace lbs::support

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/gantt.hpp"
+#include "support/table.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table table({"machine", "alpha"});
+  table.add_row({"dinadan", "0.009288"});
+  table.add_row({"caseb", "0.004629"});
+  std::string text = table.to_string();
+  EXPECT_NE(text.find("machine"), std::string::npos);
+  EXPECT_NE(text.find("dinadan"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table table({"n", "value"});
+  table.add_row({"1", "10"});
+  table.add_row({"100", "2"});
+  std::string text = table.to_string();
+  std::istringstream in(text);
+  std::string header, rule, row1, row2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.012), "12.0 ms");
+  EXPECT_EQ(format_seconds(42.0), "42.0 s");
+  EXPECT_EQ(format_seconds(360.0), "6.0 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.0 h");
+  // The paper: Algorithm 1 takes "more than two days".
+  EXPECT_EQ(format_seconds(2.5 * 86400.0), "2.5 days");
+}
+
+TEST(FormatCount, GroupsThousands) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(817101), "817,101");
+  EXPECT_EQ(format_count(-1234567), "-1,234,567");
+}
+
+TEST(FormatPercent, Formats) {
+  EXPECT_EQ(format_percent(0.06), "6.0%");
+  EXPECT_EQ(format_percent(0.105, 2), "10.50%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"machine", "items"});
+  writer.write_row({"leda", CsvWriter::cell(static_cast<long long>(51069))});
+  EXPECT_EQ(out.str(), "machine,items\nleda,51069\n");
+}
+
+TEST(Csv, DoubleCellsRoundTrip) {
+  std::string cell = CsvWriter::cell(0.009288);
+  EXPECT_EQ(std::stod(cell), 0.009288);
+}
+
+TEST(Gantt, RendersPhasesAndLegend) {
+  GanttChart chart(40);
+  chart.add_row({"P1",
+                 {{0.0, 1.0, PhaseKind::Receive}, {1.0, 4.0, PhaseKind::Compute}}});
+  chart.add_row({"P2",
+                 {{1.0, 2.0, PhaseKind::Receive}, {2.0, 4.0, PhaseKind::Compute}}});
+  std::string text = chart.to_string();
+  EXPECT_NE(text.find('r'), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("legend"), std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+}
+
+TEST(Gantt, StairEffectVisible) {
+  // Later processors start receiving later: the first receive cell of each
+  // row must move right, as in the paper's Figure 1.
+  GanttChart chart(60);
+  for (int p = 0; p < 4; ++p) {
+    double start = static_cast<double>(p);
+    chart.add_row({"P" + std::to_string(p + 1),
+                   {{start, start + 1.0, PhaseKind::Receive},
+                    {start + 1.0, 8.0, PhaseKind::Compute}}});
+  }
+  std::string text = chart.to_string();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t previous = 0;
+  for (int p = 0; p < 4; ++p) {
+    std::getline(in, line);
+    std::size_t first_r = line.find('r');
+    ASSERT_NE(first_r, std::string::npos);
+    EXPECT_GE(first_r, previous);
+    previous = first_r;
+  }
+}
+
+TEST(Gantt, RejectsNegativeDurationSpan) {
+  GanttChart chart(40);
+  EXPECT_THROW(chart.add_row({"bad", {{2.0, 1.0, PhaseKind::Idle}}}), Error);
+}
+
+TEST(Gantt, TooNarrowThrows) {
+  EXPECT_THROW(GanttChart(3), Error);
+}
+
+TEST(PhaseChar, DistinctPerKind) {
+  EXPECT_NE(phase_char(PhaseKind::Idle), phase_char(PhaseKind::Receive));
+  EXPECT_NE(phase_char(PhaseKind::Receive), phase_char(PhaseKind::Compute));
+  EXPECT_NE(phase_char(PhaseKind::Send), phase_char(PhaseKind::Compute));
+}
+
+}  // namespace
+}  // namespace lbs::support

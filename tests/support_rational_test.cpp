@@ -1,0 +1,155 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.to_string(), "0");
+}
+
+TEST(Rational, ReducesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.to_string(), "3/2");
+  Rational s(-6, 4);
+  EXPECT_EQ(s.to_string(), "-3/2");
+  Rational t(6, -4);
+  EXPECT_EQ(t.to_string(), "-3/2");
+  Rational u(-6, -4);
+  EXPECT_EQ(u.to_string(), "3/2");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 3);
+  Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+  EXPECT_EQ(-a, Rational(-1, 3));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), Error);
+  EXPECT_THROW(Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5, 10), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeilRound) {
+  EXPECT_EQ(Rational(7, 2).floor(), Rational(3));
+  EXPECT_EQ(Rational(7, 2).ceil(), Rational(4));
+  EXPECT_EQ(Rational(7, 2).round(), Rational(4));  // half away from zero
+  EXPECT_EQ(Rational(-7, 2).floor(), Rational(-4));
+  EXPECT_EQ(Rational(-7, 2).ceil(), Rational(-3));
+  EXPECT_EQ(Rational(-7, 2).round(), Rational(-4));
+  EXPECT_EQ(Rational(10, 3).round(), Rational(3));
+  EXPECT_EQ(Rational(11, 3).round(), Rational(4));
+  EXPECT_EQ(Rational(5).floor(), Rational(5));
+  EXPECT_EQ(Rational(5).ceil(), Rational(5));
+}
+
+TEST(Rational, FromDoubleExact) {
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(0.25), Rational(1, 4));
+  EXPECT_EQ(Rational::from_double(3.0), Rational(3));
+  EXPECT_EQ(Rational::from_double(-1.75), Rational(-7, 4));
+  EXPECT_EQ(Rational::from_double(0.0), Rational(0));
+}
+
+TEST(Rational, FromDoubleRoundTripsThroughToDouble) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    double value = rng.uniform(-1e6, 1e6);
+    EXPECT_EQ(Rational::from_double(value).to_double(), value);
+  }
+}
+
+TEST(Rational, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Rational::from_double(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(Rational::from_double(std::numeric_limits<double>::quiet_NaN()), Error);
+}
+
+TEST(Rational, ToInt64) {
+  EXPECT_EQ(Rational(42).to_int64(), 42);
+  EXPECT_EQ(Rational(-7).to_int64(), -7);
+  EXPECT_THROW(Rational(1, 2).to_int64(), Error);
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+  EXPECT_EQ(Rational(3, 7).abs(), Rational(3, 7));
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational huge(static_cast<long long>(1) << 62);
+  Rational result = huge;
+  // Repeated squaring must eventually overflow 128 bits and throw, not wrap.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 4; ++i) result *= result;
+      },
+      Error);
+}
+
+TEST(Rational, SumOfHarmonicSeriesExact) {
+  // An accumulation pattern close to the D(P1..Pp) computation.
+  Rational sum;
+  for (long long k = 1; k <= 30; ++k) sum += Rational(1, k);
+  // H_30 = 9304682830147/2329089562800
+  EXPECT_EQ(sum, Rational(9304682830147LL, 2329089562800LL));
+}
+
+// Property: field axioms hold on random small rationals.
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Rational a(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 1000));
+    Rational b(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 1000));
+    Rational c(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 1000));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+TEST_P(RationalPropertyTest, FloorCeilBracketValue) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 100; ++i) {
+    Rational a(rng.uniform_int(-10000, 10000), rng.uniform_int(1, 997));
+    EXPECT_LE(a.floor(), a);
+    EXPECT_GE(a.ceil(), a);
+    EXPECT_LE(a.ceil() - a.floor(), Rational(1));
+    EXPECT_LE((a - a.round()).abs(), Rational(1, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace lbs::support

@@ -1,0 +1,140 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntCoversSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntHitsAllValuesOfSmallRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), Error);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(17);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.uniform());
+  auto summary = summarize(values);
+  EXPECT_NEAR(summary.mean, 0.5, 0.01);
+  EXPECT_NEAR(summary.stddev, std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.normal(10.0, 2.0));
+  auto summary = summarize(values);
+  EXPECT_NEAR(summary.mean, 10.0, 0.1);
+  EXPECT_NEAR(summary.stddev, 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.exponential(4.0));
+  auto summary = summarize(values);
+  EXPECT_NEAR(summary.mean, 0.25, 0.01);
+  EXPECT_GE(summary.min, 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgesAreDeterministic) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng.bernoulli(0.0));
+  // probability 1.0: uniform() < 1.0 is true except measure-zero draws.
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) hits += rng.bernoulli(1.0) ? 1 : 0;
+  EXPECT_EQ(hits, 100);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(37);
+  std::uniform_int_distribution<int> dist(1, 6);
+  for (int i = 0; i < 100; ++i) {
+    int v = dist(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+  }
+}
+
+}  // namespace
+}  // namespace lbs::support

@@ -1,0 +1,142 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(Summarize, SingleValue) {
+  std::vector<double> values{3.5};
+  auto s = summarize(values);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  auto s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  std::vector<double> values;
+  EXPECT_THROW(summarize(values), Error);
+}
+
+TEST(Summary, RelativeSpreadMatchesPaperUsage) {
+  // Paper, Fig. 3: earliest 405 s, latest 430 s -> ~6% of total duration.
+  std::vector<double> finish{405.0, 430.0};
+  auto s = summarize(finish);
+  EXPECT_NEAR(s.relative_spread(), 0.058, 0.001);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{5.0, 7.0, 9.0, 11.0};  // y = 3 + 2x
+  auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataApproximatesLine) {
+  Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 200; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(0.5 + 0.25 * i + rng.normal(0.0, 0.1));
+  }
+  auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 0.5, 0.1);
+  EXPECT_NEAR(fit.slope, 0.25, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, DegenerateXThrows) {
+  std::vector<double> xs{2.0, 2.0};
+  std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+}
+
+TEST(FitLine, TooFewSamplesThrows) {
+  std::vector<double> xs{1.0};
+  std::vector<double> ys{1.0};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+}
+
+TEST(FitProportional, RecoversSlopeThroughOrigin) {
+  std::vector<double> xs{10.0, 20.0, 40.0};
+  std::vector<double> ys{1.0, 2.0, 4.0};
+  EXPECT_NEAR(fit_proportional(xs, ys), 0.1, 1e-12);
+}
+
+TEST(FitProportional, MinimizesSquaredError) {
+  // For y = {1, 3} at x = {1, 2}, least squares slope = (1+6)/(1+4) = 1.4.
+  std::vector<double> xs{1.0, 2.0};
+  std::vector<double> ys{1.0, 3.0};
+  EXPECT_NEAR(fit_proportional(xs, ys), 1.4, 1e-12);
+}
+
+TEST(Quantile, Endpoints) {
+  std::vector<double> values{3.0, 1.0, 2.0};
+  EXPECT_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_EQ(quantile(values, 1.0), 3.0);
+  EXPECT_EQ(quantile(values, 0.5), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_NEAR(quantile(values, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(quantile(values, 0.75), 7.5, 1e-12);
+}
+
+TEST(Quantile, OutOfRangeThrows) {
+  std::vector<double> values{1.0};
+  EXPECT_THROW(quantile(values, -0.1), Error);
+  EXPECT_THROW(quantile(values, 1.1), Error);
+}
+
+class FitPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FitPropertyTest, FitLineResidualsSumToZero) {
+  Rng rng(GetParam());
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(rng.uniform(0.0, 100.0));
+    ys.push_back(rng.uniform(-10.0, 10.0));
+  }
+  auto fit = fit_line(xs, ys);
+  double residual_sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) residual_sum += ys[i] - fit.at(xs[i]);
+  EXPECT_NEAR(residual_sum, 0.0, 1e-8);
+}
+
+TEST_P(FitPropertyTest, QuantileIsMonotoneInQ) {
+  Rng rng(GetParam() ^ 0x5555);
+  std::vector<double> values;
+  for (int i = 0; i < 31; ++i) values.push_back(rng.uniform(-5.0, 5.0));
+  double prev = quantile(values, 0.0);
+  for (int step = 1; step <= 20; ++step) {
+    double q = static_cast<double>(step) / 20.0;
+    double current = quantile(values, q);
+    EXPECT_GE(current, prev - 1e-12);
+    prev = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitPropertyTest, ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace lbs::support

@@ -1,0 +1,92 @@
+#include "support/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+namespace {
+
+std::vector<GanttRow> sample_rows() {
+  return {
+      {"P1", {{0.0, 1.0, PhaseKind::Receive}, {1.0, 4.0, PhaseKind::Compute}}},
+      {"P2",
+       {{1.0, 2.0, PhaseKind::Receive},
+        {2.0, 5.0, PhaseKind::Compute},
+        {5.0, 5.5, PhaseKind::Send}}},
+  };
+}
+
+TEST(SvgGantt, ProducesWellFormedDocument) {
+  auto svg = render_svg_gantt(sample_rows());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns=\"http://www.w3.org/2000/svg\""), std::string::npos);
+  // Tag discipline: every '<' has a matching '>', and rect/line elements
+  // are self-closing.
+  EXPECT_EQ(std::count(svg.begin(), svg.end(), '<'),
+            std::count(svg.begin(), svg.end(), '>'));
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    std::size_t close = svg.find('>', pos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(svg[close - 1], '/');
+    pos = close;
+    ++rects;
+  }
+  EXPECT_GT(rects, sample_rows().size());  // backgrounds + phase bars
+}
+
+TEST(SvgGantt, ContainsLabelsAndPhases) {
+  auto svg = render_svg_gantt(sample_rows());
+  EXPECT_NE(svg.find(">P1<"), std::string::npos);
+  EXPECT_NE(svg.find(">P2<"), std::string::npos);
+  EXPECT_NE(svg.find("#4878a8"), std::string::npos);  // receive
+  EXPECT_NE(svg.find("#e08a3c"), std::string::npos);  // compute
+  EXPECT_NE(svg.find("#5a9a68"), std::string::npos);  // send
+  EXPECT_NE(svg.find("receiving"), std::string::npos);
+  EXPECT_NE(svg.find("computing"), std::string::npos);
+}
+
+TEST(SvgGantt, TitleIsEscaped) {
+  SvgOptions options;
+  options.title = "scatter <n & \"m\">";
+  auto svg = render_svg_gantt(sample_rows(), options);
+  EXPECT_NE(svg.find("scatter &lt;n &amp; &quot;m&quot;&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("<n &"), std::string::npos);
+}
+
+TEST(SvgGantt, EmptyRowsStillRender) {
+  auto svg = render_svg_gantt({});
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgGantt, TooNarrowThrows) {
+  SvgOptions options;
+  options.width_px = 100;
+  options.label_width_px = 90;
+  EXPECT_THROW(render_svg_gantt(sample_rows(), options), Error);
+}
+
+TEST(SvgGantt, WritesToFile) {
+  std::string path = "/tmp/lbs_svg_test.svg";
+  write_svg_gantt(path, sample_rows());
+  std::ifstream file(path);
+  ASSERT_TRUE(static_cast<bool>(file));
+  std::string first_line;
+  std::getline(file, first_line);
+  EXPECT_EQ(first_line.rfind("<svg", 0), 0u);
+  file.close();
+  std::remove(path.c_str());
+}
+
+TEST(SvgGantt, BadPathThrows) {
+  EXPECT_THROW(write_svg_gantt("/nonexistent-dir/x.svg", sample_rows()), Error);
+}
+
+}  // namespace
+}  // namespace lbs::support
