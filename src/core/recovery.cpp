@@ -1,0 +1,38 @@
+#include "core/recovery.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+model::Platform reduce_platform(const model::Platform& platform,
+                                const std::vector<int>& positions) {
+  LBS_CHECK_MSG(!positions.empty(), "reduced platform needs processors");
+  std::vector<char> seen(static_cast<std::size_t>(platform.size()), 0);
+  model::Platform reduced;
+  reduced.processors.reserve(positions.size());
+  for (int position : positions) {
+    LBS_CHECK_MSG(position >= 0 && position < platform.size(),
+                  "reduced platform references unknown processor");
+    auto& flag = seen[static_cast<std::size_t>(position)];
+    LBS_CHECK_MSG(!flag, "reduced platform repeats a processor");
+    flag = 1;
+    reduced.processors.push_back(platform[position]);
+  }
+  return reduced;
+}
+
+std::function<std::vector<long long>(const std::vector<int>&, long long)>
+make_ft_replanner(model::Platform platform, Algorithm algorithm) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  return [platform = std::move(platform), algorithm](
+             const std::vector<int>& alive, long long items) {
+    auto reduced = reduce_platform(platform, alive);
+    auto plan = plan_scatter(reduced, items, algorithm);
+    return plan.distribution.counts;
+  };
+}
+
+}  // namespace lbs::core

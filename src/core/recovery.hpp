@@ -1,0 +1,37 @@
+// Degradation-aware recovery planning: re-running the paper's scatter
+// planner on the platform that remains after failures.
+//
+// The mq runtime's fault-tolerant scatter (mq::Comm::scatterv_ft) detects
+// dead receivers and asks a replanner to distribute the undelivered
+// remainder over the survivors. This header supplies that replanner: it
+// restricts the Platform to the surviving processors (scatter order
+// preserved, root last) and lets plan_scatter pick the strongest
+// applicable method, exactly as for the initial distribution. No mq types
+// are involved — the replanner is a plain std::function, so core stays
+// independent of the runtime substrate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+// Platform restricted to the processors at `positions`, in that order.
+// Positions must be distinct and in range; the last position is the root
+// of the reduced platform (callers keep the original root last).
+model::Platform reduce_platform(const model::Platform& platform,
+                                const std::vector<int>& positions);
+
+// A replanner for mq::ScattervFtOptions::replan (and the gridsim mirror):
+// given the surviving rank ids (platform positions, root last) and the
+// undelivered item count, re-runs plan_scatter on the reduced platform and
+// returns per-survivor counts, aligned with the alive list.
+std::function<std::vector<long long>(const std::vector<int>& alive,
+                                     long long items)>
+make_ft_replanner(model::Platform platform,
+                  Algorithm algorithm = Algorithm::Auto);
+
+}  // namespace lbs::core

@@ -1,0 +1,191 @@
+#include "gridsim/faultsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::gridsim {
+
+namespace {
+
+struct Segment {
+  long long count = 0;
+};
+
+std::vector<long long> uniform_replan(std::size_t parts, long long items) {
+  std::vector<long long> counts(parts, items / static_cast<long long>(parts));
+  auto extra = static_cast<std::size_t>(items % static_cast<long long>(parts));
+  for (std::size_t i = 0; i < extra; ++i) ++counts[i];
+  return counts;
+}
+
+}  // namespace
+
+FtSimResult simulate_scatter_ft(const model::Platform& platform,
+                                const core::Distribution& distribution,
+                                const mq::FaultPlan& plan,
+                                const FtSimOptions& options) {
+  core::validate(platform, distribution, distribution.total());
+  LBS_CHECK_MSG(options.ack_timeout > 0.0, "ack timeout must be positive");
+  LBS_CHECK_MSG(options.retry.max_attempts >= 1, "retry policy needs >= 1 attempt");
+  LBS_CHECK_MSG(options.retry.backoff >= 0.0 && options.retry.multiplier >= 1.0,
+                "invalid retry backoff");
+
+  const int p = platform.size();
+  const int root = p - 1;
+  mq::FaultInjector injector(plan, p);
+
+  FtSimResult result;
+  result.report.delivered.assign(static_cast<std::size_t>(p), 0);
+  auto& delivered = result.report.delivered;
+  result.timeline.traces.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    result.timeline.traces[static_cast<std::size_t>(i)].label = platform[i].label;
+  }
+
+  double now = 0.0;
+  std::vector<char> dead(static_cast<std::size_t>(p), 0);
+  std::vector<long long> assigned(static_cast<std::size_t>(p), 0);
+  std::vector<double> recv_start(static_cast<std::size_t>(p),
+                                 std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> recv_end(static_cast<std::size_t>(p), 0.0);
+  std::deque<std::pair<int, Segment>> queue;
+  long long pool = 0;
+
+  auto crashed_by = [&](int rank, double time) {
+    return injector.crash_time(rank) <= time;
+  };
+
+  auto mark_dead = [&](int rank) {
+    dead[static_cast<std::size_t>(rank)] = 1;
+    long long undelivered = assigned[static_cast<std::size_t>(rank)];
+    pool += undelivered;
+    assigned[static_cast<std::size_t>(rank)] = 0;
+    delivered[static_cast<std::size_t>(rank)] = 0;
+    result.report.deaths.push_back({rank, now, undelivered});
+  };
+
+  for (int r = 0; r < p; ++r) {
+    long long count = distribution.counts[static_cast<std::size_t>(r)];
+    if (r == root) {
+      delivered[static_cast<std::size_t>(root)] = count;
+    } else if (count > 0) {
+      queue.push_back({r, Segment{count}});
+    }
+  }
+
+  auto replan_pool = [&] {
+    std::vector<int> alive;
+    for (int r = 0; r < root; ++r) {
+      if (!dead[static_cast<std::size_t>(r)]) alive.push_back(r);
+    }
+    if (alive.empty()) {
+      throw Error("simulate_scatter_ft: all workers dead, cannot re-route remainder");
+    }
+    alive.push_back(root);
+    auto new_counts = options.replan ? options.replan(alive, pool)
+                                     : uniform_replan(alive.size(), pool);
+    LBS_CHECK_MSG(new_counts.size() == alive.size(),
+                  "replanner returned wrong number of counts");
+    long long planned = 0;
+    for (long long count : new_counts) {
+      LBS_CHECK_MSG(count >= 0, "replanner returned negative count");
+      planned += count;
+    }
+    LBS_CHECK_MSG(planned == pool, "replanner counts do not sum to the remainder");
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (new_counts[i] == 0) continue;
+      if (alive[i] == root) {
+        delivered[static_cast<std::size_t>(root)] += new_counts[i];
+      } else {
+        queue.push_back({alive[i], Segment{new_counts[i]}});
+      }
+    }
+    result.report.rerouted_items += pool;
+    ++result.report.replan_rounds;
+    pool = 0;
+  };
+
+  for (;;) {
+    while (!queue.empty()) {
+      auto [r, segment] = queue.front();
+      queue.pop_front();
+      if (dead[static_cast<std::size_t>(r)]) {
+        pool += segment.count;
+        continue;
+      }
+      assigned[static_cast<std::size_t>(r)] += segment.count;
+      if (crashed_by(r, now)) {
+        mark_dead(r);
+        continue;
+      }
+      // Transmit, retrying through drops (each attempt occupies the root
+      // port for the full perturbed duration — the bytes went out).
+      bool sent = false;
+      double backoff = options.retry.backoff;
+      for (int attempt = 0; attempt < options.retry.max_attempts; ++attempt) {
+        if (attempt > 0) {
+          now += backoff;
+          backoff *= options.retry.multiplier;
+        }
+        auto perturbation =
+            injector.perturb_send(root, r, now, /*droppable=*/true);
+        double duration =
+            platform[r].comm(segment.count) * perturbation.delay_factor;
+        auto index = static_cast<std::size_t>(r);
+        if (std::isnan(recv_start[index])) recv_start[index] = now;
+        now += duration;
+        if (!perturbation.dropped) {
+          sent = true;
+          break;
+        }
+      }
+      bool acked = sent && !crashed_by(r, now);
+      if (acked) {
+        delivered[static_cast<std::size_t>(r)] += segment.count;
+        recv_end[static_cast<std::size_t>(r)] = now;
+      } else {
+        if (sent) now += options.ack_timeout;  // waited for an ack that never came
+        mark_dead(r);                          // eviction is free in virtual time
+      }
+    }
+    if (pool > 0) {
+      replan_pool();
+      continue;
+    }
+    bool found_late_death = false;
+    for (int r = 0; r < root; ++r) {
+      if (!dead[static_cast<std::size_t>(r)] && crashed_by(r, now)) {
+        mark_dead(r);
+        found_late_death = true;
+      }
+    }
+    if (!found_late_death) break;
+    if (pool > 0) replan_pool();
+  }
+
+  // Compute phase: workers start when their last chunk arrived, the root
+  // once its port is free (the paper's root computes after sending).
+  recv_end[static_cast<std::size_t>(root)] = now;
+  double makespan = 0.0;
+  for (int i = 0; i < p; ++i) {
+    auto index = static_cast<std::size_t>(i);
+    auto& trace = result.timeline.traces[index];
+    trace.items = delivered[index];
+    if (dead[index]) continue;
+    trace.recv_start = std::isnan(recv_start[index]) ? recv_end[index]
+                                                     : recv_start[index];
+    trace.recv_end = recv_end[index];
+    trace.compute_end = recv_end[index] + platform[i].comp(delivered[index]);
+    makespan = std::max(makespan, trace.compute_end);
+  }
+  result.report.elapsed = makespan;
+  return result;
+}
+
+}  // namespace lbs::gridsim

@@ -1,0 +1,55 @@
+// Virtual-time replay of the fault-tolerant scatter protocol.
+//
+// Mirrors mq::Comm::scatterv_ft under the same FaultPlan, but on the
+// simulator's nominal clock: the root serves receivers in turn through its
+// single port, data chunks pay the plan's (deterministic) delay factor and
+// jitter, droppable chunks are retried with exponential backoff, and a
+// receiver that crashed (or whose ack the root gave up waiting for) is
+// evicted and its items re-planned over the survivors — the identical
+// recovery protocol, at scales the threaded runtime can't reach, with
+// bit-for-bit reproducible FaultReports (no real sleeps anywhere).
+//
+// Because the same FaultInjector hash drives drop/jitter decisions on both
+// substrates, a plan whose deaths are crash-driven produces the same
+// victims and re-routed counts here as in an mq run.
+//
+// Fidelity notes: acks are instantaneous (the mq ack is one item's
+// transfer), and crashes after a rank's final ack but before `done` are
+// detected here exactly when they are in mq (final sweep). Compute-phase
+// crashes are not modeled — the scatter is over by then.
+#pragma once
+
+#include <functional>
+
+#include "core/distribution.hpp"
+#include "gridsim/timeline.hpp"
+#include "model/platform.hpp"
+#include "mq/fault.hpp"
+
+namespace lbs::gridsim {
+
+struct FtSimOptions {
+  // Nominal seconds the root waits for a missing ack before evicting.
+  double ack_timeout = 1.0;
+
+  mq::RetryPolicy retry;  // for droppable data chunks (backoff is nominal)
+
+  // Same contract as mq::ScattervFtOptions::replan; default near-uniform.
+  std::function<std::vector<long long>(const std::vector<int>& alive,
+                                       long long items)> replan;
+};
+
+struct FtSimResult {
+  Timeline timeline;      // traces carry each rank's *final* item count
+  mq::FaultReport report; // deaths/rerouting; times are virtual seconds
+};
+
+// Replays one fault-tolerant scatter + compute round. The root is the last
+// platform position (paper convention); distribution lists the initial
+// per-position shares. Throws lbs::Error when every worker dies.
+FtSimResult simulate_scatter_ft(const model::Platform& platform,
+                                const core::Distribution& distribution,
+                                const mq::FaultPlan& plan,
+                                const FtSimOptions& options = {});
+
+}  // namespace lbs::gridsim

@@ -157,6 +157,29 @@ class ChunkedCost final : public CostFunction {
   double step_;
 };
 
+class ScaledCost final : public CostFunction {
+ public:
+  ScaledCost(Cost inner, double factor) : inner_(std::move(inner)), factor_(factor) {
+    LBS_CHECK_MSG(factor > 0.0, "cost scale factor must be positive");
+  }
+  double at(long long items) const override { return factor_ * inner_.at(items); }
+  bool is_increasing() const override { return inner_.is_increasing(); }
+  std::optional<AffineCoeffs> affine() const override {
+    auto coeffs = inner_.affine();
+    if (!coeffs) return std::nullopt;
+    return AffineCoeffs{factor_ * coeffs->fixed, factor_ * coeffs->per_item};
+  }
+  std::string describe() const override {
+    std::ostringstream out;
+    out << factor_ << " * (" << inner_.describe() << ")";
+    return out.str();
+  }
+
+ private:
+  Cost inner_;
+  double factor_;
+};
+
 }  // namespace
 
 Cost::Cost() : fn_(std::make_shared<ZeroCost>()) {}
@@ -189,6 +212,11 @@ Cost Cost::from_bandwidth(double megabits_per_s, std::size_t item_bytes,
   double per_item =
       static_cast<double>(item_bytes) * 8.0 / (megabits_per_s * 1e6);
   return affine(latency_s, per_item);
+}
+
+Cost Cost::scaled(Cost inner, double factor) {
+  if (factor == 1.0) return inner;
+  return Cost(std::make_shared<ScaledCost>(std::move(inner), factor));
 }
 
 double Cost::per_item_slope() const {

@@ -79,6 +79,11 @@ class Cost {
   static Cost from_bandwidth(double megabits_per_s, std::size_t item_bytes,
                              double latency_s = 0.0);
 
+  // t(x) = factor * inner(x), factor > 0: a uniformly slowed (or sped-up)
+  // version of an existing cost — how a degraded link enters the planner.
+  // Preserves monotonicity; affine coefficients scale through.
+  static Cost scaled(Cost inner, double factor);
+
   [[nodiscard]] double operator()(long long items) const { return fn_->at(items); }
   [[nodiscard]] double at(long long items) const { return fn_->at(items); }
   [[nodiscard]] bool is_increasing() const { return fn_->is_increasing(); }

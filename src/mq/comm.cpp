@@ -1,12 +1,59 @@
 #include "mq/comm.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
 #include <thread>
 
 #include "mq/runtime_state.hpp"
 #include "support/error.hpp"
 
 namespace lbs::mq {
+
+namespace {
+
+// Framing for fault-tolerant scatter messages: an 8-byte kind header, then
+// the chunk body. One reserved tag carries all three kinds so the worker
+// can block on a single (source, tag) match.
+constexpr std::int64_t kFtData = 0;   // body = items; must be acknowledged
+constexpr std::int64_t kFtDone = 1;   // scatter over, return what you have
+constexpr std::int64_t kFtEvict = 2;  // presumed dead: discard everything
+
+std::vector<std::byte> frame(std::int64_t kind, std::span<const std::byte> body) {
+  std::vector<std::byte> message(sizeof(kind) + body.size());
+  std::memcpy(message.data(), &kind, sizeof(kind));
+  if (!body.empty()) {
+    std::memcpy(message.data() + sizeof(kind), body.data(), body.size());
+  }
+  return message;
+}
+
+std::int64_t frame_kind(const std::vector<std::byte>& payload) {
+  LBS_CHECK_MSG(payload.size() >= sizeof(std::int64_t),
+                "corrupt fault-tolerant scatter frame");
+  std::int64_t kind = 0;
+  std::memcpy(&kind, payload.data(), sizeof(kind));
+  return kind;
+}
+
+// A contiguous range of items of the root's send buffer.
+struct Segment {
+  long long offset = 0;
+  long long count = 0;
+};
+
+// Near-uniform fallback replanner: floor(items/n) each, first ranks take
+// the remainder (same convention as core::uniform_distribution).
+std::vector<long long> uniform_replan(std::size_t parts, long long items) {
+  std::vector<long long> counts(parts, items / static_cast<long long>(parts));
+  auto extra = static_cast<std::size_t>(items % static_cast<long long>(parts));
+  for (std::size_t i = 0; i < extra; ++i) ++counts[i];
+  return counts;
+}
+
+}  // namespace
 
 Comm::Comm(int rank, detail::RuntimeState& state) : rank_(rank), state_(state) {}
 
@@ -23,9 +70,23 @@ double Comm::time_scale() const {
   return state_.options.time_scale;
 }
 
+bool Comm::rank_dead(int rank) const {
+  LBS_CHECK_MSG(rank >= 0 && rank < size(), "failure query for unknown rank");
+  return state_.is_dead(rank);
+}
+
+void Comm::check_failures() const {
+  if (!state_.faults) return;
+  if (state_.is_dead(rank_) ||
+      state_.nominal_now() >= state_.faults->crash_time(rank_)) {
+    state_.kill_rank(rank_);
+    throw RankCrashed("rank crashed (injected fault)");
+  }
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   LBS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
-  internal_send(dest, tag, payload);
+  internal_send_impl(dest, tag, payload, /*droppable=*/true);
 }
 
 Message Comm::recv_message(int source, int tag) {
@@ -34,11 +95,69 @@ Message Comm::recv_message(int source, int tag) {
   return internal_recv(source, tag);
 }
 
+std::optional<Message> Comm::recv_message(int source, int tag,
+                                          double timeout_seconds) {
+  LBS_CHECK_MSG(tag >= 0 || tag == kAnyTag,
+                "negative tags are reserved for collectives");
+  LBS_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                "receive from unknown rank");
+  LBS_CHECK_MSG(timeout_seconds >= 0.0, "negative receive timeout");
+  check_failures();
+  return state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve_for(
+      source, tag, timeout_seconds);
+}
+
+bool Comm::send_bytes_with_retry(int dest, int tag,
+                                 std::span<const std::byte> payload,
+                                 const RetryPolicy& policy) {
+  LBS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  return internal_send_with_retry(dest, tag, payload, policy);
+}
+
+bool Comm::internal_send_with_retry(int dest, int tag,
+                                    std::span<const std::byte> payload,
+                                    const RetryPolicy& policy) {
+  LBS_CHECK_MSG(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
+  LBS_CHECK_MSG(policy.backoff >= 0.0 && policy.multiplier >= 1.0,
+                "invalid retry backoff");
+  double backoff = policy.backoff;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double real = backoff * state_.options.time_scale;
+      if (real > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(real));
+      }
+      backoff *= policy.multiplier;
+      check_failures();
+    }
+    if (internal_send_impl(dest, tag, payload, /*droppable=*/true)) return true;
+    if (state_.is_dead(dest)) return false;  // retries cannot resurrect it
+  }
+  return false;
+}
+
 void Comm::internal_send(int dest, int tag, std::span<const std::byte> payload) {
+  internal_send_impl(dest, tag, payload, /*droppable=*/false);
+}
+
+bool Comm::internal_send_impl(int dest, int tag,
+                              std::span<const std::byte> payload,
+                              bool droppable) {
   LBS_CHECK_MSG(dest >= 0 && dest < size(), "send to unknown rank");
   LBS_CHECK_MSG(dest != rank_, "send to self (collectives keep local data local)");
   if (state_.aborted.load(std::memory_order_relaxed)) {
     throw Error("runtime aborted");
+  }
+  check_failures();
+
+  // Fault-layer decision for this message: a deterministic delay factor
+  // (degradation + jitter) and, for droppable traffic, whether the message
+  // vanishes in flight. A dropped message still occupies the NIC — the
+  // bytes went out before they were lost.
+  FaultInjector::Perturbation perturbation;
+  if (state_.faults) {
+    perturbation =
+        state_.faults->perturb_send(rank_, dest, state_.nominal_now(), droppable);
   }
 
   // Emulated transfer: the sender's NIC is occupied for the whole
@@ -47,24 +166,231 @@ void Comm::internal_send(int dest, int tag, std::span<const std::byte> payload) 
   if (state_.options.link_cost && state_.options.time_scale > 0.0) {
     double nominal = state_.options.link_cost(rank_, dest, payload.size());
     LBS_CHECK_MSG(nominal >= 0.0, "negative link cost");
-    double real = nominal * state_.options.time_scale;
+    double real = nominal * perturbation.delay_factor * state_.options.time_scale;
     if (real > 0.0) {
       std::lock_guard nic_lock(*state_.nic[static_cast<std::size_t>(rank_)]);
       std::this_thread::sleep_for(std::chrono::duration<double>(real));
     }
   }
+  check_failures();
+
+  if (perturbation.dropped) return false;
 
   Message message;
   message.source = rank_;
   message.tag = tag;
   message.payload.assign(payload.begin(), payload.end());
-  state_.mailboxes[static_cast<std::size_t>(dest)]->deposit(std::move(message));
+  return state_.mailboxes[static_cast<std::size_t>(dest)]->deposit(
+      std::move(message));
 }
 
 Message Comm::internal_recv(int source, int tag) {
   LBS_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
                 "receive from unknown rank");
+  check_failures();
   return state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve(source, tag);
+}
+
+std::vector<std::byte> Comm::scatterv_ft_root(std::span<const std::byte> data,
+                                              std::span<const long long> counts,
+                                              std::size_t item_size,
+                                              const ScattervFtOptions& options,
+                                              FaultReport* report) {
+  LBS_CHECK_MSG(item_size > 0, "zero item size");
+  LBS_CHECK_MSG(options.ack_timeout > 0.0, "ack timeout must be positive");
+  const int p = size();
+  const double start_time = wtime();
+
+  FaultReport local;
+  local.delivered.assign(static_cast<std::size_t>(p), 0);
+
+  std::vector<char> dead(static_cast<std::size_t>(p), 0);
+  // Everything a rank has been assigned (acknowledged or in flight); on
+  // eviction the whole list is re-pooled, which is what makes delivery
+  // exactly-once: an evicted survivor discards, a crashed rank returns
+  // nothing, and the items resurface on the survivors.
+  std::vector<std::vector<Segment>> assigned(static_cast<std::size_t>(p));
+  std::deque<std::pair<int, Segment>> queue;  // chunks awaiting transmission
+  std::vector<Segment> pool;                  // items needing a new home
+  std::vector<std::byte> own;
+
+  auto slice = [&](const Segment& segment) {
+    auto offset = static_cast<std::size_t>(segment.offset) * item_size;
+    auto length = static_cast<std::size_t>(segment.count) * item_size;
+    check_range(segment.offset, static_cast<std::size_t>(segment.count),
+                data.size() / item_size);
+    return data.subspan(offset, length);
+  };
+
+  auto keep_own = [&](const Segment& segment) {
+    auto bytes = slice(segment);
+    own.insert(own.end(), bytes.begin(), bytes.end());
+    local.delivered[static_cast<std::size_t>(rank_)] += segment.count;
+  };
+
+  auto mark_dead = [&](int rank) {
+    dead[static_cast<std::size_t>(rank)] = 1;
+    long long undelivered = 0;
+    for (const auto& segment : assigned[static_cast<std::size_t>(rank)]) {
+      pool.push_back(segment);
+      undelivered += segment.count;
+    }
+    assigned[static_cast<std::size_t>(rank)].clear();
+    local.delivered[static_cast<std::size_t>(rank)] = 0;
+    local.deaths.push_back({rank, wtime() - start_time, undelivered});
+  };
+
+  // Initial assignment: rank order, contiguous, as scatterv lays data out.
+  long long offset = 0;
+  for (int r = 0; r < p; ++r) {
+    Segment segment{offset, counts[static_cast<std::size_t>(r)]};
+    offset += segment.count;
+    if (r == rank_) {
+      keep_own(segment);
+    } else if (segment.count > 0) {
+      queue.push_back({r, segment});
+    }
+  }
+
+  auto replan_pool = [&] {
+    std::vector<int> alive;
+    for (int r = 0; r < p; ++r) {
+      if (r != rank_ && !dead[static_cast<std::size_t>(r)]) alive.push_back(r);
+    }
+    if (alive.empty()) {
+      throw Error("scatterv_ft: all workers dead, cannot re-route remainder");
+    }
+    alive.push_back(rank_);  // root last, the paper's convention
+
+    long long remaining = 0;
+    for (const auto& segment : pool) remaining += segment.count;
+    auto new_counts = options.replan
+                          ? options.replan(alive, remaining)
+                          : uniform_replan(alive.size(), remaining);
+    LBS_CHECK_MSG(new_counts.size() == alive.size(),
+                  "replanner returned wrong number of counts");
+    long long planned = 0;
+    for (long long count : new_counts) {
+      LBS_CHECK_MSG(count >= 0, "replanner returned negative count");
+      planned += count;
+    }
+    LBS_CHECK_MSG(planned == remaining,
+                  "replanner counts do not sum to the remainder");
+
+    // Carve the pooled segments into the new shares, in order.
+    std::deque<Segment> remainder(pool.begin(), pool.end());
+    pool.clear();
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      long long need = new_counts[i];
+      while (need > 0) {
+        Segment& head = remainder.front();
+        Segment piece{head.offset, std::min(need, head.count)};
+        head.offset += piece.count;
+        head.count -= piece.count;
+        if (head.count == 0) remainder.pop_front();
+        need -= piece.count;
+        if (alive[i] == rank_) {
+          keep_own(piece);
+        } else {
+          queue.push_back({alive[i], piece});
+        }
+      }
+    }
+    local.rerouted_items += remaining;
+    ++local.replan_rounds;
+  };
+
+  for (;;) {
+    while (!queue.empty()) {
+      auto [r, segment] = queue.front();
+      queue.pop_front();
+      if (dead[static_cast<std::size_t>(r)]) {
+        // Died earlier in this drain; its queued chunks go back to the pool.
+        pool.push_back(segment);
+        continue;
+      }
+      assigned[static_cast<std::size_t>(r)].push_back(segment);
+      if (rank_dead(r)) {
+        mark_dead(r);
+        continue;
+      }
+      auto message = frame(kFtData, slice(segment));
+      bool sent =
+          internal_send_with_retry(r, kTagFtScatter, message, options.retry);
+      bool acked = false;
+      if (sent) {
+        acked = state_.mailboxes[static_cast<std::size_t>(rank_)]
+                    ->retrieve_for(r, kTagFtAck, options.ack_timeout)
+                    .has_value();
+      }
+      if (acked) {
+        local.delivered[static_cast<std::size_t>(r)] += segment.count;
+      } else {
+        // Timed out, undeliverable, or flagged dead: evict. If the rank is
+        // merely slow (not crashed), tell it to discard so the re-routed
+        // copies stay the only ones.
+        bool maybe_alive = !rank_dead(r);
+        mark_dead(r);
+        if (maybe_alive) {
+          internal_send_impl(r, kTagFtScatter, frame(kFtEvict, {}),
+                             /*droppable=*/false);
+        }
+      }
+    }
+    if (!pool.empty()) {
+      replan_pool();
+      continue;
+    }
+    // Final sweep: catch ranks that crashed after their last ack (their
+    // items must be re-routed before we declare the scatter complete).
+    bool found_late_death = false;
+    for (int r = 0; r < p; ++r) {
+      if (r != rank_ && !dead[static_cast<std::size_t>(r)] && rank_dead(r)) {
+        mark_dead(r);
+        found_late_death = true;
+      }
+    }
+    if (!found_late_death) break;
+    if (!pool.empty()) replan_pool();
+  }
+
+  for (int r = 0; r < p; ++r) {
+    if (r != rank_ && !dead[static_cast<std::size_t>(r)]) {
+      internal_send_impl(r, kTagFtScatter, frame(kFtDone, {}),
+                         /*droppable=*/false);
+    }
+  }
+
+  local.elapsed = wtime() - start_time;
+  if (report) *report = std::move(local);
+  return own;
+}
+
+std::vector<std::byte> Comm::scatterv_ft_worker(int root) {
+  LBS_CHECK_MSG(root >= 0 && root < size() && root != rank_,
+                "fault-tolerant scatter from unknown root");
+  std::vector<std::byte> received;
+  for (;;) {
+    Message message = internal_recv(root, kTagFtScatter);
+    std::int64_t kind = frame_kind(message.payload);
+    if (kind == kFtData) {
+      received.insert(received.end(),
+                      message.payload.begin() +
+                          static_cast<std::ptrdiff_t>(sizeof(std::int64_t)),
+                      message.payload.end());
+      const std::byte ack{1};
+      internal_send_impl(root, kTagFtAck, std::span<const std::byte>(&ack, 1),
+                         /*droppable=*/false);
+    } else if (kind == kFtDone) {
+      break;
+    } else if (kind == kFtEvict) {
+      received.clear();
+      break;
+    } else {
+      throw Error("corrupt fault-tolerant scatter frame kind");
+    }
+  }
+  return received;
 }
 
 Request Comm::isend_bytes(int dest, int tag, std::vector<std::byte> payload) {
@@ -74,7 +400,7 @@ Request Comm::isend_bytes(int dest, int tag, std::vector<std::byte> payload) {
   state->worker = std::thread([this, dest, tag, payload = std::move(payload), raw] {
     std::exception_ptr failure;
     try {
-      internal_send(dest, tag, payload);
+      internal_send_impl(dest, tag, payload, /*droppable=*/true);
     } catch (...) {
       failure = std::current_exception();
     }
@@ -142,6 +468,11 @@ std::vector<std::byte> Comm::internal_recv_for_subcomm(int source, int tag) {
 
 void Comm::check_single(std::size_t count) {
   LBS_CHECK_MSG(count == 1, "expected exactly one element");
+}
+
+void Comm::check_same_length(std::size_t got, std::size_t expected) {
+  LBS_CHECK_MSG(got == expected,
+                "reduce contributions must all have the same length");
 }
 
 void Comm::check_alignment(std::size_t bytes, std::size_t item_size) {

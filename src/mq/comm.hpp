@@ -16,11 +16,13 @@
 
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "mq/fault.hpp"
 #include "mq/mailbox.hpp"
 #include "mq/request.hpp"
 
@@ -44,11 +46,36 @@ class Comm {
   // The runtime's real-seconds-per-nominal-second factor.
   [[nodiscard]] double time_scale() const;
 
+  // -- failure detection (fault injection) ---------------------------------
+  // True when `rank` was killed by the injected fault plan — the runtime's
+  // stand-in for a grid-level failure detector.
+  [[nodiscard]] bool rank_dead(int rank) const;
+  // Throws RankCrashed if this rank's own injected crash time has passed.
+  // Called by every communication entry point; also useful from long
+  // compute loops that want prompt death.
+  void check_failures() const;
+
   // -- point-to-point ------------------------------------------------------
   // Blocking send: pays the emulated link transfer time, then delivers.
   // Tags must be >= 0 (negative tags are reserved for collectives).
+  // Under fault injection the message is droppable: it may silently
+  // vanish (that is the failure mode send_bytes_with_retry guards).
   void send_bytes(int dest, int tag, std::span<const std::byte> payload);
   Message recv_message(int source, int tag);
+
+  // Deadline-aware receive: waits at most `timeout_seconds` of real time;
+  // returns std::nullopt on expiry instead of blocking forever on a dead
+  // or degraded peer.
+  std::optional<Message> recv_message(int source, int tag,
+                                      double timeout_seconds);
+
+  // Bounded-retry send for droppable messages: re-sends (paying the link
+  // cost each attempt, with exponential nominal-time backoff between
+  // attempts) until the fault layer delivers a copy or the policy's
+  // attempts are exhausted. Returns true iff a copy was delivered.
+  bool send_bytes_with_retry(int dest, int tag,
+                             std::span<const std::byte> payload,
+                             const RetryPolicy& policy = {});
 
   template <typename T>
   void send(int dest, int tag, std::span<const T> items) {
@@ -140,6 +167,30 @@ class Comm {
     return from_bytes<T>(internal_recv(root, kTagScatter).payload);
   }
 
+  // Degradation-aware scatter: like scatterv, but the root survives
+  // receivers that crash or stop acknowledging. Each receiver's share is
+  // sent as an acknowledged chunk (droppable, retried per options.retry);
+  // when a receiver times out or is flagged dead, the root evicts it and
+  // re-plans *all* of its items (acknowledged chunks included — evicted
+  // survivors discard, so every item is delivered exactly once) over the
+  // surviving ranks via options.replan. Workers return their final share;
+  // an evicted-but-alive worker returns an empty vector. Throws lbs::Error
+  // at the root when no workers survive. `report`, if non-null, is filled
+  // at the root with who died, when, and what was re-routed.
+  template <typename T>
+  std::vector<T> scatterv_ft(int root, std::span<const T> send_data,
+                             std::span<const long long> counts,
+                             const ScattervFtOptions& options = {},
+                             FaultReport* report = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      check_counts(counts.size());
+      return from_bytes<T>(
+          scatterv_ft_root(as_bytes(send_data), counts, sizeof(T), options, report));
+    }
+    return from_bytes<T>(scatterv_ft_worker(root));
+  }
+
   // Gather with equal or per-rank counts; data lands in rank order at root.
   template <typename T>
   std::vector<T> gatherv(int root, std::span<const T> contribution) {
@@ -170,7 +221,7 @@ class Comm {
       for (int r = 0; r < size(); ++r) {
         if (r == root) continue;
         auto chunk = from_bytes<T>(internal_recv(r, kTagReduce).payload);
-        check_single(chunk.size() == accumulator.size() ? 1 : 0);
+        check_same_length(chunk.size(), accumulator.size());
         for (std::size_t i = 0; i < accumulator.size(); ++i) {
           accumulator[i] = op(accumulator[i], chunk[i]);
         }
@@ -250,6 +301,8 @@ class Comm {
   static constexpr int kTagGather = -6;
   static constexpr int kTagReduce = -7;
   static constexpr int kTagAlltoall = -8;
+  static constexpr int kTagFtScatter = -9;
+  static constexpr int kTagFtAck = -10;
 
   template <typename T>
   static std::span<const std::byte> as_bytes(std::span<const T> items) {
@@ -265,13 +318,31 @@ class Comm {
   }
 
   static void check_single(std::size_t count);
+  static void check_same_length(std::size_t got, std::size_t expected);
   static void check_alignment(std::size_t bytes, std::size_t item_size);
   void check_counts(std::size_t count_width) const;
   static void check_range(long long offset, std::size_t count, std::size_t total);
 
-  // Like send_bytes but allows reserved (negative) tags.
+  // Like send_bytes but allows reserved (negative) tags. Collective
+  // traffic is never droppable; delivery failures surface elsewhere.
   void internal_send(int dest, int tag, std::span<const std::byte> payload);
+  // Full-control send: pays the (possibly fault-perturbed) link cost and
+  // reports whether a copy was actually delivered (false when the fault
+  // layer dropped it or the destination is dead).
+  bool internal_send_impl(int dest, int tag, std::span<const std::byte> payload,
+                          bool droppable);
+  bool internal_send_with_retry(int dest, int tag,
+                                std::span<const std::byte> payload,
+                                const RetryPolicy& policy);
   Message internal_recv(int source, int tag);
+
+  // Byte-level engines behind scatterv_ft.
+  std::vector<std::byte> scatterv_ft_root(std::span<const std::byte> data,
+                                          std::span<const long long> counts,
+                                          std::size_t item_size,
+                                          const ScattervFtOptions& options,
+                                          FaultReport* report);
+  std::vector<std::byte> scatterv_ft_worker(int root);
 
   int rank_;
   detail::RuntimeState& state_;

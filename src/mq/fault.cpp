@@ -1,0 +1,121 @@
+#include "mq/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace lbs::mq {
+
+namespace {
+
+// splitmix64-style mixing of the plan seed with the message coordinates,
+// so each (link, sequence) pair seeds an independent deterministic stream.
+std::uint64_t mix(std::uint64_t seed, int from, int to, std::uint64_t seq) {
+  std::uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(from + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x ^= 0x94d049bb133111ebULL + static_cast<std::uint64_t>(to + 1);
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= seq + 0x2545f4914f6cdd1dULL;
+  x = (x ^ (x >> 31)) * 0xbf58476d1ce4e5b9ULL;
+  return x ^ (x >> 29);
+}
+
+bool link_matches(const FaultPlan::LinkFault& fault, int from, int to,
+                  double now) {
+  if (fault.from != kAnyRank && fault.from != from) return false;
+  if (fault.to != kAnyRank && fault.to != to) return false;
+  return now >= fault.from_time && now < fault.to_time;
+}
+
+// Jitter-free delay multiplier of one fault at nominal time `now`.
+double base_factor(const FaultPlan::LinkFault& fault, double now) {
+  double factor = fault.delay_factor;
+  if (fault.degradation_rate > 0.0) {
+    factor *= 1.0 + fault.degradation_rate * std::max(0.0, now - fault.from_time);
+  }
+  return factor;
+}
+
+}  // namespace
+
+long long FaultReport::total_delivered() const {
+  long long total = 0;
+  for (long long count : delivered) total += count;
+  return total;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int ranks)
+    : plan_(std::move(plan)), ranks_(ranks) {
+  LBS_CHECK_MSG(ranks_ >= 1, "fault injector needs at least one rank");
+  for (const auto& fault : plan_.link_faults) {
+    auto endpoint_ok = [&](int r) { return r == kAnyRank || (r >= 0 && r < ranks_); };
+    LBS_CHECK_MSG(endpoint_ok(fault.from) && endpoint_ok(fault.to),
+                  "link fault references unknown rank");
+    LBS_CHECK_MSG(fault.delay_factor > 0.0, "link fault delay factor must be > 0");
+    LBS_CHECK_MSG(fault.jitter >= 0.0 && fault.jitter < 1.0,
+                  "link fault jitter must be in [0, 1)");
+    LBS_CHECK_MSG(fault.drop_probability >= 0.0 && fault.drop_probability <= 1.0,
+                  "drop probability must be in [0, 1]");
+    LBS_CHECK_MSG(fault.degradation_rate >= 0.0, "negative degradation rate");
+    LBS_CHECK_MSG(fault.from_time <= fault.to_time,
+                  "link fault window ends before it starts");
+  }
+  crash_at_.assign(static_cast<std::size_t>(ranks_),
+                   std::numeric_limits<double>::infinity());
+  for (const auto& crash : plan_.crashes) {
+    LBS_CHECK_MSG(crash.rank >= 0 && crash.rank < ranks_,
+                  "crash references unknown rank");
+    auto& at = crash_at_[static_cast<std::size_t>(crash.rank)];
+    at = std::min(at, crash.at_nominal_time);
+  }
+  link_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(ranks_) * static_cast<std::size_t>(ranks_));
+}
+
+double FaultInjector::delay_factor(int from, int to, double now) const {
+  double factor = 1.0;
+  for (const auto& fault : plan_.link_faults) {
+    if (link_matches(fault, from, to, now)) factor *= base_factor(fault, now);
+  }
+  return factor;
+}
+
+FaultInjector::Perturbation FaultInjector::perturb_send(int from, int to,
+                                                        double now,
+                                                        bool droppable) {
+  auto slot = static_cast<std::size_t>(from) * static_cast<std::size_t>(ranks_) +
+              static_cast<std::size_t>(to);
+  std::uint64_t seq = link_seq_[slot].fetch_add(1, std::memory_order_relaxed);
+
+  Perturbation result;
+  double keep_probability = 1.0;
+  support::Rng rng(mix(plan_.seed, from, to, seq));
+  for (const auto& fault : plan_.link_faults) {
+    if (!link_matches(fault, from, to, now)) continue;
+    double factor = base_factor(fault, now);
+    if (fault.jitter > 0.0) {
+      factor *= 1.0 + fault.jitter * rng.uniform(-1.0, 1.0);
+    }
+    result.delay_factor *= factor;
+    keep_probability *= 1.0 - fault.drop_probability;
+  }
+  if (droppable && keep_probability < 1.0) {
+    result.dropped = rng.bernoulli(1.0 - keep_probability);
+  }
+  return result;
+}
+
+double FaultInjector::crash_time(int rank) const {
+  LBS_CHECK_MSG(rank >= 0 && rank < ranks_, "crash time of unknown rank");
+  return crash_at_[static_cast<std::size_t>(rank)];
+}
+
+bool FaultInjector::has_timed_crashes() const {
+  return std::any_of(crash_at_.begin(), crash_at_.end(), [](double at) {
+    return at > 0.0 && at < std::numeric_limits<double>::infinity();
+  });
+}
+
+}  // namespace lbs::mq

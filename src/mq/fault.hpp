@@ -1,0 +1,155 @@
+// Deterministic fault injection for the mq runtime.
+//
+// A FaultPlan describes how the emulated grid misbehaves: per-link delay
+// multipliers with jitter, probabilistic message drops, links that degrade
+// over (nominal) time, and ranks that crash at a nominal instant. The plan
+// is pure data — the same plan can be threaded through RuntimeOptions
+// (real threads, real sleeps) or replayed in gridsim (virtual time) at
+// scales the threaded runtime can't reach.
+//
+// Determinism: every per-message random decision (jitter, drop) is drawn
+// from an Rng seeded by hash(seed, from, to, link-sequence-number), so a
+// link's k-th message always sees the same perturbation regardless of
+// thread scheduling. Crashes are anchored to the nominal clock
+// (wall-time / time_scale in mq, virtual time in gridsim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::mq {
+
+// Wildcard for LinkFault endpoints ("any rank").
+inline constexpr int kAnyRank = -1;
+
+// Backoff schedule for droppable sends that are retried (send_bytes_with_
+// retry, scatterv_ft data chunks). Backoff is in nominal seconds: attempt
+// k waits backoff * multiplier^k before resending.
+struct RetryPolicy {
+  int max_attempts = 8;       // total attempts (>= 1)
+  double backoff = 0.005;     // nominal seconds before the first retry
+  double multiplier = 2.0;    // exponential growth factor (>= 1)
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Perturbation of messages on matching links. `from`/`to` may be
+  // kAnyRank. Active while the nominal clock is in [from_time, to_time).
+  struct LinkFault {
+    int from = kAnyRank;
+    int to = kAnyRank;
+    double delay_factor = 1.0;      // multiplies the nominal link cost (> 0)
+    double jitter = 0.0;            // +- fraction, uniform, in [0, 1)
+    double drop_probability = 0.0;  // droppable messages only, in [0, 1]
+    // Linear degradation: the delay factor grows by `degradation_rate` per
+    // nominal second elapsed since from_time (a link getting slower under
+    // rising background load).
+    double degradation_rate = 0.0;
+    double from_time = 0.0;
+    double to_time = std::numeric_limits<double>::infinity();
+  };
+  std::vector<LinkFault> link_faults;
+
+  // Rank `rank` dies at nominal time `at_nominal_time`: its mailbox stops
+  // delivering, deposits to it vanish, and its next runtime call throws
+  // RankCrashed. at_nominal_time <= 0 means dead from the start (works
+  // even with time_scale == 0); positive times require time_scale > 0.
+  struct Crash {
+    int rank = 0;
+    double at_nominal_time = 0.0;
+  };
+  std::vector<Crash> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return link_faults.empty() && crashes.empty();
+  }
+};
+
+// Thrown inside a rank whose injected crash time has passed. Runtime::run
+// treats it as an injected death (the rank's thread ends, survivors keep
+// running), not as a program failure.
+class RankCrashed : public Error {
+ public:
+  explicit RankCrashed(const std::string& what) : Error(what) {}
+};
+
+// What a fault-tolerant collective observed and did; filled at the root.
+struct FaultReport {
+  struct Death {
+    int rank = -1;
+    double detected_at = 0.0;    // root-side clock (real s in mq, virtual in gridsim)
+    long long undelivered = 0;   // items re-pooled when the death was detected
+  };
+  std::vector<Death> deaths;            // in detection order
+  std::vector<long long> delivered;     // items per rank at completion (0 for dead)
+  long long rerouted_items = 0;         // items re-planned onto survivors
+  int replan_rounds = 0;
+  double elapsed = 0.0;                 // root-side duration of the collective
+
+  [[nodiscard]] long long total_delivered() const;
+};
+
+// Options for Comm::scatterv_ft (and the gridsim mirror).
+struct ScattervFtOptions {
+  // Real seconds the root waits for a receiver's ack before declaring it
+  // dead. Must cover the ack's own emulated transfer time.
+  double ack_timeout = 1.0;
+
+  RetryPolicy retry;  // for the droppable data chunks
+
+  // Re-plans `items` undelivered items over the survivors. `alive` lists
+  // surviving rank ids with the root last; the returned counts align with
+  // `alive` and must sum to `items`. Default: near-uniform shares.
+  // core::make_ft_replanner() builds one that re-runs plan_scatter on the
+  // reduced platform.
+  std::function<std::vector<long long>(const std::vector<int>& alive,
+                                       long long items)> replan;
+};
+
+// Applies a FaultPlan: owns the per-link message counters and the
+// deterministic per-message randomness. Shared by the mq runtime and the
+// gridsim replay so both substrates make identical drop/jitter decisions.
+class FaultInjector {
+ public:
+  // Validates the plan (factors > 0, probabilities in range, ranks in
+  // [0, ranks) or kAnyRank); throws lbs::Error on violations.
+  FaultInjector(FaultPlan plan, int ranks);
+
+  struct Perturbation {
+    double delay_factor = 1.0;
+    bool dropped = false;
+  };
+
+  // Decision for the next message on (from, to) at nominal time `now`.
+  // Advances the link's sequence counter (thread-safe, deterministic per
+  // link order).
+  Perturbation perturb_send(int from, int to, double now, bool droppable);
+
+  // Deterministic (jitter-free) delay factor on (from, to) at `now` — what
+  // a degradation-aware planner should plan against.
+  [[nodiscard]] double delay_factor(int from, int to, double now) const;
+
+  // Nominal crash time of `rank`, +infinity if it never crashes.
+  [[nodiscard]] double crash_time(int rank) const;
+
+  [[nodiscard]] bool has_timed_crashes() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+ private:
+  FaultPlan plan_;
+  int ranks_ = 0;
+  std::vector<double> crash_at_;                      // per rank, +inf = never
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_seq_;  // ranks * ranks
+};
+
+}  // namespace lbs::mq

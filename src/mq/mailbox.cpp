@@ -1,17 +1,21 @@
 #include "mq/mailbox.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "mq/fault.hpp"
 #include "support/error.hpp"
 
 namespace lbs::mq {
 
-void Mailbox::deposit(Message message) {
+bool Mailbox::deposit(Message message) {
   {
     std::lock_guard lock(mutex_);
+    if (shutdown_ || crashed_) return false;
     messages_.push_back(std::move(message));
   }
   available_.notify_all();
+  return true;
 }
 
 bool Mailbox::matches(const Message& message, int source, int tag) const {
@@ -19,18 +23,42 @@ bool Mailbox::matches(const Message& message, int source, int tag) const {
          (tag == kAnyTag || message.tag == tag);
 }
 
+void Mailbox::throw_if_dead() const {
+  if (crashed_) throw RankCrashed("rank crashed (injected fault)");
+  if (shutdown_) throw Error("mailbox shut down while receiving");
+}
+
+std::optional<Message> Mailbox::take_match(int source, int tag) {
+  auto it = std::find_if(messages_.begin(), messages_.end(),
+                         [&](const Message& m) { return matches(m, source, tag); });
+  if (it == messages_.end()) return std::nullopt;
+  Message message = std::move(*it);
+  messages_.erase(it);
+  return message;
+}
+
 Message Mailbox::retrieve(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    if (shutdown_) throw Error("mailbox shut down while receiving");
-    auto it = std::find_if(messages_.begin(), messages_.end(),
-                           [&](const Message& m) { return matches(m, source, tag); });
-    if (it != messages_.end()) {
-      Message message = std::move(*it);
-      messages_.erase(it);
-      return message;
-    }
+    throw_if_dead();
+    if (auto message = take_match(source, tag)) return std::move(*message);
     available_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::retrieve_for(int source, int tag,
+                                             double timeout_seconds) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    throw_if_dead();
+    if (auto message = take_match(source, tag)) return message;
+    if (available_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw_if_dead();
+      return take_match(source, tag);
+    }
   }
 }
 
@@ -44,6 +72,14 @@ void Mailbox::shutdown() {
   {
     std::lock_guard lock(mutex_);
     shutdown_ = true;
+  }
+  available_.notify_all();
+}
+
+void Mailbox::crash() {
+  {
+    std::lock_guard lock(mutex_);
+    crashed_ = true;
   }
   available_.notify_all();
 }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace lbs::mq {
@@ -26,13 +27,22 @@ struct Message {
 
 class Mailbox {
  public:
-  // Deposits a message and wakes matching waiters.
-  void deposit(Message message);
+  // Deposits a message and wakes matching waiters. Returns false (and
+  // discards the message) once the mailbox is shut down or crashed — a
+  // dead rank's mail vanishes, it does not queue up.
+  bool deposit(Message message);
 
   // Blocks until a message matching (source, tag) arrives (wildcards
   // kAnySource / kAnyTag allowed), removes and returns it. Throws
-  // lbs::Error if the mailbox is shut down while (or before) waiting.
+  // lbs::Error if the mailbox is shut down, or RankCrashed if it is
+  // crashed, while (or before) waiting.
   Message retrieve(int source, int tag);
+
+  // Deadline-aware retrieve: waits at most `timeout_seconds` of real time
+  // for a match; returns std::nullopt on expiry. Throws like retrieve()
+  // when the mailbox is shut down or crashed.
+  std::optional<Message> retrieve_for(int source, int tag,
+                                      double timeout_seconds);
 
   // Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag);
@@ -41,15 +51,24 @@ class Mailbox {
   // unblock ranks when a peer dies so the whole runtime can fail cleanly.
   void shutdown();
 
-  [[nodiscard]] std::size_t pending() ;
+  // Like shutdown(), but waiters (and later retrieves) see RankCrashed —
+  // the owning rank was killed by fault injection, not a program failure.
+  void crash();
+
+  [[nodiscard]] std::size_t pending();
 
  private:
   [[nodiscard]] bool matches(const Message& message, int source, int tag) const;
+  // Requires the lock; throws if the mailbox is shut down or crashed.
+  void throw_if_dead() const;
+  // Requires the lock; removes and returns a match if one is queued.
+  std::optional<Message> take_match(int source, int tag);
 
   std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Message> messages_;
   bool shutdown_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace lbs::mq

@@ -21,4 +21,21 @@ std::function<double(int, int, std::size_t)> make_link_cost(
   };
 }
 
+model::Platform degraded_platform(const model::Platform& platform,
+                                  const FaultPlan& plan, double nominal_time) {
+  LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  FaultInjector injector(plan, platform.size());
+  int root = platform.size() - 1;
+
+  model::Platform degraded = platform;
+  for (int i = 0; i < root; ++i) {
+    double factor = injector.delay_factor(root, i, nominal_time);
+    if (factor != 1.0) {
+      auto& processor = degraded.processors[static_cast<std::size_t>(i)];
+      processor.comm = model::Cost::scaled(processor.comm, factor);
+    }
+  }
+  return degraded;
+}
+
 }  // namespace lbs::mq

@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "model/platform.hpp"
+#include "mq/fault.hpp"
 
 namespace lbs::mq {
 
@@ -19,5 +20,15 @@ namespace lbs::mq {
 // (partial items round up).
 std::function<double(int, int, std::size_t)> make_link_cost(
     model::Platform platform, std::size_t item_size);
+
+// The platform as a degradation-aware planner should see it at nominal
+// time `nominal_time`: every worker's Tcomm is scaled by the plan's
+// deterministic (jitter-free) root->worker delay factor at that instant.
+// Compute costs are untouched — the fault model degrades links, not CPUs.
+// Feed the result to core::plan_scatter (or core::make_ft_replanner) to
+// plan against the grid as it currently misbehaves rather than as it was
+// measured.
+model::Platform degraded_platform(const model::Platform& platform,
+                                  const FaultPlan& plan, double nominal_time);
 
 }  // namespace lbs::mq

@@ -1,6 +1,8 @@
 #include "mq/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,13 +13,79 @@
 
 namespace lbs::mq {
 
+namespace {
+
+// Enforces timed crash events: sleeps until each victim's real-time
+// deadline and poisons its mailbox, so even a rank blocked in retrieve()
+// dies on schedule. Stopped (and joined) when all rank threads are done.
+class CrashWatchdog {
+ public:
+  explicit CrashWatchdog(detail::RuntimeState& state) : state_(state) {
+    for (int r = 0; r < state_.options.ranks; ++r) {
+      double at = state_.faults->crash_time(r);
+      if (at > 0.0 && at < std::numeric_limits<double>::infinity()) {
+        events_.push_back({at * state_.options.time_scale, r});
+      }
+    }
+    std::sort(events_.begin(), events_.end());
+    if (!events_.empty()) worker_ = std::thread([this] { run(); });
+  }
+
+  ~CrashWatchdog() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mutex_);
+    for (const auto& [real_at, rank] : events_) {
+      auto deadline = state_.start + std::chrono::duration_cast<
+                                         std::chrono::steady_clock::duration>(
+                                         std::chrono::duration<double>(real_at));
+      if (stop_cv_.wait_until(lock, deadline, [this] { return stop_; })) return;
+      state_.kill_rank(rank);
+    }
+  }
+
+  detail::RuntimeState& state_;
+  std::vector<std::pair<double, int>> events_;  // (real seconds, rank)
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace
+
 void Runtime::run(const RuntimeOptions& options,
                   const std::function<void(Comm&)>& fn) {
   LBS_CHECK_MSG(options.ranks >= 1, "need at least one rank");
   LBS_CHECK_MSG(options.time_scale >= 0.0, "negative time scale");
   LBS_CHECK_MSG(fn != nullptr, "null rank function");
+  if (options.time_scale == 0.0) {
+    for (const auto& crash : options.faults.crashes) {
+      LBS_CHECK_MSG(crash.at_nominal_time <= 0.0,
+                    "timed crashes require time_scale > 0 (no nominal clock)");
+    }
+  }
 
   detail::RuntimeState state(options);
+
+  std::unique_ptr<CrashWatchdog> watchdog;
+  if (state.faults) {
+    // Crashes at (or before) time zero take effect before any rank runs.
+    for (int r = 0; r < options.ranks; ++r) {
+      if (state.faults->crash_time(r) <= 0.0) state.kill_rank(r);
+    }
+    if (state.faults->has_timed_crashes()) {
+      watchdog = std::make_unique<CrashWatchdog>(state);
+    }
+  }
 
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
@@ -29,6 +97,10 @@ void Runtime::run(const RuntimeOptions& options,
       Comm comm(r, state);
       try {
         fn(comm);
+      } catch (const RankCrashed&) {
+        // Injected death: this rank is gone, the runtime is not. Make sure
+        // the flag/mailbox reflect it and let survivors carry on.
+        state.kill_rank(r);
       } catch (...) {
         {
           std::lock_guard lock(failure_mutex);
@@ -40,6 +112,7 @@ void Runtime::run(const RuntimeOptions& options,
     });
   }
   for (auto& thread : threads) thread.join();
+  watchdog.reset();
 
   if (first_failure) std::rethrow_exception(first_failure);
 }
@@ -50,6 +123,7 @@ void emulate_compute(const Comm& comm, double nominal_seconds) {
   if (real > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(real));
   }
+  comm.check_failures();
 }
 
 }  // namespace lbs::mq

@@ -6,12 +6,19 @@
 // a run modeled in hundreds of seconds finishes in tens of milliseconds
 // while preserving ratios. time_scale = 0 disables pacing entirely
 // (useful for pure correctness tests).
+//
+// Fault injection: a non-empty RuntimeOptions::faults plan perturbs link
+// costs, drops droppable messages, and crashes ranks at nominal times (a
+// watchdog thread enforces timed crashes; see mq/fault.hpp). A crashed
+// rank's thread ends with RankCrashed, which the runtime records as an
+// injected death rather than a program failure — survivors keep running.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "mq/comm.hpp"
+#include "mq/fault.hpp"
 
 namespace lbs::mq {
 
@@ -24,19 +31,28 @@ struct RuntimeOptions {
 
   // Real-seconds = nominal-seconds * time_scale for every emulated delay.
   double time_scale = 0.0;
+
+  // Deterministic fault plan; empty = perfect grid. Crashes with
+  // at_nominal_time > 0 require time_scale > 0 (there is no nominal clock
+  // without pacing) — Runtime::run throws otherwise.
+  FaultPlan faults;
 };
 
 class Runtime {
  public:
   // Runs fn(comm) on options.ranks threads and joins them. If any rank
   // throws, the other ranks are unblocked (their mailboxes shut down) and
-  // the first exception is rethrown here.
+  // the first exception is rethrown here. RankCrashed exceptions from
+  // injected crashes are absorbed: the dead rank's thread exits, the rest
+  // of the runtime continues (fault-tolerant code paths are expected to
+  // cope — see Comm::scatterv_ft).
   static void run(const RuntimeOptions& options,
                   const std::function<void(Comm&)>& fn);
 };
 
 // Helper for rank functions: burn `nominal_seconds * time_scale` of real
-// time to emulate computation (spin-free sleep).
+// time to emulate computation (spin-free sleep). Throws RankCrashed if the
+// rank's injected crash time passed during the computation.
 void emulate_compute(const Comm& comm, double nominal_seconds);
 
 }  // namespace lbs::mq

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "mq/fault.hpp"
 #include "mq/mailbox.hpp"
 #include "mq/runtime.hpp"
 
@@ -17,6 +19,14 @@ struct RuntimeState {
     for (int r = 0; r < options.ranks; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>());
       nic.push_back(std::make_unique<std::mutex>());
+    }
+    dead = std::make_unique<std::atomic<bool>[]>(
+        static_cast<std::size_t>(options.ranks));
+    for (int r = 0; r < options.ranks; ++r) {
+      dead[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+    }
+    if (!options.faults.empty()) {
+      faults.emplace(options.faults, options.ranks);
     }
     start = std::chrono::steady_clock::now();
   }
@@ -29,6 +39,32 @@ struct RuntimeState {
   std::vector<std::unique_ptr<std::mutex>> nic;
   std::chrono::steady_clock::time_point start;
   std::atomic<bool> aborted{false};
+
+  // Fault injection (engaged only when the plan is non-empty).
+  std::optional<FaultInjector> faults;
+  std::unique_ptr<std::atomic<bool>[]> dead;  // per rank: killed by injection
+
+  // Nominal-clock reading: elapsed real seconds divided by time_scale.
+  // With time_scale == 0 there is no nominal clock; reads as 0 so only
+  // at_nominal_time <= 0 events can fire.
+  [[nodiscard]] double nominal_now() const {
+    if (options.time_scale <= 0.0) return 0.0;
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count() / options.time_scale;
+  }
+
+  [[nodiscard]] bool is_dead(int rank) const {
+    return dead[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+  }
+
+  // Marks a rank as crashed and poisons its mailbox so a blocked retrieve
+  // throws RankCrashed. Idempotent.
+  void kill_rank(int rank) {
+    if (!dead[static_cast<std::size_t>(rank)].exchange(
+            true, std::memory_order_acq_rel)) {
+      mailboxes[static_cast<std::size_t>(rank)]->crash();
+    }
+  }
 
   void abort_all() {
     aborted.store(true, std::memory_order_relaxed);

@@ -1,0 +1,202 @@
+// Virtual-time replay of the fault-tolerant scatter protocol
+// (gridsim::simulate_scatter_ft) and its agreement with both the analytic
+// cost model (no faults) and the threaded mq runtime (same FaultPlan).
+
+#include "gridsim/faultsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/planner.hpp"
+#include "core/recovery.hpp"
+#include "model/platform.hpp"
+#include "mq/platform_link.hpp"
+#include "mq/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lbs::gridsim {
+namespace {
+
+model::Platform linear_platform(const std::vector<double>& betas, double alpha) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    model::Processor worker;
+    worker.label = "w" + std::to_string(i);
+    worker.comm = model::Cost::linear(betas[i]);
+    worker.comp = model::Cost::linear(alpha);
+    platform.processors.push_back(worker);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(alpha);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+TEST(FaultSim, NoFaultsMatchesAnalyticModel) {
+  auto platform = linear_platform({1.0, 2.0, 0.5}, 0.25);
+  auto plan = core::plan_scatter(platform, 100);
+  auto result = simulate_scatter_ft(platform, plan.distribution, {});
+
+  EXPECT_TRUE(result.report.deaths.empty());
+  EXPECT_EQ(result.report.rerouted_items, 0);
+  EXPECT_EQ(result.report.replan_rounds, 0);
+
+  auto windows = core::comm_windows(platform, plan.distribution);
+  auto finishes = core::finish_times(platform, plan.distribution);
+  for (int i = 0; i < platform.size(); ++i) {
+    auto index = static_cast<std::size_t>(i);
+    const auto& trace = result.timeline.traces[index];
+    EXPECT_EQ(trace.items, plan.distribution.counts[index]);
+    if (i + 1 < platform.size() && plan.distribution.counts[index] > 0) {
+      EXPECT_NEAR(trace.recv_start, windows.start[index], 1e-9) << "rank " << i;
+      EXPECT_NEAR(trace.recv_end, windows.end[index], 1e-9) << "rank " << i;
+    }
+    EXPECT_NEAR(trace.compute_end, finishes[index], 1e-9) << "rank " << i;
+  }
+  EXPECT_NEAR(result.report.elapsed,
+              core::makespan(platform, plan.distribution), 1e-9);
+}
+
+TEST(FaultSim, CrashRecoveryConservesItemsAndIsDeterministic) {
+  auto platform = linear_platform({1.0, 1.0, 1.0, 1.0}, 0.5);
+  core::Distribution distribution;
+  distribution.counts = {10, 40, 10, 10, 10};  // rank 1 holds the largest share
+
+  mq::FaultPlan plan;
+  plan.seed = 5;
+  // Rank 1 dies mid-transfer: its window is [10, 50) in virtual time.
+  plan.crashes.push_back({1, 25.0});
+
+  auto first = simulate_scatter_ft(platform, distribution, plan);
+  ASSERT_EQ(first.report.deaths.size(), 1u);
+  EXPECT_EQ(first.report.deaths[0].rank, 1);
+  EXPECT_EQ(first.report.deaths[0].undelivered, 40);
+  EXPECT_EQ(first.report.rerouted_items, 40);
+  EXPECT_EQ(first.report.delivered[1], 0);
+  EXPECT_EQ(first.report.total_delivered(), 80);
+
+  auto second = simulate_scatter_ft(platform, distribution, plan);
+  EXPECT_EQ(first.report.delivered, second.report.delivered);
+  EXPECT_EQ(first.report.rerouted_items, second.report.rerouted_items);
+  EXPECT_EQ(first.report.replan_rounds, second.report.replan_rounds);
+  EXPECT_DOUBLE_EQ(first.report.elapsed, second.report.elapsed);
+  ASSERT_EQ(first.report.deaths.size(), second.report.deaths.size());
+  EXPECT_DOUBLE_EQ(first.report.deaths[0].detected_at,
+                   second.report.deaths[0].detected_at);
+}
+
+TEST(FaultSim, DropsDelayButStillDeliverEverything) {
+  auto platform = linear_platform({1.0, 1.0}, 0.0);
+  core::Distribution distribution;
+  distribution.counts = {20, 20, 10};
+
+  mq::FaultPlan plan;
+  plan.seed = 11;
+  mq::FaultPlan::LinkFault lossy;
+  lossy.from = 2;
+  lossy.to = 0;
+  lossy.drop_probability = 0.95;
+  plan.link_faults.push_back(lossy);
+
+  FtSimOptions options;
+  options.retry.max_attempts = 256;
+  auto faulty = simulate_scatter_ft(platform, distribution, plan, options);
+  auto clean = simulate_scatter_ft(platform, distribution, {});
+
+  EXPECT_TRUE(faulty.report.deaths.empty());
+  EXPECT_EQ(faulty.report.total_delivered(), 50);
+  EXPECT_EQ(faulty.report.delivered, (std::vector<long long>{20, 20, 10}));
+  EXPECT_GT(faulty.report.elapsed, clean.report.elapsed);
+}
+
+TEST(FaultSim, CoreReplannerBalancesTheRemainder) {
+  auto platform = linear_platform({1.0, 2.0, 4.0}, 1.0);
+  auto plan = core::plan_scatter(platform, 200);
+
+  mq::FaultPlan faults;
+  faults.crashes.push_back({0, 0.0});
+
+  FtSimOptions options;
+  options.replan = core::make_ft_replanner(platform);
+  auto result = simulate_scatter_ft(platform, plan.distribution, faults, options);
+  ASSERT_EQ(result.report.deaths.size(), 1u);
+  EXPECT_EQ(result.report.deaths[0].rank, 0);
+  EXPECT_EQ(result.report.delivered[0], 0);
+  EXPECT_EQ(result.report.total_delivered(), 200);
+
+  // The replanner's shares on the reduced platform are load-balanced, so the
+  // faulty makespan stays below "dump everything on one survivor".
+  core::Distribution naive;
+  naive.counts = {0, plan.distribution.counts[0] + plan.distribution.counts[1],
+                  plan.distribution.counts[2], plan.distribution.counts[3]};
+  EXPECT_LE(result.report.elapsed, core::makespan(platform, naive) + 1e-9);
+}
+
+TEST(FaultSim, AllWorkersDeadThrows) {
+  auto platform = linear_platform({1.0, 1.0}, 0.0);
+  core::Distribution distribution;
+  distribution.counts = {5, 5, 2};
+  mq::FaultPlan plan;
+  plan.crashes.push_back({0, 0.0});
+  plan.crashes.push_back({1, 0.0});
+  EXPECT_THROW(simulate_scatter_ft(platform, distribution, plan), Error);
+}
+
+TEST(FaultSim, MirrorAgreesWithMqRuntimeOnTheSamePlan) {
+  auto platform = linear_platform({1.0, 1.0, 1.0}, 0.1);
+  core::Distribution distribution;
+  distribution.counts = {6, 8, 4, 6};
+  const long long total = distribution.total();
+
+  mq::FaultPlan plan;
+  plan.seed = 17;
+  plan.crashes.push_back({2, 0.0});
+
+  auto sim = simulate_scatter_ft(platform, distribution, plan);
+
+  // Same plan through the threaded runtime (instantaneous clock: the only
+  // fault is a crash-at-zero, so no pacing is needed).
+  mq::RuntimeOptions options;
+  options.ranks = platform.size();
+  options.faults = plan;
+  options.link_cost = mq::make_link_cost(platform, sizeof(double));
+
+  std::vector<double> items(static_cast<std::size_t>(total));
+  std::iota(items.begin(), items.end(), 0.0);
+  mq::FaultReport mq_report;
+  std::vector<std::size_t> share_sizes(4, 0);
+  std::mutex mutex;
+  const int root = platform.size() - 1;
+  mq::Runtime::run(options, [&](mq::Comm& comm) {
+    mq::FaultReport report;
+    auto share = comm.scatterv_ft<double>(
+        root, items, distribution.counts, {},
+        comm.rank() == root ? &report : nullptr);
+    std::lock_guard lock(mutex);
+    share_sizes[static_cast<std::size_t>(comm.rank())] = share.size();
+    if (comm.rank() == root) mq_report = std::move(report);
+  });
+
+  ASSERT_EQ(mq_report.deaths.size(), sim.report.deaths.size());
+  EXPECT_EQ(mq_report.deaths[0].rank, sim.report.deaths[0].rank);
+  EXPECT_EQ(mq_report.deaths[0].undelivered, sim.report.deaths[0].undelivered);
+  EXPECT_EQ(mq_report.delivered, sim.report.delivered);
+  EXPECT_EQ(mq_report.rerouted_items, sim.report.rerouted_items);
+  EXPECT_EQ(mq_report.replan_rounds, sim.report.replan_rounds);
+  for (int r = 0; r < platform.size(); ++r) {
+    EXPECT_EQ(static_cast<long long>(share_sizes[static_cast<std::size_t>(r)]),
+              sim.report.delivered[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace lbs::gridsim

@@ -1,0 +1,441 @@
+// Fault injection and the degradation-aware scatter path: tag contracts,
+// drops/retries, deterministic perturbations, rank crashes, and the
+// recovery protocol of Comm::scatterv_ft.
+
+#include "mq/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/recovery.hpp"
+#include "model/platform.hpp"
+#include "mq/platform_link.hpp"
+#include "mq/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lbs::mq {
+namespace {
+
+// Runs the runtime under a hard wall-clock bound so a hung recovery path
+// fails the suite instead of wedging it.
+void run_bounded(const RuntimeOptions& options,
+                 const std::function<void(Comm&)>& fn,
+                 std::chrono::seconds limit = std::chrono::seconds(120)) {
+  auto future = std::async(std::launch::async, [&] { Runtime::run(options, fn); });
+  if (future.wait_for(limit) == std::future_status::timeout) {
+    std::fprintf(stderr, "watchdog: mq runtime exceeded its time bound\n");
+    std::abort();
+  }
+  future.get();  // propagates the runtime's exception, if any
+}
+
+// Workers with Tcomm = beta_i * x, Tcomp = alpha * x; zero-cost root last.
+model::Platform linear_platform(const std::vector<double>& betas, double alpha) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    model::Processor worker;
+    worker.label = "w" + std::to_string(i);
+    worker.comm = model::Cost::linear(betas[i]);
+    worker.comp = model::Cost::linear(alpha);
+    platform.processors.push_back(worker);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(alpha);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+std::vector<double> sequential_items(long long n) {
+  std::vector<double> items(static_cast<std::size_t>(n));
+  std::iota(items.begin(), items.end(), 0.0);
+  return items;
+}
+
+TEST(FaultInjector, ValidatesPlans) {
+  FaultPlan bad_rank;
+  bad_rank.crashes.push_back({7, 0.0});
+  EXPECT_THROW(FaultInjector(bad_rank, 4), Error);
+
+  FaultPlan bad_drop;
+  bad_drop.link_faults.push_back({0, 1, 1.0, 0.0, 1.5, 0.0, 0.0, 1.0});
+  EXPECT_THROW(FaultInjector(bad_drop, 4), Error);
+
+  FaultPlan bad_factor;
+  bad_factor.link_faults.push_back({0, 1, 0.0});
+  EXPECT_THROW(FaultInjector(bad_factor, 4), Error);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 2024;
+  FaultPlan::LinkFault fault;
+  fault.jitter = 0.3;
+  fault.drop_probability = 0.4;
+  plan.link_faults.push_back(fault);
+
+  FaultInjector a(plan, 4);
+  FaultInjector b(plan, 4);
+  for (int i = 0; i < 200; ++i) {
+    auto pa = a.perturb_send(3, 1, 0.0, true);
+    auto pb = b.perturb_send(3, 1, 0.0, true);
+    EXPECT_DOUBLE_EQ(pa.delay_factor, pb.delay_factor);
+    EXPECT_EQ(pa.dropped, pb.dropped);
+    EXPECT_GE(pa.delay_factor, 0.7);
+    EXPECT_LE(pa.delay_factor, 1.3);
+  }
+}
+
+TEST(FaultInjector, DegradationGrowsOverTime) {
+  FaultPlan plan;
+  FaultPlan::LinkFault fault;
+  fault.from = 2;
+  fault.to = 0;
+  fault.delay_factor = 2.0;
+  fault.degradation_rate = 0.1;
+  plan.link_faults.push_back(fault);
+  FaultInjector injector(plan, 3);
+
+  EXPECT_DOUBLE_EQ(injector.delay_factor(2, 0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(injector.delay_factor(2, 0, 10.0), 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(injector.delay_factor(2, 1, 10.0), 1.0);  // other link
+  EXPECT_DOUBLE_EQ(injector.delay_factor(0, 2, 10.0), 1.0);  // other direction
+}
+
+TEST(DegradedPlatform, ScalesOnlyAffectedLinks) {
+  auto platform = linear_platform({1.0, 2.0}, 0.5);
+  FaultPlan plan;
+  FaultPlan::LinkFault fault;
+  fault.from = 2;  // the root position
+  fault.to = 0;
+  fault.delay_factor = 3.0;
+  fault.degradation_rate = 0.5;
+  plan.link_faults.push_back(fault);
+
+  auto degraded = degraded_platform(platform, plan, 0.0);
+  EXPECT_DOUBLE_EQ(degraded[0].comm(10), 30.0);
+  EXPECT_DOUBLE_EQ(degraded[1].comm(10), 20.0);
+  EXPECT_DOUBLE_EQ(degraded[0].comp(10), 5.0);
+
+  auto later = degraded_platform(platform, plan, 4.0);
+  EXPECT_DOUBLE_EQ(later[0].comm(10), 10.0 * 3.0 * (1.0 + 0.5 * 4.0));
+  EXPECT_TRUE(later[0].comm.is_increasing());
+}
+
+TEST(TagContract, NegativeUserTagsThrowEverywhere) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  run_bounded(options, [](Comm& comm) {
+    const std::byte token{1};
+    std::span<const std::byte> payload(&token, 1);
+    int peer = 1 - comm.rank();
+    EXPECT_THROW(comm.send_bytes(peer, -1, payload), Error);
+    EXPECT_THROW(comm.send_bytes(peer, -5, payload), Error);
+    EXPECT_THROW(comm.isend_bytes(peer, -2, {std::byte{1}}), Error);
+    EXPECT_THROW(comm.send_bytes_with_retry(peer, -9, payload), Error);
+    EXPECT_THROW(comm.recv_message(peer, -5), Error);
+    EXPECT_THROW(comm.recv_message(peer, -5, 0.01), Error);
+    // The wildcard stays legal.
+    EXPECT_FALSE(comm.recv_message(peer, kAnyTag, 0.0).has_value());
+  });
+}
+
+TEST(ReduceContract, LengthMismatchReportsAccurately) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  try {
+    run_bounded(options, [](Comm& comm) {
+      std::vector<int> contribution(comm.rank() == 0 ? 2 : 3, 1);
+      comm.reduce<int>(0, contribution, [](int a, int b) { return a + b; });
+    });
+    FAIL() << "mismatched reduce lengths must throw";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("same length"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Drops, RetryDeliversThroughLossyLink) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.faults.seed = 7;
+  FaultPlan::LinkFault lossy;
+  lossy.from = 0;
+  lossy.to = 1;
+  lossy.drop_probability = 0.5;
+  options.faults.link_faults.push_back(lossy);
+
+  run_bounded(options, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data{1.0, 2.0, 3.0};
+      RetryPolicy policy;
+      policy.max_attempts = 64;
+      auto bytes = std::as_bytes(std::span<const double>(data));
+      EXPECT_TRUE(comm.send_bytes_with_retry(1, 4, bytes, policy));
+    } else {
+      auto message = comm.recv_message(0, 4);
+      EXPECT_EQ(Comm::decode<double>(message.payload),
+                (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(Drops, PlainSendVanishesAndTimeoutRecvObservesIt) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  FaultPlan::LinkFault black_hole;
+  black_hole.from = 0;
+  black_hole.to = 1;
+  black_hole.drop_probability = 1.0;
+  options.faults.link_faults.push_back(black_hole);
+
+  run_bounded(options, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::byte token{9};
+      comm.send_bytes(1, 3, std::span<const std::byte>(&token, 1));  // lost
+      RetryPolicy policy;
+      policy.max_attempts = 5;
+      EXPECT_FALSE(
+          comm.send_bytes_with_retry(1, 3, std::span<const std::byte>(&token, 1),
+                                     policy));
+    } else {
+      EXPECT_FALSE(comm.recv_message(0, 3, 0.05).has_value());
+    }
+  });
+}
+
+TEST(Crashes, DeadFromBirthIsVisibleToSurvivors) {
+  RuntimeOptions options;
+  options.ranks = 3;
+  options.faults.crashes.push_back({1, 0.0});
+
+  std::atomic<int> survivors{0};
+  run_bounded(options, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      // First runtime call of the victim dies with RankCrashed, which the
+      // runtime absorbs as an injected death.
+      comm.recv_value<int>(0, 11);
+      FAIL() << "crashed rank must not receive";
+    } else {
+      EXPECT_TRUE(comm.rank_dead(1));
+      EXPECT_FALSE(comm.rank_dead(comm.rank()));
+      if (comm.rank() == 0) {
+        comm.send_value<int>(2, 12, 42);
+      } else {
+        EXPECT_EQ(comm.recv_value<int>(0, 12), 42);
+      }
+      ++survivors;
+    }
+  });
+  EXPECT_EQ(survivors.load(), 2);
+}
+
+TEST(Crashes, TimedCrashRequiresPacing) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.time_scale = 0.0;
+  options.faults.crashes.push_back({1, 5.0});
+  EXPECT_THROW(Runtime::run(options, [](Comm&) {}), Error);
+}
+
+struct FtRun {
+  std::vector<std::vector<double>> results;
+  FaultReport report;
+};
+
+// Runs scatterv_ft over `platform` (rank i = position i, root last) and
+// collects every rank's returned share plus the root's report.
+FtRun run_ft_scatter(const model::Platform& platform,
+                     const std::vector<long long>& counts,
+                     const std::vector<double>& items, RuntimeOptions options,
+                     const ScattervFtOptions& ft) {
+  const int ranks = platform.size();
+  const int root = ranks - 1;
+  options.ranks = ranks;
+  options.link_cost = make_link_cost(platform, sizeof(double));
+
+  FtRun run;
+  run.results.resize(static_cast<std::size_t>(ranks));
+  std::mutex mutex;
+  run_bounded(options, [&](Comm& comm) {
+    FaultReport report;
+    auto share = comm.scatterv_ft<double>(root, items, counts, ft,
+                                          comm.rank() == root ? &report : nullptr);
+    std::lock_guard lock(mutex);
+    run.results[static_cast<std::size_t>(comm.rank())] = std::move(share);
+    if (comm.rank() == root) run.report = std::move(report);
+  });
+  return run;
+}
+
+// Every input item lands exactly once across the returned shares.
+void expect_exactly_once(const FtRun& run, const std::vector<double>& items) {
+  std::vector<double> received;
+  for (const auto& share : run.results) {
+    received.insert(received.end(), share.begin(), share.end());
+  }
+  ASSERT_EQ(received.size(), items.size());
+  std::sort(received.begin(), received.end());
+  std::vector<double> expected = items;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(received, expected);
+}
+
+TEST(ScattervFt, NoFaultsMatchesScatterv) {
+  auto platform = linear_platform({1.0, 1.0, 1.0}, 0.1);
+  auto items = sequential_items(12);
+  std::vector<long long> counts{3, 4, 2, 3};
+  auto run = run_ft_scatter(platform, counts, items, RuntimeOptions{}, {});
+  EXPECT_TRUE(run.report.deaths.empty());
+  EXPECT_EQ(run.report.rerouted_items, 0);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(run.results[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+    EXPECT_EQ(run.report.delivered[static_cast<std::size_t>(r)],
+              counts[static_cast<std::size_t>(r)]);
+  }
+  expect_exactly_once(run, items);
+  // Contiguity: rank 1's share is items [3, 7).
+  EXPECT_EQ(run.results[1], (std::vector<double>{3.0, 4.0, 5.0, 6.0}));
+}
+
+TEST(ScattervFt, CrashedRankShareIsReroutedExactlyOnce) {
+  auto platform = linear_platform({1.0, 1.0, 1.0}, 0.1);
+  auto items = sequential_items(12);
+  std::vector<long long> counts{3, 4, 2, 3};
+  RuntimeOptions options;
+  options.faults.crashes.push_back({1, 0.0});
+
+  auto run = run_ft_scatter(platform, counts, items, options, {});
+  ASSERT_EQ(run.report.deaths.size(), 1u);
+  EXPECT_EQ(run.report.deaths[0].rank, 1);
+  EXPECT_EQ(run.report.deaths[0].undelivered, 4);
+  EXPECT_EQ(run.report.rerouted_items, 4);
+  EXPECT_EQ(run.report.replan_rounds, 1);
+  EXPECT_EQ(run.report.delivered[1], 0);
+  EXPECT_EQ(run.report.total_delivered(), 12);
+  EXPECT_TRUE(run.results[1].empty());
+  expect_exactly_once(run, items);
+}
+
+TEST(ScattervFt, CoreReplannerReroutesOverReducedPlatform) {
+  auto platform = linear_platform({1.0, 2.0, 4.0}, 0.5);
+  auto items = sequential_items(40);
+  auto plan = core::plan_scatter(platform, 40);
+  RuntimeOptions options;
+  options.faults.crashes.push_back({0, 0.0});
+
+  ScattervFtOptions ft;
+  ft.replan = core::make_ft_replanner(platform);
+  auto run = run_ft_scatter(platform, plan.distribution.counts, items, options, ft);
+  ASSERT_EQ(run.report.deaths.size(), 1u);
+  EXPECT_EQ(run.report.deaths[0].rank, 0);
+  EXPECT_EQ(run.report.total_delivered(), 40);
+  expect_exactly_once(run, items);
+}
+
+TEST(ScattervFt, SameSeedIsBitForBitReproducible) {
+  auto platform = linear_platform({1.0, 1.0, 1.0}, 0.1);
+  auto items = sequential_items(24);
+  std::vector<long long> counts{8, 6, 4, 6};
+  RuntimeOptions options;
+  options.faults.seed = 99;
+  options.faults.crashes.push_back({2, 0.0});
+  FaultPlan::LinkFault lossy;
+  lossy.from = 3;
+  lossy.to = 0;
+  lossy.drop_probability = 0.5;
+  options.faults.link_faults.push_back(lossy);
+
+  ScattervFtOptions ft;
+  ft.retry.max_attempts = 64;
+  auto first = run_ft_scatter(platform, counts, items, options, ft);
+  auto second = run_ft_scatter(platform, counts, items, options, ft);
+
+  ASSERT_EQ(first.report.deaths.size(), second.report.deaths.size());
+  for (std::size_t i = 0; i < first.report.deaths.size(); ++i) {
+    EXPECT_EQ(first.report.deaths[i].rank, second.report.deaths[i].rank);
+    EXPECT_EQ(first.report.deaths[i].undelivered,
+              second.report.deaths[i].undelivered);
+  }
+  EXPECT_EQ(first.report.delivered, second.report.delivered);
+  EXPECT_EQ(first.report.rerouted_items, second.report.rerouted_items);
+  EXPECT_EQ(first.report.replan_rounds, second.report.replan_rounds);
+  EXPECT_EQ(first.results, second.results);
+  expect_exactly_once(first, items);
+}
+
+TEST(ScattervFt, MidScatterCrashUnderPacingDeliversExactlyOnce) {
+  // Nominal timeline (1 s per item to each worker): rank 0 receives over
+  // [0, 4), rank 1 over [4, 10), rank 2 over [10, 12). Rank 1 crashes at
+  // nominal time 6 — mid-transfer — so its ack never arrives, the root
+  // times out and re-plans rank 1's six items over the survivors.
+  auto platform = linear_platform({1.0, 1.0, 1.0}, 0.05);
+  auto items = sequential_items(16);
+  std::vector<long long> counts{4, 6, 2, 4};
+  RuntimeOptions options;
+  options.time_scale = 0.01;  // 1 nominal second = 10 ms
+  options.faults.crashes.push_back({1, 6.0});
+
+  ScattervFtOptions ft;
+  ft.ack_timeout = 0.5;
+  auto run = run_ft_scatter(platform, counts, items, options, ft);
+  ASSERT_EQ(run.report.deaths.size(), 1u);
+  EXPECT_EQ(run.report.deaths[0].rank, 1);
+  EXPECT_EQ(run.report.deaths[0].undelivered, 6);
+  EXPECT_EQ(run.report.rerouted_items, 6);
+  EXPECT_EQ(run.report.delivered[1], 0);
+  EXPECT_EQ(run.report.total_delivered(), 16);
+  EXPECT_TRUE(run.results[1].empty());
+  expect_exactly_once(run, items);
+}
+
+TEST(ScattervFt, SlowAckGetsEvictedNotDuplicated) {
+  // Rank 0's ack crawls (its link to the root is 100x degraded), so the
+  // root evicts it; the eviction makes rank 0 discard its share, which the
+  // survivors then receive — exactly once overall.
+  auto platform = linear_platform({0.5, 0.5}, 0.0);
+  auto items = sequential_items(6);
+  std::vector<long long> counts{2, 2, 2};
+  RuntimeOptions options;
+  options.time_scale = 0.01;
+  FaultPlan::LinkFault slow_ack;
+  slow_ack.from = 0;
+  slow_ack.to = 2;
+  slow_ack.delay_factor = 100.0;
+  options.faults.link_faults.push_back(slow_ack);
+
+  ScattervFtOptions ft;
+  ft.ack_timeout = 0.05;  // ack takes ~0.5 s real; root gives up first
+  auto run = run_ft_scatter(platform, counts, items, options, ft);
+  ASSERT_EQ(run.report.deaths.size(), 1u);
+  EXPECT_EQ(run.report.deaths[0].rank, 0);
+  EXPECT_TRUE(run.results[0].empty());
+  EXPECT_EQ(run.report.total_delivered(), 6);
+  expect_exactly_once(run, items);
+}
+
+TEST(ScattervFt, AllWorkersDeadFailsCleanly) {
+  auto platform = linear_platform({1.0, 1.0}, 0.1);
+  auto items = sequential_items(5);
+  std::vector<long long> counts{2, 2, 1};
+  RuntimeOptions options;
+  options.faults.crashes.push_back({0, 0.0});
+  options.faults.crashes.push_back({1, 0.0});
+
+  EXPECT_THROW(run_ft_scatter(platform, counts, items, options, {}), Error);
+}
+
+}  // namespace
+}  // namespace lbs::mq

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "mq/fault.hpp"  // RankCrashed
 #include "support/error.hpp"
 
 namespace lbs::mq {
@@ -165,6 +166,117 @@ TEST(Mailbox, InterleavedTagsUnderConcurrency) {
   odd_consumer.join();
   EXPECT_EQ(even_seen, kMessages / 2);
   EXPECT_EQ(odd_seen, kMessages / 2);
+}
+
+TEST(MailboxRetrieveFor, ExpiresEmptyHanded) {
+  Mailbox mailbox;
+  auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mailbox.retrieve_for(1, 1, 0.02).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::milliseconds(15));
+}
+
+TEST(MailboxRetrieveFor, ZeroTimeoutPollsWithoutBlocking) {
+  Mailbox mailbox;
+  EXPECT_FALSE(mailbox.retrieve_for(1, 1, 0.0).has_value());
+  mailbox.deposit(make_message(1, 1, std::byte{7}));
+  auto message = mailbox.retrieve_for(1, 1, 0.0);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->payload[0], std::byte{7});
+}
+
+TEST(MailboxRetrieveFor, SatisfiedJustInTime) {
+  Mailbox mailbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.deposit(make_message(4, 4, std::byte{9}));
+  });
+  auto message = mailbox.retrieve_for(4, 4, 5.0);
+  producer.join();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->payload[0], std::byte{9});
+}
+
+TEST(MailboxRetrieveFor, NonMatchingTrafficDoesNotSatisfyIt) {
+  Mailbox mailbox;
+  mailbox.deposit(make_message(2, 2));
+  EXPECT_FALSE(mailbox.retrieve_for(1, 1, 0.02).has_value());
+  EXPECT_EQ(mailbox.pending(), 1u);  // the bystander message survives
+}
+
+TEST(MailboxRetrieveFor, ShutdownWhileWaitingThrows) {
+  Mailbox mailbox;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.shutdown();
+  });
+  EXPECT_THROW(mailbox.retrieve_for(1, 1, 5.0), Error);
+  closer.join();
+}
+
+TEST(MailboxRetrieveFor, CrashWhileWaitingThrowsRankCrashed) {
+  Mailbox mailbox;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mailbox.crash();
+  });
+  EXPECT_THROW(mailbox.retrieve_for(1, 1, 5.0), RankCrashed);
+  killer.join();
+}
+
+TEST(Mailbox, CrashOutranksShutdownForBlockedReceivers) {
+  Mailbox mailbox;
+  mailbox.crash();
+  mailbox.shutdown();
+  EXPECT_THROW(mailbox.retrieve(1, 1), RankCrashed);
+}
+
+TEST(Mailbox, DepositAfterShutdownIsDiscarded) {
+  Mailbox mailbox;
+  mailbox.shutdown();
+  EXPECT_FALSE(mailbox.deposit(make_message(1, 1)));
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(Mailbox, DepositAfterCrashIsDiscarded) {
+  Mailbox mailbox;
+  mailbox.crash();
+  EXPECT_FALSE(mailbox.deposit(make_message(1, 1)));
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+// Hammers retrieve/retrieve_for against concurrent deposits and a late
+// shutdown: every blocked receiver must either get a message or see the
+// shutdown error — never hang, never crash.
+TEST(Mailbox, ConcurrentRetrieveAndShutdownRace) {
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    Mailbox mailbox;
+    std::atomic<int> outcomes{0};
+    std::vector<std::thread> receivers;
+    for (int i = 0; i < 4; ++i) {
+      receivers.emplace_back([&, i] {
+        try {
+          if (i % 2 == 0) {
+            mailbox.retrieve(kAnySource, kAnyTag);
+          } else {
+            mailbox.retrieve_for(kAnySource, kAnyTag, 5.0);
+          }
+        } catch (const Error&) {
+          // shutdown observed — fine
+        }
+        ++outcomes;
+      });
+    }
+    std::thread producer([&] {
+      for (int i = 0; i < 3; ++i) mailbox.deposit(make_message(0, 0));
+    });
+    std::thread closer([&] { mailbox.shutdown(); });
+    producer.join();
+    closer.join();
+    for (auto& receiver : receivers) receiver.join();
+    EXPECT_EQ(outcomes.load(), 4);
+  }
 }
 
 }  // namespace

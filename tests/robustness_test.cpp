@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <vector>
 
 #include "core/dp.hpp"
 #include "core/heuristic.hpp"
@@ -11,8 +14,11 @@
 #include "core/planner.hpp"
 #include "core/rounding.hpp"
 #include "core/roundtrip.hpp"
+#include "core/recovery.hpp"
 #include "des/simulator.hpp"
 #include "model/testbed.hpp"
+#include "mq/platform_link.hpp"
+#include "mq/runtime.hpp"
 #include "support/error.hpp"
 
 namespace lbs {
@@ -170,6 +176,128 @@ TEST(Robustness, UniformBaselineMatchesMpiScatterSemantics) {
   long long hi = *std::max_element(dist.counts.begin(), dist.counts.end());
   EXPECT_EQ(hi - lo, 1);
   EXPECT_EQ(dist.total(), 817101);
+}
+
+// --- Fault-recovery corner cases (mq::scatterv_ft + core::recovery) ------
+
+model::Platform tiny_platform(int workers) {
+  model::Platform platform;
+  for (int i = 0; i < workers; ++i) {
+    model::Processor p;
+    p.label = "w" + std::to_string(i);
+    p.comm = model::Cost::linear(1.0);
+    p.comp = model::Cost::linear(0.5);
+    platform.processors.push_back(p);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(0.5);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+struct FtOutcome {
+  std::vector<std::vector<double>> shares;
+  mq::FaultReport report;
+};
+
+FtOutcome run_ft(const model::Platform& platform,
+                 const std::vector<long long>& counts,
+                 const mq::FaultPlan& faults) {
+  const int ranks = platform.size();
+  const int root = ranks - 1;
+  std::vector<double> items(static_cast<std::size_t>(
+      std::accumulate(counts.begin(), counts.end(), 0LL)));
+  std::iota(items.begin(), items.end(), 0.0);
+
+  mq::RuntimeOptions options;
+  options.ranks = ranks;
+  options.faults = faults;
+  options.link_cost = mq::make_link_cost(platform, sizeof(double));
+
+  mq::ScattervFtOptions ft;
+  ft.replan = core::make_ft_replanner(platform);
+
+  FtOutcome outcome;
+  outcome.shares.resize(static_cast<std::size_t>(ranks));
+  std::mutex mutex;
+  mq::Runtime::run(options, [&](mq::Comm& comm) {
+    mq::FaultReport report;
+    auto share = comm.scatterv_ft<double>(root, items, counts, ft,
+                                          comm.rank() == root ? &report : nullptr);
+    std::lock_guard lock(mutex);
+    outcome.shares[static_cast<std::size_t>(comm.rank())] = std::move(share);
+    if (comm.rank() == root) outcome.report = std::move(report);
+  });
+  return outcome;
+}
+
+TEST(Robustness, CrashOfZeroItemRankIsANoOpRecovery) {
+  auto platform = tiny_platform(3);
+  mq::FaultPlan faults;
+  faults.crashes.push_back({1, 0.0});
+  auto outcome = run_ft(platform, {4, 0, 4, 2}, faults);
+
+  // The victim held nothing, so nothing is re-routed and nobody replans.
+  ASSERT_EQ(outcome.report.deaths.size(), 1u);
+  EXPECT_EQ(outcome.report.deaths[0].rank, 1);
+  EXPECT_EQ(outcome.report.deaths[0].undelivered, 0);
+  EXPECT_EQ(outcome.report.rerouted_items, 0);
+  EXPECT_EQ(outcome.report.replan_rounds, 0);
+  EXPECT_EQ(outcome.report.total_delivered(), 10);
+  EXPECT_EQ(outcome.shares[0].size(), 4u);
+  EXPECT_EQ(outcome.shares[2].size(), 4u);
+}
+
+TEST(Robustness, CrashOfLargestShareRankConservesTotals) {
+  auto platform = tiny_platform(3);
+  mq::FaultPlan faults;
+  faults.crashes.push_back({0, 0.0});
+  auto outcome = run_ft(platform, {20, 3, 3, 4}, faults);
+
+  ASSERT_EQ(outcome.report.deaths.size(), 1u);
+  EXPECT_EQ(outcome.report.deaths[0].rank, 0);
+  EXPECT_EQ(outcome.report.deaths[0].undelivered, 20);
+  EXPECT_EQ(outcome.report.rerouted_items, 20);
+  EXPECT_EQ(outcome.report.total_delivered(), 30);
+  EXPECT_TRUE(outcome.shares[0].empty());
+
+  // Every item delivered exactly once across the survivors.
+  std::vector<double> received;
+  for (const auto& share : outcome.shares) {
+    received.insert(received.end(), share.begin(), share.end());
+  }
+  std::sort(received.begin(), received.end());
+  std::vector<double> expected(30);
+  std::iota(expected.begin(), expected.end(), 0.0);
+  EXPECT_EQ(received, expected);
+}
+
+TEST(Robustness, AllWorkersDeadFailsWithErrorNotHang) {
+  auto platform = tiny_platform(2);
+  mq::FaultPlan faults;
+  faults.crashes.push_back({0, 0.0});
+  faults.crashes.push_back({1, 0.0});
+  EXPECT_THROW(run_ft(platform, {3, 3, 2}, faults), Error);
+}
+
+TEST(Robustness, ReducePlatformValidatesPositions) {
+  auto platform = tiny_platform(3);
+  EXPECT_THROW(core::reduce_platform(platform, {}), Error);
+  EXPECT_THROW(core::reduce_platform(platform, {0, 4}), Error);
+  EXPECT_THROW(core::reduce_platform(platform, {0, 0, 3}), Error);
+  auto reduced = core::reduce_platform(platform, {0, 2, 3});
+  ASSERT_EQ(reduced.size(), 3);
+  EXPECT_EQ(reduced[0].label, "w0");
+  EXPECT_EQ(reduced[2].label, "root");
+}
+
+TEST(Robustness, FtReplannerHandlesZeroRemainder) {
+  auto platform = tiny_platform(3);
+  auto replan = core::make_ft_replanner(platform);
+  auto counts = replan({0, 2, 3}, 0);
+  EXPECT_EQ(counts, (std::vector<long long>{0, 0, 0}));
 }
 
 }  // namespace
