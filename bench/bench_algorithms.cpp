@@ -80,7 +80,7 @@ double time_once(const std::function<void()>& fn) {
   return std::chrono::duration<double>(elapsed).count();
 }
 
-int full_scale_report() {
+int full_scale_report(bench::JsonReport& report) {
   bench::print_header(
       "Section 5.2 — planning time at the paper's scale (n = 817,101)");
   auto platform = testbed_platform();
@@ -109,6 +109,16 @@ int full_scale_report() {
             << "; quadratic scaling ratio " << support::format_double(t2k / t1k, 2)
             << "x, expected ~4x)\n";
 
+  const int p = platform.size();
+  auto throughput = [n](double seconds) {
+    return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+  };
+  report.add({"exact_dp_extrapolated", n, p, alg1_extrapolated,
+              throughput(alg1_extrapolated), {}});
+  report.add({"optimized_dp", n, p, alg2, throughput(alg2), {}});
+  report.add({"lp_heuristic", n, p, heuristic, throughput(heuristic), {}});
+  report.add({"linear_closed_form", n, p, closed, throughput(closed), {}});
+
   std::vector<bench::Comparison> comparisons{
       {"Alg. 1 vs Alg. 2", "> 2 days vs 6 min (~500x)",
        support::format_double(alg1_extrapolated / alg2, 0) + "x",
@@ -125,7 +135,10 @@ int full_scale_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int failures = full_scale_report();
+  std::string json_path = lbs::bench::take_json_flag(argc, argv);
+  lbs::bench::JsonReport report("algorithms");
+  int failures = full_scale_report(report);
+  if (!report.write(json_path)) ++failures;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

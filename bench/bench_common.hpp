@@ -5,13 +5,22 @@
 // and (3) optionally a CSV block for external plotting. Values never need
 // to match the paper's absolute numbers (their testbed, our model), but
 // the *shape* checks below make regressions loud.
+//
+// Machine-readable output: benches that track a performance trajectory
+// accept `--json <file>` (see take_json_flag) and emit their measurements
+// through JsonReport — one record per (name, n, p) with wall time and
+// throughput — which CI compares against checked-in baselines.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace lbs::bench {
 
@@ -27,6 +36,90 @@ inline void print_header(const std::string& title) {
             << title << '\n'
             << "==================================================================\n";
 }
+
+// One measurement: a named configuration, its scale, and its speed.
+struct BenchRecord {
+  std::string name;
+  long long n = 0;
+  int p = 0;
+  double wall_s = 0.0;
+  double items_per_s = 0.0;
+  std::vector<std::pair<std::string, double>> extra;  // e.g. {"speedup", 3.4}
+};
+
+// Extracts `--json <path>` (or `--json=<path>`) from argv, compacting the
+// array so downstream flag parsers (google-benchmark) never see it.
+// Returns the empty string when the flag is absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    std::string arg = argv[in];
+    if (arg == "--json" && in + 1 < argc) {
+      path = argv[++in];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+// Collects BenchRecords and serializes them as
+//   {"bench": ..., "threads": ..., "records": [...]}
+// with full-precision doubles, so trajectories diff cleanly across runs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  // No-op (returning true) when `path` is empty; prints to stderr and
+  // returns false when the file cannot be written.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write JSON report to " << path << '\n';
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"threads\": " << support::default_parallelism() << ",\n"
+        << "  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
+          << ", \"p\": " << r.p << ", \"wall_s\": " << format_json_double(r.wall_s)
+          << ", \"items_per_s\": " << format_json_double(r.items_per_s);
+      for (const auto& [key, value] : r.extra) {
+        out << ", \"" << key << "\": " << format_json_double(value);
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  static std::string format_json_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    std::string text = buffer;
+    // JSON has no inf/nan literals; clamp to null (regression checks skip).
+    if (text.find("inf") != std::string::npos || text.find("nan") != std::string::npos) {
+      return "null";
+    }
+    return text;
+  }
+
+  std::string bench_;
+  std::vector<BenchRecord> records_;
+};
 
 inline int print_comparisons(const std::vector<Comparison>& comparisons) {
   support::Table table({"quantity", "paper", "this reproduction", "shape"});

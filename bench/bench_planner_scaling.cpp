@@ -1,0 +1,225 @@
+// Planner engine throughput: serial vs column-parallel DP, cost-table
+// reuse, divide-and-conquer memory mode, and plan-cache hit latency.
+//
+// The paper's own experiment (n = 817,101 rays over 16 processors) is the
+// scale this engine is built for. This bench sweeps n from 10^4 to 10^6
+// on the Table 1 testbed and measures, for each n:
+//   - optimized_dp, serial (threads = 1): the pre-PR baseline shape,
+//   - optimized_dp, parallel (shared pool): the column decomposition,
+//   - optimized_dp, divide-and-conquer memory mode (parallel),
+//   - exact_dp serial vs parallel at the smallest n (O(p n^2) pins it),
+//   - cost-table build + reuse, and plan-cache hit latency.
+// Every variant must reproduce the serial distribution *bit-identically* —
+// that is a hard shape check, not a tolerance. Speedup is asserted (>= 3x
+// at the largest n) only when the host actually offers >= 4 threads.
+//
+// Output: the usual table plus `--json <file>` (bench_common.hpp) records
+// for the BENCH_*.json trajectory and the CI perf-smoke gate.
+//
+// Flags: --json <file>, --max-n <N> (default 1,000,000; CI smoke uses
+// 100,000 to stay inside the runner budget).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dp.hpp"
+#include "core/plan_cache.hpp"
+#include "core/planner.hpp"
+#include "model/cost_table.hpp"
+#include "model/testbed.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace lbs;
+
+double time_once(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+long long parse_max_n(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--max-n") return std::atoll(argv[i + 1]);
+  }
+  return 1'000'000;
+}
+
+struct Measurement {
+  double seconds = 0.0;
+  core::DpResult result;
+};
+
+Measurement run_dp(bool optimized, const model::Platform& platform, long long n,
+                   const core::DpOptions& options) {
+  Measurement m;
+  m.seconds = time_once([&] {
+    m.result = optimized ? core::optimized_dp(platform, n, options)
+                         : core::exact_dp(platform, n, options);
+  });
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = bench::take_json_flag(argc, argv);
+  const long long max_n = parse_max_n(argc, argv);
+  const int threads = support::default_parallelism();
+
+  bench::print_header("Planner engine scaling — parallel DP, cost tables, plan cache");
+  std::cout << "host parallelism: " << threads << " thread(s), max n: " << max_n
+            << "\n";
+
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  const int p = platform.size();
+
+  bench::JsonReport report("planner_scaling");
+  std::vector<bench::Comparison> comparisons;
+  support::Table table({"case", "n", "serial", "parallel", "speedup", "identical"});
+
+  core::DpOptions serial_opts;
+  serial_opts.threads = 1;
+  core::DpOptions parallel_opts;  // defaults: shared pool, Auto memory
+
+  double largest_speedup = 0.0;
+  long long largest_n = 0;
+  for (long long n : {10'000LL, 100'000LL, 1'000'000LL}) {
+    if (n > max_n) break;
+    auto serial = run_dp(true, platform, n, serial_opts);
+    auto parallel = run_dp(true, platform, n, parallel_opts);
+    bool identical = serial.result.distribution.counts == parallel.result.distribution.counts;
+    double speedup = serial.seconds / parallel.seconds;
+    if (n >= largest_n) {
+      largest_n = n;
+      largest_speedup = speedup;
+    }
+    table.add_row({"optimized_dp", std::to_string(n),
+                   support::format_seconds(serial.seconds),
+                   support::format_seconds(parallel.seconds),
+                   support::format_double(speedup, 2) + "x", identical ? "yes" : "NO"});
+    report.add({"optimized_dp_serial", n, p, serial.seconds,
+                static_cast<double>(n) / serial.seconds, {}});
+    report.add({"optimized_dp_parallel", n, p, parallel.seconds,
+                static_cast<double>(n) / parallel.seconds, {{"speedup", speedup}}});
+    comparisons.push_back({"parallel == serial distribution (n=" + std::to_string(n) + ")",
+                           "bit-identical", identical ? "bit-identical" : "DIVERGED",
+                           identical});
+
+    // Divide-and-conquer memory mode: same distribution, rolling columns.
+    core::DpOptions dc_opts = parallel_opts;
+    dc_opts.memory = core::DpMemory::DivideConquer;
+    auto dc = run_dp(true, platform, n, dc_opts);
+    bool dc_identical = dc.result.distribution.counts == serial.result.distribution.counts;
+    table.add_row({"optimized_dp (divide&conquer)", std::to_string(n), "-",
+                   support::format_seconds(dc.seconds),
+                   support::format_double(serial.seconds / dc.seconds, 2) + "x",
+                   dc_identical ? "yes" : "NO"});
+    report.add({"optimized_dp_dc", n, p, dc.seconds,
+                static_cast<double>(n) / dc.seconds, {}});
+    comparisons.push_back({"divide&conquer distribution (n=" + std::to_string(n) + ")",
+                           "bit-identical", dc_identical ? "bit-identical" : "DIVERGED",
+                           dc_identical});
+  }
+
+  // Algorithm 1 is O(p n^2): compare serial vs parallel at a small n only.
+  {
+    long long n = std::min<long long>(10'000, max_n);
+    auto serial = run_dp(false, platform, n, serial_opts);
+    auto parallel = run_dp(false, platform, n, parallel_opts);
+    bool identical = serial.result.distribution.counts == parallel.result.distribution.counts;
+    table.add_row({"exact_dp", std::to_string(n),
+                   support::format_seconds(serial.seconds),
+                   support::format_seconds(parallel.seconds),
+                   support::format_double(serial.seconds / parallel.seconds, 2) + "x",
+                   identical ? "yes" : "NO"});
+    report.add({"exact_dp_serial", n, p, serial.seconds,
+                static_cast<double>(n) / serial.seconds, {}});
+    report.add({"exact_dp_parallel", n, p, parallel.seconds,
+                static_cast<double>(n) / parallel.seconds,
+                {{"speedup", serial.seconds / parallel.seconds}}});
+    comparisons.push_back({"exact_dp parallel == serial (n=" + std::to_string(n) + ")",
+                           "bit-identical", identical ? "bit-identical" : "DIVERGED",
+                           identical});
+  }
+
+  // Cost-table reuse: amortize the Tcomm/Tcomp evaluation across plans.
+  {
+    long long n = std::min<long long>(100'000, max_n);
+    std::optional<model::CostTable> cost_table;
+    double build_s = time_once([&] { cost_table.emplace(platform, n); });
+    core::DpOptions table_opts = parallel_opts;
+    table_opts.cost_table = &*cost_table;
+    auto with_table = run_dp(true, platform, n, table_opts);
+    auto without_table = run_dp(true, platform, n, parallel_opts);
+    bool identical =
+        with_table.result.distribution.counts == without_table.result.distribution.counts;
+    table.add_row({"optimized_dp (cost table)", std::to_string(n),
+                   support::format_seconds(without_table.seconds),
+                   support::format_seconds(with_table.seconds),
+                   support::format_double(without_table.seconds / with_table.seconds, 2) + "x",
+                   identical ? "yes" : "NO"});
+    report.add({"cost_table_build", n, p, build_s,
+                static_cast<double>(n) / build_s, {}});
+    report.add({"optimized_dp_cost_table", n, p, with_table.seconds,
+                static_cast<double>(n) / with_table.seconds, {}});
+    comparisons.push_back({"cost-table distribution (n=" + std::to_string(n) + ")",
+                           "bit-identical", identical ? "bit-identical" : "DIVERGED",
+                           identical});
+  }
+
+  // Plan cache: cold plan vs steady-state hit.
+  {
+    long long n = std::min<long long>(100'000, max_n);
+    core::PlanCache cache(16);
+    double cold_s = time_once([&] { cache.plan(platform, n); });
+    constexpr int kHits = 1000;
+    double hit_total = time_once([&] {
+      for (int i = 0; i < kHits; ++i) cache.plan(platform, n);
+    });
+    double hit_s = hit_total / kHits;
+    auto stats = cache.stats();
+    bool all_hits = stats.hits == kHits && stats.misses == 1;
+    table.add_row({"plan_cache (cold vs hit)", std::to_string(n),
+                   support::format_seconds(cold_s), support::format_seconds(hit_s),
+                   support::format_double(cold_s / hit_s, 0) + "x",
+                   all_hits ? "yes" : "NO"});
+    report.add({"plan_cache_cold", n, p, cold_s, static_cast<double>(n) / cold_s, {}});
+    report.add({"plan_cache_hit", n, p, hit_s, static_cast<double>(n) / hit_s, {}});
+    comparisons.push_back({"plan cache steady state", "every repeat plan hits",
+                           all_hits ? "1000/1000 hits" : "MISSES", all_hits});
+    comparisons.push_back({"plan cache hit latency", "O(1), far below one DP",
+                           support::format_seconds(hit_s),
+                           hit_s * 50.0 < cold_s || cold_s < 1e-4});
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // The headline acceptance shape: >= 3x parallel speedup at the largest
+  // measured n — only meaningful when the host offers >= 4 threads.
+  if (threads >= 4 && largest_n >= 1'000'000) {
+    comparisons.push_back({"parallel speedup at n=" + std::to_string(largest_n),
+                           ">= 3x on >= 4 threads",
+                           support::format_double(largest_speedup, 2) + "x",
+                           largest_speedup >= 3.0});
+  } else {
+    std::cout << "(speedup gate skipped: " << threads
+              << " thread(s) available, largest n = " << largest_n << ")\n";
+  }
+
+  int failures = bench::print_comparisons(comparisons);
+  if (!report.write(json_path)) ++failures;
+  return failures;
+}

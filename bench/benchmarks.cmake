@@ -26,3 +26,4 @@ lbs_add_bench(bench_heterogeneity lbs_core)
 lbs_add_bench(bench_bcast_trees lbs_des)
 lbs_add_bench(bench_hier_scatter lbs_core)
 lbs_add_bench(bench_degradation lbs_gridsim)
+lbs_add_bench(bench_planner_scaling lbs_core)

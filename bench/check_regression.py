@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a checked-in baseline.
+
+Usage: check_regression.py CURRENT BASELINE [--factor 3.0]
+
+Records are matched by (name, n). A record regresses when its throughput,
+multiplied by the allowed factor, still falls short of the baseline:
+
+    current.items_per_s * factor < baseline.items_per_s
+
+A missing record is also a failure (a silently dropped measurement would
+otherwise read as a pass). Extra records in CURRENT are reported but
+allowed, so new measurements can land before their baseline does. The
+factor is deliberately loose (3x by default): the gate exists to catch
+accidental algorithmic regressions -- an O(n^2) slip, a lost
+parallel path -- not scheduler noise on shared CI runners.
+
+Exit status: 0 when every baseline record is present and within the
+factor, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    records = {}
+    for record in report.get("records", []):
+        records[(record["name"], record["n"])] = record
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured bench JSON")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="allowed slowdown factor (default: 3.0)")
+    args = parser.parse_args()
+
+    current = load_records(args.current)
+    baseline = load_records(args.baseline)
+
+    failures = 0
+    width = max((len(name) for name, _ in baseline), default=4) + 2
+    print(f"{'record':<{width}} {'n':>10} {'baseline/s':>14} "
+          f"{'current/s':>14} {'ratio':>7}  verdict")
+    for key in sorted(baseline):
+        name, n = key
+        base_rate = baseline[key]["items_per_s"]
+        if key not in current:
+            print(f"{name:<{width}} {n:>10} {base_rate:>14.3g} "
+                  f"{'MISSING':>14} {'-':>7}  FAIL")
+            failures += 1
+            continue
+        cur_rate = current[key]["items_per_s"]
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        ok = cur_rate * args.factor >= base_rate
+        print(f"{name:<{width}} {n:>10} {base_rate:>14.3g} "
+              f"{cur_rate:>14.3g} {ratio:>6.2f}x  "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures += 1
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key[0]:<{width}} {key[1]:>10} {'(no baseline)':>14} "
+              f"{current[key]['items_per_s']:>14.3g} {'-':>7}  new")
+
+    if failures:
+        print(f"\n{failures} record(s) regressed beyond "
+              f"{args.factor}x or went missing", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} baseline record(s) within "
+          f"{args.factor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

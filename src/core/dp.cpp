@@ -2,55 +2,167 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
+#include "model/cost_table.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace lbs::core {
 
 namespace {
 
-// Shared scaffolding: cost[d] holds the column for processors P_{i+1}..P_p
-// while column i is computed in place of next[d]; choice[d][i] records the
-// optimal share e of P_i when d items remain, for reconstruction.
-struct DpTables {
-  explicit DpTables(long long items, int processors)
-      : n(items),
-        p(processors),
-        cost(static_cast<std::size_t>(items) + 1, 0.0),
-        next(static_cast<std::size_t>(items) + 1, 0.0),
-        choice(static_cast<std::size_t>(processors),
-               std::vector<std::int64_t>(static_cast<std::size_t>(items) + 1, 0)) {}
+// Chunk sizes for the column-parallel loops. Algorithm 1 cells cost O(d)
+// each, so small chunks keep the dynamic schedule balanced; Algorithm 2
+// cells are O(log n + scan) and amortize better over larger chunks.
+constexpr long long kExactGrain = 64;
+constexpr long long kOptimizedGrain = 1024;
+constexpr long long kFillGrain = 8192;
 
-  long long n;
-  int p;
-  std::vector<double> cost;
-  std::vector<double> next;
-  std::vector<std::vector<std::int64_t>> choice;  // [i][d]
+// Auto memory policy: keep the classic choice table while it stays under
+// this budget, switch to divide-and-conquer reconstruction beyond.
+constexpr std::size_t kAutoChoiceTableByteLimit = std::size_t{1} << 30;  // 1 GiB
 
-  // Seeds the last column: P_p handles everything it is given.
-  void seed_last(const model::Platform& platform) {
-    const auto& proc = platform[p - 1];
-    for (long long d = 0; d <= n; ++d) {
-      cost[static_cast<std::size_t>(d)] = proc.comm(d) + proc.comp(d);
-      choice[static_cast<std::size_t>(p - 1)][static_cast<std::size_t>(d)] = d;
+constexpr long long kMaxChoiceTableItems = std::numeric_limits<std::int32_t>::max();
+
+// Serial-or-pooled loop runner; `threads == 1` pins everything inline so
+// benches can measure a true serial baseline.
+struct Parallel {
+  int threads = 1;
+
+  void for_range(long long begin, long long end, long long grain,
+                 const std::function<void(long long, long long)>& fn) const {
+    if (begin >= end) return;
+    if (threads == 1) {
+      fn(begin, end);
+    } else {
+      support::shared_pool().for_range(begin, end, grain, fn);
+    }
+  }
+};
+
+int resolve_threads(const DpOptions& options) {
+  if (options.threads == 1) return 1;
+  if (options.threads <= 0) return support::default_parallelism();
+  return options.threads;
+}
+
+// One DP cell: the optimal share and resulting cost for processor i when
+// `d` items remain, against the flattened rows comm/comp (e = 0..d valid)
+// and the downstream column `down` (cost of d' items on P_{i+1}..P_p).
+struct Cell {
+  double cost;
+  long long sol;
+};
+
+// Algorithm 1: full scan over e. Costs null at 0, so e = 0 yields down[d].
+Cell exact_cell(const double* comm, const double* comp, const double* down,
+                long long d) {
+  long long sol = 0;
+  double best = down[d];
+  for (long long e = 1; e <= d; ++e) {
+    double m = comm[e] + std::max(comp[e], down[d - e]);
+    if (m < best) {
+      best = m;
+      sol = e;
+    }
+  }
+  return {best, sol};
+}
+
+// Algorithm 2: binary search for the crossover e_max, then the downward
+// scan with early break (paper lines 12-35). Requires increasing costs.
+Cell optimized_cell(const double* comm, const double* comp, const double* down,
+                    long long d) {
+  long long sol = 0;
+  double min_cost = 0.0;
+  if (comp[0] >= down[d]) {
+    // Even taking nothing, P_i's (null) computation dominates: giving it
+    // anything only adds communication. (Paper line 12.)
+    sol = 0;
+    min_cost = comm[0] + comp[0];
+  } else if (comp[d] < down[0]) {
+    // Taking everything still finishes before the (empty) downstream:
+    // degenerate, kept for faithfulness to the paper (line 13-14).
+    sol = d;
+    min_cost = comm[d] + down[0];
+  } else {
+    // Binary search for e_max: the smallest e such that
+    // Tcomp(i, e) >= cost[d-e][i+1]. Invariant: comp(e_min) < down,
+    // comp(e_max) >= down. (Paper lines 16-26.)
+    long long e_min = 0;
+    long long e_max = d;
+    long long e = d / 2;
+    while (e != e_min) {
+      if (comp[e] < down[d - e]) {
+        e_min = e;
+      } else {
+        e_max = e;
+      }
+      e = (e_min + e_max) / 2;
+    }
+    sol = e_max;
+    min_cost = comm[e_max] + comp[e_max];
+  }
+
+  // Downward scan over e < sol, where downstream cost dominates
+  // computation; break once the (increasing, as e decreases) downstream
+  // cost alone reaches the best total. (Paper lines 28-35.)
+  for (long long e = sol - 1; e >= 0; --e) {
+    double dn = down[d - e];
+    double m = comm[e] + dn;
+    if (m < min_cost) {
+      min_cost = m;
+      sol = e;
+    } else if (dn >= min_cost) {
+      break;
+    }
+  }
+  return {min_cost, sol};
+}
+
+using CellFn = Cell (*)(const double*, const double*, const double*, long long);
+
+// Serves the flattened Tcomm/Tcomp rows for one processor at a time:
+// views into a caller-provided CostTable when available, otherwise a pair
+// of scratch rows re-filled per column. Returned pointers are valid until
+// the next get() call.
+class RowSource {
+ public:
+  RowSource(const model::Platform& platform, long long items,
+            const model::CostTable* table, const Parallel& parallel)
+      : platform_(platform), items_(items), table_(table), parallel_(parallel) {
+    if (table_ != nullptr) {
+      LBS_CHECK_MSG(table_->processors() == platform.size(),
+                    "cost table built for a different platform size");
+      LBS_CHECK_MSG(table_->items() >= items,
+                    "cost table covers fewer items than requested");
+    } else {
+      comm_.resize(static_cast<std::size_t>(items) + 1);
+      comp_.resize(static_cast<std::size_t>(items) + 1);
     }
   }
 
-  DpResult reconstruct(const model::Platform& platform) const {
-    DpResult result;
-    result.cost = cost[static_cast<std::size_t>(n)];
-    result.distribution.counts.resize(static_cast<std::size_t>(p));
-    long long remaining = n;
-    for (int i = 0; i < p; ++i) {
-      long long share = choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(remaining)];
-      result.distribution.counts[static_cast<std::size_t>(i)] = share;
-      remaining -= share;
+  // Rows for processor i, valid for e = 0..dmax (dmax <= items).
+  std::pair<const double*, const double*> get(int i, long long dmax) {
+    if (table_ != nullptr) {
+      return {table_->comm_row(i).data(), table_->comp_row(i).data()};
     }
-    LBS_CHECK_MSG(remaining == 0, "dp reconstruction lost items");
-    validate(platform, result.distribution, n);
-    return result;
+    std::span<double> comm(comm_.data(), static_cast<std::size_t>(dmax) + 1);
+    std::span<double> comp(comp_.data(), static_cast<std::size_t>(dmax) + 1);
+    model::fill_cost_rows(platform_[i], dmax, comm, comp, parallel_.threads);
+    return {comm_.data(), comp_.data()};
   }
+
+ private:
+  const model::Platform& platform_;
+  long long items_;
+  const model::CostTable* table_;
+  const Parallel& parallel_;
+  std::vector<double> comm_;
+  std::vector<double> comp_;
 };
 
 void check_preconditions(const model::Platform& platform, long long items) {
@@ -62,103 +174,229 @@ void check_preconditions(const model::Platform& platform, long long items) {
   }
 }
 
-}  // namespace
-
-DpResult exact_dp(const model::Platform& platform, long long items) {
-  check_preconditions(platform, items);
-  DpTables tables(items, platform.size());
-  tables.seed_last(platform);
-
-  for (int i = tables.p - 2; i >= 0; --i) {
-    const auto& proc = platform[i];
-    auto& column_choice = tables.choice[static_cast<std::size_t>(i)];
-    tables.next[0] = 0.0;
-    column_choice[0] = 0;
-    for (long long d = 1; d <= tables.n; ++d) {
-      // e = 0: P_i takes nothing; downstream handles everything.
-      long long sol = 0;
-      double best = tables.cost[static_cast<std::size_t>(d)];
-      for (long long e = 1; e <= d; ++e) {
-        double m = proc.comm(e) +
-                   std::max(proc.comp(e), tables.cost[static_cast<std::size_t>(d - e)]);
-        if (m < best) {
-          best = m;
-          sol = e;
-        }
-      }
-      tables.next[static_cast<std::size_t>(d)] = best;
-      column_choice[static_cast<std::size_t>(d)] = sol;
-    }
-    std::swap(tables.cost, tables.next);
-  }
-  return tables.reconstruct(platform);
+DpMemory resolve_memory(const DpOptions& options, long long items, int processors) {
+  if (options.memory != DpMemory::Auto) return options.memory;
+  if (items > kMaxChoiceTableItems) return DpMemory::DivideConquer;
+  std::size_t table_bytes = static_cast<std::size_t>(processors > 1 ? processors - 1 : 0) *
+                            (static_cast<std::size_t>(items) + 1) * sizeof(std::int32_t);
+  return table_bytes > kAutoChoiceTableByteLimit ? DpMemory::DivideConquer
+                                                 : DpMemory::ChoiceTable;
 }
 
-DpResult optimized_dp(const model::Platform& platform, long long items) {
+// Classic mode: roll the cost columns, store every argmin in a flat
+// int32 table, walk the table back from (0, n).
+DpResult run_choice_table(const model::Platform& platform, long long items,
+                          const DpOptions& options, CellFn cell, long long grain) {
+  LBS_CHECK_MSG(items <= kMaxChoiceTableItems,
+                "choice table stores int32 shares; use DpMemory::DivideConquer "
+                "beyond 2^31 - 1 items");
+  const int p = platform.size();
+  const long long n = items;
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  Parallel parallel{resolve_threads(options)};
+  RowSource rows(platform, n, options.cost_table, parallel);
+
+  std::vector<double> cost(stride);
+  std::vector<double> next(stride);
+  std::vector<std::int32_t> choice;  // rows for P_1..P_{p-1}; P_p takes the rest
+  if (p > 1) choice.resize(static_cast<std::size_t>(p - 1) * stride);
+
+  // Seed the last column: P_p handles everything it is given.
+  {
+    auto [comm, comp] = rows.get(p - 1, n);
+    parallel.for_range(0, n + 1, kFillGrain, [&](long long begin, long long end) {
+      for (long long d = begin; d < end; ++d) {
+        cost[static_cast<std::size_t>(d)] = comm[d] + comp[d];
+      }
+    });
+  }
+
+  for (int i = p - 2; i >= 0; --i) {
+    auto [comm, comp] = rows.get(i, n);
+    std::int32_t* choice_row = choice.data() + static_cast<std::size_t>(i) * stride;
+    const double* down = cost.data();
+    next[0] = 0.0;
+    choice_row[0] = 0;
+    parallel.for_range(1, n + 1, grain, [&](long long begin, long long end) {
+      for (long long d = begin; d < end; ++d) {
+        Cell c = cell(comm, comp, down, d);
+        next[static_cast<std::size_t>(d)] = c.cost;
+        choice_row[d] = static_cast<std::int32_t>(c.sol);
+      }
+    });
+    std::swap(cost, next);
+  }
+
+  DpResult result;
+  result.cost = cost[static_cast<std::size_t>(n)];
+  result.distribution.counts.assign(static_cast<std::size_t>(p), 0);
+  long long remaining = n;
+  for (int i = 0; i < p - 1; ++i) {
+    long long share = choice[static_cast<std::size_t>(i) * stride +
+                             static_cast<std::size_t>(remaining)];
+    result.distribution.counts[static_cast<std::size_t>(i)] = share;
+    remaining -= share;
+  }
+  result.distribution.counts[static_cast<std::size_t>(p - 1)] = remaining;
+  LBS_CHECK_MSG(remaining >= 0, "dp reconstruction lost items");
+  validate(platform, result.distribution, n);
+  return result;
+}
+
+// Divide-and-conquer mode (Hirschberg on the processor axis): never store
+// a full argmin table. solve(lo, hi, d_in, g) fixes the shares of
+// processors [lo, hi) given that d_in items enter P_lo and that `g` is
+// the downstream cost function of P_hi..P_p over [0..d_in]: it finds the
+// item count crossing the midpoint via an extra "thru" column that tracks,
+// for every cell, which midpoint state its optimal path uses, then
+// recurses into both halves. Each level re-sweeps its column range, so
+// runtime gains an O(log p) factor while memory drops to rolling columns.
+DpResult run_divide_conquer(const model::Platform& platform, long long items,
+                            const DpOptions& options, CellFn cell, long long grain) {
+  const int p = platform.size();
+  const long long n = items;
+  Parallel parallel{resolve_threads(options)};
+  RowSource rows(platform, n, options.cost_table, parallel);
+
+  DpResult result;
+  result.distribution.counts.assign(static_cast<std::size_t>(p), 0);
+  if (p == 1) {
+    auto [comm, comp] = rows.get(0, n);
+    result.distribution.counts[0] = n;
+    result.cost = comm[n] + comp[n];
+    validate(platform, result.distribution, n);
+    return result;
+  }
+
+  std::vector<long long> shares(static_cast<std::size_t>(p - 1), 0);
+
+  // Applies column i over [0..dmax]: next[d] = cell(i, d) against `down`.
+  auto apply_column = [&](int i, long long dmax, const double* down,
+                          std::vector<double>& next) {
+    auto [comm, comp] = rows.get(i, dmax);
+    next[0] = 0.0;
+    parallel.for_range(1, dmax + 1, grain, [&](long long begin, long long end) {
+      for (long long d = begin; d < end; ++d) {
+        next[static_cast<std::size_t>(d)] = cell(comm, comp, down, d).cost;
+      }
+    });
+  };
+
+  auto solve = [&](auto&& self, int lo, int hi, long long d_in,
+                   std::vector<double> g) -> double {
+    if (hi - lo == 1) {
+      auto [comm, comp] = rows.get(lo, d_in);
+      Cell c = cell(comm, comp, g.data(), d_in);
+      shares[static_cast<std::size_t>(lo)] = c.sol;
+      return c.cost;
+    }
+    const int mid = (lo + hi) / 2;
+    const std::size_t width = static_cast<std::size_t>(d_in) + 1;
+
+    // g_mid = columns hi-1..mid applied to g (g itself is preserved for
+    // the right half's recursion).
+    std::vector<double> cur(width);
+    std::vector<double> nxt(width);
+    const double* down = g.data();
+    for (int i = hi - 1; i >= mid; --i) {
+      apply_column(i, d_in, down, nxt);
+      std::swap(cur, nxt);
+      down = cur.data();
+    }
+    std::vector<double> g_mid = std::move(cur);
+
+    // Thru sweep: columns mid-1..lo on top of g_mid, each cell also
+    // recording which midpoint state its optimal path goes through.
+    std::vector<double> c_cur(g_mid);
+    std::vector<double> c_nxt(width);
+    std::vector<long long> t_cur(width);
+    std::vector<long long> t_nxt(width);
+    parallel.for_range(0, d_in + 1, kFillGrain, [&](long long begin, long long end) {
+      for (long long d = begin; d < end; ++d) t_cur[static_cast<std::size_t>(d)] = d;
+    });
+    for (int i = mid - 1; i >= lo; --i) {
+      auto [comm, comp] = rows.get(i, d_in);
+      c_nxt[0] = 0.0;
+      t_nxt[0] = 0;
+      parallel.for_range(1, d_in + 1, grain, [&](long long begin, long long end) {
+        for (long long d = begin; d < end; ++d) {
+          Cell c = cell(comm, comp, c_cur.data(), d);
+          c_nxt[static_cast<std::size_t>(d)] = c.cost;
+          t_nxt[static_cast<std::size_t>(d)] = t_cur[static_cast<std::size_t>(d - c.sol)];
+        }
+      });
+      std::swap(c_cur, c_nxt);
+      std::swap(t_cur, t_nxt);
+    }
+    const long long d_mid = t_cur[static_cast<std::size_t>(d_in)];
+    const double cost_lo = c_cur[static_cast<std::size_t>(d_in)];
+    LBS_CHECK_MSG(d_mid >= 0 && d_mid <= d_in, "dp split lost items");
+
+    // Free the sweep scratch before recursing, then right half first (it
+    // consumes g), left half second (it consumes g_mid).
+    c_cur = {};
+    c_nxt = {};
+    t_cur = {};
+    t_nxt = {};
+    nxt = {};
+    g.resize(static_cast<std::size_t>(d_mid) + 1);
+    self(self, mid, hi, d_mid, std::move(g));
+    self(self, lo, mid, d_in, std::move(g_mid));
+    return cost_lo;
+  };
+
+  // Seed column for P_p, then split over the p-1 choosing processors.
+  std::vector<double> seed(static_cast<std::size_t>(n) + 1);
+  {
+    auto [comm, comp] = rows.get(p - 1, n);
+    parallel.for_range(0, n + 1, kFillGrain, [&](long long begin, long long end) {
+      for (long long d = begin; d < end; ++d) {
+        seed[static_cast<std::size_t>(d)] = comm[d] + comp[d];
+      }
+    });
+  }
+  result.cost = solve(solve, 0, p - 1, n, std::move(seed));
+
+  long long remaining = n;
+  for (int i = 0; i < p - 1; ++i) {
+    result.distribution.counts[static_cast<std::size_t>(i)] =
+        shares[static_cast<std::size_t>(i)];
+    remaining -= shares[static_cast<std::size_t>(i)];
+  }
+  result.distribution.counts[static_cast<std::size_t>(p - 1)] = remaining;
+  LBS_CHECK_MSG(remaining >= 0, "dp reconstruction lost items");
+  validate(platform, result.distribution, n);
+  return result;
+}
+
+DpResult run(const model::Platform& platform, long long items,
+             const DpOptions& options, CellFn cell, long long grain) {
+  switch (resolve_memory(options, items, platform.size())) {
+    case DpMemory::ChoiceTable:
+      return run_choice_table(platform, items, options, cell, grain);
+    case DpMemory::DivideConquer:
+      return run_divide_conquer(platform, items, options, cell, grain);
+    case DpMemory::Auto:
+      break;
+  }
+  LBS_CHECK_MSG(false, "unreachable: Auto resolved above");
+  return {};
+}
+
+}  // namespace
+
+DpResult exact_dp(const model::Platform& platform, long long items,
+                  const DpOptions& options) {
+  check_preconditions(platform, items);
+  return run(platform, items, options, &exact_cell, kExactGrain);
+}
+
+DpResult optimized_dp(const model::Platform& platform, long long items,
+                      const DpOptions& options) {
   check_preconditions(platform, items);
   LBS_CHECK_MSG(platform.all_costs_increasing(),
                 "Algorithm 2 requires increasing cost functions");
-  DpTables tables(items, platform.size());
-  tables.seed_last(platform);
-
-  for (int i = tables.p - 2; i >= 0; --i) {
-    const auto& proc = platform[i];
-    auto& column_choice = tables.choice[static_cast<std::size_t>(i)];
-    const auto& downstream = tables.cost;
-    tables.next[0] = 0.0;
-    column_choice[0] = 0;
-    for (long long d = 1; d <= tables.n; ++d) {
-      long long sol = 0;
-      double min_cost = 0.0;
-      if (proc.comp(0) >= downstream[static_cast<std::size_t>(d)]) {
-        // Even taking nothing, P_i's (null) computation dominates: giving it
-        // anything only adds communication. (Paper line 12.)
-        sol = 0;
-        min_cost = proc.comm(0) + proc.comp(0);
-      } else if (proc.comp(d) < downstream[0]) {
-        // Taking everything still finishes before the (empty) downstream:
-        // degenerate, kept for faithfulness to the paper (line 13-14).
-        sol = d;
-        min_cost = proc.comm(d) + downstream[0];
-      } else {
-        // Binary search for e_max: the smallest e such that
-        // Tcomp(i, e) >= cost[d-e][i+1]. Invariant: comp(e_min) < down,
-        // comp(e_max) >= down. (Paper lines 16-26.)
-        long long e_min = 0;
-        long long e_max = d;
-        long long e = d / 2;
-        while (e != e_min) {
-          if (proc.comp(e) < downstream[static_cast<std::size_t>(d - e)]) {
-            e_min = e;
-          } else {
-            e_max = e;
-          }
-          e = (e_min + e_max) / 2;
-        }
-        sol = e_max;
-        min_cost = proc.comm(e_max) + proc.comp(e_max);
-      }
-
-      // Downward scan over e < sol, where downstream cost dominates
-      // computation; break once the (increasing, as e decreases) downstream
-      // cost alone reaches the best total. (Paper lines 28-35.)
-      for (long long e = sol - 1; e >= 0; --e) {
-        double down = downstream[static_cast<std::size_t>(d - e)];
-        double m = proc.comm(e) + down;
-        if (m < min_cost) {
-          min_cost = m;
-          sol = e;
-        } else if (down >= min_cost) {
-          break;
-        }
-      }
-
-      tables.next[static_cast<std::size_t>(d)] = min_cost;
-      column_choice[static_cast<std::size_t>(d)] = sol;
-    }
-    std::swap(tables.cost, tables.next);
-  }
-  return tables.reconstruct(platform);
+  return run(platform, items, options, &optimized_cell, kOptimizedGrain);
 }
 
 }  // namespace lbs::core

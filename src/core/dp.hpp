@@ -12,12 +12,49 @@
 //   overtakes the downstream cost, then scans downward with an early
 //   break. Same worst case, O(p n) best case, far faster in practice
 //   (the paper: > 2 days vs 6 minutes at n = 817,101).
+//
+// Performance engineering (see docs/algorithms.md, "Performance
+// engineering"): every cell of column i depends only on column i+1, so
+// both algorithms evaluate Tcomm/Tcomp through flat per-column arrays
+// (optionally a precomputed model::CostTable) and partition each column's
+// d-range across the shared thread pool. Scheduling never changes which
+// inputs a cell reads, so parallel runs are bit-identical to serial ones.
 #pragma once
 
 #include "core/distribution.hpp"
 #include "model/platform.hpp"
 
+namespace lbs::model {
+class CostTable;
+}
+
 namespace lbs::core {
+
+// How the reconstruction information is kept.
+//
+// - ChoiceTable: the classic p x (n+1) argmin table, stored as int32
+//   (shares never exceed n; items > 2^31 - 1 are rejected up front).
+//   Fastest; O(p n) memory.
+// - DivideConquer: Hirschberg-style recursion on the processor axis —
+//   only rolling cost columns plus the realized split points are kept,
+//   O(n log p + p) working memory at an O(log p) factor more column
+//   sweeps. The distribution produced is bit-identical to ChoiceTable's.
+// - Auto: ChoiceTable while the table stays modest, DivideConquer beyond
+//   (and always when items does not fit in int32).
+enum class DpMemory { Auto, ChoiceTable, DivideConquer };
+
+struct DpOptions {
+  // 1 forces a serial run; any other value (0 = default) partitions each
+  // column over the shared pool (support::shared_pool, sized by
+  // LBS_PLANNER_THREADS / hardware concurrency). Results are identical
+  // either way.
+  int threads = 0;
+  DpMemory memory = DpMemory::Auto;
+  // Optional precomputed cost table for this platform covering at least
+  // `items`; skips the per-column Tcomm/Tcomp evaluation. Worth building
+  // once when planning repeatedly over the same (platform, n).
+  const model::CostTable* cost_table = nullptr;
+};
 
 struct DpResult {
   Distribution distribution;
@@ -25,9 +62,11 @@ struct DpResult {
 };
 
 // Algorithm 1. Requires items >= 0 and a non-empty platform.
-DpResult exact_dp(const model::Platform& platform, long long items);
+DpResult exact_dp(const model::Platform& platform, long long items,
+                  const DpOptions& options = {});
 
 // Algorithm 2. Additionally requires platform.all_costs_increasing().
-DpResult optimized_dp(const model::Platform& platform, long long items);
+DpResult optimized_dp(const model::Platform& platform, long long items,
+                      const DpOptions& options = {});
 
 }  // namespace lbs::core

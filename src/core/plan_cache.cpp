@@ -1,0 +1,95 @@
+#include "core/plan_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace lbs::core {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  LBS_CHECK_MSG(capacity >= 1, "plan cache needs capacity >= 1");
+}
+
+std::vector<std::uint64_t> PlanCache::fingerprint(const model::Platform& platform) {
+  std::vector<std::uint64_t> prints;
+  prints.reserve(static_cast<std::size_t>(platform.size()));
+  for (int i = 0; i < platform.size(); ++i) {
+    // Rotate-and-xor keeps (comm, comp) ordered, unlike plain xor.
+    std::uint64_t comm = platform[i].comm.fingerprint();
+    std::uint64_t comp = platform[i].comp.fingerprint();
+    prints.push_back(comm ^ (comp << 1 | comp >> 63));
+  }
+  return prints;
+}
+
+std::size_t PlanCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  for (std::uint64_t c : key.costs) mix(c);
+  mix(static_cast<std::uint64_t>(key.items));
+  mix(static_cast<std::uint64_t>(key.algorithm));
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<ScatterPlan> PlanCache::lookup(const model::Platform& platform,
+                                             long long items, Algorithm algorithm) {
+  Key key{fingerprint(platform), items, algorithm};
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::insert(const model::Platform& platform, long long items,
+                       Algorithm algorithm, const ScatterPlan& plan) {
+  Key key{fingerprint(platform), items, algorithm};
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = plan;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{std::move(key), plan});
+  index_.emplace(lru_.front().key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ScatterPlan PlanCache::plan(const model::Platform& platform, long long items,
+                            Algorithm algorithm, const DpOptions& dp) {
+  PlannerOptions options;
+  options.algorithm = algorithm;
+  options.dp = dp;
+  options.cache = this;
+  return plan_scatter(platform, items, options);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = {};
+}
+
+}  // namespace lbs::core

@@ -1,0 +1,84 @@
+// LRU cache of scatter plans.
+//
+// plan_scatter is a pure function of (platform costs, n, algorithm), and
+// production traffic repeats it: recovery replanning re-plans the same
+// survivor sets on every scatter, root-selection sweeps re-plan the same
+// platform rotated p ways, and hierarchical scatter re-plans each site.
+// PlanCache memoizes those calls behind an exact structural key — the
+// per-processor cost fingerprints (model::Cost::fingerprint) plus the
+// item count and the requested algorithm — so a repeat plan is a mutex
+// acquisition and a hash lookup instead of an O(p n) (or worse) DP.
+//
+// Processor labels and machine refs are deliberately *not* part of the
+// key: two platforms with identical cost structure get identical plans.
+// The cache is thread-safe; entries are full ScatterPlans (O(p) memory
+// each), evicted least-recently-used beyond `capacity`.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 128);
+
+  // Structural identity of a platform as the planner sees it: one
+  // fingerprint per processor folding Tcomm and Tcomp.
+  static std::vector<std::uint64_t> fingerprint(const model::Platform& platform);
+
+  // Cache probe / fill. `algorithm` is the *requested* algorithm (Auto
+  // resolves deterministically from the costs, so it is a sound key).
+  [[nodiscard]] std::optional<ScatterPlan> lookup(const model::Platform& platform,
+                                                  long long items,
+                                                  Algorithm algorithm);
+  void insert(const model::Platform& platform, long long items,
+              Algorithm algorithm, const ScatterPlan& plan);
+
+  // Lookup-or-plan convenience: plan_scatter with this cache attached.
+  ScatterPlan plan(const model::Platform& platform, long long items,
+                   Algorithm algorithm = Algorithm::Auto,
+                   const DpOptions& dp = {});
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Key {
+    std::vector<std::uint64_t> costs;
+    long long items = 0;
+    Algorithm algorithm = Algorithm::Auto;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    ScatterPlan plan;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace lbs::core

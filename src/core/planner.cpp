@@ -1,10 +1,12 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/closed_form.hpp"
 #include "core/dp.hpp"
 #include "core/heuristic.hpp"
+#include "core/plan_cache.hpp"
 #include "core/rounding.hpp"
 #include "support/error.hpp"
 
@@ -41,22 +43,56 @@ Algorithm resolve(const model::Platform& platform, Algorithm requested) {
   return Algorithm::ExactDp;
 }
 
+std::vector<int> narrow_to_int(const std::vector<long long>& values,
+                               const char* what) {
+  std::vector<int> narrowed;
+  narrowed.reserve(values.size());
+  for (long long value : values) {
+    LBS_CHECK_MSG(value >= 0 && value <= std::numeric_limits<int>::max(),
+                  std::string(what) + " overflows the 32-bit MPI boundary");
+    narrowed.push_back(static_cast<int>(value));
+  }
+  return narrowed;
+}
+
 }  // namespace
+
+std::vector<int> ScatterPlan::counts_as_int() const {
+  return narrow_to_int(distribution.counts, "scatter count");
+}
+
+std::vector<int> ScatterPlan::displacements_as_int() const {
+  return narrow_to_int(displacements, "scatter displacement");
+}
 
 ScatterPlan plan_scatter(const model::Platform& platform, long long items,
                          Algorithm algorithm) {
+  PlannerOptions options;
+  options.algorithm = algorithm;
+  return plan_scatter(platform, items, options);
+}
+
+ScatterPlan plan_scatter(const model::Platform& platform, long long items,
+                         const PlannerOptions& options) {
   LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
   LBS_CHECK_MSG(items >= 0, "negative item count");
+
+  const Algorithm algorithm = options.algorithm;
+  if (options.cache != nullptr) {
+    if (auto cached = options.cache->lookup(platform, items, algorithm)) {
+      return *std::move(cached);
+    }
+  }
 
   ScatterPlan plan;
   plan.algorithm_used = resolve(platform, algorithm);
 
   switch (plan.algorithm_used) {
     case Algorithm::ExactDp:
-      plan.distribution = exact_dp(platform, items).distribution;
+      plan.distribution = exact_dp(platform, items, options.dp).distribution;
       break;
     case Algorithm::OptimizedDp:
-      plan.distribution = optimized_dp(platform, items).distribution;
+      plan.distribution = optimized_dp(platform, items, options.dp).distribution;
       break;
     case Algorithm::LpHeuristic:
       plan.distribution = lp_heuristic(platform, items).distribution;
@@ -78,6 +114,9 @@ ScatterPlan plan_scatter(const model::Platform& platform, long long items,
   plan.predicted_finish = finish_times(platform, plan.distribution);
   plan.predicted_makespan =
       *std::max_element(plan.predicted_finish.begin(), plan.predicted_finish.end());
+  if (options.cache != nullptr) {
+    options.cache->insert(platform, items, algorithm, plan);
+  }
   return plan;
 }
 

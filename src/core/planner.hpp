@@ -14,9 +14,12 @@
 #include <vector>
 
 #include "core/distribution.hpp"
+#include "core/dp.hpp"
 #include "model/platform.hpp"
 
 namespace lbs::core {
+
+class PlanCache;
 
 enum class Algorithm {
   Auto,
@@ -35,11 +38,29 @@ struct ScatterPlan {
   double predicted_makespan = 0.0;          // Eq. 2 on the true cost model
   std::vector<double> predicted_finish;     // Eq. 1 per processor
   Algorithm algorithm_used = Algorithm::Auto;
+
+  // MPI_Scatterv takes int counts/displs; these narrow and throw
+  // lbs::Error instead of silently wrapping when a count or a prefix sum
+  // exceeds INT_MAX (at paper-scale n that is one multiplication by the
+  // element count away). Use these at any 32-bit scatter boundary.
+  [[nodiscard]] std::vector<int> counts_as_int() const;
+  [[nodiscard]] std::vector<int> displacements_as_int() const;
+};
+
+struct PlannerOptions {
+  Algorithm algorithm = Algorithm::Auto;
+  // Forwarded to exact_dp / optimized_dp (threads, memory mode, cost table).
+  DpOptions dp;
+  // When non-null, consulted before planning and filled after: repeat
+  // plans for the same (costs, items, algorithm) return in O(1).
+  PlanCache* cache = nullptr;
 };
 
 // Throws lbs::Error when a forced algorithm's preconditions do not hold
 // (e.g. LpHeuristic on non-affine costs).
 ScatterPlan plan_scatter(const model::Platform& platform, long long items,
                          Algorithm algorithm = Algorithm::Auto);
+ScatterPlan plan_scatter(const model::Platform& platform, long long items,
+                         const PlannerOptions& options);
 
 }  // namespace lbs::core

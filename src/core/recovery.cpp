@@ -1,8 +1,10 @@
 #include "core/recovery.hpp"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/plan_cache.hpp"
 #include "support/error.hpp"
 
 namespace lbs::core {
@@ -27,10 +29,15 @@ model::Platform reduce_platform(const model::Platform& platform,
 std::function<std::vector<long long>(const std::vector<int>&, long long)>
 make_ft_replanner(model::Platform platform, Algorithm algorithm) {
   LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
-  return [platform = std::move(platform), algorithm](
+  // Recovery traffic repeats itself: every scatter under the same fault
+  // pattern re-plans the same survivor sets for the same remainders, so
+  // each replanner carries a small plan cache keyed on the reduced
+  // platform's cost structure.
+  auto cache = std::make_shared<PlanCache>(64);
+  return [platform = std::move(platform), algorithm, cache](
              const std::vector<int>& alive, long long items) {
     auto reduced = reduce_platform(platform, alive);
-    auto plan = plan_scatter(reduced, items, algorithm);
+    auto plan = cache->plan(reduced, items, algorithm);
     return plan.distribution.counts;
   };
 }

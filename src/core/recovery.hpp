@@ -28,7 +28,9 @@ model::Platform reduce_platform(const model::Platform& platform,
 // A replanner for mq::ScattervFtOptions::replan (and the gridsim mirror):
 // given the surviving rank ids (platform positions, root last) and the
 // undelivered item count, re-runs plan_scatter on the reduced platform and
-// returns per-survivor counts, aligned with the alive list.
+// returns per-survivor counts, aligned with the alive list. Each replanner
+// owns a core::PlanCache, so repeated recoveries of the same survivor set
+// and remainder (the common case across scatters) hit in O(1).
 std::function<std::vector<long long>(const std::vector<int>& alive,
                                      long long items)>
 make_ft_replanner(model::Platform platform,

@@ -9,6 +9,25 @@ namespace lbs::model {
 
 namespace {
 
+// FNV-1a over 64-bit words; doubles are hashed by bit pattern so that
+// distinct parameters (including -0.0 vs 0.0) produce distinct streams.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_mix(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return hash_mix(h, bits);
+}
+
 class ZeroCost final : public CostFunction {
  public:
   double at(long long items) const override {
@@ -20,6 +39,7 @@ class ZeroCost final : public CostFunction {
     return AffineCoeffs{0.0, 0.0};
   }
   std::string describe() const override { return "zero"; }
+  std::uint64_t fingerprint() const override { return hash_mix(kFnvOffset, std::uint64_t{1}); }
 };
 
 class LinearCost final : public CostFunction {
@@ -39,6 +59,9 @@ class LinearCost final : public CostFunction {
     std::ostringstream out;
     out << per_item_ << "*x";
     return out.str();
+  }
+  std::uint64_t fingerprint() const override {
+    return hash_mix(hash_mix(kFnvOffset, std::uint64_t{2}), per_item_);
   }
 
  private:
@@ -63,6 +86,9 @@ class AffineCost final : public CostFunction {
     std::ostringstream out;
     out << fixed_ << " + " << per_item_ << "*x";
     return out.str();
+  }
+  std::uint64_t fingerprint() const override {
+    return hash_mix(hash_mix(hash_mix(kFnvOffset, std::uint64_t{3}), fixed_), per_item_);
   }
 
  private:
@@ -121,6 +147,13 @@ class TabulatedCost final : public CostFunction {
     out << "tabulated[" << samples_.size() << " samples]";
     return out.str();
   }
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = hash_mix(kFnvOffset, std::uint64_t{4});
+    for (const auto& [x, y] : samples_) {
+      h = hash_mix(hash_mix(h, static_cast<std::uint64_t>(x)), y);
+    }
+    return h;
+  }
 
  private:
   std::vector<std::pair<long long, double>> samples_;
@@ -150,6 +183,12 @@ class ChunkedCost final : public CostFunction {
     out << per_item_ << "*x + " << step_ << "*floor(x/" << chunk_ << ")";
     return out.str();
   }
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = hash_mix(kFnvOffset, std::uint64_t{5});
+    h = hash_mix(h, per_item_);
+    h = hash_mix(h, static_cast<std::uint64_t>(chunk_));
+    return hash_mix(h, step_);
+  }
 
  private:
   double per_item_;
@@ -173,6 +212,10 @@ class ScaledCost final : public CostFunction {
     std::ostringstream out;
     out << factor_ << " * (" << inner_.describe() << ")";
     return out.str();
+  }
+  std::uint64_t fingerprint() const override {
+    return hash_mix(hash_mix(hash_mix(kFnvOffset, std::uint64_t{6}), factor_),
+                    inner_.fingerprint());
   }
 
  private:

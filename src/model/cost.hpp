@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +46,12 @@ class CostFunction {
   [[nodiscard]] virtual std::optional<AffineCoeffs> affine() const = 0;
 
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  // Structural hash over the exact parameters (bit patterns of the
+  // coefficients / samples): two costs with equal fingerprints evaluate
+  // identically for every x, up to 64-bit hash collisions. This is what
+  // core::PlanCache keys plans on.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
 };
 
 // Value-semantic handle to an immutable cost function.
@@ -89,6 +96,7 @@ class Cost {
   [[nodiscard]] bool is_increasing() const { return fn_->is_increasing(); }
   [[nodiscard]] std::optional<AffineCoeffs> affine() const { return fn_->affine(); }
   [[nodiscard]] std::string describe() const { return fn_->describe(); }
+  [[nodiscard]] std::uint64_t fingerprint() const { return fn_->fingerprint(); }
 
   // Per-item slope when affine/linear; throws otherwise.
   [[nodiscard]] double per_item_slope() const;

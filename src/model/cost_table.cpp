@@ -1,0 +1,58 @@
+#include "model/cost_table.hpp"
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lbs::model {
+
+namespace {
+// Cost::at is cheap (affine) to moderately priced (tabulated search);
+// chunks of a few thousand evaluations amortize the dispatch overhead.
+constexpr long long kFillGrain = 8192;
+}  // namespace
+
+void fill_cost_rows(const Processor& processor, long long items,
+                    std::span<double> comm_row, std::span<double> comp_row,
+                    int threads) {
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  LBS_CHECK(comm_row.size() == static_cast<std::size_t>(items) + 1);
+  LBS_CHECK(comp_row.size() == static_cast<std::size_t>(items) + 1);
+  auto fill = [&](long long begin, long long end) {
+    for (long long e = begin; e < end; ++e) {
+      comm_row[static_cast<std::size_t>(e)] = processor.comm(e);
+      comp_row[static_cast<std::size_t>(e)] = processor.comp(e);
+    }
+  };
+  if (threads == 1) {
+    fill(0, items + 1);
+  } else {
+    support::shared_pool().for_range(0, items + 1, kFillGrain, fill);
+  }
+}
+
+CostTable::CostTable(const Platform& platform, long long items)
+    : items_(items), processors_(platform.size()) {
+  LBS_CHECK_MSG(processors_ >= 1, "empty platform");
+  LBS_CHECK_MSG(items >= 0, "negative item count");
+  const std::size_t row = static_cast<std::size_t>(items) + 1;
+  storage_.resize(2 * static_cast<std::size_t>(processors_) * row);
+  for (int i = 0; i < processors_; ++i) {
+    std::span<double> rows(storage_.data() + 2 * static_cast<std::size_t>(i) * row,
+                           2 * row);
+    fill_cost_rows(platform[i], items, rows.first(row), rows.subspan(row), 0);
+  }
+}
+
+std::span<const double> CostTable::comm_row(int i) const {
+  LBS_CHECK(i >= 0 && i < processors_);
+  const std::size_t row = static_cast<std::size_t>(items_) + 1;
+  return {storage_.data() + 2 * static_cast<std::size_t>(i) * row, row};
+}
+
+std::span<const double> CostTable::comp_row(int i) const {
+  LBS_CHECK(i >= 0 && i < processors_);
+  const std::size_t row = static_cast<std::size_t>(items_) + 1;
+  return {storage_.data() + (2 * static_cast<std::size_t>(i) + 1) * row, row};
+}
+
+}  // namespace lbs::model

@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+// Set while a thread is executing chunks for some pool, so reentrant
+// for_range calls degrade to inline execution instead of deadlocking on
+// the submit mutex.
+thread_local bool t_inside_pool_job = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  LBS_CHECK_MSG(workers >= 0, "negative worker count");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  bool was_inside = t_inside_pool_job;
+  t_inside_pool_job = true;
+  for (;;) {
+    long long begin = job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.end) break;
+    long long end = std::min(begin + job.grain, job.end);
+    try {
+      (*job.fn)(begin, end);
+    } catch (...) {
+      {
+        std::lock_guard lock(mu_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Abort the remaining chunks: park the cursor at the end.
+      job.next.store(job.end, std::memory_order_relaxed);
+      break;
+    }
+  }
+  t_inside_pool_job = was_inside;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_id_ != seen); });
+    if (stop_) return;
+    Job* job = job_;
+    seen = job_id_;
+    ++job->active;
+    lock.unlock();
+    run_chunks(*job);
+    lock.lock();
+    if (--job->active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_range(long long begin, long long end, long long grain,
+                           const std::function<void(long long, long long)>& fn) {
+  LBS_CHECK_MSG(grain >= 1, "for_range grain must be >= 1");
+  if (begin >= end) return;
+  if (workers() == 0 || end - begin <= grain || t_inside_pool_job) {
+    fn(begin, end);
+    return;
+  }
+
+  std::lock_guard submit(submit_mu_);
+  Job job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.grain = grain;
+  job.fn = &fn;
+  {
+    std::lock_guard lock(mu_);
+    job_ = &job;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  run_chunks(job);
+  std::unique_lock lock(mu_);
+  job_ = nullptr;  // late wakers see no job and go back to sleep
+  done_cv_.wait(lock, [&] { return job.active == 0; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+int default_parallelism() {
+  if (const char* env = std::getenv("LBS_PLANNER_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool* pool = new ThreadPool(default_parallelism() - 1);
+  return *pool;
+}
+
+}  // namespace lbs::support

@@ -1,0 +1,82 @@
+// A small persistent worker pool for data-parallel loops.
+//
+// The planner's dynamic programs are column-parallel: every cell of a
+// column depends only on the previous column, so a column's index range
+// can be partitioned across threads with no synchronization beyond the
+// column barrier. ThreadPool provides exactly that shape — `for_range`
+// hands out contiguous chunks of [begin, end) to the workers (the calling
+// thread participates) until the range is exhausted, then returns.
+//
+// Determinism: for_range makes no promise about *which* thread runs which
+// chunk, only that every index is visited exactly once. Callers that write
+// each index's result to a distinct location (the DP pattern) therefore
+// get bit-identical output regardless of thread count or scheduling.
+//
+// Jobs submitted from different threads serialize on an internal mutex; a
+// for_range issued from inside a worker (reentrant use) runs inline on
+// that worker instead of deadlocking.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace lbs::support {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` background threads (>= 0; the calling thread of each
+  // for_range always participates, so total parallelism is workers + 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+  // Parallelism of a for_range call: workers() + the calling thread.
+  [[nodiscard]] int parallelism() const { return workers() + 1; }
+
+  // Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
+  // [begin, end), each at most `grain` long, dynamically scheduled.
+  // Blocks until the whole range is done. The first exception thrown by
+  // fn aborts the remaining chunks and is rethrown here.
+  void for_range(long long begin, long long end, long long grain,
+                 const std::function<void(long long, long long)>& fn);
+
+ private:
+  struct Job {
+    std::atomic<long long> next{0};
+    long long end = 0;
+    long long grain = 1;
+    const std::function<void(long long, long long)>* fn = nullptr;
+    int active = 0;                 // workers currently inside run_chunks
+    std::exception_ptr error;       // first failure (guarded by pool mutex)
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;                  // guards job_, job_id_, stop_, Job::active/error
+  std::condition_variable work_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;  // submitter waits for active == 0
+  std::mutex submit_mu_;           // serializes concurrent for_range calls
+  Job* job_ = nullptr;
+  std::uint64_t job_id_ = 0;
+  bool stop_ = false;
+};
+
+// Process-wide parallelism knob: LBS_PLANNER_THREADS when set (>= 1),
+// otherwise std::thread::hardware_concurrency(). Always >= 1.
+int default_parallelism();
+
+// Lazily-constructed process-wide pool with default_parallelism() - 1
+// workers. Never destroyed before process exit.
+ThreadPool& shared_pool();
+
+}  // namespace lbs::support

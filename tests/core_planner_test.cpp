@@ -130,6 +130,45 @@ TEST(Planner, BalancedPlanBeatsUniformOnPaperTestbed) {
   EXPECT_LT(balanced.predicted_makespan, 0.6 * uniform.predicted_makespan);
 }
 
+TEST(Planner, NarrowingToIntSucceedsAtSmallScale) {
+  auto grid = model::paper_testbed();
+  auto platform = make_platform(grid, model::paper_root(grid));
+  auto plan = plan_scatter(platform, 12345);
+  auto counts = plan.counts_as_int();
+  auto displs = plan.displacements_as_int();
+  ASSERT_EQ(counts.size(), plan.distribution.counts.size());
+  ASSERT_EQ(displs.size(), plan.displacements.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(static_cast<long long>(counts[i]), plan.distribution.counts[i]);
+    EXPECT_EQ(static_cast<long long>(displs[i]), plan.displacements[i]);
+  }
+}
+
+TEST(Planner, NarrowingThrowsInsteadOfWrappingBeyondIntMax) {
+  // Regression: at n = 5e9 the tail displacements exceed INT_MAX; feeding
+  // the old silently-truncated values to MPI_Scatterv corrupted the
+  // scatter. The narrowing accessors must throw instead.
+  model::Platform platform;
+  for (int i = 0; i < 4; ++i) {
+    model::Processor p;
+    p.label = "P" + std::to_string(i + 1);
+    p.comm = i == 3 ? model::Cost::zero() : model::Cost::linear(1e-9);
+    p.comp = model::Cost::linear(1e-9);
+    platform.processors.push_back(p);
+  }
+  const long long n = 5'000'000'000LL;
+  auto plan = plan_scatter(platform, n, Algorithm::Uniform);
+  EXPECT_EQ(plan.distribution.total(), n);
+  // Every individual count (1.25e9) fits in int, so counts narrow fine...
+  EXPECT_NO_THROW(plan.counts_as_int());
+  // ...but the later displacements (2.5e9, 3.75e9) cannot.
+  EXPECT_THROW(plan.displacements_as_int(), lbs::Error);
+
+  // And when a single count overflows, counts_as_int must throw too.
+  auto big = plan_scatter(platform, 10'000'000'000LL, Algorithm::Uniform);
+  EXPECT_THROW(big.counts_as_int(), lbs::Error);
+}
+
 TEST(Planner, AlgorithmNames) {
   EXPECT_NE(to_string(Algorithm::ExactDp).find("Algorithm 1"), std::string::npos);
   EXPECT_NE(to_string(Algorithm::OptimizedDp).find("Algorithm 2"), std::string::npos);

@@ -1,0 +1,125 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr long long kN = 100'000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.for_range(0, kN, 128, [&](long long begin, long long end) {
+    for (long long i = begin; i < end; ++i) {
+      visits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WorksWithZeroWorkers) {
+  ThreadPool pool(0);
+  long long sum = 0;
+  pool.for_range(0, 1000, 64, [&](long long begin, long long end) {
+    for (long long i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.for_range(5, 5, 1, [&](long long, long long) { ++calls; });
+  pool.for_range(7, 3, 1, [&](long long, long long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RespectsGrainBounds) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<long long> lengths;
+  pool.for_range(0, 1000, 37, [&](long long begin, long long end) {
+    std::lock_guard lock(mu);
+    lengths.push_back(end - begin);
+  });
+  long long total = std::accumulate(lengths.begin(), lengths.end(), 0LL);
+  EXPECT_EQ(total, 1000);
+  for (long long len : lengths) {
+    EXPECT_GE(len, 1);
+    EXPECT_LE(len, 37);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_range(0, 10'000, 8,
+                              [&](long long begin, long long) {
+                                if (begin >= 5000) throw Error("boom");
+                              }),
+               Error);
+  // The pool must stay usable after a failed job.
+  std::atomic<long long> count{0};
+  pool.for_range(0, 1000, 16, [&](long long begin, long long end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, ManySequentialJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long long> count{0};
+    pool.for_range(0, 500, 16, [&](long long begin, long long end) {
+      count.fetch_add(end - begin);
+    });
+    ASSERT_EQ(count.load(), 500) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize) {
+  ThreadPool pool(2);
+  std::atomic<long long> total{0};
+  auto submit = [&] {
+    for (int round = 0; round < 50; ++round) {
+      pool.for_range(0, 200, 8, [&](long long begin, long long end) {
+        total.fetch_add(end - begin);
+      });
+    }
+  };
+  std::thread a(submit);
+  std::thread b(submit);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 50 * 200);
+}
+
+TEST(ThreadPool, ReentrantForRangeRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<long long> inner_total{0};
+  pool.for_range(0, 8, 1, [&](long long begin, long long end) {
+    for (long long i = begin; i < end; ++i) {
+      // A nested submission from a worker must not deadlock.
+      pool.for_range(0, 100, 10, [&](long long b, long long e) {
+        inner_total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ThreadPool, DefaultParallelismIsPositive) {
+  EXPECT_GE(default_parallelism(), 1);
+  EXPECT_GE(shared_pool().parallelism(), 1);
+}
+
+}  // namespace
+}  // namespace lbs::support
