@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "core/planner.hpp"
 #include "model/cost_table.hpp"
 #include "model/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -202,6 +205,51 @@ int main(int argc, char** argv) {
     comparisons.push_back({"plan cache hit latency", "O(1), far below one DP",
                            support::format_seconds(hit_s),
                            hit_s * 50.0 < cold_s || cold_s < 1e-4});
+  }
+
+  // Tracing overhead: the same DP solve with and without a live tracer +
+  // metrics sink. Per solve the obs layer adds a handful of ring-buffer
+  // writes against ~10^5 DP cells, so the pair must stay within 5% — the
+  // CI gate (check_regression.py --pair) enforces exactly that on these
+  // two records. Best-of-k timing keeps scheduler noise out of the ratio.
+  {
+    long long n = std::min<long long>(100'000, max_n);
+    constexpr int kReps = 7;
+    core::PlannerOptions off_opts;
+    off_opts.algorithm = core::Algorithm::OptimizedDp;
+    off_opts.dp = parallel_opts;
+    obs::Tracer tracer;
+    obs::Metrics metrics;
+    core::PlannerOptions on_opts = off_opts;
+    on_opts.tracer = &tracer;
+    on_opts.metrics = &metrics;
+
+    double off_s = std::numeric_limits<double>::infinity();
+    double on_s = std::numeric_limits<double>::infinity();
+    core::ScatterPlan off_plan, on_plan;
+    for (int rep = 0; rep < kReps; ++rep) {
+      off_s = std::min(off_s, time_once([&] {
+        off_plan = core::plan_scatter(platform, n, off_opts);
+      }));
+      on_s = std::min(on_s, time_once([&] {
+        on_plan = core::plan_scatter(platform, n, on_opts);
+      }));
+    }
+    bool identical = off_plan.distribution.counts == on_plan.distribution.counts;
+    bool traced = tracer.collect().events.size() >= static_cast<std::size_t>(kReps);
+    double overhead = on_s / off_s - 1.0;
+    table.add_row({"optimized_dp (tracer on)", std::to_string(n),
+                   support::format_seconds(off_s), support::format_seconds(on_s),
+                   support::format_double(overhead * 100.0, 2) + "%",
+                   identical && traced ? "yes" : "NO"});
+    report.add({"plan_tracer_off", n, p, off_s, static_cast<double>(n) / off_s, {}});
+    report.add({"plan_tracer_on", n, p, on_s,
+                static_cast<double>(n) / on_s, {{"overhead", overhead}}});
+    comparisons.push_back({"traced distribution (n=" + std::to_string(n) + ")",
+                           "bit-identical", identical ? "bit-identical" : "DIVERGED",
+                           identical});
+    comparisons.push_back({"tracer actually recorded", ">= 1 event per solve",
+                           traced ? "yes" : "NO", traced});
   }
 
   std::cout << '\n';

@@ -2,6 +2,7 @@
 """Compare a bench JSON report against a checked-in baseline.
 
 Usage: check_regression.py CURRENT BASELINE [--factor 3.0]
+                           [--pair OFF:ON [--pair-delta 0.05]]
 
 Records are matched by (name, n). A record regresses when its throughput,
 multiplied by the allowed factor, still falls short of the baseline:
@@ -15,8 +16,14 @@ factor is deliberately loose (3x by default): the gate exists to catch
 accidental algorithmic regressions -- an O(n^2) slip, a lost
 parallel path -- not scheduler noise on shared CI runners.
 
+--pair OFF:ON compares two record names measured in the SAME run (so
+runner speed cancels out) and fails when the ON variant's throughput
+falls more than --pair-delta (default 5%) below OFF at any matching n.
+This is the tracing-overhead gate: plan_tracer_on must stay within 5%
+of plan_tracer_off. A pair with no matching n is a failure.
+
 Exit status: 0 when every baseline record is present and within the
-factor, 1 otherwise.
+factor and every pair holds, 1 otherwise.
 """
 
 import argparse
@@ -33,12 +40,50 @@ def load_records(path):
     return records
 
 
+def check_pairs(current, pairs, delta):
+    """Same-run A/B guard: ON throughput within `delta` of OFF per n."""
+    failures = 0
+    for spec in pairs:
+        try:
+            off_name, on_name = spec.split(":")
+        except ValueError:
+            print(f"bad --pair spec {spec!r} (want OFF:ON)", file=sys.stderr)
+            failures += 1
+            continue
+        matched = False
+        for (name, n), record in sorted(current.items()):
+            if name != off_name or (on_name, n) not in current:
+                continue
+            matched = True
+            off_rate = record["items_per_s"]
+            on_rate = current[(on_name, n)]["items_per_s"]
+            overhead = off_rate / on_rate - 1.0 if on_rate > 0 else float("inf")
+            ok = on_rate >= off_rate * (1.0 - delta)
+            print(f"pair {off_name} vs {on_name} (n={n}): "
+                  f"overhead {overhead * 100.0:+.2f}% "
+                  f"(allowed {delta * 100.0:.0f}%)  {'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures += 1
+        if not matched:
+            print(f"pair {off_name}:{on_name}: no matching records",
+                  file=sys.stderr)
+            failures += 1
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured bench JSON")
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--factor", type=float, default=3.0,
                         help="allowed slowdown factor (default: 3.0)")
+    parser.add_argument("--pair", action="append", default=[],
+                        metavar="OFF:ON",
+                        help="record-name pair measured in the same run; "
+                             "ON must stay within --pair-delta of OFF")
+    parser.add_argument("--pair-delta", type=float, default=0.05,
+                        help="allowed relative slowdown within a --pair "
+                             "(default: 0.05)")
     args = parser.parse_args()
 
     current = load_records(args.current)
@@ -68,6 +113,10 @@ def main():
     for key in sorted(set(current) - set(baseline)):
         print(f"{key[0]:<{width}} {key[1]:>10} {'(no baseline)':>14} "
               f"{current[key]['items_per_s']:>14.3g} {'-':>7}  new")
+
+    if args.pair:
+        print()
+        failures += check_pairs(current, args.pair, args.pair_delta)
 
     if failures:
         print(f"\n{failures} record(s) regressed beyond "

@@ -15,10 +15,16 @@
 #include "core/ordering.hpp"
 #include "core/planner.hpp"
 #include "model/grid_parser.hpp"
+#include "obs/chrome_trace.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace lbs;
+
+  // Set LBS_TRACE=out.json to capture the planner's spans (scatter.plan,
+  // dp.solve, ...) as a Chrome trace — load the file in Perfetto or
+  // chrome://tracing. With the variable unset this guard does nothing.
+  obs::TraceExportGuard trace_guard;
 
   // A small heterogeneous grid, described in the text format users would
   // put in a config file. alpha/beta are seconds per data item.
@@ -79,5 +85,9 @@ int main() {
   std::cout << "\n  displs: ";
   for (long long d : balanced.displacements) std::cout << d << ' ';
   std::cout << '\n';
+
+  if (trace_guard.active()) {
+    std::cout << "\nwriting planner trace to " << trace_guard.path() << '\n';
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "model/cost_table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -201,6 +203,11 @@ DpResult run_choice_table(const model::Platform& platform, long long items,
   std::vector<std::int32_t> choice;  // rows for P_1..P_{p-1}; P_p takes the rest
   if (p > 1) choice.resize(static_cast<std::size_t>(p - 1) * stride);
 
+  // Cell count is fully determined by the shape: the seed column evaluates
+  // n + 1 entries, every other column n cells (d = 1..n). Counting here —
+  // not in the parallel inner loops — keeps the figure exact and free.
+  long long cells = (n + 1) + static_cast<long long>(p - 1) * n;
+
   // Seed the last column: P_p handles everything it is given.
   {
     auto [comm, comp] = rows.get(p - 1, n);
@@ -229,6 +236,8 @@ DpResult run_choice_table(const model::Platform& platform, long long items,
 
   DpResult result;
   result.cost = cost[static_cast<std::size_t>(n)];
+  result.cells_evaluated = cells;
+  result.threads_used = parallel.threads;
   result.distribution.counts.assign(static_cast<std::size_t>(p), 0);
   long long remaining = n;
   for (int i = 0; i < p - 1; ++i) {
@@ -259,21 +268,29 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
   RowSource rows(platform, n, options.cost_table, parallel);
 
   DpResult result;
+  result.threads_used = parallel.threads;
   result.distribution.counts.assign(static_cast<std::size_t>(p), 0);
   if (p == 1) {
     auto [comm, comp] = rows.get(0, n);
     result.distribution.counts[0] = n;
     result.cost = comm[n] + comp[n];
+    result.cells_evaluated = 1;
     validate(platform, result.distribution, n);
     return result;
   }
 
   std::vector<long long> shares(static_cast<std::size_t>(p - 1), 0);
 
+  // Accumulated at column granularity (one add per column sweep, never in
+  // the parallel inner loops), so it exactly tallies the O(log p) extra
+  // re-sweeps this mode performs over run_choice_table.
+  long long cells = 0;
+
   // Applies column i over [0..dmax]: next[d] = cell(i, d) against `down`.
   auto apply_column = [&](int i, long long dmax, const double* down,
                           std::vector<double>& next) {
     auto [comm, comp] = rows.get(i, dmax);
+    cells += dmax;
     next[0] = 0.0;
     parallel.for_range(1, dmax + 1, grain, [&](long long begin, long long end) {
       for (long long d = begin; d < end; ++d) {
@@ -286,6 +303,7 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
                    std::vector<double> g) -> double {
     if (hi - lo == 1) {
       auto [comm, comp] = rows.get(lo, d_in);
+      cells += 1;
       Cell c = cell(comm, comp, g.data(), d_in);
       shares[static_cast<std::size_t>(lo)] = c.sol;
       return c.cost;
@@ -316,6 +334,7 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
     });
     for (int i = mid - 1; i >= lo; --i) {
       auto [comm, comp] = rows.get(i, d_in);
+      cells += d_in;
       c_nxt[0] = 0.0;
       t_nxt[0] = 0;
       parallel.for_range(1, d_in + 1, grain, [&](long long begin, long long end) {
@@ -349,6 +368,7 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
   std::vector<double> seed(static_cast<std::size_t>(n) + 1);
   {
     auto [comm, comp] = rows.get(p - 1, n);
+    cells += n + 1;
     parallel.for_range(0, n + 1, kFillGrain, [&](long long begin, long long end) {
       for (long long d = begin; d < end; ++d) {
         seed[static_cast<std::size_t>(d)] = comm[d] + comp[d];
@@ -356,6 +376,7 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
     });
   }
   result.cost = solve(solve, 0, p - 1, n, std::move(seed));
+  result.cells_evaluated = cells;
 
   long long remaining = n;
   for (int i = 0; i < p - 1; ++i) {
@@ -369,8 +390,8 @@ DpResult run_divide_conquer(const model::Platform& platform, long long items,
   return result;
 }
 
-DpResult run(const model::Platform& platform, long long items,
-             const DpOptions& options, CellFn cell, long long grain) {
+DpResult run_mode(const model::Platform& platform, long long items,
+                  const DpOptions& options, CellFn cell, long long grain) {
   switch (resolve_memory(options, items, platform.size())) {
     case DpMemory::ChoiceTable:
       return run_choice_table(platform, items, options, cell, grain);
@@ -381,6 +402,31 @@ DpResult run(const model::Platform& platform, long long items,
   }
   LBS_CHECK_MSG(false, "unreachable: Auto resolved above");
   return {};
+}
+
+DpResult run(const model::Platform& platform, long long items,
+             const DpOptions& options, CellFn cell, long long grain) {
+  obs::Tracer* tracer =
+      options.tracer != nullptr ? options.tracer : obs::global_tracer();
+  const double begin = tracer != nullptr ? obs::wall_now() : 0.0;
+  DpResult result = run_mode(platform, items, options, cell, grain);
+  if (tracer != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::DpSolve;
+    event.clock = obs::Clock::Wall;
+    event.start = begin;
+    event.duration = obs::wall_now() - begin;
+    event.arg0 = items;
+    event.arg1 = result.cells_evaluated;
+    event.arg2 = result.threads_used;
+    tracer->record(event);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("dp.solves").add();
+    options.metrics->counter("dp.cells_evaluated")
+        .add(static_cast<std::uint64_t>(result.cells_evaluated));
+  }
+  return result;
 }
 
 }  // namespace

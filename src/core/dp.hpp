@@ -28,6 +28,11 @@ namespace lbs::model {
 class CostTable;
 }
 
+namespace lbs::obs {
+class Metrics;
+class Tracer;
+}
+
 namespace lbs::core {
 
 // How the reconstruction information is kept.
@@ -54,11 +59,23 @@ struct DpOptions {
   // `items`; skips the per-column Tcomm/Tcomp evaluation. Worth building
   // once when planning repeatedly over the same (platform, n).
   const model::CostTable* cost_table = nullptr;
+  // Observability hooks. A null tracer falls back to obs::global_tracer()
+  // (still usually null); each solve then emits one dp.solve span carrying
+  // items / cells evaluated / threads. Metrics are explicit-only: when
+  // non-null, the "dp.solves" and "dp.cells_evaluated" counters are bumped.
+  obs::Tracer* tracer = nullptr;
+  obs::Metrics* metrics = nullptr;
 };
 
 struct DpResult {
   Distribution distribution;
   double cost = 0.0;  // predicted makespan of the optimal distribution
+  // Provenance: DP cells evaluated (counted at column granularity, so the
+  // figure is scheduling-independent) and the thread count used. The
+  // divide-and-conquer mode reports its extra O(log p) re-sweeps, making
+  // the two memory modes directly comparable.
+  long long cells_evaluated = 0;
+  int threads_used = 1;
 };
 
 // Algorithm 1. Requires items >= 0 and a non-empty platform.

@@ -1,5 +1,7 @@
 #include "core/plan_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace lbs::core {
@@ -33,18 +35,51 @@ std::size_t PlanCache::KeyHash::operator()(const Key& key) const {
   return static_cast<std::size_t>(h);
 }
 
+void PlanCache::set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+void PlanCache::set_metrics(obs::Metrics* metrics) {
+  if (metrics == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    evictions_counter_ = nullptr;
+    return;
+  }
+  hits_counter_ = &metrics->counter("plan_cache.hits");
+  misses_counter_ = &metrics->counter("plan_cache.misses");
+  evictions_counter_ = &metrics->counter("plan_cache.evictions");
+}
+
+void PlanCache::record_probe(bool hit, long long items) {
+  obs::Tracer* tracer = tracer_ != nullptr ? tracer_ : obs::global_tracer();
+  if (tracer != nullptr) {
+    obs::TraceEvent event;
+    event.type = hit ? obs::EventType::CacheHit : obs::EventType::CacheMiss;
+    event.instant = true;
+    event.start = obs::wall_now();
+    event.arg0 = items;
+    tracer->record(event);
+  }
+  obs::Counter* counter = hit ? hits_counter_ : misses_counter_;
+  if (counter != nullptr) counter->add();
+}
+
 std::optional<ScatterPlan> PlanCache::lookup(const model::Platform& platform,
                                              long long items, Algorithm algorithm) {
   Key key{fingerprint(platform), items, algorithm};
-  std::lock_guard lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  std::optional<ScatterPlan> found;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      found = it->second->plan;
+    }
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->plan;
+  record_probe(found.has_value(), items);
+  return found;
 }
 
 void PlanCache::insert(const model::Platform& platform, long long items,
@@ -63,6 +98,7 @@ void PlanCache::insert(const model::Platform& platform, long long items,
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    if (evictions_counter_ != nullptr) evictions_counter_->add();
   }
 }
 

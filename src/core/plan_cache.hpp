@@ -25,6 +25,12 @@
 #include "core/planner.hpp"
 #include "model/platform.hpp"
 
+namespace lbs::obs {
+class Counter;
+class Metrics;
+class Tracer;
+}
+
 namespace lbs::core {
 
 class PlanCache {
@@ -47,6 +53,15 @@ class PlanCache {
   ScatterPlan plan(const model::Platform& platform, long long items,
                    Algorithm algorithm = Algorithm::Auto,
                    const DpOptions& dp = {});
+
+  // Observability hooks; call during setup, before concurrent use. A null
+  // tracer falls back to obs::global_tracer(): every probe then emits a
+  // cache.hit / cache.miss instant (arg0 = items probed). set_metrics
+  // binds the "plan_cache.hits" / "plan_cache.misses" /
+  // "plan_cache.evictions" counters in `metrics` (resolved once here, so
+  // probes stay a couple of atomic adds).
+  void set_tracer(obs::Tracer* tracer);
+  void set_metrics(obs::Metrics* metrics);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -74,11 +89,17 @@ class PlanCache {
     ScatterPlan plan;
   };
 
+  void record_probe(bool hit, long long items);
+
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace lbs::core

@@ -8,6 +8,8 @@
 #include "core/heuristic.hpp"
 #include "core/plan_cache.hpp"
 #include "core/rounding.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace lbs::core {
@@ -41,6 +43,18 @@ Algorithm resolve(const model::Platform& platform, Algorithm requested) {
   if (platform.all_costs_affine()) return Algorithm::LpHeuristic;
   if (platform.all_costs_increasing()) return Algorithm::OptimizedDp;
   return Algorithm::ExactDp;
+}
+
+// One 64-bit digest of the platform's per-processor cost fingerprints,
+// carried in scatter.plan spans so traces from different platforms are
+// distinguishable without storing the full vector.
+long long folded_fingerprint(const model::Platform& platform) {
+  std::uint64_t folded = 0xcbf29ce484222325ULL;
+  for (std::uint64_t print : PlanCache::fingerprint(platform)) {
+    folded ^= print;
+    folded *= 0x100000001b3ULL;
+  }
+  return static_cast<long long>(folded);
 }
 
 std::vector<int> narrow_to_int(const std::vector<long long>& values,
@@ -77,23 +91,61 @@ ScatterPlan plan_scatter(const model::Platform& platform, long long items,
   LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
   LBS_CHECK_MSG(items >= 0, "negative item count");
 
+  obs::Tracer* tracer =
+      options.tracer != nullptr ? options.tracer : obs::global_tracer();
+  const double begin = tracer != nullptr ? obs::wall_now() : 0.0;
+  auto trace_plan = [&](const ScatterPlan& plan) {
+    if (tracer != nullptr) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::ScatterPlan;
+      event.clock = obs::Clock::Wall;
+      event.peer = platform.size();
+      event.start = begin;
+      event.duration = obs::wall_now() - begin;
+      event.arg0 = items;
+      event.arg1 = static_cast<long long>(plan.algorithm_used);
+      event.arg2 = folded_fingerprint(platform);
+      tracer->record(event);
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->counter("planner.plans").add();
+      options.metrics->histogram("planner.plan_seconds")
+          .observe(obs::wall_now() - begin);
+    }
+  };
+
   const Algorithm algorithm = options.algorithm;
   if (options.cache != nullptr) {
     if (auto cached = options.cache->lookup(platform, items, algorithm)) {
+      trace_plan(*cached);
       return *std::move(cached);
     }
   }
+
+  // DP runs inherit the planner's hooks unless the caller already set
+  // DP-specific ones.
+  DpOptions dp_options = options.dp;
+  if (dp_options.tracer == nullptr) dp_options.tracer = options.tracer;
+  if (dp_options.metrics == nullptr) dp_options.metrics = options.metrics;
 
   ScatterPlan plan;
   plan.algorithm_used = resolve(platform, algorithm);
 
   switch (plan.algorithm_used) {
-    case Algorithm::ExactDp:
-      plan.distribution = exact_dp(platform, items, options.dp).distribution;
+    case Algorithm::ExactDp: {
+      DpResult dp = exact_dp(platform, items, dp_options);
+      plan.distribution = std::move(dp.distribution);
+      plan.dp_cells_evaluated = dp.cells_evaluated;
+      plan.dp_threads = dp.threads_used;
       break;
-    case Algorithm::OptimizedDp:
-      plan.distribution = optimized_dp(platform, items, options.dp).distribution;
+    }
+    case Algorithm::OptimizedDp: {
+      DpResult dp = optimized_dp(platform, items, dp_options);
+      plan.distribution = std::move(dp.distribution);
+      plan.dp_cells_evaluated = dp.cells_evaluated;
+      plan.dp_threads = dp.threads_used;
       break;
+    }
     case Algorithm::LpHeuristic:
       plan.distribution = lp_heuristic(platform, items).distribution;
       break;
@@ -117,6 +169,7 @@ ScatterPlan plan_scatter(const model::Platform& platform, long long items,
   if (options.cache != nullptr) {
     options.cache->insert(platform, items, algorithm, plan);
   }
+  trace_plan(plan);
   return plan;
 }
 

@@ -38,6 +38,10 @@ struct ScatterPlan {
   double predicted_makespan = 0.0;          // Eq. 2 on the true cost model
   std::vector<double> predicted_finish;     // Eq. 1 per processor
   Algorithm algorithm_used = Algorithm::Auto;
+  // Planner provenance (zero unless a DP algorithm ran): survives the plan
+  // cache, so a cached plan still reports the work its original solve did.
+  long long dp_cells_evaluated = 0;
+  int dp_threads = 0;
 
   // MPI_Scatterv takes int counts/displs; these narrow and throw
   // lbs::Error instead of silently wrapping when a count or a prefix sum
@@ -54,6 +58,13 @@ struct PlannerOptions {
   // When non-null, consulted before planning and filled after: repeat
   // plans for the same (costs, items, algorithm) return in O(1).
   PlanCache* cache = nullptr;
+  // Observability hooks. A null tracer falls back to obs::global_tracer();
+  // when one is live, every plan_scatter call emits a scatter.plan span
+  // (items, resolved algorithm, folded platform fingerprint) and forwards
+  // the tracer to the DP layer. Metrics are explicit-only and also
+  // forwarded to the DP layer unless options.dp already carries its own.
+  obs::Tracer* tracer = nullptr;
+  obs::Metrics* metrics = nullptr;
 };
 
 // Throws lbs::Error when a forced algorithm's preconditions do not hold

@@ -61,6 +61,34 @@ FtSimResult simulate_scatter_ft(const model::Platform& platform,
     return injector.crash_time(rank) <= time;
   };
 
+  auto record_span = [&](obs::EventType type, int rank, int peer, double start,
+                         double end, long long arg0, long long arg1 = 0) {
+    if (end <= start) return;  // half-open [start, end)
+    obs::TraceEvent event;
+    event.type = type;
+    event.clock = obs::Clock::Virtual;
+    event.rank = rank;
+    event.peer = peer;
+    event.start = start;
+    event.duration = end - start;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    result.trace.events.push_back(event);
+  };
+  auto record_instant = [&](obs::EventType type, int rank, int peer,
+                            long long arg0, long long arg1 = 0) {
+    obs::TraceEvent event;
+    event.type = type;
+    event.clock = obs::Clock::Virtual;
+    event.instant = true;
+    event.rank = rank;
+    event.peer = peer;
+    event.start = now;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    result.trace.events.push_back(event);
+  };
+
   auto mark_dead = [&](int rank) {
     dead[static_cast<std::size_t>(rank)] = 1;
     long long undelivered = assigned[static_cast<std::size_t>(rank)];
@@ -68,6 +96,7 @@ FtSimResult simulate_scatter_ft(const model::Platform& platform,
     assigned[static_cast<std::size_t>(rank)] = 0;
     delivered[static_cast<std::size_t>(rank)] = 0;
     result.report.deaths.push_back({rank, now, undelivered});
+    record_instant(obs::EventType::RankDeath, rank, root, undelivered);
   };
 
   for (int r = 0; r < p; ++r) {
@@ -108,6 +137,8 @@ FtSimResult simulate_scatter_ft(const model::Platform& platform,
     }
     result.report.rerouted_items += pool;
     ++result.report.replan_rounds;
+    record_instant(obs::EventType::RecoveryReplan, root, -1, pool,
+                   result.report.replan_rounds);
     pool = 0;
   };
 
@@ -139,6 +170,8 @@ FtSimResult simulate_scatter_ft(const model::Platform& platform,
             platform[r].comm(segment.count) * perturbation.delay_factor;
         auto index = static_cast<std::size_t>(r);
         if (std::isnan(recv_start[index])) recv_start[index] = now;
+        record_span(obs::EventType::CommSend, root, r, now, now + duration,
+                    segment.count, perturbation.dropped ? 1 : 0);
         now += duration;
         if (!perturbation.dropped) {
           sent = true;
@@ -183,8 +216,15 @@ FtSimResult simulate_scatter_ft(const model::Platform& platform,
     trace.recv_end = recv_end[index];
     trace.compute_end = recv_end[index] + platform[i].comp(delivered[index]);
     makespan = std::max(makespan, trace.compute_end);
+    if (i != root) {
+      record_span(obs::EventType::CommRecv, i, root, trace.recv_start,
+                  trace.recv_end, delivered[index]);
+    }
+    record_span(obs::EventType::Compute, i, -1, trace.recv_end,
+                trace.compute_end, delivered[index]);
   }
   result.report.elapsed = makespan;
+  result.trace.sort();
   return result;
 }
 

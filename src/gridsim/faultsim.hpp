@@ -42,6 +42,12 @@ struct FtSimOptions {
 struct FtSimResult {
   Timeline timeline;      // traces carry each rank's *final* item count
   mq::FaultReport report; // deaths/rerouting; times are virtual seconds
+  // Virtual-time trace of the protocol: one comm.send span per transmission
+  // attempt (arg1 = 1 for attempts the fault layer dropped), rank.death and
+  // recovery.replan instants at their exact virtual times, and per-survivor
+  // comm.recv / compute spans. Deterministic — bit-identical across runs —
+  // which is what the golden-trace regression tests pin down.
+  obs::TraceLog trace;
 };
 
 // Replays one fault-tolerant scatter + compute round. The root is the last

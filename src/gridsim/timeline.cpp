@@ -36,6 +36,48 @@ double Timeline::total_stair_idle() const {
   return total;
 }
 
+obs::TraceLog to_trace_log(const Timeline& timeline, int root) {
+  const int p = static_cast<int>(timeline.traces.size());
+  LBS_CHECK_MSG(p >= 1, "empty timeline");
+  if (root < 0) root = p - 1;
+  LBS_CHECK_MSG(root < p, "root index outside the timeline");
+
+  obs::TraceLog log;
+  auto span = [&](obs::EventType type, int rank, int peer, double start,
+                  double end, long long items) {
+    if (end <= start) return;  // half-open [start, end): zero-length = nothing
+    obs::TraceEvent event;
+    event.type = type;
+    event.clock = obs::Clock::Virtual;
+    event.rank = rank;
+    event.peer = peer;
+    event.start = start;
+    event.duration = end - start;
+    event.arg0 = items;
+    log.events.push_back(event);
+  };
+
+  for (int i = 0; i < p; ++i) {
+    const auto& trace = timeline.traces[static_cast<std::size_t>(i)];
+    span(obs::EventType::CommSend, root, i, trace.recv_start, trace.recv_end,
+         trace.items);
+    if (i != root) {
+      span(obs::EventType::CommRecv, i, root, trace.recv_start, trace.recv_end,
+           trace.items);
+    }
+    span(obs::EventType::Compute, i, -1, trace.recv_end, trace.compute_end,
+         trace.items);
+    if (trace.gather_end > 0.0 && i != root) {
+      span(obs::EventType::CommSend, i, root, trace.compute_end,
+           trace.gather_end, trace.items);
+      span(obs::EventType::CommRecv, root, i, trace.compute_end,
+           trace.gather_end, trace.items);
+    }
+  }
+  log.sort();
+  return log;
+}
+
 std::vector<support::GanttRow> Timeline::gantt_rows() const {
   std::vector<support::GanttRow> rows;
   for (const auto& trace : traces) {

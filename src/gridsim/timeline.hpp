@@ -9,10 +9,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/gantt.hpp"
 
 namespace lbs::gridsim {
 
+// Phase boundaries are half-open [start, end) intervals (the convention
+// support::gantt shares): recv occupies [recv_start, recv_end), compute
+// [recv_end, compute_end), gather [compute_end, gather_end). A zero-length
+// phase (e.g. a processor assigned zero items) is no interval at all.
 struct ProcessorTrace {
   std::string label;
   long long items = 0;
@@ -46,5 +51,18 @@ struct Timeline {
   // Gantt rows (receive + compute phases) for Figure-1-style rendering.
   [[nodiscard]] std::vector<support::GanttRow> gantt_rows() const;
 };
+
+// The timeline as virtual-time trace events, structurally parallel to what
+// the mq runtime records on the wall clock — the other half of the
+// differential trace oracle (tests/trace_check.hpp). Per processor i:
+//   comm.send  rank=root peer=i  over [recv_start, recv_end)  arg0=items
+//   comm.recv  rank=i peer=root  over the same window         arg0=items
+//   compute    rank=i            over [recv_end, compute_end) arg0=items
+//   comm.send  rank=i peer=root  over [compute_end, gather_end)  (gather)
+// `root` defaults to the last processor (the repo's root-last convention).
+// The root's own chunk occupies the port in the simulator, so it appears
+// as a rank==peer==root send; zero-length phases emit no event (the
+// half-open [start, end) contract).
+obs::TraceLog to_trace_log(const Timeline& timeline, int root = -1);
 
 }  // namespace lbs::gridsim

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "mq/runtime_state.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace lbs::mq {
@@ -70,6 +71,10 @@ double Comm::time_scale() const {
   return state_.options.time_scale;
 }
 
+obs::Tracer* Comm::tracer() const {
+  return state_.tracer;
+}
+
 bool Comm::rank_dead(int rank) const {
   LBS_CHECK_MSG(rank >= 0 && rank < size(), "failure query for unknown rank");
   return state_.is_dead(rank);
@@ -103,8 +108,25 @@ std::optional<Message> Comm::recv_message(int source, int tag,
                 "receive from unknown rank");
   LBS_CHECK_MSG(timeout_seconds >= 0.0, "negative receive timeout");
   check_failures();
-  return state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve_for(
+  const double begin = obs::wall_now();
+  auto message = state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve_for(
       source, tag, timeout_seconds);
+  const double waited = obs::wall_now() - begin;
+  state_.recv_wait_ns[static_cast<std::size_t>(rank_)].fetch_add(
+      detail::RuntimeState::to_ns(waited), std::memory_order_relaxed);
+  if (message.has_value()) {
+    if (obs::Tracer* tracer = state_.tracer) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::CommRecv;
+      event.rank = rank_;
+      event.peer = message->source;
+      event.start = begin;
+      event.duration = waited;
+      event.arg0 = static_cast<long long>(message->payload.size());
+      tracer->record(event);
+    }
+  }
+  return message;
 }
 
 bool Comm::send_bytes_with_retry(int dest, int tag,
@@ -163,15 +185,50 @@ bool Comm::internal_send_impl(int dest, int tag,
   // Emulated transfer: the sender's NIC is occupied for the whole
   // transfer (the single-port model — a root scattering to many ranks
   // serializes here, whether the sends are blocking or isend workers).
+  // The comm.send span is recorded while the NIC lock is held, so spans
+  // from one rank cannot overlap by construction — the invariant the
+  // trace oracle (tests/trace_check.hpp) checks at the root.
+  obs::Tracer* tracer = state_.tracer;
+  bool paced = false;
   if (state_.options.link_cost && state_.options.time_scale > 0.0) {
     double nominal = state_.options.link_cost(rank_, dest, payload.size());
     LBS_CHECK_MSG(nominal >= 0.0, "negative link cost");
     double real = nominal * perturbation.delay_factor * state_.options.time_scale;
     if (real > 0.0) {
+      paced = true;
       std::lock_guard nic_lock(*state_.nic[static_cast<std::size_t>(rank_)]);
+      const double begin = obs::wall_now();
       std::this_thread::sleep_for(std::chrono::duration<double>(real));
+      const double held = obs::wall_now() - begin;
+      state_.nic_busy_ns[static_cast<std::size_t>(rank_)].fetch_add(
+          detail::RuntimeState::to_ns(held), std::memory_order_relaxed);
+      if (tracer != nullptr) {
+        obs::TraceEvent event;
+        event.type = obs::EventType::CommSend;
+        event.rank = rank_;
+        event.peer = dest;
+        event.start = begin;
+        event.duration = held;
+        event.arg0 = static_cast<long long>(payload.size());
+        event.arg1 = perturbation.dropped ? 1 : 0;
+        tracer->record(event);
+      }
     }
   }
+  if (!paced && tracer != nullptr) {
+    // No pacing (or a zero-cost transfer): the port is never occupied, so
+    // the send shows up as an instant rather than a degenerate span.
+    obs::TraceEvent event;
+    event.type = obs::EventType::CommSend;
+    event.instant = true;
+    event.rank = rank_;
+    event.peer = dest;
+    event.start = obs::wall_now();
+    event.arg0 = static_cast<long long>(payload.size());
+    event.arg1 = perturbation.dropped ? 1 : 0;
+    tracer->record(event);
+  }
+  state_.add_link_bytes(rank_, dest, payload.size());
   check_failures();
 
   if (perturbation.dropped) return false;
@@ -188,7 +245,23 @@ Message Comm::internal_recv(int source, int tag) {
   LBS_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
                 "receive from unknown rank");
   check_failures();
-  return state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve(source, tag);
+  const double begin = obs::wall_now();
+  Message message =
+      state_.mailboxes[static_cast<std::size_t>(rank_)]->retrieve(source, tag);
+  const double waited = obs::wall_now() - begin;
+  state_.recv_wait_ns[static_cast<std::size_t>(rank_)].fetch_add(
+      detail::RuntimeState::to_ns(waited), std::memory_order_relaxed);
+  if (obs::Tracer* tracer = state_.tracer) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::CommRecv;
+    event.rank = rank_;
+    event.peer = message.source;
+    event.start = begin;
+    event.duration = waited;
+    event.arg0 = static_cast<long long>(message.payload.size());
+    tracer->record(event);
+  }
+  return message;
 }
 
 std::vector<std::byte> Comm::scatterv_ft_root(std::span<const std::byte> data,
@@ -238,6 +311,16 @@ std::vector<std::byte> Comm::scatterv_ft_root(std::span<const std::byte> data,
     assigned[static_cast<std::size_t>(rank)].clear();
     local.delivered[static_cast<std::size_t>(rank)] = 0;
     local.deaths.push_back({rank, wtime() - start_time, undelivered});
+    if (obs::Tracer* tracer = state_.tracer) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::RankDeath;
+      event.instant = true;
+      event.rank = rank;
+      event.peer = rank_;
+      event.start = obs::wall_now();
+      event.arg0 = undelivered;
+      tracer->record(event);
+    }
   };
 
   // Initial assignment: rank order, contiguous, as scatterv lays data out.
@@ -298,6 +381,16 @@ std::vector<std::byte> Comm::scatterv_ft_root(std::span<const std::byte> data,
     }
     local.rerouted_items += remaining;
     ++local.replan_rounds;
+    if (obs::Tracer* tracer = state_.tracer) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::RecoveryReplan;
+      event.instant = true;
+      event.rank = rank_;
+      event.start = obs::wall_now();
+      event.arg0 = remaining;
+      event.arg1 = local.replan_rounds;
+      tracer->record(event);
+    }
   };
 
   for (;;) {

@@ -26,6 +26,10 @@
 #include "mq/mailbox.hpp"
 #include "mq/request.hpp"
 
+namespace lbs::obs {
+class Tracer;
+}
+
 namespace lbs::mq {
 
 namespace detail {
@@ -45,6 +49,11 @@ class Comm {
 
   // The runtime's real-seconds-per-nominal-second factor.
   [[nodiscard]] double time_scale() const;
+
+  // The runtime's resolved tracer (options.tracer or the global fallback);
+  // null when tracing is off. Used by emulate_compute for compute spans
+  // and available to rank functions that emit their own events.
+  [[nodiscard]] obs::Tracer* tracer() const;
 
   // -- failure detection (fault injection) ---------------------------------
   // True when `rank` was killed by the injected fault plan — the runtime's

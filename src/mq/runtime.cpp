@@ -8,7 +8,11 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "mq/runtime_state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace lbs::mq {
@@ -114,14 +118,52 @@ void Runtime::run(const RuntimeOptions& options,
   for (auto& thread : threads) thread.join();
   watchdog.reset();
 
+  // Publish the per-link / per-rank accumulators once the ranks are quiet
+  // (the hot paths only did relaxed atomic adds into RuntimeState).
+  if (options.metrics != nullptr) {
+    for (int from = 0; from < options.ranks; ++from) {
+      for (int to = 0; to < options.ranks; ++to) {
+        std::uint64_t bytes =
+            state.link_bytes[static_cast<std::size_t>(from) *
+                                 static_cast<std::size_t>(options.ranks) +
+                             static_cast<std::size_t>(to)]
+                .load(std::memory_order_relaxed);
+        if (bytes > 0) {
+          options.metrics
+              ->counter("mq.link.bytes[" + std::to_string(from) + "->" +
+                        std::to_string(to) + "]")
+              .add(bytes);
+        }
+      }
+      options.metrics
+          ->counter("mq.rank.nic_busy_ns[" + std::to_string(from) + "]")
+          .add(state.nic_busy_ns[static_cast<std::size_t>(from)].load(
+              std::memory_order_relaxed));
+      options.metrics
+          ->counter("mq.rank.recv_wait_ns[" + std::to_string(from) + "]")
+          .add(state.recv_wait_ns[static_cast<std::size_t>(from)].load(
+              std::memory_order_relaxed));
+    }
+  }
+
   if (first_failure) std::rethrow_exception(first_failure);
 }
 
 void emulate_compute(const Comm& comm, double nominal_seconds) {
   LBS_CHECK_MSG(nominal_seconds >= 0.0, "negative compute time");
+  obs::Tracer* tracer = comm.tracer();
+  const double begin = tracer != nullptr ? obs::wall_now() : 0.0;
   double real = nominal_seconds * comm.time_scale();
   if (real > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(real));
+  }
+  if (tracer != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::Compute;
+    event.rank = comm.rank();
+    event.start = begin;
+    event.duration = obs::wall_now() - begin;
+    tracer->record(event);
   }
   comm.check_failures();
 }

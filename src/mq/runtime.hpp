@@ -20,6 +20,11 @@
 #include "mq/comm.hpp"
 #include "mq/fault.hpp"
 
+namespace lbs::obs {
+class Metrics;
+class Tracer;
+}
+
 namespace lbs::mq {
 
 struct RuntimeOptions {
@@ -36,6 +41,18 @@ struct RuntimeOptions {
   // at_nominal_time > 0 require time_scale > 0 (there is no nominal clock
   // without pacing) — Runtime::run throws otherwise.
   FaultPlan faults;
+
+  // Observability hooks. A null tracer falls back to obs::global_tracer();
+  // when one is live, every rank emits wall-clock comm.send spans (recorded
+  // while the NIC lock is held, so root-side spans cannot overlap by
+  // construction), comm.recv spans, compute spans (emulate_compute), and
+  // the fault-tolerant scatter's rank.death / recovery.replan instants.
+  // Metrics are explicit-only: when non-null, Runtime::run publishes
+  // per-link byte counts and per-rank NIC-busy / receive-wait time after
+  // the ranks join ("mq.link.bytes[f->t]", "mq.rank.nic_busy_ns[r]",
+  // "mq.rank.recv_wait_ns[r]").
+  obs::Tracer* tracer = nullptr;
+  obs::Metrics* metrics = nullptr;
 };
 
 class Runtime {

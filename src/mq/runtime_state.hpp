@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -11,17 +12,24 @@
 #include "mq/fault.hpp"
 #include "mq/mailbox.hpp"
 #include "mq/runtime.hpp"
+#include "obs/trace.hpp"
 
 namespace lbs::mq::detail {
 
 struct RuntimeState {
   explicit RuntimeState(RuntimeOptions opts) : options(std::move(opts)) {
+    tracer = options.tracer != nullptr ? options.tracer : obs::global_tracer();
+    metrics = options.metrics;
+    auto ranks = options.ranks > 0 ? static_cast<std::size_t>(options.ranks)
+                                   : std::size_t{1};
+    link_bytes = std::make_unique<std::atomic<std::uint64_t>[]>(ranks * ranks);
+    nic_busy_ns = std::make_unique<std::atomic<std::uint64_t>[]>(ranks);
+    recv_wait_ns = std::make_unique<std::atomic<std::uint64_t>[]>(ranks);
     for (int r = 0; r < options.ranks; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>());
       nic.push_back(std::make_unique<std::mutex>());
     }
-    dead = std::make_unique<std::atomic<bool>[]>(
-        static_cast<std::size_t>(options.ranks));
+    dead = std::make_unique<std::atomic<bool>[]>(ranks);
     for (int r = 0; r < options.ranks; ++r) {
       dead[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
     }
@@ -39,6 +47,26 @@ struct RuntimeState {
   std::vector<std::unique_ptr<std::mutex>> nic;
   std::chrono::steady_clock::time_point start;
   std::atomic<bool> aborted{false};
+
+  // Observability (see RuntimeOptions): `tracer` is already resolved
+  // against the global fallback; `metrics` stays null unless explicit.
+  // The accumulators below are updated with relaxed atomic adds on the
+  // hot paths and published as named counters after the ranks join.
+  obs::Tracer* tracer = nullptr;
+  obs::Metrics* metrics = nullptr;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_bytes;  // ranks x ranks
+  std::unique_ptr<std::atomic<std::uint64_t>[]> nic_busy_ns;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> recv_wait_ns;
+
+  void add_link_bytes(int from, int to, std::size_t bytes) {
+    link_bytes[static_cast<std::size_t>(from) *
+                   static_cast<std::size_t>(options.ranks) +
+               static_cast<std::size_t>(to)]
+        .fetch_add(bytes, std::memory_order_relaxed);
+  }
+  static std::uint64_t to_ns(double seconds) {
+    return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+  }
 
   // Fault injection (engaged only when the plan is non-empty).
   std::optional<FaultInjector> faults;

@@ -1,0 +1,120 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace lbs::obs {
+
+namespace {
+
+constexpr int pid_for(Clock clock) {
+  return clock == Clock::Wall ? 1 : 2;
+}
+
+constexpr int tid_for(const TraceEvent& event) {
+  return event.rank >= 0 ? event.rank + 1 : 0;
+}
+
+long long to_us(double seconds) {
+  return static_cast<long long>(seconds * 1e6);
+}
+
+void write_event(std::ostream& out, const TraceEvent& event, double epoch,
+                 bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"" << to_string(event.type) << "\",\"cat\":\"lbs\""
+      << ",\"pid\":" << pid_for(event.clock) << ",\"tid\":" << tid_for(event)
+      << ",\"ts\":" << to_us(event.start - epoch);
+  if (event.instant) {
+    out << ",\"ph\":\"i\",\"s\":\"t\"";
+  } else {
+    out << ",\"ph\":\"X\",\"dur\":" << to_us(event.duration);
+  }
+  out << ",\"args\":{\"rank\":" << event.rank << ",\"peer\":" << event.peer
+      << ",\"arg0\":" << event.arg0 << ",\"arg1\":" << event.arg1
+      << ",\"arg2\":" << event.arg2 << "}}";
+}
+
+void write_metadata(std::ostream& out, int pid, int tid, const char* kind,
+                    const std::string& name, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) out << ",\"tid\":" << tid;
+  out << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceLog& log) {
+  // Re-anchor each clock domain so its earliest event is at t = 0 (wall
+  // events otherwise sit at "seconds since process start", which Perfetto
+  // renders as a huge empty prefix).
+  double wall_epoch = 0.0;
+  double virtual_epoch = 0.0;
+  bool has_wall = false;
+  bool has_virtual = false;
+  for (const auto& event : log.events) {
+    if (event.clock == Clock::Wall) {
+      if (!has_wall || event.start < wall_epoch) wall_epoch = event.start;
+      has_wall = true;
+    } else {
+      if (!has_virtual || event.start < virtual_epoch) virtual_epoch = event.start;
+      has_virtual = true;
+    }
+  }
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  if (has_wall) {
+    write_metadata(out, pid_for(Clock::Wall), -1, "process_name",
+                   "wall clock (mq runtime / planner)", first);
+    write_metadata(out, pid_for(Clock::Wall), 0, "thread_name", "planner", first);
+  }
+  if (has_virtual) {
+    write_metadata(out, pid_for(Clock::Virtual), -1, "process_name",
+                   "virtual time (gridsim)", first);
+  }
+  for (const auto& event : log.events) {
+    double epoch = event.clock == Clock::Wall ? wall_epoch : virtual_epoch;
+    write_event(out, event, epoch, first);
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void export_chrome_trace(const std::string& path, const TraceLog& log) {
+  std::ofstream out(path);
+  LBS_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  write_chrome_trace(out, log);
+  LBS_CHECK_MSG(out.good(), "failed writing trace output file: " + path);
+}
+
+TraceExportGuard::TraceExportGuard() {
+  const char* path = std::getenv("LBS_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  path_ = path;
+  tracer_.emplace();
+  set_global_tracer(&*tracer_);
+}
+
+TraceExportGuard::~TraceExportGuard() {
+  if (!tracer_) return;
+  set_global_tracer(nullptr);
+  TraceLog log = std::move(extra_);
+  log.append(tracer_->collect());
+  try {
+    export_chrome_trace(path_, log);
+  } catch (const Error&) {
+    // Destructors must not throw; a failed export is not worth a crash.
+  }
+}
+
+void TraceExportGuard::add(const TraceLog& log) {
+  if (tracer_) extra_.append(log);
+}
+
+}  // namespace lbs::obs

@@ -1,0 +1,52 @@
+// Chrome trace_event JSON export for obs::TraceLog.
+//
+// The emitted file is the JSON-array-of-objects "traceEvents" format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) load directly. Spans
+// become complete ("ph":"X") events, instants become thread-scoped
+// ("ph":"i") events. Clock domains map to processes (pid 1 = wall clock,
+// pid 2 = virtual time) and ranks to threads (tid = rank + 1; planner
+// events with no rank land on tid 0), with metadata records naming both.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace lbs::obs {
+
+// Writes the log as Chrome trace JSON. Timestamps are microseconds,
+// re-anchored so the earliest event of each clock domain sits at t = 0.
+void write_chrome_trace(std::ostream& out, const TraceLog& log);
+
+// Convenience: write_chrome_trace to `path`. Throws lbs::Error when the
+// file cannot be opened.
+void export_chrome_trace(const std::string& path, const TraceLog& log);
+
+// RAII hook for examples and applications: when the LBS_TRACE environment
+// variable names a file, construction installs a process-global Tracer
+// (obs::set_global_tracer) and destruction collects it and writes the
+// Chrome trace there. With LBS_TRACE unset this is a no-op.
+class TraceExportGuard {
+ public:
+  TraceExportGuard();
+  ~TraceExportGuard();
+
+  TraceExportGuard(const TraceExportGuard&) = delete;
+  TraceExportGuard& operator=(const TraceExportGuard&) = delete;
+
+  [[nodiscard]] bool active() const { return tracer_.has_value(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Merged into the export in front of the tracer's own events (e.g. a
+  // gridsim virtual-time trace to show next to the wall-clock one).
+  void add(const TraceLog& log);
+
+ private:
+  std::string path_;
+  std::optional<Tracer> tracer_;
+  TraceLog extra_;
+};
+
+}  // namespace lbs::obs

@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lbs::obs {
+
+namespace {
+
+// Bucket index for a non-negative sample: 0 for zero, otherwise the frexp
+// exponent shifted into [1, kBuckets - 1].
+int bucket_index(double sample) {
+  if (sample <= 0.0) return 0;
+  int exponent = 0;
+  (void)std::frexp(sample, &exponent);       // sample = m * 2^exponent, m in [0.5, 1)
+  exponent = std::max(-63, std::min(64, exponent));
+  return exponent + 64;                      // [1, 128]
+}
+
+// Upper edge of bucket b (inverse of bucket_index).
+double bucket_upper(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::ldexp(1.0, bucket - 64);
+}
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double sample) {
+  double current = target.load(std::memory_order_relaxed);
+  while (sample < current &&
+         !target.compare_exchange_weak(current, sample,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double sample) {
+  double current = target.load(std::memory_order_relaxed);
+  while (sample > current &&
+         !target.compare_exchange_weak(current, sample,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double sample) {
+  LBS_CHECK_MSG(sample >= 0.0, "histogram samples must be non-negative");
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, sample);
+  if (seen == 0) {
+    // First sample initializes min/max; concurrent first samples still
+    // converge through the CAS loops below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, sample, std::memory_order_relaxed);
+  }
+  atomic_min(min_, sample);
+  atomic_max(max_, sample);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::quantile(double q) const {
+  LBS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  if (q <= 0.0) return min_.load(std::memory_order_relaxed);
+  if (q >= 1.0) return max_.load(std::memory_order_relaxed);
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      return std::min(bucket_upper(b), max_.load(std::memory_order_relaxed));
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<Metrics::CounterView> Metrics::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<CounterView> views;
+  views.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    views.push_back({name, counter->value()});
+  }
+  return views;
+}
+
+std::vector<Metrics::HistogramView> Metrics::histograms() const {
+  std::lock_guard lock(mu_);
+  std::vector<HistogramView> views;
+  views.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    views.push_back({name, histogram->snapshot(), histogram->quantile(0.5),
+                     histogram->quantile(0.99)});
+  }
+  return views;
+}
+
+std::string Metrics::text_snapshot() const {
+  std::ostringstream out;
+  for (const auto& view : counters()) {
+    out << view.name << " " << view.value << '\n';
+  }
+  for (const auto& view : histograms()) {
+    out << view.name << " count=" << view.stats.count << " sum=" << view.stats.sum
+        << " mean=" << view.stats.mean() << " min=" << view.stats.min
+        << " max=" << view.stats.max << " p50<=" << view.p50
+        << " p99<=" << view.p99 << '\n';
+  }
+  return out.str();
+}
+
+std::string Metrics::json_snapshot() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& view : counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << view.name << "\":" << view.value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& view : histograms()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << view.name << "\":{\"count\":" << view.stats.count
+        << ",\"sum\":" << view.stats.sum << ",\"mean\":" << view.stats.mean()
+        << ",\"min\":" << view.stats.min << ",\"max\":" << view.stats.max
+        << ",\"p50\":" << view.p50 << ",\"p99\":" << view.p99 << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+Metrics& global_metrics() {
+  static Metrics metrics;
+  return metrics;
+}
+
+}  // namespace lbs::obs

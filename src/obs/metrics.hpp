@@ -1,0 +1,109 @@
+// Metrics: named counters and histograms with a text/JSON snapshot API.
+//
+// Counters are monotonically increasing 64-bit atomics (bytes per link,
+// plan-cache hits, DP cells evaluated). Histograms record non-negative
+// double samples (seconds, bytes) into base-2 exponent buckets plus exact
+// count/sum/min/max — enough for occupancy and latency distributions
+// without per-sample allocation.
+//
+// Hot paths cache the Counter&/Histogram& returned by the registry (name
+// lookup takes a mutex; updates afterwards are lock-free atomics).
+// Registered objects live as long as the Metrics instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lbs::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  // Buckets by binary exponent: bucket b counts samples in [2^(b-63), ...)
+  // relative to 1.0, i.e. frexp exponent clamped to [-63, 64]. Bucket 0
+  // additionally holds exact zeros.
+  static constexpr int kBuckets = 129;
+
+  void observe(double sample);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
+  // boundaries; exact min/max at the ends.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  // sum/min/max via CAS loops: contention is per-histogram and updates are
+  // rare next to the work being measured.
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // Finds or creates; the reference stays valid for the Metrics' lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct CounterView {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramView {
+    std::string name;
+    Histogram::Snapshot stats;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] std::vector<CounterView> counters() const;
+  [[nodiscard]] std::vector<HistogramView> histograms() const;
+
+  // Human-readable snapshot, one metric per line, sorted by name.
+  [[nodiscard]] std::string text_snapshot() const;
+  // JSON object {"counters": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string json_snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Process-global registry for code that is not handed an explicit
+// Metrics*. Never null; lives for the process.
+Metrics& global_metrics();
+
+}  // namespace lbs::obs

@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lbs::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> next_tracer_id{1};
+std::atomic<Tracer*> g_tracer{nullptr};
+
+// Thread-local cache mapping tracer ids to this thread's ring. Entries for
+// destroyed tracers go stale but are never looked up again (ids are
+// process-unique), so the dangling pointers are never dereferenced.
+struct LocalRingEntry {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local std::vector<LocalRingEntry> tls_rings;
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::ScatterPlan: return "scatter.plan";
+    case EventType::DpSolve: return "dp.solve";
+    case EventType::CommSend: return "comm.send";
+    case EventType::CommRecv: return "comm.recv";
+    case EventType::Compute: return "compute";
+    case EventType::RecoveryReplan: return "recovery.replan";
+    case EventType::RankDeath: return "rank.death";
+    case EventType::CacheHit: return "cache.hit";
+    case EventType::CacheMiss: return "cache.miss";
+  }
+  return "?";
+}
+
+double wall_now() {
+  auto elapsed = std::chrono::steady_clock::now() - process_epoch();
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+// Single-writer ring: the owner thread writes slots_[head] then publishes
+// with a release store; collect() acquires head and reads the published
+// prefix. Slots are never overwritten once published (full ring = drop),
+// which keeps the collect()-while-recording race TSan-clean.
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};     // published event count
+  std::atomic<std::uint64_t> dropped{0};  // events lost to a full ring
+  std::uint64_t collected = 0;            // read cursor (under registry_mu_)
+};
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_offset_(wall_now()) {
+  LBS_CHECK_MSG(ring_capacity >= 16, "tracer ring too small to be useful");
+}
+
+Tracer::~Tracer() {
+  if (g_tracer.load(std::memory_order_acquire) == this) {
+    set_global_tracer(nullptr);
+  }
+}
+
+Tracer::Ring* Tracer::ring_for_this_thread() {
+  for (const auto& entry : tls_rings) {
+    if (entry.tracer_id == id_) return static_cast<Ring*>(entry.ring);
+  }
+  auto ring = std::make_unique<Ring>(ring_capacity_);
+  Ring* raw = ring.get();
+  {
+    std::lock_guard lock(registry_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  tls_rings.push_back({id_, raw});
+  return raw;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  Ring* ring = ring_for_this_thread();
+  std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  if (head >= ring->slots.size()) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->slots[static_cast<std::size_t>(head)] = event;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+TraceLog Tracer::collect() {
+  TraceLog log;
+  std::lock_guard lock(registry_mu_);
+  for (auto& ring : rings_) {
+    std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    for (std::uint64_t i = ring->collected; i < head; ++i) {
+      log.events.push_back(ring->slots[static_cast<std::size_t>(i)]);
+    }
+    ring->collected = head;
+  }
+  log.sort();
+  return log;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Tracer::now() const {
+  return wall_now() - epoch_offset_;
+}
+
+void set_global_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* global_tracer() {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+void TraceLog::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.clock != b.clock) return a.clock < b.clock;
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.peer < b.peer;
+                   });
+}
+
+std::vector<TraceEvent> TraceLog::of_type(EventType type) const {
+  std::vector<TraceEvent> matched;
+  for (const auto& event : events) {
+    if (event.type == type) matched.push_back(event);
+  }
+  return matched;
+}
+
+std::vector<TraceEvent> TraceLog::of_rank(int rank) const {
+  std::vector<TraceEvent> matched;
+  for (const auto& event : events) {
+    if (event.rank == rank) matched.push_back(event);
+  }
+  return matched;
+}
+
+std::vector<TraceEvent> TraceLog::of_clock(Clock clock) const {
+  std::vector<TraceEvent> matched;
+  for (const auto& event : events) {
+    if (event.clock == clock) matched.push_back(event);
+  }
+  return matched;
+}
+
+double TraceLog::min_start() const {
+  double earliest = 0.0;
+  bool first = true;
+  for (const auto& event : events) {
+    if (first || event.start < earliest) earliest = event.start;
+    first = false;
+  }
+  return earliest;
+}
+
+std::string TraceLog::normalized_summary() const {
+  // Group by (clock, rank), keep per-group order by start time: the
+  // per-rank event sequence is deterministic even when cross-rank wall
+  // timing is not.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const auto& event : events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->clock != b->clock) return a->clock < b->clock;
+                     if (a->rank != b->rank) return a->rank < b->rank;
+                     return a->start < b->start;
+                   });
+  std::ostringstream out;
+  for (const TraceEvent* event : ordered) {
+    out << to_string(event->type) << " rank=" << event->rank
+        << " peer=" << event->peer << " arg0=" << event->arg0
+        << " arg1=" << event->arg1 << '\n';
+  }
+  return out.str();
+}
+
+void TraceLog::append(const TraceLog& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  sort();
+}
+
+}  // namespace lbs::obs

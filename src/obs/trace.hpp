@@ -1,0 +1,171 @@
+// Structured tracing: typed span/instant events from all three execution
+// layers (planner, gridsim virtual time, mq wall clock).
+//
+// The paper's timing law (Eqs. 1-2) is a statement about *how* a scatter
+// unfolds — the root's serialized sends, each processor's compute — not
+// just about final makespans. obs::Tracer captures that structure as a
+// stream of typed events cheap enough to leave on in production paths:
+// recording is a write into a lock-free per-thread ring buffer (one
+// atomic release-store per event, no locks, no allocation after the first
+// event of a thread). Collection normalizes everything into an
+// obs::TraceLog, which tests replay as a differential oracle
+// (tests/trace_check.hpp) and tools export as Chrome trace_event JSON
+// (obs/chrome_trace.hpp, loadable in chrome://tracing or Perfetto).
+//
+// Event taxonomy (docs/observability.md has the full contract):
+//   scatter.plan     span     planner call: items, algorithm, fingerprint
+//   dp.solve         span     one DP run: items, cells evaluated, threads
+//   comm.send        span     sender's NIC occupied by one transfer
+//   comm.recv        span     receiver blocked waiting for a message
+//   compute          span     emulated/simulated compute phase
+//   recovery.replan  instant  FT scatter re-planned the undelivered pool
+//   rank.death       instant  FT scatter detected a dead receiver
+//   cache.hit/miss   instant  plan-cache probe outcome
+//
+// Clock domains: Wall events carry real seconds (mq runtime, planner),
+// Virtual events carry nominal simulator seconds (gridsim). A TraceLog
+// can hold both; consumers filter by clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lbs::obs {
+
+enum class EventType : std::uint8_t {
+  ScatterPlan,     // span: one plan_scatter call
+  DpSolve,         // span: one exact_dp/optimized_dp run
+  CommSend,        // span: sender's port busy transferring to `peer`
+  CommRecv,        // span: receiver blocked on a message from `peer`
+  Compute,         // span: compute phase
+  RecoveryReplan,  // instant: fault-tolerant scatter re-planned the pool
+  RankDeath,       // instant: fault-tolerant scatter evicted a dead rank
+  CacheHit,        // instant: plan-cache probe hit
+  CacheMiss,       // instant: plan-cache probe missed
+};
+
+// Stable event name ("comm.send", "cache.hit", ...): the Chrome export's
+// event name and the normalized summary's first token.
+const char* to_string(EventType type);
+
+enum class Clock : std::uint8_t {
+  Wall,     // real seconds (mq runtime, planner)
+  Virtual,  // nominal simulator seconds (gridsim)
+};
+
+// One fixed-size event. Spans have duration > 0 (or == 0 for degenerate
+// spans recorded without pacing); instants always have duration == 0 and
+// instant == true. Field meaning per type (see docs/observability.md):
+//   ScatterPlan:    peer = processor count, arg0 = items,
+//                   arg1 = algorithm (core::Algorithm), arg2 = folded
+//                   platform cost fingerprint
+//   DpSolve:        arg0 = items, arg1 = DP cells evaluated, arg2 = threads
+//   CommSend/Recv:  rank = local rank, peer = remote rank, arg0 = bytes
+//                   (mq) or items (gridsim), arg1 = 1 when the fault layer
+//                   dropped the message in flight
+//   Compute:        arg0 = items (when known)
+//   RecoveryReplan: arg0 = items re-routed, arg1 = replan round
+//   RankDeath:      rank = victim, arg0 = undelivered items
+//   CacheHit/Miss:  arg0 = item count probed
+struct TraceEvent {
+  EventType type = EventType::ScatterPlan;
+  Clock clock = Clock::Wall;
+  bool instant = false;
+  int rank = -1;  // -1: no rank context (planner-side events)
+  int peer = -1;
+  double start = 0.0;     // seconds in this event's clock domain
+  double duration = 0.0;  // 0 for instants
+  long long arg0 = 0;
+  long long arg1 = 0;
+  long long arg2 = 0;
+
+  [[nodiscard]] double end() const { return start + duration; }
+};
+
+// A normalized, queryable batch of collected events.
+struct TraceLog {
+  std::vector<TraceEvent> events;
+
+  // Stable sort by (clock, start, rank, peer): deterministic for virtual
+  // traces, deterministic up to wall-clock jitter otherwise.
+  void sort();
+
+  [[nodiscard]] std::vector<TraceEvent> of_type(EventType type) const;
+  [[nodiscard]] std::vector<TraceEvent> of_rank(int rank) const;
+  [[nodiscard]] std::vector<TraceEvent> of_clock(Clock clock) const;
+
+  // Earliest start among events (0.0 when empty). Useful to re-anchor
+  // wall-clock traces at the scatter's origin.
+  [[nodiscard]] double min_start() const;
+
+  // Schema-aware normalization for golden comparisons: one line per event
+  //   <name> rank=<r> peer=<p> arg0=<a> arg1=<b>
+  // ordered by (clock, rank, per-rank emission order) with every
+  // timestamp dropped, so wall-clock jitter cannot perturb it while event
+  // order and counts stay pinned. arg2 is omitted (it carries host-
+  // dependent provenance such as thread counts and fingerprints).
+  [[nodiscard]] std::string normalized_summary() const;
+
+  void append(const TraceLog& other);
+};
+
+// Collects events from any number of threads. Each recording thread gets
+// its own fixed-capacity ring; record() is wait-free for the owner thread
+// (one release-store). When a ring fills before the next collect(), new
+// events are dropped and counted (never silently).
+//
+// Lifetime: the Tracer must outlive every thread that records into it, or
+// at least every record() call (collect() may run concurrently with
+// recording; it only reads the published prefix of each ring).
+class Tracer {
+ public:
+  // The default ring (~8k events, ~0.5 MiB) is sized for per-rank threads
+  // and short-lived isend/irecv workers, each of which gets its own ring.
+  explicit Tracer(std::size_t ring_capacity = std::size_t{1} << 13);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Wait-free on the recording thread (after its first event, which
+  // registers the ring under a mutex).
+  void record(const TraceEvent& event);
+
+  // Drains every ring's unread events into a TraceLog (sorted). Safe to
+  // call repeatedly; each event is returned exactly once.
+  [[nodiscard]] TraceLog collect();
+
+  // Events lost to full rings since construction.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  // Wall seconds since this tracer was constructed — the default clock
+  // for planner-side spans.
+  [[nodiscard]] double now() const;
+
+ private:
+  struct Ring;
+  Ring* ring_for_this_thread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t id_;  // process-unique; validates thread-local caches
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  double epoch_offset_ = 0.0;  // wall_now() at construction
+};
+
+// Process-wide wall clock shared by every instrumentation site: seconds
+// since the first call (a steady clock, so spans from different modules
+// land on one consistent axis).
+double wall_now();
+
+// Optional process-global tracer. Instrumented code paths that are not
+// handed an explicit Tracer* (plan_scatter without options.tracer, a
+// Runtime without options.tracer) fall back to this; nullptr (the
+// default) disables them. Not owned.
+void set_global_tracer(Tracer* tracer);
+Tracer* global_tracer();
+
+}  // namespace lbs::obs

@@ -17,6 +17,10 @@ void GanttChart::add_row(GanttRow row) {
   for (const auto& span : row.spans) {
     LBS_CHECK_MSG(span.end >= span.start, "gantt span with negative duration");
   }
+  // Half-open [start, end): a zero-length span is no activity at all, so it
+  // must not survive into the row (it would still stretch the time axis).
+  std::erase_if(row.spans,
+                [](const PhaseSpan& span) { return span.end <= span.start; });
   rows_.push_back(std::move(row));
 }
 

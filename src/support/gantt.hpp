@@ -13,6 +13,9 @@ namespace lbs::support {
 enum class PhaseKind { Idle, Receive, Send, Compute };
 
 // One contiguous activity interval on a row's timeline; times in seconds.
+// Intervals are half-open [start, end) — the convention shared with
+// gridsim::Timeline::gantt_rows — so end == start means "no activity":
+// add_row drops such spans rather than keeping degenerate intervals.
 struct PhaseSpan {
   double start = 0.0;
   double end = 0.0;
@@ -29,6 +32,8 @@ class GanttChart {
   // width: number of character cells used for the time axis.
   explicit GanttChart(int width = 72);
 
+  // Throws on spans with end < start; drops zero-length spans (a
+  // zero-byte send occupies no [start, end) interval).
   void add_row(GanttRow row);
 
   // Renders all rows against a common [0, max_end] axis, with a scale line

@@ -1,0 +1,160 @@
+// Differential property sweep (observability satellite): on random
+// increasing-cost platforms (p <= 16, n <= 5000), every planner algorithm's
+// distribution must evaluate to the same makespan on the analytic model
+// (Eq. 2) and in the gridsim simulator, the LP heuristic must stay within
+// the Eq. 4 guarantee of the DP optimum, and the simulator's trace must
+// satisfy the single-port and finish-time invariants on every trial.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/dp.hpp"
+#include "core/heuristic.hpp"
+#include "core/planner.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/platform.hpp"
+#include "support/rng.hpp"
+#include "trace_check.hpp"
+
+namespace lbs {
+namespace {
+
+// Random platform with linear (or affine) costs: comm slopes log-uniform-ish
+// in [1e-5, 1e-3] s/item, compute slopes in [1e-3, 3e-2] s/item — the same
+// ranges model::random_grid uses. Root last, zero comm.
+model::Platform random_platform(support::Rng& rng, int p, bool affine) {
+  model::Platform platform;
+  for (int i = 0; i < p; ++i) {
+    bool is_root = i + 1 == p;
+    double beta = rng.uniform(1e-5, 1e-3);
+    double alpha = rng.uniform(1e-3, 3e-2);
+    model::Processor proc;
+    proc.label = "P" + std::to_string(i);
+    if (is_root) {
+      proc.comm = model::Cost::zero();
+    } else if (affine) {
+      proc.comm = model::Cost::affine(rng.uniform(0.0, 20e-3), beta);
+    } else {
+      proc.comm = model::Cost::linear(beta);
+    }
+    proc.comp = affine ? model::Cost::affine(rng.uniform(0.0, 20e-3), alpha)
+                       : model::Cost::linear(alpha);
+    platform.processors.push_back(proc);
+  }
+  return platform;
+}
+
+// One distribution, three oracles: the plan's own prediction, the analytic
+// Eq. 2 evaluation, and the simulated makespan must agree; the simulated
+// trace must satisfy the structural invariants.
+void check_plan_against_simulator(const model::Platform& platform,
+                                  const core::ScatterPlan& plan,
+                                  const std::string& context) {
+  double analytic = core::makespan(platform, plan.distribution);
+  EXPECT_NEAR(plan.predicted_makespan, analytic, 1e-9 + 1e-12 * analytic)
+      << context;
+
+  auto sim = gridsim::simulate_scatter(platform, plan.distribution);
+  EXPECT_NEAR(sim.timeline.makespan(), analytic, 1e-9 + 1e-12 * analytic)
+      << context;
+
+  auto log = gridsim::to_trace_log(sim.timeline);
+  int root = platform.size() - 1;
+  // A degenerate optimum may keep every item on the root (hopeless links),
+  // in which case the port never transfers and there is nothing to check.
+  bool any_worker_items = false;
+  for (int i = 0; i + 1 < platform.size(); ++i) {
+    if (plan.distribution.counts[static_cast<std::size_t>(i)] > 0) {
+      any_worker_items = true;
+    }
+  }
+  if (any_worker_items) lbs::testing::expect_single_port_root(log, root, 1e-9);
+  lbs::testing::expect_finish_times(
+      log, core::finish_times(platform, plan.distribution),
+      /*anchor=*/0.0, /*time_scale=*/1.0, /*rel_tol=*/1e-12, /*abs_tol=*/1e-9);
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSweep, LinearPlatformsAgreeAcrossAllAlgorithms) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 16));
+    long long n = rng.uniform_int(50, 5000);
+    auto platform = random_platform(rng, p, /*affine=*/false);
+    std::string context = "seed " + std::to_string(GetParam()) + " trial " +
+                          std::to_string(trial) + " p=" + std::to_string(p) +
+                          " n=" + std::to_string(n);
+
+    auto dp = core::plan_scatter(platform, n, core::Algorithm::OptimizedDp);
+    auto closed =
+        core::plan_scatter(platform, n, core::Algorithm::LinearClosedForm);
+    auto lp = core::plan_scatter(platform, n, core::Algorithm::LpHeuristic);
+    check_plan_against_simulator(platform, dp, context + " [dp]");
+    check_plan_against_simulator(platform, closed, context + " [closed]");
+    check_plan_against_simulator(platform, lp, context + " [lp]");
+
+    // Eq. 4: rounded heuristics end within the additive slack of the
+    // optimum (the DP optimum dominates the LP's rational optimum).
+    double slack = core::lp_heuristic(platform, n).guarantee_slack;
+    EXPECT_LE(closed.predicted_makespan,
+              dp.predicted_makespan + slack + 1e-9)
+        << context;
+    EXPECT_LE(lp.predicted_makespan, dp.predicted_makespan + slack + 1e-9)
+        << context;
+    EXPECT_GE(closed.predicted_makespan, dp.predicted_makespan - 1e-9)
+        << context;
+  }
+}
+
+TEST_P(DifferentialSweep, AffinePlatformsKeepLpWithinTheGuarantee) {
+  support::Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 3; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 16));
+    long long n = rng.uniform_int(50, 5000);
+    auto platform = random_platform(rng, p, /*affine=*/true);
+    ASSERT_TRUE(platform.all_costs_affine());
+    std::string context = "seed " + std::to_string(GetParam()) + " trial " +
+                          std::to_string(trial) + " p=" + std::to_string(p) +
+                          " n=" + std::to_string(n);
+
+    auto dp = core::plan_scatter(platform, n, core::Algorithm::OptimizedDp);
+    auto lp = core::plan_scatter(platform, n, core::Algorithm::LpHeuristic);
+    check_plan_against_simulator(platform, dp, context + " [dp]");
+    check_plan_against_simulator(platform, lp, context + " [lp]");
+
+    double slack = core::lp_heuristic(platform, n).guarantee_slack;
+    EXPECT_LE(lp.predicted_makespan, dp.predicted_makespan + slack + 1e-9)
+        << context;
+  }
+}
+
+TEST_P(DifferentialSweep, ExactAndOptimizedDpAgreeOnSmallInstances) {
+  support::Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 3; ++trial) {
+    int p = static_cast<int>(rng.uniform_int(2, 6));
+    long long n = rng.uniform_int(5, 120);
+    auto platform = random_platform(rng, p, rng.bernoulli(0.5));
+    std::string context = "seed " + std::to_string(GetParam()) + " trial " +
+                          std::to_string(trial);
+
+    auto exact = core::plan_scatter(platform, n, core::Algorithm::ExactDp);
+    auto optimized =
+        core::plan_scatter(platform, n, core::Algorithm::OptimizedDp);
+    EXPECT_NEAR(exact.predicted_makespan, optimized.predicted_makespan,
+                1e-12 + 1e-12 * exact.predicted_makespan)
+        << context;
+    check_plan_against_simulator(platform, exact, context + " [exact]");
+    check_plan_against_simulator(platform, optimized, context + " [optimized]");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Values(401u, 402u, 403u, 404u, 405u));
+
+}  // namespace
+}  // namespace lbs

@@ -1,0 +1,239 @@
+// Golden-trace regression tests (observability satellite): the normalized
+// TraceLog summary — event order and counts per rank, payload args, no
+// timestamps — is pinned against embedded goldens for (a) the paper-testbed
+// scatter, (b) the fault-tolerant recovery path, and (c) an mq runtime
+// scatter. The comparator is TraceLog::normalized_summary(), which by
+// construction ignores wall-clock jitter; on mismatch the actual summary is
+// dumped to a file for inspection / golden regeneration.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/ordering.hpp"
+#include "core/planner.hpp"
+#include "gridsim/faultsim.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/testbed.hpp"
+#include "mq/platform_link.hpp"
+#include "mq/runtime.hpp"
+#include "obs/trace.hpp"
+
+namespace lbs {
+namespace {
+
+// EXPECT_EQ with a readable failure: writes the actual summary to a temp
+// file so a genuine behaviour change can be diffed and the golden updated.
+void expect_matches_golden(const std::string& actual, const std::string& golden,
+                           const std::string& name) {
+  if (actual == golden) {
+    SUCCEED();
+    return;
+  }
+  std::string path = ::testing::TempDir() + "/" + name + ".actual.txt";
+  std::ofstream(path) << actual;
+  ADD_FAILURE() << "normalized trace for '" << name
+                << "' deviates from the golden; actual written to " << path
+                << "\n--- actual ---\n"
+                << actual;
+}
+
+// The fixed 4-rank linear platform used for the mq golden: small enough to
+// run in milliseconds, heterogeneous enough that every rank's share is
+// distinct (so a planner regression shows up in the args).
+model::Platform golden_platform() {
+  const std::vector<double> beta = {1e-4, 2e-4, 3e-4};
+  const std::vector<double> alpha = {2e-3, 3e-3, 4e-3};
+  model::Platform platform;
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    model::Processor proc;
+    proc.label = "w" + std::to_string(i);
+    proc.comm = model::Cost::linear(beta[i]);
+    proc.comp = model::Cost::linear(alpha[i]);
+    platform.processors.push_back(proc);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(3e-3);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+constexpr char kPaperTestbedGolden[] =
+    R"(comm.recv rank=0 peer=15 arg0=87082 arg1=0
+compute rank=0 peer=-1 arg0=87082 arg1=0
+comm.recv rank=1 peer=15 arg0=42992 arg1=0
+compute rank=1 peer=-1 arg0=42992 arg1=0
+comm.recv rank=2 peer=15 arg0=82134 arg1=0
+compute rank=2 peer=-1 arg0=82134 arg1=0
+comm.recv rank=3 peer=15 arg0=24802 arg1=0
+compute rank=3 peer=-1 arg0=24802 arg1=0
+comm.recv rank=4 peer=15 arg0=24770 arg1=0
+compute rank=4 peer=-1 arg0=24770 arg1=0
+comm.recv rank=5 peer=15 arg0=41204 arg1=0
+compute rank=5 peer=-1 arg0=41204 arg1=0
+comm.recv rank=6 peer=15 arg0=41054 arg1=0
+compute rank=6 peer=-1 arg0=41054 arg1=0
+comm.recv rank=7 peer=15 arg0=40905 arg1=0
+compute rank=7 peer=-1 arg0=40905 arg1=0
+comm.recv rank=8 peer=15 arg0=40756 arg1=0
+compute rank=8 peer=-1 arg0=40756 arg1=0
+comm.recv rank=9 peer=15 arg0=40608 arg1=0
+compute rank=9 peer=-1 arg0=40608 arg1=0
+comm.recv rank=10 peer=15 arg0=40460 arg1=0
+compute rank=10 peer=-1 arg0=40460 arg1=0
+comm.recv rank=11 peer=15 arg0=40313 arg1=0
+compute rank=11 peer=-1 arg0=40313 arg1=0
+comm.recv rank=12 peer=15 arg0=40167 arg1=0
+compute rank=12 peer=-1 arg0=40167 arg1=0
+comm.recv rank=13 peer=15 arg0=95797 arg1=0
+compute rank=13 peer=-1 arg0=95797 arg1=0
+comm.recv rank=14 peer=15 arg0=93872 arg1=0
+compute rank=14 peer=-1 arg0=93872 arg1=0
+comm.send rank=15 peer=0 arg0=87082 arg1=0
+comm.send rank=15 peer=1 arg0=42992 arg1=0
+comm.send rank=15 peer=2 arg0=82134 arg1=0
+comm.send rank=15 peer=3 arg0=24802 arg1=0
+comm.send rank=15 peer=4 arg0=24770 arg1=0
+comm.send rank=15 peer=5 arg0=41204 arg1=0
+comm.send rank=15 peer=6 arg0=41054 arg1=0
+comm.send rank=15 peer=7 arg0=40905 arg1=0
+comm.send rank=15 peer=8 arg0=40756 arg1=0
+comm.send rank=15 peer=9 arg0=40608 arg1=0
+comm.send rank=15 peer=10 arg0=40460 arg1=0
+comm.send rank=15 peer=11 arg0=40313 arg1=0
+comm.send rank=15 peer=12 arg0=40167 arg1=0
+comm.send rank=15 peer=13 arg0=95797 arg1=0
+comm.send rank=15 peer=14 arg0=93872 arg1=0
+compute rank=15 peer=-1 arg0=40185 arg1=0
+)";
+
+TEST(GoldenTrace, PaperTestbedScatterMatchesGolden) {
+  auto grid = model::paper_testbed();
+  auto platform = core::ordered_platform(
+      grid, model::paper_root(grid), core::OrderingPolicy::DescendingBandwidth);
+  auto plan = core::plan_scatter(platform, model::kPaperRayCount);
+  auto sim = gridsim::simulate_scatter(platform, plan.distribution);
+  auto log = gridsim::to_trace_log(sim.timeline);
+  expect_matches_golden(log.normalized_summary(), kPaperTestbedGolden,
+                        "paper_testbed_scatter");
+}
+
+// Deaths, drops, and retries are a pure function of the fault-plan seed:
+// rank 1 dies after its chunk lands, the root->2 link drops the first
+// attempt in round one (arg1 = 1) and two attempts in the replan round.
+constexpr char kFtRecoveryGolden[] =
+    R"(comm.recv rank=0 peer=4 arg0=25 arg1=0
+compute rank=0 peer=-1 arg0=25 arg1=0
+rank.death rank=1 peer=4 arg0=20 arg1=0
+comm.recv rank=2 peer=4 arg0=25 arg1=0
+compute rank=2 peer=-1 arg0=25 arg1=0
+comm.recv rank=3 peer=4 arg0=25 arg1=0
+compute rank=3 peer=-1 arg0=25 arg1=0
+comm.send rank=4 peer=0 arg0=20 arg1=0
+comm.send rank=4 peer=1 arg0=20 arg1=0
+comm.send rank=4 peer=2 arg0=20 arg1=1
+comm.send rank=4 peer=2 arg0=20 arg1=0
+comm.send rank=4 peer=3 arg0=20 arg1=0
+recovery.replan rank=4 peer=-1 arg0=20 arg1=1
+comm.send rank=4 peer=0 arg0=5 arg1=0
+comm.send rank=4 peer=2 arg0=5 arg1=1
+comm.send rank=4 peer=2 arg0=5 arg1=1
+comm.send rank=4 peer=2 arg0=5 arg1=0
+comm.send rank=4 peer=3 arg0=5 arg1=0
+compute rank=4 peer=-1 arg0=25 arg1=0
+)";
+
+TEST(GoldenTrace, FtRecoveryPathMatchesGolden) {
+  auto platform = golden_platform();
+  model::Processor extra;  // 5th position so the replan has 3 survivors
+  extra.label = "w3";
+  extra.comm = model::Cost::linear(4e-4);
+  extra.comp = model::Cost::linear(5e-3);
+  platform.processors.insert(platform.processors.end() - 1, extra);
+
+  auto distribution = core::uniform_distribution(100, platform.size());
+  mq::FaultPlan faults;
+  faults.seed = 5;
+  // Rank 1 dies shortly after its chunk is acknowledged (late-death sweep);
+  // the link to rank 2 drops most attempts (retry path, arg1 = 1 events).
+  faults.crashes.push_back({1, 0.01});
+  mq::FaultPlan::LinkFault drops;
+  drops.from = platform.size() - 1;
+  drops.to = 2;
+  drops.drop_probability = 0.8;
+  faults.link_faults.push_back(drops);
+
+  gridsim::FtSimOptions options;
+  options.retry.max_attempts = 8;
+  options.retry.backoff = 0.001;
+
+  auto result = gridsim::simulate_scatter_ft(platform, distribution, faults,
+                                             options);
+  ASSERT_EQ(result.report.deaths.size(), 1u);
+  EXPECT_EQ(result.report.deaths.front().rank, 1);
+  EXPECT_GE(result.report.replan_rounds, 1);
+
+  expect_matches_golden(result.trace.normalized_summary(), kFtRecoveryGolden,
+                        "ft_recovery");
+
+  // Bit-identical determinism: the virtual-time replay is a pure function
+  // of (platform, distribution, plan) — the property goldens rely on.
+  auto again = gridsim::simulate_scatter_ft(platform, distribution, faults,
+                                            options);
+  EXPECT_EQ(again.trace.normalized_summary(),
+            result.trace.normalized_summary());
+}
+
+// Payloads are bytes (counts x sizeof(double)); mq compute spans carry no
+// item count (arg0 = 0) because emulate_compute only knows a duration.
+constexpr char kMqScatterGolden[] =
+    R"(comm.recv rank=0 peer=3 arg0=1208 arg1=0
+compute rank=0 peer=-1 arg0=0 arg1=0
+comm.recv rank=1 peer=3 arg0=760 arg1=0
+compute rank=1 peer=-1 arg0=0 arg1=0
+comm.recv rank=2 peer=3 arg0=528 arg1=0
+compute rank=2 peer=-1 arg0=0 arg1=0
+comm.send rank=3 peer=0 arg0=1208 arg1=0
+comm.send rank=3 peer=1 arg0=760 arg1=0
+comm.send rank=3 peer=2 arg0=528 arg1=0
+compute rank=3 peer=-1 arg0=0 arg1=0
+)";
+
+obs::TraceLog run_golden_mq_scatter() {
+  auto platform = golden_platform();
+  auto plan = core::plan_scatter(platform, 400);
+  std::vector<double> data(400);
+  std::iota(data.begin(), data.end(), 0.0);
+
+  obs::Tracer tracer;
+  mq::RuntimeOptions options;
+  options.ranks = platform.size();
+  options.time_scale = 0.005;
+  options.link_cost = mq::make_link_cost(platform, sizeof(double));
+  options.tracer = &tracer;
+  mq::Runtime::run(options, [&](mq::Comm& comm) {
+    int root = comm.size() - 1;
+    auto mine = comm.scatterv<double>(root, data, plan.distribution.counts);
+    mq::emulate_compute(comm, platform[comm.rank()].comp.per_item_slope() *
+                                  static_cast<double>(mine.size()));
+  });
+  return tracer.collect();
+}
+
+TEST(GoldenTrace, MqScatterSummaryIsStableAcrossRunsAndMatchesGolden) {
+  auto first = run_golden_mq_scatter().normalized_summary();
+  auto second = run_golden_mq_scatter().normalized_summary();
+  // The comparator ignores wall-clock jitter: two real-time runs of the
+  // same plan normalize identically.
+  EXPECT_EQ(first, second);
+  expect_matches_golden(first, kMqScatterGolden, "mq_scatter");
+}
+
+}  // namespace
+}  // namespace lbs

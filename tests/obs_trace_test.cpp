@@ -1,0 +1,230 @@
+// Unit tests for the obs tracing layer: per-thread rings, drop accounting,
+// log normalization, and the Chrome trace_event export.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace lbs::obs {
+namespace {
+
+TraceEvent make_span(EventType type, int rank, int peer, double start,
+                     double duration, long long arg0 = 0) {
+  TraceEvent event;
+  event.type = type;
+  event.rank = rank;
+  event.peer = peer;
+  event.start = start;
+  event.duration = duration;
+  event.arg0 = arg0;
+  return event;
+}
+
+TEST(Tracer, GlobalTracerDefaultsToNull) {
+  EXPECT_EQ(global_tracer(), nullptr);
+}
+
+TEST(Tracer, EventNamesAreStable) {
+  EXPECT_STREQ(to_string(EventType::ScatterPlan), "scatter.plan");
+  EXPECT_STREQ(to_string(EventType::DpSolve), "dp.solve");
+  EXPECT_STREQ(to_string(EventType::CommSend), "comm.send");
+  EXPECT_STREQ(to_string(EventType::CommRecv), "comm.recv");
+  EXPECT_STREQ(to_string(EventType::Compute), "compute");
+  EXPECT_STREQ(to_string(EventType::RecoveryReplan), "recovery.replan");
+  EXPECT_STREQ(to_string(EventType::RankDeath), "rank.death");
+  EXPECT_STREQ(to_string(EventType::CacheHit), "cache.hit");
+  EXPECT_STREQ(to_string(EventType::CacheMiss), "cache.miss");
+}
+
+TEST(Tracer, CollectsEventsFromManyThreadsExactlyOnce) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record(make_span(EventType::CommSend, t, 0, tracer.now(), 0.0, i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto log = tracer.collect();
+  EXPECT_EQ(log.events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(log.of_rank(t).size(), static_cast<std::size_t>(kPerThread));
+  }
+  // Each event is returned exactly once: a second collect drains nothing.
+  EXPECT_TRUE(tracer.collect().events.empty());
+
+  // Recording continues after a collect; the new events show up next time.
+  tracer.record(make_span(EventType::Compute, 7, -1, tracer.now(), 0.0));
+  auto more = tracer.collect();
+  ASSERT_EQ(more.events.size(), 1u);
+  EXPECT_EQ(more.events.front().rank, 7);
+}
+
+TEST(Tracer, FullRingDropsAndCounts) {
+  Tracer tracer(16);
+  for (int i = 0; i < 40; ++i) {
+    tracer.record(make_span(EventType::CommSend, 0, 1, 0.0, 0.0, i));
+  }
+  auto log = tracer.collect();
+  EXPECT_EQ(log.events.size(), 16u);
+  EXPECT_EQ(tracer.dropped(), 24u);
+  // The surviving prefix is the oldest events, in order (drop-new policy).
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(log.events[i].arg0, static_cast<long long>(i));
+  }
+}
+
+TEST(Tracer, NowIsMonotonicAndStartsNearZero) {
+  Tracer tracer;
+  double a = tracer.now();
+  double b = tracer.now();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_LT(a, 60.0);  // tracer-relative, not process-relative
+  EXPECT_GT(wall_now(), 0.0);
+}
+
+TEST(TraceLog, SortOrdersByClockThenStart) {
+  TraceLog log;
+  auto virtual_event = make_span(EventType::Compute, 0, -1, 0.5, 1.0);
+  virtual_event.clock = Clock::Virtual;
+  log.events.push_back(virtual_event);
+  log.events.push_back(make_span(EventType::CommSend, 1, 0, 2.0, 0.1));
+  log.events.push_back(make_span(EventType::CommSend, 1, 2, 1.0, 0.1));
+  log.sort();
+  EXPECT_EQ(log.events[0].clock, Clock::Wall);
+  EXPECT_EQ(log.events[0].start, 1.0);
+  EXPECT_EQ(log.events[1].start, 2.0);
+  EXPECT_EQ(log.events[2].clock, Clock::Virtual);
+  EXPECT_EQ(log.of_clock(Clock::Virtual).size(), 1u);
+  EXPECT_EQ(log.min_start(), 0.5);
+}
+
+TEST(TraceLog, NormalizedSummaryIgnoresTimestampsButPinsOrder) {
+  auto build = [](double jitter) {
+    TraceLog log;
+    log.events.push_back(
+        make_span(EventType::CommSend, 3, 0, 1.0 + jitter, 0.2 + jitter, 800));
+    log.events.push_back(
+        make_span(EventType::CommSend, 3, 1, 2.0 + jitter, 0.3, 400));
+    log.events.push_back(
+        make_span(EventType::Compute, 0, -1, 1.5 + jitter, 1.0, 100));
+    log.sort();
+    return log;
+  };
+  auto reference = build(0.0).normalized_summary();
+  EXPECT_EQ(build(0.017).normalized_summary(), reference);
+  EXPECT_EQ(reference,
+            "compute rank=0 peer=-1 arg0=100 arg1=0\n"
+            "comm.send rank=3 peer=0 arg0=800 arg1=0\n"
+            "comm.send rank=3 peer=1 arg0=400 arg1=0\n");
+
+  // Swapping the root's send order *is* a structural change and must show.
+  TraceLog swapped;
+  swapped.events.push_back(
+      make_span(EventType::CommSend, 3, 1, 1.0, 0.3, 400));
+  swapped.events.push_back(
+      make_span(EventType::CommSend, 3, 0, 2.0, 0.2, 800));
+  swapped.events.push_back(
+      make_span(EventType::Compute, 0, -1, 1.5, 1.0, 100));
+  EXPECT_NE(swapped.normalized_summary(), reference);
+}
+
+TEST(ChromeTrace, ExportsSpansInstantsAndBothClockDomains) {
+  TraceLog log;
+  log.events.push_back(make_span(EventType::CommSend, 1, 0, 10.0, 0.5, 64));
+  auto instant = make_span(EventType::RankDeath, 2, -1, 10.2, 0.0, 5);
+  instant.instant = true;
+  log.events.push_back(instant);
+  auto virtual_event = make_span(EventType::Compute, 0, -1, 3.0, 2.0, 9);
+  virtual_event.clock = Clock::Virtual;
+  log.events.push_back(virtual_event);
+  log.sort();
+
+  std::ostringstream out;
+  write_chrome_trace(out, log);
+  std::string json = out.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"comm.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank.death\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);  // wall clock
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);  // virtual time
+  // Each clock domain is re-anchored: the earliest wall event sits at 0 us.
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  // The wall span keeps its duration (0.5 s = 500000 us).
+  EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);
+  // Balanced object: same number of { and }.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeTrace, ExportGuardIsInertWithoutEnvVar) {
+  ::unsetenv("LBS_TRACE");
+  TraceExportGuard guard;
+  EXPECT_FALSE(guard.active());
+  EXPECT_EQ(global_tracer(), nullptr);
+}
+
+TEST(ChromeTrace, ExportGuardWritesFileNamedByEnvVar) {
+  std::string path =
+      ::testing::TempDir() + "/lbs_trace_guard_test.json";
+  std::remove(path.c_str());
+  ::setenv("LBS_TRACE", path.c_str(), 1);
+  {
+    TraceExportGuard guard;
+    ASSERT_TRUE(guard.active());
+    EXPECT_EQ(guard.path(), path);
+    ASSERT_NE(global_tracer(), nullptr);
+    global_tracer()->record(make_span(EventType::CommSend, 0, 1, 1.0, 0.5, 8));
+
+    TraceLog extra;
+    auto virtual_event = make_span(EventType::Compute, 0, -1, 0.0, 1.0, 3);
+    virtual_event.clock = Clock::Virtual;
+    extra.events.push_back(virtual_event);
+    guard.add(extra);
+  }
+  ::unsetenv("LBS_TRACE");
+  EXPECT_EQ(global_tracer(), nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "guard did not write " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  std::string json = content.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"comm.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);  // merged extra
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, DestructorClearsGlobalRegistration) {
+  {
+    Tracer tracer;
+    set_global_tracer(&tracer);
+    EXPECT_EQ(global_tracer(), &tracer);
+  }
+  EXPECT_EQ(global_tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace lbs::obs

@@ -1,0 +1,133 @@
+// Half-open interval contract of the Gantt renderer and the gridsim
+// timeline (observability satellite): both sides agree on [start, end)
+// phases, so a zero-length activity — e.g. a zero-byte send — is no
+// interval at all, in the chart, in the timeline rows, and in the trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/distribution.hpp"
+#include "gridsim/gridsim.hpp"
+#include "gridsim/timeline.hpp"
+#include "model/platform.hpp"
+#include "support/error.hpp"
+#include "support/gantt.hpp"
+
+namespace lbs {
+namespace {
+
+// Just the row lines of the rendered chart — the scale line ("3.0 s") and
+// the legend both contain phase characters and would defeat a "char
+// absent" assertion.
+std::string chart_body(const support::GanttChart& chart) {
+  std::string rendered = chart.to_string();
+  auto scale = rendered.find("+--");
+  return scale == std::string::npos ? rendered : rendered.substr(0, scale);
+}
+
+TEST(Gantt, NegativeSpanThrows) {
+  support::GanttChart chart;
+  support::GanttRow row;
+  row.label = "bad";
+  row.spans.push_back({2.0, 1.0, support::PhaseKind::Send});
+  EXPECT_THROW(chart.add_row(std::move(row)), Error);
+}
+
+TEST(Gantt, ZeroLengthSpanEmitsNoInterval) {
+  support::GanttChart chart(40);
+  support::GanttRow row;
+  row.label = "p0";
+  // A zero-byte send: end == start means no activity under [start, end).
+  row.spans.push_back({1.0, 1.0, support::PhaseKind::Send});
+  row.spans.push_back({1.0, 3.0, support::PhaseKind::Compute});
+  chart.add_row(std::move(row));
+  std::string body = chart_body(chart);
+  EXPECT_EQ(body.find(support::phase_char(support::PhaseKind::Send)),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find(support::phase_char(support::PhaseKind::Compute)),
+            std::string::npos)
+      << body;
+}
+
+TEST(Gantt, AdjacentHalfOpenSpansShareABoundary) {
+  // [0, 1) receive followed by [1, 2) compute is a legal, gap-free row —
+  // the boundary instant belongs to the later span only.
+  support::GanttChart chart(40);
+  support::GanttRow row;
+  row.label = "p0";
+  row.spans.push_back({0.0, 1.0, support::PhaseKind::Receive});
+  row.spans.push_back({1.0, 2.0, support::PhaseKind::Compute});
+  EXPECT_NO_THROW(chart.add_row(std::move(row)));
+  std::string body = chart_body(chart);
+  EXPECT_NE(body.find(support::phase_char(support::PhaseKind::Receive)),
+            std::string::npos);
+  EXPECT_NE(body.find(support::phase_char(support::PhaseKind::Compute)),
+            std::string::npos);
+}
+
+TEST(Gantt, TimelineRowsDropZeroLengthPhases) {
+  gridsim::Timeline timeline;
+  gridsim::ProcessorTrace normal;
+  normal.label = "worker";
+  normal.items = 5;
+  normal.recv_start = 0.0;
+  normal.recv_end = 1.0;
+  normal.compute_end = 2.0;
+  gridsim::ProcessorTrace idle;  // zero items: recv window collapsed
+  idle.label = "idle";
+  idle.recv_start = 1.0;
+  idle.recv_end = 1.0;
+  idle.compute_end = 1.0;
+  timeline.traces = {normal, idle};
+
+  auto rows = timeline.gantt_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].spans.size(), 2u);
+  EXPECT_TRUE(rows[1].spans.empty());
+
+  // The chart accepts both without inventing degenerate intervals.
+  support::GanttChart chart(40);
+  for (auto& row : rows) chart.add_row(std::move(row));
+  EXPECT_FALSE(chart.to_string().empty());
+}
+
+TEST(Gantt, SimulatedZeroItemProcessorEmitsNoIntervalAnywhere) {
+  // Regression for the Timeline-vs-gantt disagreement: a processor with a
+  // zero-byte send must produce no receive interval in the gantt rows and
+  // no events in the trace log — on both sides of the former off-by-one.
+  model::Platform platform;
+  for (int i = 0; i < 2; ++i) {
+    model::Processor proc;
+    proc.label = "w" + std::to_string(i);
+    proc.comm = model::Cost::linear(1e-3);
+    proc.comp = model::Cost::linear(1e-2);
+    platform.processors.push_back(proc);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(1e-2);
+  platform.processors.push_back(root);
+
+  core::Distribution distribution;
+  distribution.counts = {0, 7, 3};  // worker 0 gets the zero-byte send
+  auto sim = gridsim::simulate_scatter(platform, distribution);
+
+  const auto& starved = sim.timeline.traces[0];
+  EXPECT_EQ(starved.items, 0);
+  EXPECT_EQ(starved.comm_time(), 0.0);
+  auto rows = sim.timeline.gantt_rows();
+  EXPECT_TRUE(rows[0].spans.empty());
+
+  auto log = gridsim::to_trace_log(sim.timeline);
+  for (const auto& event : log.events) {
+    EXPECT_NE(event.rank, 0) << obs::to_string(event.type);
+    EXPECT_NE(event.peer, 0) << obs::to_string(event.type);
+  }
+  EXPECT_FALSE(log.events.empty());
+}
+
+}  // namespace
+}  // namespace lbs

@@ -1,0 +1,132 @@
+// Differential trace oracle: replays an obs::TraceLog of one scatter and
+// asserts the paper's structural invariants on it. The same checks run
+// against both substrates — the mq runtime's wall-clock trace (with a
+// calibrated tolerance for sleep overshoot) and gridsim's virtual-time
+// trace (where the invariants hold to floating-point precision):
+//   - single-port root (Section 2.3): no two root-side comm.send spans
+//     overlap;
+//   - send ordering (Theorem 3): the root serves peers in the platform's
+//     scatter order;
+//   - finish times (Eq. 1): each rank's last compute span ends at its
+//     predicted finish time, re-anchored at the scatter's origin.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lbs::testing {
+
+// Root-side comm.send spans carrying data, sorted by start time. Empty
+// transfers (arg0 == 0) are skipped: a zero-byte send occupies no
+// half-open interval on either substrate.
+inline std::vector<obs::TraceEvent> root_sends(const obs::TraceLog& log,
+                                               int root) {
+  std::vector<obs::TraceEvent> sends;
+  for (const auto& event : log.events) {
+    if (event.type == obs::EventType::CommSend && event.rank == root &&
+        !event.instant && event.arg0 > 0) {
+      sends.push_back(event);
+    }
+  }
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     return a.start < b.start;
+                   });
+  return sends;
+}
+
+// Section 2.3's single-port root: consecutive root-side sends must not
+// overlap. The mq runtime records these spans while holding the sender's
+// NIC lock, so overlap there is a genuine instrumentation bug, not jitter.
+inline void expect_single_port_root(const obs::TraceLog& log, int root,
+                                    double tolerance = 1e-9) {
+  auto sends = root_sends(log, root);
+  ASSERT_FALSE(sends.empty()) << "no root-side comm.send spans in the trace";
+  for (std::size_t i = 1; i < sends.size(); ++i) {
+    EXPECT_GE(sends[i].start, sends[i - 1].end() - tolerance)
+        << "root port double-booked: send to peer " << sends[i - 1].peer
+        << " [" << sends[i - 1].start << ", " << sends[i - 1].end()
+        << ") overlaps send to peer " << sends[i].peer << " starting at "
+        << sends[i].start;
+  }
+}
+
+// Theorem 3 ordering: the first send to each peer happens in `expected`
+// order (for a descending-bandwidth platform that is ascending rank order).
+inline void expect_send_order(const obs::TraceLog& log, int root,
+                              const std::vector<int>& expected_peers) {
+  auto sends = root_sends(log, root);
+  std::vector<int> first_sends;
+  for (const auto& event : sends) {
+    if (std::find(first_sends.begin(), first_sends.end(), event.peer) ==
+        first_sends.end()) {
+      first_sends.push_back(event.peer);
+    }
+  }
+  EXPECT_EQ(first_sends, expected_peers);
+}
+
+// Latest compute-span end per rank, or an empty map when none were traced.
+inline std::map<int, double> last_compute_end(const obs::TraceLog& log) {
+  std::map<int, double> finish;
+  for (const auto& event : log.events) {
+    if (event.type != obs::EventType::Compute || event.instant) continue;
+    auto [it, inserted] = finish.emplace(event.rank, event.end());
+    if (!inserted) it->second = std::max(it->second, event.end());
+  }
+  return finish;
+}
+
+// Eq. 1: every traced rank's last compute span ends at its predicted
+// finish time. Trace times are re-anchored at `anchor` (the first root
+// send for wall-clock traces, 0 for virtual time) and divided by
+// `time_scale` to recover nominal seconds. Tolerance per rank is
+// abs_tol + rel_tol * predicted[rank].
+inline void expect_finish_times(const obs::TraceLog& log,
+                                const std::vector<double>& predicted,
+                                double anchor, double time_scale,
+                                double rel_tol, double abs_tol) {
+  ASSERT_GT(time_scale, 0.0);
+  auto finish = last_compute_end(log);
+  ASSERT_FALSE(finish.empty()) << "no compute spans in the trace";
+  for (const auto& [rank, end] : finish) {
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(static_cast<std::size_t>(rank), predicted.size());
+    double nominal = (end - anchor) / time_scale;
+    double expected = predicted[static_cast<std::size_t>(rank)];
+    EXPECT_NEAR(nominal, expected, abs_tol + rel_tol * expected)
+        << "rank " << rank << " finished at nominal " << nominal
+        << " but Eq. 1 predicts " << expected;
+  }
+}
+
+// Cross-substrate equivalence: the mq runtime and gridsim traces of the
+// same plan must serve the same peers in the same order with the same
+// payloads. mq records bytes, gridsim records items (hence `item_size`);
+// gridsim additionally routes the root's own chunk through the port as a
+// rank==peer==root send, which has no mq counterpart and is filtered out.
+inline void expect_equivalent_structure(const obs::TraceLog& mq_log,
+                                        int mq_root,
+                                        const obs::TraceLog& sim_log,
+                                        int sim_root, std::size_t item_size) {
+  auto mq = root_sends(mq_log, mq_root);
+  auto sim = root_sends(sim_log, sim_root);
+  std::erase_if(sim, [sim_root](const obs::TraceEvent& event) {
+    return event.peer == sim_root;
+  });
+  ASSERT_EQ(mq.size(), sim.size());
+  for (std::size_t i = 0; i < mq.size(); ++i) {
+    EXPECT_EQ(mq[i].peer, sim[i].peer) << "send " << i << " targets differ";
+    EXPECT_EQ(mq[i].arg0,
+              sim[i].arg0 * static_cast<long long>(item_size))
+        << "send " << i << " payload differs";
+  }
+}
+
+}  // namespace lbs::testing
