@@ -1,0 +1,190 @@
+// lbsctl — control client for a running lbsd daemon.
+//
+//   ./build/examples/lbsctl <socket-path> ping
+//   ./build/examples/lbsctl <socket-path> stats
+//   ./build/examples/lbsctl <socket-path> shutdown
+//   ./build/examples/lbsctl <socket-path> plan <grid-config> <items>
+//        [--algorithm A] [--ordering O] [--root MACHINE] [--no-retry]
+//
+// `plan` is lbsplan's remote twin: same grid config, same output columns,
+// but the counts come from the shared daemon — warmed caches and
+// coalesced solves included. Rejected (backpressure) responses are
+// retried with the server's retry_after_ms hint unless --no-retry.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/ordering.hpp"
+#include "core/root_selection.hpp"
+#include "model/grid_parser.hpp"
+#include "service/client.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbs;
+
+int usage() {
+  std::cerr << "usage: lbsctl <socket-path> <command>\n"
+               "  ping                        liveness check\n"
+               "  stats                       dump server counters + cache stats JSON\n"
+               "  shutdown                    ask the daemon to exit\n"
+               "  plan <grid-config> <items>  plan via the daemon\n"
+               "       [--algorithm auto|exact-dp|optimized-dp|lp-heuristic|closed-form|uniform]\n"
+               "       [--ordering descending|ascending|grid] [--root MACHINE] [--no-retry]\n";
+  return 2;
+}
+
+bool parse_algorithm(const std::string& name, core::Algorithm& algorithm) {
+  if (name == "auto") algorithm = core::Algorithm::Auto;
+  else if (name == "exact-dp") algorithm = core::Algorithm::ExactDp;
+  else if (name == "optimized-dp") algorithm = core::Algorithm::OptimizedDp;
+  else if (name == "lp-heuristic") algorithm = core::Algorithm::LpHeuristic;
+  else if (name == "closed-form") algorithm = core::Algorithm::LinearClosedForm;
+  else if (name == "uniform") algorithm = core::Algorithm::Uniform;
+  else return false;
+  return true;
+}
+
+bool parse_ordering(const std::string& name, core::OrderingPolicy& policy) {
+  if (name == "descending") policy = core::OrderingPolicy::DescendingBandwidth;
+  else if (name == "ascending") policy = core::OrderingPolicy::AscendingBandwidth;
+  else if (name == "grid") policy = core::OrderingPolicy::GridOrder;
+  else return false;
+  return true;
+}
+
+int run_plan(service::Client& client, int argc, char** argv) {
+  if (argc < 5) return usage();
+  std::ifstream file(argv[3]);
+  if (!file) {
+    std::cerr << "cannot open " << argv[3] << '\n';
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = model::parse_grid(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "config error: " << parsed.error << '\n';
+    return 1;
+  }
+  model::Grid grid = std::move(*parsed.grid);
+  long long items = std::atoll(argv[4]);
+  if (items < 0) return usage();
+
+  core::Algorithm algorithm = core::Algorithm::Auto;
+  core::OrderingPolicy ordering = core::OrderingPolicy::DescendingBandwidth;
+  std::string root_name;
+  bool retry = true;
+  for (int i = 5; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--algorithm" && i + 1 < argc) {
+      if (!parse_algorithm(argv[++i], algorithm)) return usage();
+    } else if (arg == "--ordering" && i + 1 < argc) {
+      if (!parse_ordering(argv[++i], ordering)) return usage();
+    } else if (arg == "--root" && i + 1 < argc) {
+      root_name = argv[++i];
+    } else if (arg == "--no-retry") {
+      retry = false;
+    } else {
+      return usage();
+    }
+  }
+
+  model::ProcessorRef root{};
+  if (!root_name.empty()) {
+    int machine = grid.machine_index(root_name);
+    if (machine < 0) {
+      std::cerr << "unknown root machine '" << root_name << "'\n";
+      return 1;
+    }
+    root = model::ProcessorRef{machine, 0};
+  } else if (grid.data_home() >= 0) {
+    root = core::select_root(grid, items, ordering, algorithm).best().root;
+  } else {
+    std::cerr << "config has no data_home and no --root was given\n";
+    return 1;
+  }
+
+  auto platform = core::ordered_platform(grid, root, ordering);
+  service::PlanResponse response =
+      retry ? client.plan_with_retry(platform, items, algorithm)
+            : client.plan(platform, items, algorithm);
+
+  switch (response.status) {
+    case service::PlanStatus::Ok:
+      break;
+    case service::PlanStatus::Rejected:
+      std::cerr << "rejected: server busy, retry after "
+                << response.retry_after_ms << " ms\n";
+      return 3;
+    case service::PlanStatus::Error:
+      std::cerr << "server error: " << response.message << '\n';
+      return 1;
+    case service::PlanStatus::Disconnected:
+      std::cerr << "connection lost: " << response.message << '\n';
+      return 1;
+  }
+
+  std::cout << "algorithm: " << core::to_string(response.algorithm_used)
+            << (response.cache_hit ? "  [cache hit]" : "")
+            << (response.coalesced ? "  [coalesced]" : "")
+            << "\npredicted makespan: " << response.predicted_makespan
+            << " s\n\n";
+  auto displacements = response.displacements();
+  support::Table table({"rank", "processor", "count", "displacement"});
+  for (int i = 0; i < platform.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    table.add_row({std::to_string(i), platform[i].label,
+                   support::format_count(response.counts[idx]),
+                   support::format_count(displacements[idx])});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string socket_path = argv[1];
+  std::string command = argv[2];
+
+  try {
+    service::Client client(socket_path);
+    if (command == "ping") {
+      if (client.ping()) {
+        std::cout << "pong\n";
+        return 0;
+      }
+      std::cerr << "no reply\n";
+      return 1;
+    }
+    if (command == "stats") {
+      std::string stats = client.server_stats();
+      if (stats.empty()) {
+        std::cerr << "no reply\n";
+        return 1;
+      }
+      std::cout << stats << '\n';
+      return 0;
+    }
+    if (command == "shutdown") {
+      if (client.shutdown_server()) {
+        std::cout << "shutdown acknowledged\n";
+        return 0;
+      }
+      std::cerr << "no ack\n";
+      return 1;
+    }
+    if (command == "plan") return run_plan(client, argc, argv);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "lbsctl: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+// lbsd — the load-balancing scatter planning daemon.
+//
+//   ./build/examples/lbsd /tmp/lbsd.sock [options]
+//
+// Options:
+//   --shards N          cache shards (default 8)
+//   --capacity N        cached plans per shard (default 128)
+//   --workers N         DP worker threads, 0 = hardware (default 0)
+//   --queue N           bounded solve queue depth (default 256)
+//   --batch N           max solves claimed per dispatch pass (default 16)
+//   --retry-after MS    backpressure retry hint (default 50)
+//   --max-processors N  admission bound (default 4096)
+//   --trace FILE        write a Chrome trace JSON on shutdown
+//
+// Runs until SIGINT/SIGTERM or a client sends Shutdown (lbsctl shutdown).
+// On exit it prints the service counters and cache stats, so a drill run
+// doubles as a report.
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_signal{false};
+
+void on_signal(int) { g_signal.store(true); }
+
+int usage() {
+  std::cerr << "usage: lbsd <socket-path> [--shards N] [--capacity N]"
+               " [--workers N] [--queue N] [--batch N] [--retry-after MS]"
+               " [--max-processors N] [--trace FILE]\n";
+  return 2;
+}
+
+bool parse_int(const char* text, int& out) {
+  out = std::atoi(text);
+  return out > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  lbs::service::ServerOptions options;
+  options.socket_path = argv[1];
+  std::string trace_path;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    int value = 0;
+    if (arg == "--shards" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.cache_shards = value;
+    } else if (arg == "--capacity" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.cache_capacity_per_shard = static_cast<std::size_t>(value);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.dp_workers = std::atoi(argv[++i]);
+      if (options.dp_workers < 0) return usage();
+    } else if (arg == "--queue" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.max_queue = static_cast<std::size_t>(value);
+    } else if (arg == "--batch" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.max_batch = value;
+    } else if (arg == "--retry-after" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.retry_after_ms = static_cast<std::uint32_t>(value);
+    } else if (arg == "--max-processors" && i + 1 < argc && parse_int(argv[++i], value)) {
+      options.max_processors = value;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  lbs::obs::Tracer tracer;
+  lbs::obs::Metrics metrics;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  lbs::service::Server server(std::move(options));
+  try {
+    server.start();
+  } catch (const std::exception& error) {
+    std::cerr << "lbsd: " << error.what() << '\n';
+    return 1;
+  }
+  std::cout << "lbsd listening on " << server.options().socket_path << " ("
+            << server.options().cache_shards << " cache shards, queue depth "
+            << server.options().max_queue << ")\n";
+
+  // Wake twice a second: once for process signals, once for a client
+  // Shutdown message (which sets the server's own stop-requested flag).
+  while (!g_signal.load() && !server.wait_until_stop_requested_for(500)) {
+  }
+  std::cout << "lbsd: shutting down ("
+            << (g_signal.load() ? "signal" : "client request") << ")\n";
+  server.stop();
+
+  std::cout << server.stats_json() << '\n';
+
+  if (!trace_path.empty()) {
+    lbs::obs::export_chrome_trace(trace_path, tracer.collect());
+    std::cout << "trace written to " << trace_path << '\n';
+  }
+  return 0;
+}

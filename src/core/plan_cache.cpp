@@ -22,7 +22,7 @@ std::vector<std::uint64_t> PlanCache::fingerprint(const model::Platform& platfor
   return prints;
 }
 
-std::size_t PlanCache::KeyHash::operator()(const Key& key) const {
+std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -33,6 +33,11 @@ std::size_t PlanCache::KeyHash::operator()(const Key& key) const {
   mix(static_cast<std::uint64_t>(key.items));
   mix(static_cast<std::uint64_t>(key.algorithm));
   return static_cast<std::size_t>(h);
+}
+
+PlanKey make_plan_key(const model::Platform& platform, long long items,
+                      Algorithm algorithm) {
+  return PlanKey{PlanCache::fingerprint(platform), items, algorithm};
 }
 
 void PlanCache::set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -65,7 +70,7 @@ void PlanCache::record_probe(bool hit, long long items) {
 
 std::optional<ScatterPlan> PlanCache::lookup(const model::Platform& platform,
                                              long long items, Algorithm algorithm) {
-  Key key{fingerprint(platform), items, algorithm};
+  PlanKey key{fingerprint(platform), items, algorithm};
   std::optional<ScatterPlan> found;
   {
     std::lock_guard lock(mu_);
@@ -84,7 +89,7 @@ std::optional<ScatterPlan> PlanCache::lookup(const model::Platform& platform,
 
 void PlanCache::insert(const model::Platform& platform, long long items,
                        Algorithm algorithm, const ScatterPlan& plan) {
-  Key key{fingerprint(platform), items, algorithm};
+  PlanKey key{fingerprint(platform), items, algorithm};
   std::lock_guard lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {

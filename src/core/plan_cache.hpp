@@ -1,18 +1,26 @@
-// LRU cache of scatter plans.
+// LRU caching of scatter plans.
 //
 // plan_scatter is a pure function of (platform costs, n, algorithm), and
 // production traffic repeats it: recovery replanning re-plans the same
 // survivor sets on every scatter, root-selection sweeps re-plan the same
 // platform rotated p ways, and hierarchical scatter re-plans each site.
-// PlanCache memoizes those calls behind an exact structural key — the
-// per-processor cost fingerprints (model::Cost::fingerprint) plus the
+// The caches here memoize those calls behind an exact structural key —
+// the per-processor cost fingerprints (model::Cost::fingerprint) plus the
 // item count and the requested algorithm — so a repeat plan is a mutex
 // acquisition and a hash lookup instead of an O(p n) (or worse) DP.
 //
 // Processor labels and machine refs are deliberately *not* part of the
 // key: two platforms with identical cost structure get identical plans.
-// The cache is thread-safe; entries are full ScatterPlans (O(p) memory
-// each), evicted least-recently-used beyond `capacity`.
+// Entries are full ScatterPlans (O(p) memory each), evicted
+// least-recently-used beyond capacity.
+//
+// Two implementations share the PlanCacheBase interface the planner
+// consumes (PlannerOptions::cache):
+//   - PlanCache: one LRU list under one mutex. Right for single-threaded
+//     callers and per-owner caches (recovery replanners).
+//   - ShardedPlanCache (sharded_plan_cache.hpp): N lock-striped LRU
+//     shards for many concurrent callers — the planning service's hot
+//     path. Identical results, the same keys, per-shard locking.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +41,40 @@ class Tracer;
 
 namespace lbs::core {
 
-class PlanCache {
+// Structural identity of one plan request. Shared by every cache
+// implementation and by the planning service's request-coalescing map, so
+// "same key" means the same thing at every layer.
+struct PlanKey {
+  std::vector<std::uint64_t> costs;  // per-processor folded cost fingerprints
+  long long items = 0;
+  Algorithm algorithm = Algorithm::Auto;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const;
+};
+
+// Builds the key for (platform, items, algorithm): one fingerprint per
+// processor folding Tcomm and Tcomp, plus the scalars.
+PlanKey make_plan_key(const model::Platform& platform, long long items,
+                      Algorithm algorithm);
+
+// What the planner needs from a cache: probe and fill. `algorithm` is the
+// *requested* algorithm (Auto resolves deterministically from the costs,
+// so it is a sound key component).
+class PlanCacheBase {
+ public:
+  virtual ~PlanCacheBase() = default;
+
+  [[nodiscard]] virtual std::optional<ScatterPlan> lookup(
+      const model::Platform& platform, long long items, Algorithm algorithm) = 0;
+  virtual void insert(const model::Platform& platform, long long items,
+                      Algorithm algorithm, const ScatterPlan& plan) = 0;
+};
+
+class PlanCache : public PlanCacheBase {
  public:
   explicit PlanCache(std::size_t capacity = 128);
 
@@ -41,13 +82,11 @@ class PlanCache {
   // fingerprint per processor folding Tcomm and Tcomp.
   static std::vector<std::uint64_t> fingerprint(const model::Platform& platform);
 
-  // Cache probe / fill. `algorithm` is the *requested* algorithm (Auto
-  // resolves deterministically from the costs, so it is a sound key).
   [[nodiscard]] std::optional<ScatterPlan> lookup(const model::Platform& platform,
                                                   long long items,
-                                                  Algorithm algorithm);
+                                                  Algorithm algorithm) override;
   void insert(const model::Platform& platform, long long items,
-              Algorithm algorithm, const ScatterPlan& plan);
+              Algorithm algorithm, const ScatterPlan& plan) override;
 
   // Lookup-or-plan convenience: plan_scatter with this cache attached.
   ScatterPlan plan(const model::Platform& platform, long long items,
@@ -74,18 +113,8 @@ class PlanCache {
   void clear();
 
  private:
-  struct Key {
-    std::vector<std::uint64_t> costs;
-    long long items = 0;
-    Algorithm algorithm = Algorithm::Auto;
-
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const;
-  };
   struct Entry {
-    Key key;
+    PlanKey key;
     ScatterPlan plan;
   };
 
@@ -94,7 +123,7 @@ class PlanCache {
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* hits_counter_ = nullptr;

@@ -1,0 +1,98 @@
+// Lock-striped LRU plan cache for concurrent planners.
+//
+// The single-mutex PlanCache serializes every probe; under the planning
+// service's load (dozens of client connections + a pool of DP workers all
+// probing at once) that mutex becomes the hot path. ShardedPlanCache
+// splits the key space over N independent LRU shards — shard choice is a
+// pure function of PlanKeyHash, so a key always lands on the same shard
+// and two probes contend only when they collide on a shard.
+//
+// Semantics are identical to PlanCache by construction: the same PlanKey,
+// the same exact-match lookup, per-shard LRU eviction beyond
+// capacity_per_shard. Replaying any request log through a PlanCache and a
+// ShardedPlanCache yields bit-identical plans (the cached values are the
+// planner's outputs either way; only eviction *timing* differs, and an
+// evicted entry merely costs a re-plan of the same pure function).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+
+namespace lbs::core {
+
+class ShardedPlanCache : public PlanCacheBase {
+ public:
+  // `shards` lock stripes, each an LRU of `capacity_per_shard` plans.
+  explicit ShardedPlanCache(int shards = 8, std::size_t capacity_per_shard = 128);
+
+  [[nodiscard]] std::optional<ScatterPlan> lookup(const model::Platform& platform,
+                                                  long long items,
+                                                  Algorithm algorithm) override;
+  void insert(const model::Platform& platform, long long items,
+              Algorithm algorithm, const ScatterPlan& plan) override;
+
+  // Keyed variants for callers that already built the key (the service
+  // computes each request's PlanKey once and reuses it for the cache
+  // probe, the coalescing map, and the final fill).
+  [[nodiscard]] std::optional<ScatterPlan> lookup(const PlanKey& key);
+  void insert(const PlanKey& key, const ScatterPlan& plan);
+
+  // Lookup-or-plan convenience: plan_scatter with this cache attached.
+  ScatterPlan plan(const model::Platform& platform, long long items,
+                   Algorithm algorithm = Algorithm::Auto,
+                   const DpOptions& dp = {});
+
+  // Observability hooks; call during setup, before concurrent use. Same
+  // contract and metric names as PlanCache ("plan_cache.hits" / ".misses"
+  // / ".evictions"), plus per-shard counters "plan_cache.shard<K>.hits" /
+  // ".misses" so cross-shard balance is visible.
+  void set_tracer(obs::Tracer* tracer);
+  void set_metrics(obs::Metrics* metrics);
+
+  using Stats = PlanCache::Stats;
+  [[nodiscard]] Stats stats() const;                   // summed over shards
+  [[nodiscard]] std::vector<Stats> shard_stats() const;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] std::size_t size() const;              // entries, all shards
+  [[nodiscard]] std::size_t capacity() const;          // shards * per-shard
+  [[nodiscard]] std::size_t capacity_per_shard() const { return capacity_per_shard_; }
+
+  // The shard a key lands on (pure function of the key; exposed so tests
+  // can craft per-shard workloads).
+  [[nodiscard]] int shard_for(const PlanKey& key) const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    PlanKey key;
+    ScatterPlan plan;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index;
+    Stats stats;
+    obs::Counter* hits_counter = nullptr;
+    obs::Counter* misses_counter = nullptr;
+  };
+
+  void record_probe(bool hit, long long items);
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+};
+
+}  // namespace lbs::core

@@ -40,6 +40,7 @@ class ZeroCost final : public CostFunction {
   }
   std::string describe() const override { return "zero"; }
   std::uint64_t fingerprint() const override { return hash_mix(kFnvOffset, std::uint64_t{1}); }
+  CostSpec spec() const override { return CostSpec{}; }
 };
 
 class LinearCost final : public CostFunction {
@@ -62,6 +63,12 @@ class LinearCost final : public CostFunction {
   }
   std::uint64_t fingerprint() const override {
     return hash_mix(hash_mix(kFnvOffset, std::uint64_t{2}), per_item_);
+  }
+  CostSpec spec() const override {
+    CostSpec out;
+    out.kind = CostSpec::Kind::Linear;
+    out.a = per_item_;
+    return out;
   }
 
  private:
@@ -89,6 +96,13 @@ class AffineCost final : public CostFunction {
   }
   std::uint64_t fingerprint() const override {
     return hash_mix(hash_mix(hash_mix(kFnvOffset, std::uint64_t{3}), fixed_), per_item_);
+  }
+  CostSpec spec() const override {
+    CostSpec out;
+    out.kind = CostSpec::Kind::Affine;
+    out.a = per_item_;
+    out.b = fixed_;
+    return out;
   }
 
  private:
@@ -154,6 +168,12 @@ class TabulatedCost final : public CostFunction {
     }
     return h;
   }
+  CostSpec spec() const override {
+    CostSpec out;
+    out.kind = CostSpec::Kind::Tabulated;
+    out.samples = samples_;
+    return out;
+  }
 
  private:
   std::vector<std::pair<long long, double>> samples_;
@@ -189,6 +209,14 @@ class ChunkedCost final : public CostFunction {
     h = hash_mix(h, static_cast<std::uint64_t>(chunk_));
     return hash_mix(h, step_);
   }
+  CostSpec spec() const override {
+    CostSpec out;
+    out.kind = CostSpec::Kind::Chunked;
+    out.a = per_item_;
+    out.b = step_;
+    out.chunk = chunk_;
+    return out;
+  }
 
  private:
   double per_item_;
@@ -216,6 +244,13 @@ class ScaledCost final : public CostFunction {
   std::uint64_t fingerprint() const override {
     return hash_mix(hash_mix(hash_mix(kFnvOffset, std::uint64_t{6}), factor_),
                     inner_.fingerprint());
+  }
+  CostSpec spec() const override {
+    CostSpec out;
+    out.kind = CostSpec::Kind::Scaled;
+    out.a = factor_;
+    out.inner = std::make_shared<const CostSpec>(inner_.spec());
+    return out;
   }
 
  private:
@@ -260,6 +295,21 @@ Cost Cost::from_bandwidth(double megabits_per_s, std::size_t item_bytes,
 Cost Cost::scaled(Cost inner, double factor) {
   if (factor == 1.0) return inner;
   return Cost(std::make_shared<ScaledCost>(std::move(inner), factor));
+}
+
+Cost Cost::from_spec(const CostSpec& spec) {
+  switch (spec.kind) {
+    case CostSpec::Kind::Zero: return zero();
+    case CostSpec::Kind::Linear: return linear(spec.a);
+    case CostSpec::Kind::Affine: return affine(spec.b, spec.a);
+    case CostSpec::Kind::Tabulated: return tabulated(spec.samples);
+    case CostSpec::Kind::Chunked: return chunked(spec.a, spec.chunk, spec.b);
+    case CostSpec::Kind::Scaled:
+      LBS_CHECK_MSG(spec.inner != nullptr, "scaled cost spec without inner");
+      return scaled(from_spec(*spec.inner), spec.a);
+  }
+  LBS_CHECK_MSG(false, "unknown cost spec kind");
+  return zero();  // unreachable
 }
 
 double Cost::per_item_slope() const {

@@ -29,6 +29,36 @@ struct AffineCoeffs {
   double per_item = 0.0;
 };
 
+// Exact structural description of a built-in cost function — the value
+// a Cost serializes to and reconstructs from. Round-tripping through
+// Cost::spec() / Cost::from_spec() preserves the function bit-for-bit
+// (same coefficients, same fingerprint), which is what lets the planning
+// service ship platforms over a wire and still key its plan cache on
+// Cost::fingerprint with no loss. Field meaning per kind:
+//   Zero:      no fields
+//   Linear:    a = per_item
+//   Affine:    a = per_item, b = fixed (b != 0; b == 0 normalizes to Linear)
+//   Tabulated: samples = the (items, seconds) breakpoints
+//   Chunked:   a = per_item, b = step, chunk = chunk size
+//   Scaled:    a = factor, inner = the wrapped spec
+struct CostSpec {
+  enum class Kind : std::uint8_t {
+    Zero = 0,
+    Linear = 1,
+    Affine = 2,
+    Tabulated = 3,
+    Chunked = 4,
+    Scaled = 5,
+  };
+
+  Kind kind = Kind::Zero;
+  double a = 0.0;
+  double b = 0.0;
+  long long chunk = 0;
+  std::vector<std::pair<long long, double>> samples;
+  std::shared_ptr<const CostSpec> inner;  // Scaled only
+};
+
 class CostFunction {
  public:
   virtual ~CostFunction() = default;
@@ -52,6 +82,9 @@ class CostFunction {
   // identically for every x, up to 64-bit hash collisions. This is what
   // core::PlanCache keys plans on.
   [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
+
+  // The serializable description of this function (see CostSpec).
+  [[nodiscard]] virtual CostSpec spec() const = 0;
 };
 
 // Value-semantic handle to an immutable cost function.
@@ -91,12 +124,19 @@ class Cost {
   // Preserves monotonicity; affine coefficients scale through.
   static Cost scaled(Cost inner, double factor);
 
+  // Reconstructs a Cost from its serialized description. The inverse of
+  // spec(): from_spec(c.spec()) evaluates and fingerprints identically to
+  // c for every built-in kind. Throws lbs::Error on malformed specs (the
+  // factory preconditions apply).
+  static Cost from_spec(const CostSpec& spec);
+
   [[nodiscard]] double operator()(long long items) const { return fn_->at(items); }
   [[nodiscard]] double at(long long items) const { return fn_->at(items); }
   [[nodiscard]] bool is_increasing() const { return fn_->is_increasing(); }
   [[nodiscard]] std::optional<AffineCoeffs> affine() const { return fn_->affine(); }
   [[nodiscard]] std::string describe() const { return fn_->describe(); }
   [[nodiscard]] std::uint64_t fingerprint() const { return fn_->fingerprint(); }
+  [[nodiscard]] CostSpec spec() const { return fn_->spec(); }
 
   // Per-item slope when affine/linear; throws otherwise.
   [[nodiscard]] double per_item_slope() const;

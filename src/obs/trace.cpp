@@ -42,6 +42,9 @@ const char* to_string(EventType type) {
     case EventType::RankDeath: return "rank.death";
     case EventType::CacheHit: return "cache.hit";
     case EventType::CacheMiss: return "cache.miss";
+    case EventType::ServiceRequest: return "service.request";
+    case EventType::ServiceQueue: return "service.queue";
+    case EventType::ServiceBatch: return "service.batch";
   }
   return "?";
 }

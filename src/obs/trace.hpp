@@ -45,6 +45,9 @@ enum class EventType : std::uint8_t {
   RankDeath,       // instant: fault-tolerant scatter evicted a dead rank
   CacheHit,        // instant: plan-cache probe hit
   CacheMiss,       // instant: plan-cache probe missed
+  ServiceRequest,  // span: one planning-service request, receipt to reply
+  ServiceQueue,    // span: a solve waiting in the service's bounded queue
+  ServiceBatch,    // span: one batch of solves fanned over the DP pool
 };
 
 // Stable event name ("comm.send", "cache.hit", ...): the Chrome export's
@@ -70,6 +73,10 @@ enum class Clock : std::uint8_t {
 //   RecoveryReplan: arg0 = items re-routed, arg1 = replan round
 //   RankDeath:      rank = victim, arg0 = undelivered items
 //   CacheHit/Miss:  arg0 = item count probed
+//   ServiceRequest: arg0 = items, arg1 = outcome (service::PlanStatus),
+//                   arg2 = 1 cache hit / 2 coalesced / 0 solved fresh
+//   ServiceQueue:   arg0 = queue depth at enqueue, arg1 = items
+//   ServiceBatch:   arg0 = batch size (solves fanned over the DP pool)
 struct TraceEvent {
   EventType type = EventType::ScatterPlan;
   Clock clock = Clock::Wall;

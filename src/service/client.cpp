@@ -1,0 +1,239 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "service/socket.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+PlanResponse disconnected_response(std::uint64_t id) {
+  PlanResponse response;
+  response.id = id;
+  response.status = PlanStatus::Disconnected;
+  response.message = "connection to lbsd lost before the reply arrived";
+  return response;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  fd_ = connect_unix(socket_path);
+  if (fd_ < 0) {
+    throw lbs::Error("service client: no server listening at " + socket_path);
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Client::~Client() { close(); }
+
+std::future<PlanResponse> Client::plan_async(const model::Platform& platform,
+                                             long long items,
+                                             core::Algorithm algorithm) {
+  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  std::promise<PlanResponse> promise;
+  std::future<PlanResponse> future = promise.get_future();
+  if (disconnected_.load(std::memory_order_acquire)) {
+    promise.set_value(disconnected_response(id));
+    return future;
+  }
+
+  PlanRequest request;
+  request.id = id;
+  request.algorithm = algorithm;
+  request.items = items;
+  request.platform = platform;
+  std::vector<std::uint8_t> payload = encode_plan_request(request);
+
+  // Register the promise *before* sending: the reply can race the return
+  // from send_payload.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_plans_.emplace(id, std::move(promise));
+  }
+  if (!send_payload(payload)) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_plans_.find(id);
+    if (it != pending_plans_.end()) {
+      it->second.set_value(disconnected_response(id));
+      pending_plans_.erase(it);
+    }
+  }
+  return future;
+}
+
+PlanResponse Client::plan(const model::Platform& platform, long long items,
+                          core::Algorithm algorithm) {
+  return plan_async(platform, items, algorithm).get();
+}
+
+PlanResponse Client::plan_with_retry(const model::Platform& platform,
+                                     long long items, core::Algorithm algorithm,
+                                     int max_retries) {
+  PlanResponse response;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    response = plan(platform, items, algorithm);
+    if (response.status != PlanStatus::Rejected) return response;
+    std::uint32_t wait_ms = response.retry_after_ms > 0 ? response.retry_after_ms : 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
+  return response;  // still Rejected after max_retries
+}
+
+bool Client::ping() {
+  auto future = send_control(MessageType::Ping);
+  Message reply = future.get();
+  return reply.type == MessageType::Pong;
+}
+
+std::string Client::server_stats() {
+  auto future = send_control(MessageType::StatsRequest);
+  Message reply = future.get();
+  if (reply.type != MessageType::StatsResponse) return {};
+  return reply.text;
+}
+
+bool Client::shutdown_server() {
+  auto future = send_control(MessageType::Shutdown);
+  Message reply = future.get();
+  return reply.type == MessageType::ShutdownAck;
+}
+
+std::future<Message> Client::send_control(MessageType type) {
+  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  std::promise<Message> promise;
+  std::future<Message> future = promise.get_future();
+  auto fail = [id](std::promise<Message>& p) {
+    Message dead;
+    dead.type = MessageType::PlanResponse;
+    dead.id = id;
+    dead.plan_response = disconnected_response(id);
+    p.set_value(std::move(dead));
+  };
+  if (disconnected_.load(std::memory_order_acquire)) {
+    fail(promise);
+    return future;
+  }
+
+  std::vector<std::uint8_t> payload = encode_control(type, id);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_controls_.emplace(id, std::move(promise));
+  }
+  if (!send_payload(payload)) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_controls_.find(id);
+    if (it != pending_controls_.end()) {
+      fail(it->second);
+      pending_controls_.erase(it);
+    }
+  }
+  return future;
+}
+
+bool Client::send_payload(const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0 || disconnected_.load(std::memory_order_acquire)) return false;
+  if (send_frame(fd_, payload)) return true;
+  disconnected_.store(true, std::memory_order_release);
+  return false;
+}
+
+void Client::reader_loop() {
+  std::vector<std::uint8_t> payload;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool ok = false;
+    try {
+      ok = recv_frame(fd_, payload, stop_);
+    } catch (const lbs::Error&) {
+      ok = false;  // mis-framed stream: treat as disconnect
+    }
+    if (!ok) break;
+
+    Message message;
+    try {
+      message = decode_message(payload);
+    } catch (const lbs::Error&) {
+      break;  // protocol violation: drop the connection
+    }
+
+    std::promise<PlanResponse> plan_promise;
+    std::promise<Message> control_promise;
+    bool have_plan = false;
+    bool have_control = false;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (message.type == MessageType::PlanResponse && message.plan_response) {
+        auto it = pending_plans_.find(message.id);
+        if (it != pending_plans_.end()) {
+          plan_promise = std::move(it->second);
+          pending_plans_.erase(it);
+          have_plan = true;
+        }
+      } else {
+        auto it = pending_controls_.find(message.id);
+        if (it != pending_controls_.end()) {
+          control_promise = std::move(it->second);
+          pending_controls_.erase(it);
+          have_control = true;
+        }
+      }
+    }
+    // Unmatched ids (a reply for a request we gave up on) are dropped.
+    if (have_plan) plan_promise.set_value(std::move(*message.plan_response));
+    if (have_control) control_promise.set_value(std::move(message));
+  }
+  disconnected_.store(true, std::memory_order_release);
+  fail_all_pending();
+}
+
+void Client::fail_all_pending() {
+  std::map<std::uint64_t, std::promise<PlanResponse>> plans;
+  std::map<std::uint64_t, std::promise<Message>> controls;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    plans.swap(pending_plans_);
+    controls.swap(pending_controls_);
+  }
+  for (auto& [id, promise] : plans) {
+    promise.set_value(disconnected_response(id));
+  }
+  for (auto& [id, promise] : controls) {
+    Message dead;
+    dead.type = MessageType::PlanResponse;
+    dead.id = id;
+    dead.plan_response = disconnected_response(id);
+    promise.set_value(std::move(dead));
+  }
+}
+
+void Client::close() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    if (reader_.joinable()) reader_.join();
+    return;
+  }
+  disconnected_.store(true, std::memory_order_release);
+  {
+    // shutdown() wakes the reader's poll immediately; close the fd only
+    // after the reader is joined so no other thread can reuse the number.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reader_.joinable()) reader_.join();
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    close_fd(fd_);
+    fd_ = -1;
+  }
+  fail_all_pending();
+}
+
+}  // namespace lbs::service

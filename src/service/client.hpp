@@ -1,0 +1,95 @@
+// Client library for the planning service (lbsd).
+//
+// One Client owns one connection and pipelines any number of in-flight
+// requests over it: plan_async returns a std::future immediately, a
+// background reader thread demultiplexes responses by request id, and
+// plan() is simply plan_async().get(). The client is thread-safe — many
+// threads may issue requests on one Client concurrently (sends serialize
+// on a write mutex; the wire format's ids keep replies matched).
+//
+// Backpressure contract: a PlanStatus::Rejected response is not an error,
+// it is the server saying "queue full, come back in retry_after_ms".
+// plan_with_retry implements the polite client loop (bounded retries,
+// honoring the hint). When the connection dies, every outstanding future
+// resolves with PlanStatus::Disconnected — futures never hang.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace lbs::service {
+
+class Client {
+ public:
+  // Connects to a listening lbsd socket. Throws lbs::Error when no server
+  // is reachable at `socket_path`.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Fire-and-collect: the returned future resolves when the server
+  // answers (Ok / Rejected / Error) or the connection dies
+  // (Disconnected). Safe to call from any thread, any number in flight.
+  [[nodiscard]] std::future<PlanResponse> plan_async(
+      const model::Platform& platform, long long items,
+      core::Algorithm algorithm = core::Algorithm::Auto);
+
+  // Synchronous convenience: plan_async + get.
+  [[nodiscard]] PlanResponse plan(const model::Platform& platform, long long items,
+                                  core::Algorithm algorithm = core::Algorithm::Auto);
+
+  // Retries Rejected responses up to `max_retries` times, sleeping the
+  // server's retry_after_ms hint between attempts. Other statuses return
+  // immediately.
+  [[nodiscard]] PlanResponse plan_with_retry(
+      const model::Platform& platform, long long items,
+      core::Algorithm algorithm = core::Algorithm::Auto, int max_retries = 8);
+
+  // Round-trips a Ping; false when the connection is gone.
+  [[nodiscard]] bool ping();
+
+  // Fetches the server's stats JSON; empty string when disconnected.
+  [[nodiscard]] std::string server_stats();
+
+  // Asks the server to shut down; true when the ack arrived.
+  bool shutdown_server();
+
+  [[nodiscard]] bool connected() const {
+    return !disconnected_.load(std::memory_order_acquire);
+  }
+
+  // Closes the connection; outstanding futures resolve Disconnected.
+  void close();
+
+ private:
+  // A control round-trip (Ping/StatsRequest/Shutdown): resolves with the
+  // matching response Message, or type == PlanResponse + Disconnected
+  // body when the connection dies first.
+  [[nodiscard]] std::future<Message> send_control(MessageType type);
+  [[nodiscard]] bool send_payload(const std::vector<std::uint8_t>& payload);
+  void reader_loop();
+  void fail_all_pending();
+
+  int fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> disconnected_{false};
+  std::thread reader_;
+  std::mutex write_mu_;
+
+  std::mutex pending_mu_;
+  std::map<std::uint64_t, std::promise<PlanResponse>> pending_plans_;
+  std::map<std::uint64_t, std::promise<Message>> pending_controls_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace lbs::service

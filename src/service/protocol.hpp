@@ -1,0 +1,169 @@
+// Wire protocol of the planning service (lbsd).
+//
+// Framing: every message is one length-prefixed frame
+//
+//   u32 payload_length (little-endian) | payload
+//
+// and every payload starts with `u8 version | u8 message_type | u64 id`.
+// The id is chosen by the requester and echoed verbatim in the response,
+// which is what lets a client pipeline many requests over one connection
+// and match replies out of order. Frames above kMaxFrameBytes are a
+// protocol violation (the peer is garbage or hostile) and close the
+// connection.
+//
+// A plan request ships the *structural* platform — each processor's
+// Tcomm/Tcomp as a model::CostSpec, root last, exactly the information
+// core::make_plan_key hashes — plus the item count and requested
+// algorithm. Labels and machine refs never cross the wire: two clients
+// with structurally identical platforms share cache entries and coalesce
+// onto the same in-flight solve.
+//
+// Responses carry a status (docs/service.md has the full semantics):
+//   Ok       the plan: counts (root last), makespan, provenance flags
+//   Rejected backpressure — the solve queue was full; retry_after_ms is
+//            the server's hint for when to try again
+//   Error    malformed/inadmissible request or a planner precondition
+//            failure (e.g. forced lp-heuristic on non-affine costs)
+//
+// Integers are little-endian; doubles are IEEE-754 bit patterns shipped
+// as u64, so costs round-trip bit-exactly and cache keys agree across
+// client and server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/cost.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::service {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+// Nested Scaled specs deeper than this are rejected at decode (a legit
+// platform wraps a cost a handful of times; a hostile frame recurses).
+inline constexpr int kMaxCostSpecDepth = 16;
+
+enum class MessageType : std::uint8_t {
+  PlanRequest = 1,
+  PlanResponse = 2,
+  Ping = 3,
+  Pong = 4,
+  StatsRequest = 5,
+  StatsResponse = 6,
+  Shutdown = 7,
+  ShutdownAck = 8,
+};
+
+enum class PlanStatus : std::uint8_t {
+  Ok = 0,
+  Rejected = 1,      // backpressure: queue full, retry later
+  Error = 2,         // inadmissible request or planner failure
+  Disconnected = 3,  // client-side only: connection died before the reply
+};
+
+struct PlanRequest {
+  std::uint64_t id = 0;
+  core::Algorithm algorithm = core::Algorithm::Auto;
+  long long items = 0;
+  model::Platform platform;  // root last; labels synthesized on decode
+};
+
+struct PlanResponse {
+  std::uint64_t id = 0;
+  PlanStatus status = PlanStatus::Ok;
+
+  // status == Ok:
+  std::vector<long long> counts;  // aligned with the request's processors
+  double predicted_makespan = 0.0;
+  core::Algorithm algorithm_used = core::Algorithm::Auto;
+  long long dp_cells_evaluated = 0;
+  bool cache_hit = false;   // served straight from the sharded cache
+  bool coalesced = false;   // attached to another request's in-flight solve
+
+  // status == Rejected:
+  std::uint32_t retry_after_ms = 0;
+
+  // status == Error (and Disconnected): human-readable cause.
+  std::string message;
+
+  // Prefix sums of counts — the displacements an MPI_Scatterv needs.
+  [[nodiscard]] std::vector<long long> displacements() const;
+};
+
+// A decoded frame: exactly one of the optional bodies is set, matching
+// `type` (control messages carry only the id; StatsResponse carries text).
+struct Message {
+  MessageType type = MessageType::Ping;
+  std::uint64_t id = 0;
+  std::optional<PlanRequest> plan_request;
+  std::optional<PlanResponse> plan_response;
+  std::string text;  // StatsResponse: metrics JSON
+};
+
+// Bounds-checked little-endian reader over a received payload. All reads
+// throw lbs::Error("wire: ...") on underrun or malformed data; the server
+// and client treat that as a fatal protocol violation on the connection.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] long long read_i64();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();  // u32 length + bytes
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  // Throws unless the payload was consumed exactly (trailing bytes mean a
+  // mis-framed or corrupt message).
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Append-only little-endian writer building a payload.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t value);
+  void put_u32(std::uint32_t value);
+  void put_u64(std::uint64_t value);
+  void put_i64(long long value);
+  void put_f64(double value);
+  void put_string(const std::string& value);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+// Cost / platform serialization (exact round-trip; see model::CostSpec).
+void encode_cost(WireWriter& out, const model::Cost& cost);
+[[nodiscard]] model::Cost decode_cost(WireReader& in);
+void encode_platform(WireWriter& out, const model::Platform& platform);
+[[nodiscard]] model::Platform decode_platform(WireReader& in);
+
+// Message encoding: complete payloads (version + type + id + body),
+// ready for a length-prefixed frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_plan_request(const PlanRequest& request);
+[[nodiscard]] std::vector<std::uint8_t> encode_plan_response(const PlanResponse& response);
+[[nodiscard]] std::vector<std::uint8_t> encode_control(MessageType type, std::uint64_t id);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_response(std::uint64_t id,
+                                                              const std::string& json);
+
+// Decodes one payload. Throws lbs::Error on version mismatch, unknown
+// type, truncation, or trailing bytes.
+[[nodiscard]] Message decode_message(const std::uint8_t* data, std::size_t size);
+[[nodiscard]] Message decode_message(const std::vector<std::uint8_t>& payload);
+
+}  // namespace lbs::service

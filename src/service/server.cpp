@@ -1,0 +1,408 @@
+#include "service/server.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/socket.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+// service.request span arg2: how the request was satisfied.
+constexpr long long kServedFresh = 0;
+constexpr long long kServedFromCache = 1;
+constexpr long long kServedCoalesced = 2;
+
+}  // namespace
+
+bool Server::Connection::send(const std::vector<std::uint8_t>& payload) {
+  std::lock_guard lock(write_mu);
+  if (fd < 0) return false;
+  return send_frame(fd, payload);
+}
+
+void Server::Connection::close() {
+  std::lock_guard lock(write_mu);
+  if (fd >= 0) {
+    close_fd(fd);
+    fd = -1;
+  }
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_shards, options_.cache_capacity_per_shard),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::global_metrics()),
+      // The dispatcher participates in every for_range, so a pool of
+      // (dp_workers - 1) background threads yields dp_workers-way solves.
+      pool_((options_.dp_workers > 0 ? options_.dp_workers
+                                     : support::default_parallelism()) -
+            1),
+      queue_(options_.max_queue) {
+  LBS_CHECK_MSG(!options_.socket_path.empty(), "server needs a socket path");
+  LBS_CHECK_MSG(options_.max_queue >= 1, "server queue needs capacity >= 1");
+  LBS_CHECK_MSG(options_.max_batch >= 1, "server batch size must be >= 1");
+  LBS_CHECK_MSG(options_.max_processors >= 1, "max_processors must be >= 1");
+  cache_.set_tracer(options_.tracer);
+  cache_.set_metrics(metrics_);
+}
+
+Server::~Server() { stop(); }
+
+obs::Tracer* Server::tracer() const {
+  return options_.tracer != nullptr ? options_.tracer : obs::global_tracer();
+}
+
+void Server::start() {
+  LBS_CHECK_MSG(!started_, "server already started");
+  listen_fd_ = listen_unix(options_.socket_path);
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  dispatch_thread_ = std::thread(&Server::dispatch_loop, this);
+}
+
+void Server::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  queue_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(connections_mu_);
+    for (auto& thread : connection_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    connection_threads_.clear();
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  started_ = false;
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard lock(stop_request_mu_);
+    stop_requested_ = true;
+  }
+  stop_request_cv_.notify_all();
+}
+
+bool Server::stop_requested() const {
+  std::lock_guard lock(stop_request_mu_);
+  return stop_requested_;
+}
+
+bool Server::wait_until_stop_requested_for(int timeout_ms) {
+  std::unique_lock lock(stop_request_mu_);
+  return stop_request_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                   [this] { return stop_requested_; });
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = accept_with_stop(listen_fd_, stop_);
+    if (fd < 0) break;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.connections").add();
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard lock(connections_mu_);
+    connection_threads_.emplace_back(&Server::connection_loop, this, connection);
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> connection) {
+  std::vector<std::uint8_t> payload;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool got = false;
+    try {
+      got = recv_frame(connection->fd, payload, stop_);
+    } catch (const lbs::Error&) {
+      break;  // mis-framed stream: drop the connection
+    }
+    if (!got) break;
+    try {
+      handle_message(connection, decode_message(payload));
+    } catch (const lbs::Error&) {
+      // Protocol violation (bad version, unknown type, truncated body):
+      // nothing sensible to answer — close.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.protocol_errors").add();
+      break;
+    }
+  }
+  connection->close();
+}
+
+void Server::handle_message(const std::shared_ptr<Connection>& connection,
+                            Message&& message) {
+  switch (message.type) {
+    case MessageType::PlanRequest:
+      handle_plan(connection, *std::move(message.plan_request));
+      return;
+    case MessageType::Ping:
+      (void)connection->send(encode_control(MessageType::Pong, message.id));
+      return;
+    case MessageType::StatsRequest:
+      (void)connection->send(encode_stats_response(message.id, stats_json()));
+      return;
+    case MessageType::Shutdown:
+      (void)connection->send(encode_control(MessageType::ShutdownAck, message.id));
+      request_stop();
+      return;
+    case MessageType::PlanResponse:
+    case MessageType::Pong:
+    case MessageType::StatsResponse:
+    case MessageType::ShutdownAck:
+      // Server-to-client messages arriving at the server: protocol abuse.
+      throw lbs::Error("wire: client sent a server-side message type");
+  }
+}
+
+void Server::respond_plan(const Waiter& waiter, PlanResponse response) {
+  response.id = waiter.request_id;
+  if (response.status == PlanStatus::Ok) response.coalesced = waiter.coalesced;
+  double now = obs::wall_now();
+
+  // Span and metrics BEFORE the reply leaves: the reply is the client's
+  // synchronization point, so anyone who has the response is guaranteed
+  // the request's span is already recorded.
+  if (obs::Tracer* t = tracer()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::ServiceRequest;
+    event.start = waiter.received_at;
+    event.duration = now - waiter.received_at;
+    event.arg0 = response.counts.empty()
+                     ? 0
+                     : [&] {
+                         long long total = 0;
+                         for (long long c : response.counts) total += c;
+                         return total;
+                       }();
+    event.arg1 = static_cast<long long>(response.status);
+    event.arg2 = response.cache_hit ? kServedFromCache
+                 : waiter.coalesced ? kServedCoalesced
+                                    : kServedFresh;
+    t->record(event);
+  }
+  metrics_->histogram("service.request_seconds")
+      .observe(now - waiter.received_at);
+
+  (void)waiter.connection->send(encode_plan_response(response));
+}
+
+void Server::handle_plan(const std::shared_ptr<Connection>& connection,
+                         PlanRequest&& request) {
+  const double received_at = obs::wall_now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("service.requests").add();
+  Waiter waiter{connection, request.id, /*coalesced=*/false, received_at};
+
+  // Admission control: answer implausible requests before they cost
+  // anything. (The wire layer already bounds processor count at 2^20;
+  // these are the operator's tighter limits.)
+  if (request.platform.size() > options_.max_processors ||
+      request.items < 0 || request.items > options_.max_items) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.errors").add();
+    PlanResponse response;
+    response.status = PlanStatus::Error;
+    response.message = request.items < 0 ? "negative item count"
+                       : request.items > options_.max_items
+                           ? "item count exceeds server max_items"
+                           : "processor count exceeds server max_processors";
+    respond_plan(waiter, std::move(response));
+    return;
+  }
+
+  core::PlanKey key =
+      core::make_plan_key(request.platform, request.items, request.algorithm);
+
+  if (auto cached = cache_.lookup(key)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.cache_hits").add();
+    PlanResponse response;
+    response.status = PlanStatus::Ok;
+    response.counts = cached->distribution.counts;
+    response.predicted_makespan = cached->predicted_makespan;
+    response.algorithm_used = cached->algorithm_used;
+    response.dp_cells_evaluated = cached->dp_cells_evaluated;
+    response.cache_hit = true;
+    respond_plan(waiter, std::move(response));
+    return;
+  }
+
+  {
+    std::unique_lock lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // An identical solve is already queued or running: attach. This
+      // request will be answered by that solve's completion — k identical
+      // concurrent requests cost exactly one dp.solve.
+      waiter.coalesced = true;
+      it->second->waiters.push_back(std::move(waiter));
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.coalesced").add();
+      return;
+    }
+
+    auto pending = std::make_shared<PendingSolve>();
+    pending->key = key;
+    pending->platform = std::move(request.platform);
+    pending->items = request.items;
+    pending->algorithm = request.algorithm;
+    pending->waiters.push_back(std::move(waiter));
+    pending->enqueued_at = obs::wall_now();
+    pending->depth_at_enqueue = queue_.size();
+    if (!queue_.try_push(pending)) {
+      lock.unlock();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.rejected").add();
+      PlanResponse response;
+      response.status = PlanStatus::Rejected;
+      response.retry_after_ms = options_.retry_after_ms;
+      respond_plan(pending->waiters.front(), std::move(response));
+      return;
+    }
+    inflight_.emplace(std::move(key), std::move(pending));
+  }
+  metrics_->histogram("service.queue_depth")
+      .observe(static_cast<double>(queue_.size()));
+}
+
+void Server::dispatch_loop() {
+  std::vector<PendingPtr> batch;
+  while (true) {
+    batch.clear();
+    std::size_t got = queue_.pop_batch(batch, static_cast<std::size_t>(options_.max_batch));
+    if (got == 0) break;  // queue closed and fully drained
+
+    const double batch_start = obs::wall_now();
+    obs::Tracer* t = tracer();
+    if (t != nullptr) {
+      for (const auto& pending : batch) {
+        obs::TraceEvent event;
+        event.type = obs::EventType::ServiceQueue;
+        event.start = pending->enqueued_at;
+        event.duration = batch_start - pending->enqueued_at;
+        event.arg0 = static_cast<long long>(pending->depth_at_enqueue);
+        event.arg1 = pending->items;
+        t->record(event);
+      }
+    }
+    for (const auto& pending : batch) {
+      metrics_->histogram("service.queue_seconds")
+          .observe(batch_start - pending->enqueued_at);
+    }
+
+    metrics_->counter("service.batches").add();
+    metrics_->histogram("service.batch_size")
+        .observe(static_cast<double>(batch.size()));
+
+    if (batch.size() == 1) {
+      solve_one(*batch.front());
+    } else {
+      pool_.for_range(0, static_cast<long long>(batch.size()), 1,
+                      [&](long long begin, long long end) {
+                        for (long long i = begin; i < end; ++i) {
+                          solve_one(*batch[static_cast<std::size_t>(i)]);
+                        }
+                      });
+    }
+
+    if (t != nullptr) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::ServiceBatch;
+      event.start = batch_start;
+      event.duration = obs::wall_now() - batch_start;
+      event.arg0 = static_cast<long long>(batch.size());
+      t->record(event);
+    }
+  }
+}
+
+void Server::solve_one(PendingSolve& pending) {
+  if (options_.solve_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.solve_delay_ms));
+  }
+
+  PlanResponse base;
+  try {
+    core::PlannerOptions planner_options;
+    planner_options.algorithm = pending.algorithm;
+    planner_options.dp.threads = options_.dp_threads_per_solve;
+    planner_options.tracer = options_.tracer;
+    planner_options.metrics = metrics_;
+    // No cache attached: intake already probed it, and the in-flight map
+    // guarantees this is the only solve for the key. Filled below —
+    // *before* the key leaves the map, so a request arriving in between
+    // hits the cache instead of starting a second solve.
+    core::ScatterPlan plan =
+        core::plan_scatter(pending.platform, pending.items, planner_options);
+    cache_.insert(pending.key, plan);
+    solved_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.solved").add();
+    base.status = PlanStatus::Ok;
+    base.counts = std::move(plan.distribution.counts);
+    base.predicted_makespan = plan.predicted_makespan;
+    base.algorithm_used = plan.algorithm_used;
+    base.dp_cells_evaluated = plan.dp_cells_evaluated;
+  } catch (const lbs::Error& error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.errors").add();
+    base.status = PlanStatus::Error;
+    base.message = error.what();
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(inflight_mu_);
+    waiters = std::move(pending.waiters);
+    pending.waiters.clear();
+    inflight_.erase(pending.key);
+  }
+  for (const Waiter& waiter : waiters) {
+    respond_plan(waiter, base);
+  }
+}
+
+Server::Counters Server::counters() const {
+  Counters out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.solved = solved_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.connections = connections_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string Server::stats_json() const {
+  Counters c = counters();
+  core::ShardedPlanCache::Stats cache_stats = cache_.stats();
+  std::ostringstream out;
+  out << "{\"service\": {"
+      << "\"requests\": " << c.requests << ", \"cache_hits\": " << c.cache_hits
+      << ", \"coalesced\": " << c.coalesced << ", \"solved\": " << c.solved
+      << ", \"rejected\": " << c.rejected << ", \"errors\": " << c.errors
+      << ", \"connections\": " << c.connections
+      << ", \"queue_depth\": " << queue_.size() << "}, \"cache\": {"
+      << "\"hits\": " << cache_stats.hits << ", \"misses\": " << cache_stats.misses
+      << ", \"evictions\": " << cache_stats.evictions
+      << ", \"size\": " << cache_.size() << ", \"shards\": " << cache_.shards()
+      << "}, \"metrics\": " << metrics_->json_snapshot() << "}";
+  return out.str();
+}
+
+}  // namespace lbs::service

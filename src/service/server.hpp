@@ -1,0 +1,216 @@
+// lbsd — the asynchronous batched planning service.
+//
+// The paper's central move is that a load-balanced scatter's distribution
+// n_1..n_p is computed *statically* from the cost model, which makes
+// planning a cacheable, batchable function of (platform costs, n,
+// algorithm) — exactly the shape of a service. Server turns the planner
+// engine into one long-running daemon that many clients share:
+//
+//   connection threads ──┐                        ┌── DP worker pool
+//     decode request     │   bounded solve queue  │   (support::ThreadPool)
+//     probe shard cache ─┼──► PendingSolve ───────┼─► plan_scatter
+//     coalesce in-flight │   (backpressure)       │   fill cache, fan out
+//                        └────────────────────────┘   replies to waiters
+//
+// The request path, in order:
+//   1. admission — implausible requests (too many processors, too many
+//      items) get an immediate Error; nothing hostile reaches the DP.
+//   2. cache probe — core::ShardedPlanCache, N lock-striped LRU shards
+//      keyed by the same PlanKey the planner uses. A hit answers without
+//      touching the queue.
+//   3. coalescing — an in-flight map keyed by PlanKey. If an identical
+//      solve is already queued or running, the request attaches as a
+//      waiter: k concurrent identical requests cost exactly one dp.solve.
+//   4. backpressure — new unique solves enter a bounded queue
+//      (support::BoundedQueue). When it is full the request is Rejected
+//      with a retry_after_ms hint instead of growing the queue without
+//      bound.
+//   5. batching — one dispatcher claims up to max_batch pending solves at
+//      a time and fans them across the DP worker pool; independent plans
+//      compute in parallel, each filling the cache and answering every
+//      waiter attached to its key.
+//
+// Observability (docs/observability.md): service.request spans (receipt
+// to reply, outcome in arg1/arg2), service.queue spans (time a solve
+// waited), service.batch spans (size in arg0), plus service.* counters
+// and latency/queue-depth histograms in obs::Metrics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sharded_plan_cache.hpp"
+#include "service/protocol.hpp"
+#include "support/bounded_queue.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lbs::obs {
+class Counter;
+class Metrics;
+class Tracer;
+}
+
+namespace lbs::service {
+
+struct ServerOptions {
+  // Filesystem path of the Unix-domain listening socket (required).
+  std::string socket_path;
+
+  // Sharded plan cache geometry (core::ShardedPlanCache).
+  int cache_shards = 8;
+  std::size_t cache_capacity_per_shard = 128;
+
+  // DP worker pool: how many solves can run concurrently. 0 means
+  // support::default_parallelism() (LBS_PLANNER_THREADS / hardware).
+  int dp_workers = 0;
+  // Threads *inside* each DP solve. The default 1 keeps individual solves
+  // serial and spends all parallelism across independent requests — the
+  // right trade for throughput; raise it only for latency-critical huge
+  // single plans.
+  int dp_threads_per_solve = 1;
+
+  // Backpressure: at most this many unique solves queued (in-flight
+  // waiters attach for free). When full, requests are Rejected with
+  // `retry_after_ms` as the client's retry hint.
+  std::size_t max_queue = 256;
+  std::uint32_t retry_after_ms = 50;
+
+  // Batching: solves the dispatcher claims per queue pass.
+  int max_batch = 16;
+
+  // Admission control: requests beyond these bounds are answered with an
+  // Error response before any planning work happens.
+  int max_processors = 4096;
+  long long max_items = 1LL << 40;
+
+  // Fault-injection knob (tests, chaos drills): sleep this long inside
+  // each solve before planning, widening the coalescing window
+  // deterministically. 0 in production.
+  int solve_delay_ms = 0;
+
+  // Observability. Null tracer falls back to obs::global_tracer() (and
+  // tracing is off when that is null too); null metrics falls back to
+  // obs::global_metrics().
+  obs::Tracer* tracer = nullptr;
+  obs::Metrics* metrics = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket and spawns the accept loop + dispatcher. Throws
+  // lbs::Error when the socket cannot be bound.
+  void start();
+
+  // Stops accepting, drains the queue (every accepted solve is answered),
+  // joins all threads, and removes the socket file. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return started_ && !stop_.load(); }
+
+  // Cooperative shutdown signal (what a Shutdown message triggers): wakes
+  // wait_until_stop_requested so the owner — lbsd's main — can call
+  // stop() from outside the connection threads.
+  void request_stop();
+  [[nodiscard]] bool stop_requested() const;
+  // Returns true when stop was requested within `timeout_ms` (poll this
+  // from a main loop that also watches process signals).
+  bool wait_until_stop_requested_for(int timeout_ms);
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] core::ShardedPlanCache& cache() { return cache_; }
+
+  // Monotonic totals since start; `requests` counts plan requests only.
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t solved = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t connections = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  // The StatsResponse body: {"service": ..., "cache": ..., "metrics": ...}.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;  // one frame writer at a time; also guards close
+
+    bool send(const std::vector<std::uint8_t>& payload);
+    void close();
+  };
+  struct Waiter {
+    std::shared_ptr<Connection> connection;
+    std::uint64_t request_id = 0;
+    bool coalesced = false;
+    double received_at = 0.0;  // obs::wall_now() at intake
+  };
+  struct PendingSolve {
+    core::PlanKey key;
+    model::Platform platform;
+    long long items = 0;
+    core::Algorithm algorithm = core::Algorithm::Auto;
+    double enqueued_at = 0.0;
+    std::size_t depth_at_enqueue = 0;
+    std::vector<Waiter> waiters;  // guarded by Server::inflight_mu_
+  };
+  using PendingPtr = std::shared_ptr<PendingSolve>;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> connection);
+  void dispatch_loop();
+  void handle_message(const std::shared_ptr<Connection>& connection,
+                      Message&& message);
+  void handle_plan(const std::shared_ptr<Connection>& connection,
+                   PlanRequest&& request);
+  void solve_one(PendingSolve& pending);
+  void respond_plan(const Waiter& waiter, PlanResponse response);
+  [[nodiscard]] obs::Tracer* tracer() const;
+
+  ServerOptions options_;
+  core::ShardedPlanCache cache_;
+  obs::Metrics* metrics_ = nullptr;
+  support::ThreadPool pool_;
+  support::BoundedQueue<PendingPtr> queue_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<core::PlanKey, PendingPtr, core::PlanKeyHash> inflight_;
+
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connection_threads_;
+
+  mutable std::mutex stop_request_mu_;
+  std::condition_variable stop_request_cv_;
+  bool stop_requested_ = false;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> solved_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> connections_{0};
+};
+
+}  // namespace lbs::service

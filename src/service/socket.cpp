@@ -1,0 +1,160 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw lbs::Error("service socket: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  LBS_CHECK_MSG(path.size() + 1 <= sizeof(address.sun_path),
+                "socket path too long for sockaddr_un");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+// True when `fd` became readable; false on stop. Throws on poll failure.
+bool wait_readable(int fd, const std::atomic<bool>& stop, int slice_ms) {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, slice_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll");
+    }
+    if (ready > 0) return true;  // readable, HUP, or error: read() resolves it
+  }
+  return false;
+}
+
+// Reads exactly `size` bytes. Returns false on EOF/reset/stop.
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                const std::atomic<bool>& stop, int slice_ms) {
+  std::size_t done = 0;
+  while (done < size) {
+    if (!wait_readable(fd, stop, slice_ms)) return false;
+    ssize_t got = ::read(fd, data + done, size - done);
+    if (got == 0) return false;  // orderly EOF
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (errno == ECONNRESET) return false;
+      raise_errno("read");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un address = make_address(path);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    raise_errno("bind " + path);
+  }
+  if (::listen(fd, backlog) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    raise_errno("listen " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un address = make_address(path);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    if (saved == ENOENT || saved == ECONNREFUSED) return -1;
+    errno = saved;
+    raise_errno("connect " + path);
+  }
+  return fd;
+}
+
+int accept_with_stop(int listen_fd, const std::atomic<bool>& stop, int slice_ms) {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, slice_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll(listen)");
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
+    return -1;  // listener closed under us: shutdown path
+  }
+  return -1;
+}
+
+bool send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  LBS_CHECK_MSG(payload.size() <= kMaxFrameBytes, "frame exceeds kMaxFrameBytes");
+  std::uint8_t header[4];
+  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+  }
+
+  auto write_all = [fd](const std::uint8_t* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+      ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET || errno == EBADF) return false;
+        raise_errno("send");
+      }
+      done += static_cast<std::size_t>(put);
+    }
+    return true;
+  };
+
+  if (!write_all(header, sizeof(header))) return false;
+  return write_all(payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::vector<std::uint8_t>& payload,
+                const std::atomic<bool>& stop, int slice_ms) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof(header), stop, slice_ms)) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  LBS_CHECK_MSG(length <= kMaxFrameBytes, "frame length exceeds kMaxFrameBytes");
+  payload.resize(length);
+  if (length == 0) return true;
+  return read_exact(fd, payload.data(), length, stop, slice_ms);
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace lbs::service

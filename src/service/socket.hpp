@@ -1,0 +1,50 @@
+// Thin POSIX wrappers for the service's Unix-domain transport.
+//
+// lbsd listens on a filesystem socket (SOCK_STREAM over AF_UNIX): local,
+// no network dependency, and the length-prefixed framing from
+// service/protocol.hpp rides on a reliable byte stream. Everything here
+// is blocking-with-poll: reads wait in poll() slices so a thread blocked
+// on a quiet peer still notices `stop` (the server/client shutdown flag)
+// within one slice instead of hanging in read(2) forever.
+//
+// Error policy follows the repo convention: conditions that are *data*
+// (peer hung up, stop requested) are return values; violated invariants
+// and unexpected syscall failures throw lbs::Error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbs::service {
+
+// Binds and listens on `path` (unlinking any stale socket file first).
+// Returns the listening fd; throws lbs::Error on failure (e.g. a path
+// longer than sockaddr_un allows).
+[[nodiscard]] int listen_unix(const std::string& path, int backlog = 64);
+
+// Connects to a listening socket. Returns the fd, or -1 when the server
+// is not there (no daemon, stale path); throws on unexpected errors.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+// Accepts one connection, polling in `slice_ms` intervals so `stop` is
+// honored. Returns the connection fd, or -1 on stop/listener close.
+[[nodiscard]] int accept_with_stop(int listen_fd, const std::atomic<bool>& stop,
+                                   int slice_ms = 100);
+
+// Writes a complete frame (u32 length + payload). Serialized by the
+// caller (one writer at a time per fd). Returns false when the peer is
+// gone (EPIPE/ECONNRESET); throws on other failures or oversized
+// payloads. SIGPIPE is suppressed (MSG_NOSIGNAL).
+[[nodiscard]] bool send_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+// Reads a complete frame into `payload`. Returns false on orderly EOF,
+// peer reset, or stop. Throws lbs::Error on a mis-framed stream (length
+// above kMaxFrameBytes) — the caller should drop the connection.
+[[nodiscard]] bool recv_frame(int fd, std::vector<std::uint8_t>& payload,
+                              const std::atomic<bool>& stop, int slice_ms = 100);
+
+void close_fd(int fd);
+
+}  // namespace lbs::service

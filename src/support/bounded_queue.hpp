@@ -1,0 +1,97 @@
+// Bounded multi-producer/multi-consumer queue with non-blocking admission.
+//
+// The planning service's backpressure primitive: producers (connection
+// threads) try_push and get an immediate false when the queue is full —
+// the caller turns that into a reject-with-retry-after response instead
+// of letting latency grow without bound. Consumers block in pop /
+// pop_batch until work arrives or the queue is closed.
+//
+// close() wakes every blocked consumer; pops then drain the remaining
+// items before reporting emptiness, so no accepted work is lost on
+// shutdown. After close(), try_push always returns false.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lbs::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Admission: false when the queue is at capacity or closed; the item is
+  // not consumed in that case.
+  [[nodiscard]] bool try_push(const T& value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(value);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained;
+  // false means "closed and empty" (consumers should exit).
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Like pop, but claims up to `max` items in one critical section
+  // (appended to `out`). Returns the number claimed; 0 means closed and
+  // empty.
+  [[nodiscard]] std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::size_t claimed = 0;
+    while (claimed < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++claimed;
+    }
+    return claimed;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lbs::support

@@ -127,6 +127,54 @@ TEST(Cost, FromBandwidthRejectsBadInput) {
   EXPECT_THROW(Cost::from_bandwidth(100.0, 0), lbs::Error);
 }
 
+// spec()/from_spec round-trips every kind exactly: same fingerprint, same
+// evaluations. This is what the planning service's wire protocol leans on
+// — a platform decoded from a frame must produce the same cache key the
+// sender computed.
+TEST(CostSpec, RoundTripsEveryKindExactly) {
+  std::vector<Cost> costs = {
+      Cost::zero(),
+      Cost::linear(0.009288),
+      Cost::affine(0.1, 8.192e-4),
+      Cost::tabulated({{10, 1.0}, {100, 8.5}, {1000, 77.25}}),
+      Cost::chunked(0.1, 5, 1.0),
+      Cost::scaled(Cost::linear(0.5), 1.75),
+      Cost::scaled(Cost::tabulated({{5, 1.0}, {50, 9.5}}), 0.25),
+  };
+  for (const auto& cost : costs) {
+    Cost round = Cost::from_spec(cost.spec());
+    EXPECT_EQ(round.fingerprint(), cost.fingerprint());
+    for (long long n : {0LL, 1LL, 7LL, 100LL, 12345LL}) {
+      EXPECT_DOUBLE_EQ(round(n), cost(n)) << "n=" << n;
+    }
+    EXPECT_EQ(round.is_increasing(), cost.is_increasing());
+  }
+}
+
+TEST(CostSpec, SpecFieldsCarryTheCoefficients) {
+  auto affine = Cost::affine(3.5, 0.01).spec();
+  EXPECT_EQ(affine.kind, CostSpec::Kind::Affine);
+  EXPECT_DOUBLE_EQ(affine.a, 0.01);  // per-item
+  EXPECT_DOUBLE_EQ(affine.b, 3.5);   // fixed
+
+  auto chunked = Cost::chunked(0.1, 5, 1.0).spec();
+  EXPECT_EQ(chunked.kind, CostSpec::Kind::Chunked);
+  EXPECT_EQ(chunked.chunk, 5);
+
+  auto scaled = Cost::scaled(Cost::linear(0.5), 2.0).spec();
+  EXPECT_EQ(scaled.kind, CostSpec::Kind::Scaled);
+  ASSERT_NE(scaled.inner, nullptr);
+  EXPECT_EQ(scaled.inner->kind, CostSpec::Kind::Linear);
+  EXPECT_DOUBLE_EQ(scaled.inner->a, 0.5);
+}
+
+TEST(CostSpec, FromSpecRejectsScaledWithoutInner) {
+  CostSpec spec;
+  spec.kind = CostSpec::Kind::Scaled;
+  spec.a = 2.0;
+  EXPECT_THROW(static_cast<void>(Cost::from_spec(spec)), lbs::Error);
+}
+
 TEST(Calibrate, RecoversLinearModel) {
   std::vector<std::pair<long long, double>> samples;
   for (long long x = 1000; x <= 10000; x += 1000) {

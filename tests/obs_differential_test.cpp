@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -78,11 +79,22 @@ void check_plan_against_simulator(const model::Platform& platform,
       /*anchor=*/0.0, /*time_scale=*/1.0, /*rel_tol=*/1e-12, /*abs_tol=*/1e-9);
 }
 
+// Trial-count multiplier: the nightly CI job sets LBS_DIFFERENTIAL_ITERS
+// (e.g. 10) to sweep 10x the trials per seed; the default 1 keeps the
+// regular ctest run fast. Each trial draws fresh randomness from the
+// seed's stream, so a deeper sweep strictly extends the shallow one.
+int differential_iters() {
+  const char* raw = std::getenv("LBS_DIFFERENTIAL_ITERS");
+  if (raw == nullptr) return 1;
+  int value = std::atoi(raw);
+  return value >= 1 ? value : 1;
+}
+
 class DifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DifferentialSweep, LinearPlatformsAgreeAcrossAllAlgorithms) {
   support::Rng rng(GetParam());
-  for (int trial = 0; trial < 4; ++trial) {
+  for (int trial = 0; trial < 4 * differential_iters(); ++trial) {
     int p = static_cast<int>(rng.uniform_int(2, 16));
     long long n = rng.uniform_int(50, 5000);
     auto platform = random_platform(rng, p, /*affine=*/false);
@@ -113,7 +125,7 @@ TEST_P(DifferentialSweep, LinearPlatformsAgreeAcrossAllAlgorithms) {
 
 TEST_P(DifferentialSweep, AffinePlatformsKeepLpWithinTheGuarantee) {
   support::Rng rng(GetParam() + 1000);
-  for (int trial = 0; trial < 3; ++trial) {
+  for (int trial = 0; trial < 3 * differential_iters(); ++trial) {
     int p = static_cast<int>(rng.uniform_int(2, 16));
     long long n = rng.uniform_int(50, 5000);
     auto platform = random_platform(rng, p, /*affine=*/true);
@@ -135,7 +147,7 @@ TEST_P(DifferentialSweep, AffinePlatformsKeepLpWithinTheGuarantee) {
 
 TEST_P(DifferentialSweep, ExactAndOptimizedDpAgreeOnSmallInstances) {
   support::Rng rng(GetParam() + 2000);
-  for (int trial = 0; trial < 3; ++trial) {
+  for (int trial = 0; trial < 3 * differential_iters(); ++trial) {
     int p = static_cast<int>(rng.uniform_int(2, 6));
     long long n = rng.uniform_int(5, 120);
     auto platform = random_platform(rng, p, rng.bernoulli(0.5));

@@ -1,0 +1,120 @@
+#include "support/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace lbs::support {
+namespace {
+
+TEST(BoundedQueue, PushPopRoundTrip) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_EQ(queue.size(), 2u);
+
+  int value = 0;
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 2);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // backpressure: at capacity
+
+  int value = 0;
+  ASSERT_TRUE(queue.pop(value));
+  EXPECT_TRUE(queue.try_push(3));  // a pop frees a slot
+}
+
+TEST(BoundedQueue, CloseDrainsThenReportsEmpty) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // closed: no new admissions
+
+  // Accepted work still drains before pop reports closure.
+  int value = 0;
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.pop(value));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int value = 0;
+    EXPECT_FALSE(queue.pop(value));
+    returned.store(true);
+  });
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, PopBatchClaimsUpToMax) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.try_push(i));
+
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 3), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.pop_batch(batch, 3), 2u);
+  EXPECT_EQ(batch.size(), 5u);  // appended, not replaced
+}
+
+// MPMC under contention: every pushed item is popped exactly once, no
+// losses, no duplicates. (This test carries the tsan label.)
+TEST(BoundedQueue, ConcurrentProducersConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        while (!queue.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::mutex seen_mu;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (queue.pop_batch(batch, 8) > 0) {
+        std::lock_guard lock(seen_mu);
+        for (int value : batch) {
+          EXPECT_TRUE(seen.insert(value).second) << "duplicate " << value;
+        }
+        batch.clear();
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace lbs::support
