@@ -11,6 +11,16 @@
 //   --retry-after MS    backpressure retry hint (default 50)
 //   --max-processors N  admission bound (default 4096)
 //   --trace FILE        write a Chrome trace JSON on shutdown
+//   --snapshot FILE     persist the plan cache to FILE (atomic rename);
+//                       written on shutdown, and periodically with
+//                       --snapshot-interval-ms
+//   --snapshot-interval-ms MS
+//                       periodic snapshot cadence (requires --snapshot)
+//   --warm-start FILE   replay a snapshot into the cache before serving;
+//                       a corrupt/missing file logs and cold-starts
+//
+// `--snapshot S --warm-start S` is the crash-safe restart idiom: every
+// run resumes from the previous run's cache.
 //
 // Runs until SIGINT/SIGTERM or a client sends Shutdown (lbsctl shutdown).
 // On exit it prints the service counters and cache stats, so a drill run
@@ -37,7 +47,8 @@ void on_signal(int) { g_signal.store(true); }
 int usage() {
   std::cerr << "usage: lbsd <socket-path> [--shards N] [--capacity N]"
                " [--workers N] [--queue N] [--batch N] [--retry-after MS]"
-               " [--max-processors N] [--trace FILE]\n";
+               " [--max-processors N] [--trace FILE] [--snapshot FILE]"
+               " [--snapshot-interval-ms MS] [--warm-start FILE]\n";
   return 2;
 }
 
@@ -75,9 +86,21 @@ int main(int argc, char** argv) {
       options.max_processors = value;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      options.snapshot_path = argv[++i];
+    } else if (arg == "--snapshot-interval-ms" && i + 1 < argc &&
+               parse_int(argv[++i], value)) {
+      options.snapshot_interval_ms = static_cast<std::uint32_t>(value);
+    } else if (arg == "--warm-start" && i + 1 < argc) {
+      options.warm_start_path = argv[++i];
     } else {
       return usage();
     }
+  }
+
+  if (options.snapshot_interval_ms > 0 && options.snapshot_path.empty()) {
+    std::cerr << "lbsd: --snapshot-interval-ms requires --snapshot\n";
+    return usage();
   }
 
   lbs::obs::Tracer tracer;

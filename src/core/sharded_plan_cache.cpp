@@ -155,6 +155,26 @@ std::size_t ShardedPlanCache::capacity() const {
   return shards_.size() * capacity_per_shard_;
 }
 
+std::vector<std::pair<PlanKey, ScatterPlan>> ShardedPlanCache::export_entries() const {
+  std::vector<std::pair<PlanKey, ScatterPlan>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    // Least-recent first: replaying through insert() ends with the same
+    // front-of-LRU ordering this shard has now.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      out.emplace_back(it->key, it->plan);
+    }
+  }
+  return out;
+}
+
+void ShardedPlanCache::restore_entries(
+    const std::vector<std::pair<PlanKey, ScatterPlan>>& entries) {
+  for (const auto& [key, plan] : entries) {
+    insert(key, plan);
+  }
+}
+
 void ShardedPlanCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mu);

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/plan_cache.hpp"
@@ -70,6 +71,19 @@ class ShardedPlanCache : public PlanCacheBase {
   [[nodiscard]] int shard_for(const PlanKey& key) const;
 
   void clear();
+
+  // Persistence hooks (service/snapshot.hpp turns these into a
+  // checksummed file). export_entries walks every shard least-recent
+  // first, so replaying the returned sequence through restore_entries —
+  // or plain insert — reproduces both the contents and the LRU recency
+  // order. Each shard is locked only while it is being copied; a snapshot
+  // taken under live traffic is a consistent-per-shard view, which is
+  // sound because plans are pure functions of their key (a racing insert
+  // merely is or isn't included).
+  [[nodiscard]] std::vector<std::pair<PlanKey, ScatterPlan>> export_entries() const;
+  // Inserts every entry in order (re-sharding by key, evicting beyond
+  // capacity as usual). Counts neither hits nor misses.
+  void restore_entries(const std::vector<std::pair<PlanKey, ScatterPlan>>& entries);
 
  private:
   struct Entry {

@@ -45,6 +45,7 @@ const char* to_string(EventType type) {
     case EventType::ServiceRequest: return "service.request";
     case EventType::ServiceQueue: return "service.queue";
     case EventType::ServiceBatch: return "service.batch";
+    case EventType::ServiceSnapshot: return "service.snapshot";
   }
   return "?";
 }

@@ -48,6 +48,7 @@ enum class EventType : std::uint8_t {
   ServiceRequest,  // span: one planning-service request, receipt to reply
   ServiceQueue,    // span: a solve waiting in the service's bounded queue
   ServiceBatch,    // span: one batch of solves fanned over the DP pool
+  ServiceSnapshot, // span: one plan-cache snapshot write (or warm-start read)
 };
 
 // Stable event name ("comm.send", "cache.hit", ...): the Chrome export's
@@ -77,6 +78,7 @@ enum class Clock : std::uint8_t {
 //                   arg2 = 1 cache hit / 2 coalesced / 0 solved fresh
 //   ServiceQueue:   arg0 = queue depth at enqueue, arg1 = items
 //   ServiceBatch:   arg0 = batch size (solves fanned over the DP pool)
+//   ServiceSnapshot: arg0 = entries, arg1 = bytes, arg2 = 0 write / 1 restore
 struct TraceEvent {
   EventType type = EventType::ScatterPlan;
   Clock clock = Clock::Wall;

@@ -1,0 +1,94 @@
+#include "service/chaos.hpp"
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+void check_probability(double p, const char* name) {
+  LBS_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                std::string("chaos: probability out of [0,1] for ") + name);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const ChaosOptions& options)
+    : options_(options), rng_(options.seed) {
+  check_probability(options.short_read, "short_read");
+  check_probability(options.partial_write, "partial_write");
+  check_probability(options.corrupt_byte, "corrupt_byte");
+  check_probability(options.disconnect, "disconnect");
+  check_probability(options.stall, "stall");
+  LBS_CHECK_MSG(options.stall_ms >= 0, "chaos: negative stall_ms");
+}
+
+FaultInjector::WriteAction FaultInjector::on_write(std::size_t size) {
+  std::lock_guard lock(mu_);
+  WriteAction action;
+  if (size == 0) return action;
+  if (rng_.bernoulli(options_.stall)) {
+    action.stall_ms = options_.stall_ms;
+    ++counters_.stalls;
+  }
+  if (rng_.bernoulli(options_.disconnect)) {
+    action.disconnect = true;
+    ++counters_.disconnects;
+    return action;  // the attempt dies; no point shaping it further
+  }
+  if (size > 1 && rng_.bernoulli(options_.partial_write)) {
+    action.max_bytes = static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(size - 1, 3))));
+    ++counters_.partial_writes;
+  }
+  if (rng_.bernoulli(options_.corrupt_byte)) {
+    std::size_t visible = std::min(action.max_bytes, size);
+    action.corrupt = true;
+    action.corrupt_offset = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(visible) - 1));
+    action.corrupt_mask =
+        static_cast<std::uint8_t>(rng_.uniform_int(1, 255));
+    ++counters_.corruptions;
+  }
+  return action;
+}
+
+FaultInjector::ReadAction FaultInjector::on_read(std::size_t size) {
+  std::lock_guard lock(mu_);
+  ReadAction action;
+  if (size == 0) return action;
+  if (rng_.bernoulli(options_.stall)) {
+    action.stall_ms = options_.stall_ms;
+    ++counters_.stalls;
+  }
+  if (rng_.bernoulli(options_.disconnect)) {
+    action.disconnect = true;
+    ++counters_.disconnects;
+    return action;
+  }
+  if (size > 1 && rng_.bernoulli(options_.short_read)) {
+    action.max_bytes = static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(size - 1, 3))));
+    ++counters_.short_reads;
+  }
+  return action;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+void set_fault_injector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* fault_injector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace lbs::service

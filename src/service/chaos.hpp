@@ -1,0 +1,88 @@
+// Deterministic socket-level fault injection for the planning service.
+//
+// The service's robustness claims ("every request ends in a correct plan
+// or a typed error — never a hang, never a wrong plan") are only worth
+// stating if they survive a hostile transport. FaultInjector is that
+// transport: a seeded RNG decides, per raw read/write attempt, whether to
+// cap the transfer to a few bytes (short reads / partial writes), XOR a
+// byte in flight (corruption — caught by the frame CRC), shut the socket
+// down mid-frame (disconnects), or stall before the syscall (exercises
+// client deadlines). Decisions are a pure function of the seed and the
+// call sequence, so a failing chaos run replays from its printed seed.
+//
+// Injection rides the existing socket seam: the low-level helpers in
+// socket.cpp consult the process-global injector (when set) on every
+// attempt. Production never sets it; the chaos suite installs one around
+// traffic and clears it after. The injector is internally synchronized —
+// server and client threads in one test process share it safely.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+#include "support/rng.hpp"
+
+namespace lbs::service {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+
+  // Independent per-attempt probabilities, each in [0, 1].
+  double short_read = 0.0;     // cap one read at 1..3 bytes
+  double partial_write = 0.0;  // cap one send at 1..3 bytes
+  double corrupt_byte = 0.0;   // XOR one byte of the outgoing chunk
+  double disconnect = 0.0;     // shutdown(2) the fd before the attempt
+  double stall = 0.0;          // sleep stall_ms before the attempt
+  int stall_ms = 20;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const ChaosOptions& options);
+
+  // What the socket layer should do to one write attempt of `size` bytes.
+  struct WriteAction {
+    std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+    bool corrupt = false;
+    std::size_t corrupt_offset = 0;  // < the capped chunk size
+    std::uint8_t corrupt_mask = 0;   // XORed into the byte (never 0 when corrupt)
+    bool disconnect = false;
+    int stall_ms = 0;
+  };
+  [[nodiscard]] WriteAction on_write(std::size_t size);
+
+  // What the socket layer should do to one read attempt of `size` bytes.
+  struct ReadAction {
+    std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+    bool disconnect = false;
+    int stall_ms = 0;
+  };
+  [[nodiscard]] ReadAction on_read(std::size_t size);
+
+  // Injection totals since construction (asserting a chaos run actually
+  // injected something keeps a mis-seeded test from passing vacuously).
+  struct Counters {
+    std::uint64_t short_reads = 0;
+    std::uint64_t partial_writes = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t stalls = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  mutable std::mutex mu_;
+  ChaosOptions options_;
+  support::Rng rng_;
+  Counters counters_;
+};
+
+// Process-global injection seam consulted by socket.cpp's raw I/O helpers.
+// nullptr (the default) means no injection. The injector must outlive all
+// traffic that can observe it; tests install one for a scope and clear it
+// before tearing the injector down.
+void set_fault_injector(FaultInjector* injector);
+[[nodiscard]] FaultInjector* fault_injector();
+
+}  // namespace lbs::service

@@ -255,6 +255,8 @@ std::vector<std::uint8_t> encode_plan_response(const PlanResponse& response) {
       break;
     case PlanStatus::Error:
     case PlanStatus::Disconnected:
+    case PlanStatus::Timeout:
+    case PlanStatus::BreakerOpen:
       out.put_string(response.message);
       break;
   }
@@ -302,7 +304,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       PlanResponse response;
       response.id = message.id;
       std::uint8_t raw_status = in.read_u8();
-      LBS_CHECK_MSG(raw_status <= static_cast<std::uint8_t>(PlanStatus::Disconnected),
+      LBS_CHECK_MSG(raw_status <= static_cast<std::uint8_t>(PlanStatus::BreakerOpen),
                     "wire: unknown plan status");
       response.status = static_cast<PlanStatus>(raw_status);
       switch (response.status) {
@@ -326,6 +328,8 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
           break;
         case PlanStatus::Error:
         case PlanStatus::Disconnected:
+        case PlanStatus::Timeout:
+        case PlanStatus::BreakerOpen:
           response.message = in.read_string();
           break;
       }

@@ -41,7 +41,10 @@
 
 namespace lbs::service {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// v2: frames grew a CRC-32 integrity word (socket.hpp) — a v1 peer
+// cannot even frame-align against a v2 stream, so the version byte exists
+// to make the mismatch a clean decode error rather than garbage.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
 // Nested Scaled specs deeper than this are rejected at decode (a legit
 // platform wraps a cost a handful of times; a hostile frame recurses).
@@ -63,6 +66,8 @@ enum class PlanStatus : std::uint8_t {
   Rejected = 1,      // backpressure: queue full, retry later
   Error = 2,         // inadmissible request or planner failure
   Disconnected = 3,  // client-side only: connection died before the reply
+  Timeout = 4,       // client-side only: request deadline passed first
+  BreakerOpen = 5,   // client-side only: circuit breaker failing fast
 };
 
 struct PlanRequest {
@@ -83,11 +88,15 @@ struct PlanResponse {
   long long dp_cells_evaluated = 0;
   bool cache_hit = false;   // served straight from the sharded cache
   bool coalesced = false;   // attached to another request's in-flight solve
+  // Client-side only: this Ok was computed in-process by plan_scatter
+  // because the circuit breaker was open (or retries were exhausted) —
+  // it never touched the daemon. Not encoded on the wire.
+  bool local_fallback = false;
 
   // status == Rejected:
   std::uint32_t retry_after_ms = 0;
 
-  // status == Error (and Disconnected): human-readable cause.
+  // status == Error (and the client-side statuses): human-readable cause.
   std::string message;
 
   // Prefix sums of counts — the displacements an MPI_Scatterv needs.

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -25,7 +26,16 @@ constexpr long long kServedCoalesced = 2;
 bool Server::Connection::send(const std::vector<std::uint8_t>& payload) {
   std::lock_guard lock(write_mu);
   if (fd < 0) return false;
-  return send_frame(fd, payload);
+  IoDeadline deadline = send_timeout_ms > 0 ? deadline_after_ms(send_timeout_ms)
+                                            : no_deadline();
+  IoStatus status = send_frame_within(fd, payload, deadline);
+  if (status == IoStatus::TimedOut) {
+    // A peer that cannot absorb one frame within the reply budget is
+    // wedged or gone; drop the connection rather than block the sender.
+    close_fd(fd);
+    fd = -1;
+  }
+  return status == IoStatus::Ok;
 }
 
 void Server::Connection::close() {
@@ -63,17 +73,30 @@ obs::Tracer* Server::tracer() const {
 
 void Server::start() {
   LBS_CHECK_MSG(!started_, "server already started");
+  if (!options_.warm_start_path.empty()) warm_start();
   listen_fd_ = listen_unix(options_.socket_path);
   started_ = true;
   stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lock(snapshot_wake_mu_);
+    snapshot_stop_ = false;
+  }
   accept_thread_ = std::thread(&Server::accept_loop, this);
   dispatch_thread_ = std::thread(&Server::dispatch_loop, this);
+  if (!options_.snapshot_path.empty() && options_.snapshot_interval_ms > 0) {
+    snapshot_thread_ = std::thread(&Server::snapshot_loop, this);
+  }
 }
 
 void Server::stop() {
   if (!started_) return;
   stop_.store(true, std::memory_order_release);
   queue_.close();
+  {
+    std::lock_guard lock(snapshot_wake_mu_);
+    snapshot_stop_ = true;
+  }
+  snapshot_wake_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard lock(connections_mu_);
@@ -82,11 +105,104 @@ void Server::stop() {
     }
     connection_threads_.clear();
   }
+  // The dispatcher drains the closed queue before exiting: every accepted
+  // solve is answered over its still-open connection. Only after the join
+  // is it safe to close the fds.
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  if (!options_.snapshot_path.empty()) {
+    // Final on-drain snapshot: the cache now holds every plan this run
+    // solved, so a restart warm-starts with all of them.
+    try {
+      snapshot_now();
+    } catch (const lbs::Error& error) {
+      metrics_->counter("service.snapshot.write_failures").add();
+      std::fprintf(stderr, "lbsd: final snapshot failed: %s\n", error.what());
+    }
+  }
+  {
+    std::lock_guard lock(connections_mu_);
+    for (auto& connection : open_connections_) connection->close();
+    open_connections_.clear();
+  }
   close_fd(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
   started_ = false;
+}
+
+void Server::record_snapshot_span(double start, const SnapshotStats& stats,
+                                  bool restore) const {
+  if (obs::Tracer* t = tracer()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::ServiceSnapshot;
+    event.start = start;
+    event.duration = obs::wall_now() - start;
+    event.arg0 = static_cast<long long>(stats.entries);
+    event.arg1 = static_cast<long long>(stats.bytes);
+    event.arg2 = restore ? 1 : 0;
+    t->record(event);
+  }
+}
+
+void Server::warm_start() {
+  const double started_at = obs::wall_now();
+  std::vector<SnapshotEntry> entries;
+  try {
+    entries = read_snapshot(options_.warm_start_path);
+  } catch (const lbs::Error& error) {
+    // Any defect — missing file, torn write, foreign bytes, stale
+    // version — means cold start, loudly. Warm state is an optimization;
+    // it must never be able to take the service down or poison the cache.
+    metrics_->counter("service.snapshot.rejected").add();
+    std::fprintf(stderr, "lbsd: warm start rejected (%s): cold start\n",
+                 error.what());
+    return;
+  }
+  cache_.restore_entries(entries);
+  metrics_->counter("service.snapshot.restores").add();
+  metrics_->counter("service.snapshot.restored_entries")
+      .add(static_cast<std::uint64_t>(entries.size()));
+  SnapshotStats stats;
+  stats.entries = entries.size();
+  record_snapshot_span(started_at, stats, /*restore=*/true);
+}
+
+SnapshotStats Server::snapshot_now() {
+  LBS_CHECK_MSG(!options_.snapshot_path.empty(),
+                "snapshot_now needs options.snapshot_path");
+  const double started_at = obs::wall_now();
+  std::lock_guard lock(snapshot_write_mu_);
+  SnapshotStats stats =
+      write_snapshot(options_.snapshot_path, cache_.export_entries());
+  metrics_->counter("service.snapshot.writes").add();
+  metrics_->histogram("service.snapshot.entries")
+      .observe(static_cast<double>(stats.entries));
+  metrics_->histogram("service.snapshot.seconds")
+      .observe(obs::wall_now() - started_at);
+  record_snapshot_span(started_at, stats, /*restore=*/false);
+  return stats;
+}
+
+void Server::snapshot_loop() {
+  const auto interval = std::chrono::milliseconds(options_.snapshot_interval_ms);
+  std::unique_lock lock(snapshot_wake_mu_);
+  while (!snapshot_stop_) {
+    if (snapshot_wake_cv_.wait_for(lock, interval,
+                                   [this] { return snapshot_stop_; })) {
+      break;  // stop(): the final on-drain snapshot supersedes this tick
+    }
+    lock.unlock();
+    try {
+      snapshot_now();
+    } catch (const lbs::Error& error) {
+      // Disk trouble must not kill the serving path; count it, log it,
+      // and try again next tick.
+      metrics_->counter("service.snapshot.write_failures").add();
+      std::fprintf(stderr, "lbsd: snapshot failed: %s\n", error.what());
+    }
+    lock.lock();
+  }
 }
 
 void Server::request_stop() {
@@ -116,21 +232,33 @@ void Server::accept_loop() {
     metrics_->counter("service.connections").add();
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
+    connection->send_timeout_ms = options_.reply_timeout_ms;
     std::lock_guard lock(connections_mu_);
+    open_connections_.push_back(connection);
     connection_threads_.emplace_back(&Server::connection_loop, this, connection);
   }
 }
 
 void Server::connection_loop(std::shared_ptr<Connection> connection) {
   std::vector<std::uint8_t> payload;
-  while (!stop_.load(std::memory_order_acquire)) {
-    bool got = false;
+  while (true) {
+    IoStatus status = IoStatus::Closed;
     try {
-      got = recv_frame(connection->fd, payload, stop_);
+      status = recv_frame_within(connection->fd, payload, stop_, no_deadline());
     } catch (const lbs::Error&) {
-      break;  // mis-framed stream: drop the connection
+      // Mis-framed or corrupted stream (bad length, checksum mismatch):
+      // drop the connection.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.protocol_errors").add();
+      break;
     }
-    if (!got) break;
+    if (status == IoStatus::Stopped) {
+      // Shutdown path: leave the fd OPEN. The dispatcher is still
+      // draining accepted solves and must be able to answer waiters on
+      // this connection; stop() closes it after the dispatch join.
+      return;
+    }
+    if (status != IoStatus::Ok) break;  // peer closed
     try {
       handle_message(connection, decode_message(payload));
     } catch (const lbs::Error&) {

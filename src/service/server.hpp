@@ -48,6 +48,7 @@
 
 #include "core/sharded_plan_cache.hpp"
 #include "service/protocol.hpp"
+#include "service/snapshot.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/thread_pool.hpp"
 
@@ -94,6 +95,22 @@ struct ServerOptions {
   // each solve before planning, widening the coalescing window
   // deterministically. 0 in production.
   int solve_delay_ms = 0;
+
+  // Persistence (service/snapshot.hpp). warm_start_path: read this
+  // snapshot at start() and replay it into the cache; a missing or
+  // corrupt file is logged + counted (service.snapshot.rejected) and the
+  // server cold-starts — never crashes. snapshot_path: where the periodic
+  // writer and the final on-drain snapshot atomically persist the cache;
+  // empty disables persistence. snapshot_interval_ms = 0 keeps only the
+  // on-drain snapshot (no periodic thread).
+  std::string warm_start_path;
+  std::string snapshot_path;
+  std::uint32_t snapshot_interval_ms = 0;
+
+  // Upper bound on one reply write. A stalled or dead client can sink a
+  // reply slowly, but it cannot wedge the dispatcher: past this deadline
+  // the reply is abandoned and the connection is dropped.
+  std::uint32_t reply_timeout_ms = 5000;
 
   // Observability. Null tracer falls back to obs::global_tracer() (and
   // tracing is off when that is null too); null metrics falls back to
@@ -147,9 +164,16 @@ class Server {
   // The StatsResponse body: {"service": ..., "cache": ..., "metrics": ...}.
   [[nodiscard]] std::string stats_json() const;
 
+  // Exports the cache and atomically writes it to options().snapshot_path
+  // (requires a non-empty path). Safe while serving: export holds each
+  // shard lock briefly, the file write happens outside every lock. Throws
+  // lbs::Error on I/O failure — the periodic writer catches and counts.
+  SnapshotStats snapshot_now();
+
  private:
   struct Connection {
     int fd = -1;
+    std::uint32_t send_timeout_ms = 0;  // 0: no deadline
     std::mutex write_mu;  // one frame writer at a time; also guards close
 
     bool send(const std::vector<std::uint8_t>& payload);
@@ -175,6 +199,10 @@ class Server {
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> connection);
   void dispatch_loop();
+  void snapshot_loop();
+  void warm_start();
+  void record_snapshot_span(double start, const SnapshotStats& stats,
+                            bool restore) const;
   void handle_message(const std::shared_ptr<Connection>& connection,
                       Message&& message);
   void handle_plan(const std::shared_ptr<Connection>& connection,
@@ -197,12 +225,22 @@ class Server {
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::thread dispatch_thread_;
+  std::thread snapshot_thread_;
   std::mutex connections_mu_;
   std::vector<std::thread> connection_threads_;
+  // Every accepted connection, kept open through the drain so replies to
+  // in-flight solves still have a live fd; stop() closes them after the
+  // dispatcher finishes. Guarded by connections_mu_.
+  std::vector<std::shared_ptr<Connection>> open_connections_;
+  std::mutex snapshot_write_mu_;  // one snapshot writer at a time
 
   mutable std::mutex stop_request_mu_;
   std::condition_variable stop_request_cv_;
   bool stop_requested_ = false;
+
+  std::mutex snapshot_wake_mu_;
+  std::condition_variable snapshot_wake_cv_;
+  bool snapshot_stop_ = false;  // guarded by snapshot_wake_mu_
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -1,0 +1,171 @@
+#include "service/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+#include "support/checksum.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;
+
+void encode_entry(WireWriter& out, const SnapshotEntry& entry) {
+  const core::PlanKey& key = entry.first;
+  const core::ScatterPlan& plan = entry.second;
+  out.put_u32(static_cast<std::uint32_t>(key.costs.size()));
+  for (std::uint64_t fingerprint : key.costs) out.put_u64(fingerprint);
+  out.put_i64(key.items);
+  out.put_u8(static_cast<std::uint8_t>(key.algorithm));
+
+  out.put_u8(static_cast<std::uint8_t>(plan.algorithm_used));
+  out.put_f64(plan.predicted_makespan);
+  out.put_i64(plan.dp_cells_evaluated);
+  out.put_u32(static_cast<std::uint32_t>(plan.dp_threads));
+  out.put_u32(static_cast<std::uint32_t>(plan.distribution.counts.size()));
+  for (long long count : plan.distribution.counts) out.put_i64(count);
+  out.put_u32(static_cast<std::uint32_t>(plan.predicted_finish.size()));
+  for (double finish : plan.predicted_finish) out.put_f64(finish);
+}
+
+SnapshotEntry decode_entry(WireReader& in) {
+  SnapshotEntry entry;
+  core::PlanKey& key = entry.first;
+  core::ScatterPlan& plan = entry.second;
+
+  std::uint32_t fingerprints = in.read_u32();
+  LBS_CHECK_MSG(fingerprints <= kMaxSnapshotEntries,
+                "snapshot: implausible fingerprint count");
+  key.costs.reserve(fingerprints);
+  for (std::uint32_t i = 0; i < fingerprints; ++i) key.costs.push_back(in.read_u64());
+  key.items = in.read_i64();
+  std::uint8_t requested = in.read_u8();
+  LBS_CHECK_MSG(requested <= static_cast<std::uint8_t>(core::Algorithm::Uniform),
+                "snapshot: unknown key algorithm");
+  key.algorithm = static_cast<core::Algorithm>(requested);
+
+  std::uint8_t used = in.read_u8();
+  LBS_CHECK_MSG(used <= static_cast<std::uint8_t>(core::Algorithm::Uniform),
+                "snapshot: unknown plan algorithm");
+  plan.algorithm_used = static_cast<core::Algorithm>(used);
+  plan.predicted_makespan = in.read_f64();
+  plan.dp_cells_evaluated = in.read_i64();
+  plan.dp_threads = static_cast<int>(in.read_u32());
+
+  std::uint32_t counts = in.read_u32();
+  LBS_CHECK_MSG(counts <= kMaxSnapshotEntries, "snapshot: implausible count vector");
+  plan.distribution.counts.reserve(counts);
+  for (std::uint32_t i = 0; i < counts; ++i) {
+    plan.distribution.counts.push_back(in.read_i64());
+  }
+  plan.displacements = plan.distribution.displacements();
+
+  std::uint32_t finishes = in.read_u32();
+  LBS_CHECK_MSG(finishes <= kMaxSnapshotEntries,
+                "snapshot: implausible finish vector");
+  plan.predicted_finish.reserve(finishes);
+  for (std::uint32_t i = 0; i < finishes; ++i) {
+    plan.predicted_finish.push_back(in.read_f64());
+  }
+  return entry;
+}
+
+std::vector<std::uint8_t> encode_header(std::uint32_t entry_count,
+                                        const std::vector<std::uint8_t>& payload) {
+  WireWriter out;
+  out.put_u64(kSnapshotMagic);
+  out.put_u32(kSnapshotVersion);
+  out.put_u32(entry_count);
+  out.put_u32(static_cast<std::uint32_t>(payload.size()));
+  out.put_u32(support::crc32(payload));
+  return out.take();
+}
+
+}  // namespace
+
+SnapshotStats write_snapshot(const std::string& path,
+                             const std::vector<SnapshotEntry>& entries) {
+  LBS_CHECK_MSG(!path.empty(), "snapshot: empty path");
+  LBS_CHECK_MSG(entries.size() <= kMaxSnapshotEntries,
+                "snapshot: too many entries to persist");
+
+  WireWriter body;
+  for (const SnapshotEntry& entry : entries) encode_entry(body, entry);
+  std::vector<std::uint8_t> payload = body.take();
+  LBS_CHECK_MSG(payload.size() <= kMaxSnapshotPayloadBytes,
+                "snapshot: payload exceeds size bound");
+  std::vector<std::uint8_t> header =
+      encode_header(static_cast<std::uint32_t>(entries.size()), payload);
+
+  // Write-to-temp + rename: readers only ever see the old file or the new
+  // one, and a crash mid-write leaves the target untouched.
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw lbs::Error("snapshot: cannot open " + tmp + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      ::unlink(tmp.c_str());
+      throw lbs::Error("snapshot: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    throw lbs::Error("snapshot: rename " + tmp + " -> " + path + ": " +
+                     std::strerror(saved));
+  }
+  return SnapshotStats{entries.size(), header.size() + payload.size()};
+}
+
+std::vector<SnapshotEntry> read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw lbs::Error("snapshot: cannot open " + path);
+  }
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  LBS_CHECK_MSG(raw.size() >= kHeaderBytes, "snapshot: file shorter than header");
+
+  WireReader header(raw.data(), kHeaderBytes);
+  LBS_CHECK_MSG(header.read_u64() == kSnapshotMagic, "snapshot: bad magic");
+  std::uint32_t version = header.read_u32();
+  LBS_CHECK_MSG(version == kSnapshotVersion,
+                "snapshot: version " + std::to_string(version) +
+                    " does not match " + std::to_string(kSnapshotVersion));
+  std::uint32_t entry_count = header.read_u32();
+  LBS_CHECK_MSG(entry_count <= kMaxSnapshotEntries,
+                "snapshot: implausible entry count");
+  std::uint32_t payload_bytes = header.read_u32();
+  std::uint32_t expected_crc = header.read_u32();
+  LBS_CHECK_MSG(raw.size() == kHeaderBytes + payload_bytes,
+                "snapshot: truncated or oversized payload");
+  LBS_CHECK_MSG(support::crc32(raw.data() + kHeaderBytes, payload_bytes) ==
+                    expected_crc,
+                "snapshot: payload checksum mismatch");
+
+  WireReader body(raw.data() + kHeaderBytes, payload_bytes);
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    entries.push_back(decode_entry(body));
+  }
+  body.expect_end();
+  return entries;
+}
+
+}  // namespace lbs::service

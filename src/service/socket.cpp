@@ -1,14 +1,19 @@
 #include "service/socket.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "service/chaos.hpp"
 #include "service/protocol.hpp"
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 
 namespace lbs::service {
@@ -28,39 +33,129 @@ sockaddr_un make_address(const std::string& path) {
   return address;
 }
 
-// True when `fd` became readable; false on stop. Throws on poll failure.
-bool wait_readable(int fd, const std::atomic<bool>& stop, int slice_ms) {
-  while (!stop.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, slice_ms);
+// Remaining poll budget in ms: -1 for "no deadline", 0 when already past.
+int remaining_ms(IoDeadline deadline) {
+  if (deadline == no_deadline()) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(
+      std::min<long long>(left.count(), std::numeric_limits<int>::max()));
+}
+
+// Polls fd for `events` until readable/writable, stop, or deadline.
+IoStatus wait_io(int fd, short events, const std::atomic<bool>* stop,
+                 IoDeadline deadline, int slice_ms) {
+  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
+    int budget = remaining_ms(deadline);
+    if (budget == 0) return IoStatus::TimedOut;
+    int wait = slice_ms;
+    if (budget > 0) wait = std::min(wait, budget);
+    if (stop == nullptr && budget < 0) wait = -1;  // nothing to slice for
+    pollfd pfd{fd, events, 0};
+    int ready = ::poll(&pfd, 1, wait);
     if (ready < 0) {
       if (errno == EINTR) continue;
       raise_errno("poll");
     }
-    if (ready > 0) return true;  // readable, HUP, or error: read() resolves it
+    if (ready > 0) return IoStatus::Ok;  // ready, HUP, or error: the op resolves it
   }
-  return false;
+  return IoStatus::Stopped;
 }
 
-// Reads exactly `size` bytes. Returns false on EOF/reset/stop.
-bool read_exact(int fd, std::uint8_t* data, std::size_t size,
-                const std::atomic<bool>& stop, int slice_ms) {
+// Applies an injected fault that precedes an I/O attempt. Returns the
+// byte cap for this attempt (>= 1 unless disconnected).
+std::size_t apply_read_faults(int fd, std::size_t size) {
+  FaultInjector* injector = fault_injector();
+  if (injector == nullptr) return size;
+  FaultInjector::ReadAction action = injector->on_read(size);
+  if (action.stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.stall_ms));
+  }
+  if (action.disconnect) ::shutdown(fd, SHUT_RDWR);
+  return std::min(action.max_bytes, size);
+}
+
+// Reads exactly `size` bytes, honoring stop and deadline.
+IoStatus read_exact(int fd, std::uint8_t* data, std::size_t size,
+                    const std::atomic<bool>& stop, IoDeadline deadline,
+                    int slice_ms) {
   std::size_t done = 0;
   while (done < size) {
-    if (!wait_readable(fd, stop, slice_ms)) return false;
-    ssize_t got = ::read(fd, data + done, size - done);
-    if (got == 0) return false;  // orderly EOF
+    IoStatus waited = wait_io(fd, POLLIN, &stop, deadline, slice_ms);
+    if (waited != IoStatus::Ok) return waited;
+    std::size_t cap = apply_read_faults(fd, size - done);
+    ssize_t got = ::read(fd, data + done, cap);
+    if (got == 0) return IoStatus::Closed;  // orderly EOF
     if (got < 0) {
       if (errno == EINTR || errno == EAGAIN) continue;
-      if (errno == ECONNRESET) return false;
+      if (errno == ECONNRESET) return IoStatus::Closed;
       raise_errno("read");
     }
     done += static_cast<std::size_t>(got);
   }
-  return true;
+  return IoStatus::Ok;
+}
+
+// Writes exactly `size` bytes, polling for writability so the deadline
+// holds even against a full peer buffer. MSG_DONTWAIT keeps a blocking
+// fd from sleeping in send(2) past the poll's verdict.
+IoStatus write_exact(int fd, const std::uint8_t* data, std::size_t size,
+                     IoDeadline deadline) {
+  std::size_t done = 0;
+  std::vector<std::uint8_t> scratch;  // only allocated when a fault corrupts
+  while (done < size) {
+    IoStatus waited = wait_io(fd, POLLOUT, nullptr, deadline, 100);
+    if (waited != IoStatus::Ok) return waited;
+
+    const std::uint8_t* chunk = data + done;
+    std::size_t chunk_size = size - done;
+    if (FaultInjector* injector = fault_injector(); injector != nullptr) {
+      FaultInjector::WriteAction action = injector->on_write(chunk_size);
+      if (action.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(action.stall_ms));
+      }
+      if (action.disconnect) ::shutdown(fd, SHUT_RDWR);
+      chunk_size = std::min(action.max_bytes, chunk_size);
+      if (action.corrupt) {
+        scratch.assign(chunk, chunk + chunk_size);
+        scratch[action.corrupt_offset % chunk_size] ^= action.corrupt_mask;
+        chunk = scratch.data();
+      }
+    }
+
+    ssize_t put = ::send(fd, chunk, chunk_size, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (put < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET || errno == EBADF) {
+        return IoStatus::Closed;
+      }
+      raise_errno("send");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return IoStatus::Ok;
+}
+
+void put_le32(std::uint8_t* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint32_t get_le32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return value;
 }
 
 }  // namespace
+
+IoDeadline deadline_after_ms(std::uint32_t ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
 
 int listen_unix(const std::string& path, int backlog) {
   sockaddr_un address = make_address(path);
@@ -113,44 +208,47 @@ int accept_with_stop(int listen_fd, const std::atomic<bool>& stop, int slice_ms)
   return -1;
 }
 
-bool send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+IoStatus send_frame_within(int fd, const std::vector<std::uint8_t>& payload,
+                           IoDeadline deadline) {
   LBS_CHECK_MSG(payload.size() <= kMaxFrameBytes, "frame exceeds kMaxFrameBytes");
-  std::uint8_t header[4];
-  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+  std::uint8_t header[8];
+  put_le32(header, static_cast<std::uint32_t>(payload.size()));
+  put_le32(header + 4, support::crc32(payload));
+
+  IoStatus sent = write_exact(fd, header, sizeof(header), deadline);
+  if (sent != IoStatus::Ok) return sent;
+  return write_exact(fd, payload.data(), payload.size(), deadline);
+}
+
+IoStatus recv_frame_within(int fd, std::vector<std::uint8_t>& payload,
+                           const std::atomic<bool>& stop, IoDeadline deadline,
+                           int slice_ms) {
+  std::uint8_t header[8];
+  IoStatus got = read_exact(fd, header, sizeof(header), stop, deadline, slice_ms);
+  if (got != IoStatus::Ok) return got;
+  std::uint32_t length = get_le32(header);
+  std::uint32_t expected_crc = get_le32(header + 4);
+  LBS_CHECK_MSG(length <= kMaxFrameBytes, "frame length exceeds kMaxFrameBytes");
+  payload.resize(length);
+  if (length > 0) {
+    got = read_exact(fd, payload.data(), length, stop, deadline, slice_ms);
+    if (got != IoStatus::Ok) return got;
   }
+  // A mismatch means bytes flipped in flight (or a desynchronized or
+  // hostile peer); the stream cannot be trusted past this point.
+  LBS_CHECK_MSG(support::crc32(payload) == expected_crc,
+                "frame checksum mismatch");
+  return IoStatus::Ok;
+}
 
-  auto write_all = [fd](const std::uint8_t* data, std::size_t size) {
-    std::size_t done = 0;
-    while (done < size) {
-      ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-      if (put < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EPIPE || errno == ECONNRESET || errno == EBADF) return false;
-        raise_errno("send");
-      }
-      done += static_cast<std::size_t>(put);
-    }
-    return true;
-  };
-
-  if (!write_all(header, sizeof(header))) return false;
-  return write_all(payload.data(), payload.size());
+bool send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  return send_frame_within(fd, payload, no_deadline()) == IoStatus::Ok;
 }
 
 bool recv_frame(int fd, std::vector<std::uint8_t>& payload,
                 const std::atomic<bool>& stop, int slice_ms) {
-  std::uint8_t header[4];
-  if (!read_exact(fd, header, sizeof(header), stop, slice_ms)) return false;
-  std::uint32_t length = 0;
-  for (int i = 0; i < 4; ++i) {
-    length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  }
-  LBS_CHECK_MSG(length <= kMaxFrameBytes, "frame length exceeds kMaxFrameBytes");
-  payload.resize(length);
-  if (length == 0) return true;
-  return read_exact(fd, payload.data(), length, stop, slice_ms);
+  return recv_frame_within(fd, payload, stop, no_deadline(), slice_ms) ==
+         IoStatus::Ok;
 }
 
 void close_fd(int fd) {

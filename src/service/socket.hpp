@@ -3,21 +3,51 @@
 // lbsd listens on a filesystem socket (SOCK_STREAM over AF_UNIX): local,
 // no network dependency, and the length-prefixed framing from
 // service/protocol.hpp rides on a reliable byte stream. Everything here
-// is blocking-with-poll: reads wait in poll() slices so a thread blocked
-// on a quiet peer still notices `stop` (the server/client shutdown flag)
-// within one slice instead of hanging in read(2) forever.
+// is poll-based: reads wait in poll() slices so a thread blocked on a
+// quiet peer still notices `stop` (the server/client shutdown flag)
+// within one slice, and both directions accept a per-call deadline so a
+// stalled or half-dead peer surfaces as a typed IoStatus::TimedOut
+// instead of hanging the caller forever (poll(2) carries the timeout; no
+// SO_RCVTIMEO, which a mid-frame short read would quietly reset).
+//
+// Frame integrity: every frame is `u32 length | u32 crc32 | payload`.
+// The CRC (support::crc32 over the payload) turns in-flight byte
+// corruption — a chaos-injected fault or a genuinely hostile peer — into
+// a detected protocol violation that drops the connection, never into a
+// silently wrong plan.
+//
+// Fault injection: when the chaos harness has installed a
+// service::FaultInjector (chaos.hpp), the raw read/write helpers consult
+// it on every attempt; production pays one relaxed atomic load per
+// attempt when none is set.
 //
 // Error policy follows the repo convention: conditions that are *data*
-// (peer hung up, stop requested) are return values; violated invariants
-// and unexpected syscall failures throw lbs::Error.
+// (peer hung up, stop requested, deadline passed) are return values;
+// violated invariants, corrupt frames, and unexpected syscall failures
+// throw lbs::Error.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace lbs::service {
+
+// Outcome of one framed I/O call.
+enum class IoStatus : std::uint8_t {
+  Ok,        // the full frame moved
+  Closed,    // orderly EOF or peer reset (mid-frame EOF included)
+  Stopped,   // the caller's stop flag was raised
+  TimedOut,  // the deadline passed before the frame completed
+};
+
+// Per-call deadline: a steady-clock time point; no_deadline() waits
+// forever (modulo the stop flag on reads).
+using IoDeadline = std::chrono::steady_clock::time_point;
+[[nodiscard]] constexpr IoDeadline no_deadline() { return IoDeadline::max(); }
+[[nodiscard]] IoDeadline deadline_after_ms(std::uint32_t ms);
 
 // Binds and listens on `path` (unlinking any stale socket file first).
 // Returns the listening fd; throws lbs::Error on failure (e.g. a path
@@ -33,15 +63,27 @@ namespace lbs::service {
 [[nodiscard]] int accept_with_stop(int listen_fd, const std::atomic<bool>& stop,
                                    int slice_ms = 100);
 
-// Writes a complete frame (u32 length + payload). Serialized by the
-// caller (one writer at a time per fd). Returns false when the peer is
-// gone (EPIPE/ECONNRESET); throws on other failures or oversized
-// payloads. SIGPIPE is suppressed (MSG_NOSIGNAL).
-[[nodiscard]] bool send_frame(int fd, const std::vector<std::uint8_t>& payload);
+// Writes a complete frame (u32 length + u32 crc + payload), polling for
+// writability so `deadline` is honored even when the peer's buffer is
+// full. Serialized by the caller (one writer at a time per fd). A
+// TimedOut send leaves the stream mid-frame — the connection is dead to
+// the protocol and the caller must drop it. Throws on oversized payloads
+// or unexpected syscall failures.
+[[nodiscard]] IoStatus send_frame_within(int fd,
+                                         const std::vector<std::uint8_t>& payload,
+                                         IoDeadline deadline);
 
-// Reads a complete frame into `payload`. Returns false on orderly EOF,
-// peer reset, or stop. Throws lbs::Error on a mis-framed stream (length
-// above kMaxFrameBytes) — the caller should drop the connection.
+// Reads a complete frame into `payload`, honoring both `stop` and
+// `deadline` (whichever trips first). Throws lbs::Error on a mis-framed
+// stream (length above kMaxFrameBytes) or a CRC mismatch — the caller
+// should drop the connection.
+[[nodiscard]] IoStatus recv_frame_within(int fd, std::vector<std::uint8_t>& payload,
+                                         const std::atomic<bool>& stop,
+                                         IoDeadline deadline, int slice_ms = 100);
+
+// Deadline-free convenience wrappers (the pre-deadline API; false folds
+// Closed and Stopped together).
+[[nodiscard]] bool send_frame(int fd, const std::vector<std::uint8_t>& payload);
 [[nodiscard]] bool recv_frame(int fd, std::vector<std::uint8_t>& payload,
                               const std::atomic<bool>& stop, int slice_ms = 100);
 

@@ -1,0 +1,28 @@
+// Checksums for data that crosses a trust boundary: the service's wire
+// frames (a chaos-injected or hostile peer can flip bytes) and the plan
+// cache's on-disk snapshots (a crash can tear a write).
+//
+// crc32: the IEEE CRC-32 (the zlib/Ethernet polynomial, reflected),
+// table-driven, one byte per step. Fast enough for the frame sizes the
+// service moves (a plan response is hundreds of bytes; the 16 MiB frame
+// cap bounds the worst case), and — unlike a sum — it catches the burst
+// and single-bit errors a torn write or flipped wire byte produces.
+// Incremental: feed the previous return value back in as `seed` to
+// checksum data in pieces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lbs::support {
+
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(const std::vector<std::uint8_t>& data,
+                                         std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace lbs::support

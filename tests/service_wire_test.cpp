@@ -136,6 +136,22 @@ TEST(Wire, PlanResponseRoundTripError) {
   EXPECT_EQ(message.plan_response->message, "lp-heuristic requires affine costs");
 }
 
+TEST(Wire, PlanResponseRoundTripClientSideStatuses) {
+  // Timeout/BreakerOpen are minted client-side, but they still encode —
+  // a proxy or a test harness may relay them — and carry their cause.
+  for (PlanStatus status : {PlanStatus::Timeout, PlanStatus::BreakerOpen}) {
+    PlanResponse response;
+    response.id = 11;
+    response.status = status;
+    response.message = "typed transport failure";
+
+    Message message = decode_message(encode_plan_response(response));
+    ASSERT_TRUE(message.plan_response.has_value());
+    EXPECT_EQ(message.plan_response->status, status);
+    EXPECT_EQ(message.plan_response->message, "typed transport failure");
+  }
+}
+
 TEST(Wire, ControlMessagesRoundTrip) {
   for (MessageType type : {MessageType::Ping, MessageType::Pong,
                            MessageType::StatsRequest, MessageType::Shutdown,
