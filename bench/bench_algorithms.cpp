@@ -113,11 +113,12 @@ int full_scale_report(bench::JsonReport& report) {
   auto throughput = [n](double seconds) {
     return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
   };
+  const int dp_threads = support::default_parallelism();  // default DpOptions
   report.add({"exact_dp_extrapolated", n, p, alg1_extrapolated,
-              throughput(alg1_extrapolated), {}});
-  report.add({"optimized_dp", n, p, alg2, throughput(alg2), {}});
-  report.add({"lp_heuristic", n, p, heuristic, throughput(heuristic), {}});
-  report.add({"linear_closed_form", n, p, closed, throughput(closed), {}});
+              throughput(alg1_extrapolated), dp_threads, {}});
+  report.add({"optimized_dp", n, p, alg2, throughput(alg2), dp_threads, {}});
+  report.add({"lp_heuristic", n, p, heuristic, throughput(heuristic), 1, {}});
+  report.add({"linear_closed_form", n, p, closed, throughput(closed), 1, {}});
 
   std::vector<bench::Comparison> comparisons{
       {"Alg. 1 vs Alg. 2", "> 2 days vs 6 min (~500x)",

@@ -38,12 +38,17 @@ inline void print_header(const std::string& title) {
 }
 
 // One measurement: a named configuration, its scale, and its speed.
+// `threads` is the thread count the measurement actually ran with (1 for a
+// serial variant, the pool size for a parallel one) — recorded per record
+// so regression checks never gate a 1-thread run against a 16-thread
+// baseline number. 0 means "not thread-sensitive" (e.g. cache-hit latency).
 struct BenchRecord {
   std::string name;
   long long n = 0;
   int p = 0;
   double wall_s = 0.0;
   double items_per_s = 0.0;
+  int threads = 0;
   std::vector<std::pair<std::string, double>> extra;  // e.g. {"speedup", 3.4}
 };
 
@@ -68,8 +73,10 @@ inline std::string take_json_flag(int& argc, char** argv) {
 }
 
 // Collects BenchRecords and serializes them as
-//   {"bench": ..., "threads": ..., "records": [...]}
+//   {"bench": ..., "host_parallelism": ..., "records": [...]}
 // with full-precision doubles, so trajectories diff cleanly across runs.
+// The header records what the host *offers*; each record carries the
+// thread count it actually *used*, keeping the JSON self-consistent.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
@@ -86,14 +93,15 @@ class JsonReport {
       return false;
     }
     out << "{\n  \"bench\": \"" << bench_ << "\",\n"
-        << "  \"threads\": " << support::default_parallelism() << ",\n"
+        << "  \"host_parallelism\": " << support::default_parallelism() << ",\n"
         << "  \"records\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const auto& r = records_[i];
       out << (i == 0 ? "\n" : ",\n")
           << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
           << ", \"p\": " << r.p << ", \"wall_s\": " << format_json_double(r.wall_s)
-          << ", \"items_per_s\": " << format_json_double(r.items_per_s);
+          << ", \"items_per_s\": " << format_json_double(r.items_per_s)
+          << ", \"threads\": " << r.threads;
       for (const auto& [key, value] : r.extra) {
         out << ", \"" << key << "\": " << format_json_double(value);
       }

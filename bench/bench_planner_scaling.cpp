@@ -8,13 +8,22 @@
 //   - optimized_dp, parallel (shared pool): the column decomposition,
 //   - optimized_dp, divide-and-conquer memory mode (parallel),
 //   - exact_dp serial vs parallel at the smallest n (O(p n^2) pins it),
-//   - cost-table build + reuse, and plan-cache hit latency.
+//   - cost-table build + reuse, and plan-cache miss/hit latency (the miss
+//     forces OptimizedDp so it really times a DP solve, not the Auto
+//     closed-form probe),
+//   - the affine fast path: an Algorithm::Auto plan on a genuinely affine
+//     platform must route to the O(p) LP heuristic, carry the Eq. 4
+//     optimality certificate, and finish in far under a second at n = 10^6.
 // Every variant must reproduce the serial distribution *bit-identically* —
 // that is a hard shape check, not a tolerance. Speedup is asserted (>= 3x
-// at the largest n) only when the host actually offers >= 4 threads.
+// at the largest n) only when the host actually offers >= 4 threads; the
+// DP wall-time gate (< 5 s at n = 10^6) and the affine fast-path gate
+// (< 1 s) apply whenever the sweep reaches 10^6.
 //
 // Output: the usual table plus `--json <file>` (bench_common.hpp) records
-// for the BENCH_*.json trajectory and the CI perf-smoke gate.
+// for the BENCH_*.json trajectory and the CI perf-smoke gate. Each record
+// carries the thread count it ran with so check_regression.py compares
+// like with like across hosts.
 //
 // Flags: --json <file>, --max-n <N> (default 1,000,000; CI smoke uses
 // 100,000 to stay inside the runner budget).
@@ -97,6 +106,7 @@ int main(int argc, char** argv) {
   core::DpOptions parallel_opts;  // defaults: shared pool, Auto memory
 
   double largest_speedup = 0.0;
+  double largest_parallel_s = 0.0;
   long long largest_n = 0;
   for (long long n : {10'000LL, 100'000LL, 1'000'000LL}) {
     if (n > max_n) break;
@@ -107,15 +117,17 @@ int main(int argc, char** argv) {
     if (n >= largest_n) {
       largest_n = n;
       largest_speedup = speedup;
+      largest_parallel_s = parallel.seconds;
     }
     table.add_row({"optimized_dp", std::to_string(n),
                    support::format_seconds(serial.seconds),
                    support::format_seconds(parallel.seconds),
                    support::format_double(speedup, 2) + "x", identical ? "yes" : "NO"});
     report.add({"optimized_dp_serial", n, p, serial.seconds,
-                static_cast<double>(n) / serial.seconds, {}});
+                static_cast<double>(n) / serial.seconds, serial.result.threads_used, {}});
     report.add({"optimized_dp_parallel", n, p, parallel.seconds,
-                static_cast<double>(n) / parallel.seconds, {{"speedup", speedup}}});
+                static_cast<double>(n) / parallel.seconds, parallel.result.threads_used,
+                {{"speedup", speedup}}});
     comparisons.push_back({"parallel == serial distribution (n=" + std::to_string(n) + ")",
                            "bit-identical", identical ? "bit-identical" : "DIVERGED",
                            identical});
@@ -130,7 +142,7 @@ int main(int argc, char** argv) {
                    support::format_double(serial.seconds / dc.seconds, 2) + "x",
                    dc_identical ? "yes" : "NO"});
     report.add({"optimized_dp_dc", n, p, dc.seconds,
-                static_cast<double>(n) / dc.seconds, {}});
+                static_cast<double>(n) / dc.seconds, dc.result.threads_used, {}});
     comparisons.push_back({"divide&conquer distribution (n=" + std::to_string(n) + ")",
                            "bit-identical", dc_identical ? "bit-identical" : "DIVERGED",
                            dc_identical});
@@ -148,9 +160,9 @@ int main(int argc, char** argv) {
                    support::format_double(serial.seconds / parallel.seconds, 2) + "x",
                    identical ? "yes" : "NO"});
     report.add({"exact_dp_serial", n, p, serial.seconds,
-                static_cast<double>(n) / serial.seconds, {}});
+                static_cast<double>(n) / serial.seconds, serial.result.threads_used, {}});
     report.add({"exact_dp_parallel", n, p, parallel.seconds,
-                static_cast<double>(n) / parallel.seconds,
+                static_cast<double>(n) / parallel.seconds, parallel.result.threads_used,
                 {{"speedup", serial.seconds / parallel.seconds}}});
     comparisons.push_back({"exact_dp parallel == serial (n=" + std::to_string(n) + ")",
                            "bit-identical", identical ? "bit-identical" : "DIVERGED",
@@ -174,32 +186,45 @@ int main(int argc, char** argv) {
                    support::format_double(without_table.seconds / with_table.seconds, 2) + "x",
                    identical ? "yes" : "NO"});
     report.add({"cost_table_build", n, p, build_s,
-                static_cast<double>(n) / build_s, {}});
+                static_cast<double>(n) / build_s, 1, {}});
     report.add({"optimized_dp_cost_table", n, p, with_table.seconds,
-                static_cast<double>(n) / with_table.seconds, {}});
+                static_cast<double>(n) / with_table.seconds,
+                with_table.result.threads_used, {}});
     comparisons.push_back({"cost-table distribution (n=" + std::to_string(n) + ")",
                            "bit-identical", identical ? "bit-identical" : "DIVERGED",
                            identical});
   }
 
-  // Plan cache: cold plan vs steady-state hit.
+  // Plan cache: cold miss vs steady-state hit. The miss explicitly
+  // requests OptimizedDp — with Algorithm::Auto the paper testbed's affine
+  // costs resolve to the O(p) fast path, and "cold" would time a
+  // closed-form probe (~microseconds) instead of the DP solve the cache
+  // exists to amortize.
   {
     long long n = std::min<long long>(100'000, max_n);
     core::PlanCache cache(16);
-    double cold_s = time_once([&] { cache.plan(platform, n); });
+    core::ScatterPlan cold_plan;
+    double cold_s = time_once(
+        [&] { cold_plan = cache.plan(platform, n, core::Algorithm::OptimizedDp); });
     constexpr int kHits = 1000;
     double hit_total = time_once([&] {
-      for (int i = 0; i < kHits; ++i) cache.plan(platform, n);
+      for (int i = 0; i < kHits; ++i) cache.plan(platform, n, core::Algorithm::OptimizedDp);
     });
     double hit_s = hit_total / kHits;
     auto stats = cache.stats();
     bool all_hits = stats.hits == kHits && stats.misses == 1;
+    bool cold_was_dp = cold_plan.algorithm_used == core::Algorithm::OptimizedDp &&
+                       cold_plan.dp_cells_evaluated > 0;
     table.add_row({"plan_cache (cold vs hit)", std::to_string(n),
                    support::format_seconds(cold_s), support::format_seconds(hit_s),
                    support::format_double(cold_s / hit_s, 0) + "x",
                    all_hits ? "yes" : "NO"});
-    report.add({"plan_cache_cold", n, p, cold_s, static_cast<double>(n) / cold_s, {}});
-    report.add({"plan_cache_hit", n, p, hit_s, static_cast<double>(n) / hit_s, {}});
+    report.add({"plan_cache_cold", n, p, cold_s, static_cast<double>(n) / cold_s,
+                cold_plan.dp_threads, {}});
+    report.add({"plan_cache_hit", n, p, hit_s, static_cast<double>(n) / hit_s, 0, {}});
+    comparisons.push_back({"plan cache cold miss", "runs the DP it claims to time",
+                           cold_was_dp ? "optimized_dp solved" : "NOT A DP SOLVE",
+                           cold_was_dp});
     comparisons.push_back({"plan cache steady state", "every repeat plan hits",
                            all_hits ? "1000/1000 hits" : "MISSES", all_hits});
     comparisons.push_back({"plan cache hit latency", "O(1), far below one DP",
@@ -242,9 +267,10 @@ int main(int argc, char** argv) {
                    support::format_seconds(off_s), support::format_seconds(on_s),
                    support::format_double(overhead * 100.0, 2) + "%",
                    identical && traced ? "yes" : "NO"});
-    report.add({"plan_tracer_off", n, p, off_s, static_cast<double>(n) / off_s, {}});
-    report.add({"plan_tracer_on", n, p, on_s,
-                static_cast<double>(n) / on_s, {{"overhead", overhead}}});
+    report.add({"plan_tracer_off", n, p, off_s, static_cast<double>(n) / off_s,
+                off_plan.dp_threads, {}});
+    report.add({"plan_tracer_on", n, p, on_s, static_cast<double>(n) / on_s,
+                on_plan.dp_threads, {{"overhead", overhead}}});
     comparisons.push_back({"traced distribution (n=" + std::to_string(n) + ")",
                            "bit-identical", identical ? "bit-identical" : "DIVERGED",
                            identical});
@@ -252,11 +278,57 @@ int main(int argc, char** argv) {
                            traced ? "yes" : "NO", traced});
   }
 
+  // Affine fast path: with nonzero per-message latencies no closed form
+  // applies, but Algorithm::Auto must still route to the O(p) LP heuristic
+  // — never a DP — and attach the Eq. 4 optimality certificate. At the
+  // paper's scale this is the "million items in (milli)seconds" claim.
+  {
+    long long n = std::min<long long>(1'000'000, max_n);
+    model::Platform affine;
+    for (int i = 0; i < p; ++i) {
+      model::Processor proc;
+      proc.label = "A" + std::to_string(i);
+      bool is_root = i == p - 1;
+      proc.comm = is_root ? model::Cost::zero()
+                          : model::Cost::affine(1e-4 + 1e-6 * i, 2e-8 * (i + 1));
+      proc.comp = model::Cost::affine(5e-4, 1e-7 * (1.0 + 0.1 * i));
+      affine.processors.push_back(proc);
+    }
+    core::PlannerOptions auto_opts;  // Algorithm::Auto
+    core::ScatterPlan plan;
+    double fast_s = time_once([&] { plan = core::plan_scatter(affine, n, auto_opts); });
+    bool routed_fast = plan.algorithm_used == core::Algorithm::LpHeuristic;
+    bool bounded = plan.has_optimality_bound && plan.optimality_gap >= 0.0;
+    table.add_row({"affine fast path (Auto)", std::to_string(n), "-",
+                   support::format_seconds(fast_s), "-",
+                   routed_fast && bounded ? "yes" : "NO"});
+    report.add({"affine_fastpath", n, p, fast_s, static_cast<double>(n) / fast_s, 1,
+                {{"optimality_gap", plan.optimality_gap}}});
+    comparisons.push_back({"Auto on affine costs", "LP heuristic, never DP",
+                           core::to_string(plan.algorithm_used), routed_fast});
+    comparisons.push_back({"Eq. 4 certificate attached",
+                           "bound present, gap >= 0",
+                           bounded ? "gap = " + support::format_seconds(plan.optimality_gap)
+                                   : "MISSING",
+                           bounded});
+    if (n >= 1'000'000) {
+      comparisons.push_back({"affine fast path at n=" + std::to_string(n),
+                             "< 1 s", support::format_seconds(fast_s),
+                             fast_s < 1.0});
+    }
+  }
+
   std::cout << '\n';
   table.print(std::cout);
 
-  // The headline acceptance shape: >= 3x parallel speedup at the largest
-  // measured n — only meaningful when the host offers >= 4 threads.
+  // The headline acceptance shapes at the paper's scale: the optimized DP
+  // finishes a 10^6-item plan in under 5 s, and parallel speedup reaches
+  // >= 3x — the latter only meaningful when the host offers >= 4 threads.
+  if (largest_n >= 1'000'000) {
+    comparisons.push_back({"optimized_dp wall time at n=" + std::to_string(largest_n),
+                           "< 5 s", support::format_seconds(largest_parallel_s),
+                           largest_parallel_s < 5.0});
+  }
   if (threads >= 4 && largest_n >= 1'000'000) {
     comparisons.push_back({"parallel speedup at n=" + std::to_string(largest_n),
                            ">= 3x on >= 4 threads",

@@ -16,6 +16,13 @@ factor is deliberately loose (3x by default): the gate exists to catch
 accidental algorithmic regressions -- an O(n^2) slip, a lost
 parallel path -- not scheduler noise on shared CI runners.
 
+Like with like: each record carries the thread count it actually ran
+with (`threads`; 0 = not thread-sensitive). When current and baseline
+disagree on a record's nonzero thread count -- a 1-core runner replaying
+a 16-thread baseline -- the throughput gate is skipped for that record
+(reported as "skip"), because the comparison would measure the runner,
+not the code. Presence is still enforced: the record must exist.
+
 --pair OFF:ON compares two record names measured in the SAME run (so
 runner speed cancels out) and fails when the ON variant's throughput
 falls more than --pair-delta (default 5%) below OFF at any matching n.
@@ -103,6 +110,13 @@ def main():
             continue
         cur_rate = current[key]["items_per_s"]
         ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        base_threads = baseline[key].get("threads", 0)
+        cur_threads = current[key].get("threads", 0)
+        if base_threads and cur_threads and base_threads != cur_threads:
+            print(f"{name:<{width}} {n:>10} {base_rate:>14.3g} "
+                  f"{cur_rate:>14.3g} {ratio:>6.2f}x  "
+                  f"skip (threads {cur_threads} vs baseline {base_threads})")
+            continue
         ok = cur_rate * args.factor >= base_rate
         print(f"{name:<{width}} {n:>10} {base_rate:>14.3g} "
               f"{cur_rate:>14.3g} {ratio:>6.2f}x  "

@@ -134,7 +134,12 @@ int run_plan(service::Client& client, int argc, char** argv) {
             << (response.cache_hit ? "  [cache hit]" : "")
             << (response.coalesced ? "  [coalesced]" : "")
             << "\npredicted makespan: " << response.predicted_makespan
-            << " s\n\n";
+            << " s\n";
+  if (response.has_optimality_bound) {
+    std::cout << "optimality: within " << response.optimality_gap
+              << " s of the integral optimum (Eq. 4)\n";
+  }
+  std::cout << "\n";
   auto displacements = response.displacements();
   support::Table table({"rank", "processor", "count", "displacement"});
   for (int i = 0; i < platform.size(); ++i) {

@@ -14,12 +14,23 @@
 //   (the paper: > 2 days vs 6 minutes at n = 817,101).
 //
 // Performance engineering (see docs/algorithms.md, "Performance
-// engineering"): every cell of column i depends only on column i+1, so
-// both algorithms evaluate Tcomm/Tcomp through flat per-column arrays
-// (optionally a precomputed model::CostTable) and partition each column's
-// d-range across the shared thread pool. Scheduling never changes which
-// inputs a cell reads, so parallel runs are bit-identical to serial ones.
+// engineering"): every cell (i, d) depends only on the prefix [0..d] of
+// column i+1, so the engine runs a *wavefront* pipeline — each column is
+// cut into fixed chunks and a chunk starts as soon as the previous
+// column's done-prefix covers it, overlapping columns instead of placing
+// a pool barrier between them. Algorithm 2's crossover is monotone in d,
+// so inside a chunk it advances by a two-pointer sweep (amortized O(1)
+// per cell, sequential loads) instead of a per-cell bisection; when a
+// column's communication cost is affine, the downward scan collapses
+// further into a sliding-window minimum kept on a monotone stack —
+// amortized O(1) per cell regardless of scan depth, which is what makes
+// n = 10^6 a sub-second solve. Algorithm 1's min-reduction has an AVX2
+// path with a bit-identical scalar fallback. The chunk grid is fixed and
+// every chunk is a pure function of its inputs, so results are
+// bit-identical across thread counts, memory modes, and kernels.
 #pragma once
+
+#include <cstddef>
 
 #include "core/distribution.hpp"
 #include "model/platform.hpp"
@@ -59,6 +70,15 @@ struct DpOptions {
   // `items`; skips the per-column Tcomm/Tcomp evaluation. Worth building
   // once when planning repeatedly over the same (platform, n).
   const model::CostTable* cost_table = nullptr;
+  // When true (default) Algorithm 1 uses the AVX2 cell kernel on hosts
+  // that support it. The scalar fallback is bit-identical; this switch
+  // exists so differential tests can force the comparison.
+  bool allow_simd = true;
+  // DivideConquer bottom-out budget: a recursion node whose int32 choice
+  // table fits in this many bytes is solved by one table pass instead of
+  // recursing (0 = the built-in 256 MiB default). Tests shrink it to
+  // force deep recursion; results are identical either way.
+  std::size_t dc_table_bytes = 0;
   // Observability hooks. A null tracer falls back to obs::global_tracer()
   // (still usually null); each solve then emits one dp.solve span carrying
   // items / cells evaluated / threads. Metrics are explicit-only: when

@@ -61,7 +61,7 @@ HeuristicResult lp_heuristic(const model::Platform& platform, long long items) {
   result.rational_makespan = solution.objective;
   result.distribution = round_distribution(result.rational_shares, items);
   result.makespan = makespan(platform, result.distribution);
-  result.guarantee_slack = rounding_guarantee_slack(platform);
+  result.guarantee_slack = affine_rounding_guarantee_slack(platform);
   return result;
 }
 

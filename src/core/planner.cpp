@@ -137,6 +137,8 @@ ScatterPlan plan_scatter(const model::Platform& platform, long long items,
       plan.distribution = std::move(dp.distribution);
       plan.dp_cells_evaluated = dp.cells_evaluated;
       plan.dp_threads = dp.threads_used;
+      plan.has_optimality_bound = true;  // the DP is exactly optimal
+      plan.optimality_gap = 0.0;
       break;
     }
     case Algorithm::OptimizedDp: {
@@ -144,14 +146,22 @@ ScatterPlan plan_scatter(const model::Platform& platform, long long items,
       plan.distribution = std::move(dp.distribution);
       plan.dp_cells_evaluated = dp.cells_evaluated;
       plan.dp_threads = dp.threads_used;
+      plan.has_optimality_bound = true;  // the DP is exactly optimal
+      plan.optimality_gap = 0.0;
       break;
     }
-    case Algorithm::LpHeuristic:
-      plan.distribution = lp_heuristic(platform, items).distribution;
+    case Algorithm::LpHeuristic: {
+      HeuristicResult heuristic = lp_heuristic(platform, items);
+      plan.distribution = std::move(heuristic.distribution);
+      plan.has_optimality_bound = true;
+      plan.optimality_gap = heuristic.guarantee_slack;
       break;
+    }
     case Algorithm::LinearClosedForm: {
       auto rational = solve_linear(platform, items);
       plan.distribution = round_distribution(rational.share, items);
+      plan.has_optimality_bound = true;
+      plan.optimality_gap = rounding_guarantee_slack(platform);
       break;
     }
     case Algorithm::Uniform:

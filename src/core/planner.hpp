@@ -38,6 +38,14 @@ struct ScatterPlan {
   double predicted_makespan = 0.0;          // Eq. 2 on the true cost model
   std::vector<double> predicted_finish;     // Eq. 1 per processor
   Algorithm algorithm_used = Algorithm::Auto;
+  // Eq. 4 optimality certificate. When has_optimality_bound is set,
+  //   predicted_makespan <= optimal integral makespan + optimality_gap.
+  // DP plans are exactly optimal (gap 0); the closed-form and LP fast
+  // paths carry the rounding slack (sum of Tcomm(j,1) plus the worst
+  // fixed and per-item compute terms — Section 4 / Eq. 4). Uniform plans
+  // carry no bound.
+  bool has_optimality_bound = false;
+  double optimality_gap = 0.0;
   // Planner provenance (zero unless a DP algorithm ran): survives the plan
   // cache, so a cached plan still reports the work its original solve did.
   long long dp_cells_evaluated = 0;

@@ -162,4 +162,19 @@ double rounding_guarantee_slack(const model::Platform& platform) {
   return comm_sum + comp_max;
 }
 
+double affine_rounding_guarantee_slack(const model::Platform& platform) {
+  double comm_sum = 0.0;
+  double comp_fixed_max = 0.0;
+  double comp_slope_max = 0.0;
+  for (int i = 0; i < platform.size(); ++i) {
+    comm_sum += platform[i].comm(1);
+    auto comp = platform[i].comp.affine();
+    LBS_CHECK_MSG(comp.has_value(),
+                  "affine_rounding_guarantee_slack requires affine costs");
+    comp_fixed_max = std::max(comp_fixed_max, comp->fixed);
+    comp_slope_max = std::max(comp_slope_max, comp->per_item);
+  }
+  return comm_sum + comp_fixed_max + comp_slope_max;
+}
+
 }  // namespace lbs::core

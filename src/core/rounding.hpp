@@ -39,4 +39,15 @@ Distribution round_distribution_exact(std::span<const support::BigRational> shar
 // The additive slack of Eq. 4: sum_j Tcomm(j, 1) + max_i Tcomp(i, 1).
 double rounding_guarantee_slack(const model::Platform& platform);
 
+// Eq. 4 slack sound for *affine* costs with nonzero fixed terms. Three
+// error sources stack on top of the LP optimum: the LP charges fixed
+// terms even on zero shares (<= sum_j b_j + max_i c_i vs the true
+// integral optimum), and rounding perturbs each share by under one item
+// (<= sum_j beta_j + max_i alpha_i). The compute fixed term and slope can
+// peak at *different* processors, so this keeps max_i c_i and
+// max_i alpha_i separate — for linear costs (all fixed terms zero) it
+// degenerates to rounding_guarantee_slack exactly. Requires
+// all_costs_affine().
+double affine_rounding_guarantee_slack(const model::Platform& platform);
+
 }  // namespace lbs::core

@@ -222,6 +222,8 @@ PlanResponse Client::local_plan(const model::Platform& platform, long long items
     response.predicted_makespan = plan.predicted_makespan;
     response.algorithm_used = plan.algorithm_used;
     response.dp_cells_evaluated = plan.dp_cells_evaluated;
+    response.has_optimality_bound = plan.has_optimality_bound;
+    response.optimality_gap = plan.optimality_gap;
     response.local_fallback = true;
     response.message = reason;
   } catch (const lbs::Error& error) {

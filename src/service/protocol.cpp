@@ -245,7 +245,9 @@ std::vector<std::uint8_t> encode_plan_response(const PlanResponse& response) {
       std::uint8_t flags = 0;
       if (response.cache_hit) flags |= 1;
       if (response.coalesced) flags |= 2;
+      if (response.has_optimality_bound) flags |= 4;
       out.put_u8(flags);
+      out.put_f64(response.optimality_gap);
       out.put_u32(static_cast<std::uint32_t>(response.counts.size()));
       for (long long count : response.counts) out.put_i64(count);
       break;
@@ -315,6 +317,8 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
           std::uint8_t flags = in.read_u8();
           response.cache_hit = (flags & 1) != 0;
           response.coalesced = (flags & 2) != 0;
+          response.has_optimality_bound = (flags & 4) != 0;
+          response.optimality_gap = in.read_f64();
           std::uint32_t count = in.read_u32();
           LBS_CHECK_MSG(count <= kMaxProcessors, "wire: implausible count vector");
           response.counts.reserve(count);

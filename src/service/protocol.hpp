@@ -44,7 +44,9 @@ namespace lbs::service {
 // v2: frames grew a CRC-32 integrity word (socket.hpp) — a v1 peer
 // cannot even frame-align against a v2 stream, so the version byte exists
 // to make the mismatch a clean decode error rather than garbage.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+// v3: Ok plan responses carry the Eq. 4 optimality certificate (a flag
+// bit plus the f64 gap), so fast-path plans arrive with their bound.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
 // Nested Scaled specs deeper than this are rejected at decode (a legit
 // platform wraps a cost a handful of times; a hostile frame recurses).
@@ -86,6 +88,10 @@ struct PlanResponse {
   double predicted_makespan = 0.0;
   core::Algorithm algorithm_used = core::Algorithm::Auto;
   long long dp_cells_evaluated = 0;
+  // Eq. 4 certificate (see core::ScatterPlan): when the flag is set,
+  // predicted_makespan <= optimal + optimality_gap (0 for DP plans).
+  bool has_optimality_bound = false;
+  double optimality_gap = 0.0;
   bool cache_hit = false;   // served straight from the sharded cache
   bool coalesced = false;   // attached to another request's in-flight solve
   // Client-side only: this Ok was computed in-process by plan_scatter

@@ -365,6 +365,8 @@ void Server::handle_plan(const std::shared_ptr<Connection>& connection,
     response.predicted_makespan = cached->predicted_makespan;
     response.algorithm_used = cached->algorithm_used;
     response.dp_cells_evaluated = cached->dp_cells_evaluated;
+    response.has_optimality_bound = cached->has_optimality_bound;
+    response.optimality_gap = cached->optimality_gap;
     response.cache_hit = true;
     respond_plan(waiter, std::move(response));
     return;
@@ -485,6 +487,8 @@ void Server::solve_one(PendingSolve& pending) {
     base.predicted_makespan = plan.predicted_makespan;
     base.algorithm_used = plan.algorithm_used;
     base.dp_cells_evaluated = plan.dp_cells_evaluated;
+    base.has_optimality_bound = plan.has_optimality_bound;
+    base.optimality_gap = plan.optimality_gap;
   } catch (const lbs::Error& error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     metrics_->counter("service.errors").add();

@@ -29,6 +29,8 @@ void encode_entry(WireWriter& out, const SnapshotEntry& entry) {
   out.put_f64(plan.predicted_makespan);
   out.put_i64(plan.dp_cells_evaluated);
   out.put_u32(static_cast<std::uint32_t>(plan.dp_threads));
+  out.put_u8(plan.has_optimality_bound ? 1 : 0);
+  out.put_f64(plan.optimality_gap);
   out.put_u32(static_cast<std::uint32_t>(plan.distribution.counts.size()));
   for (long long count : plan.distribution.counts) out.put_i64(count);
   out.put_u32(static_cast<std::uint32_t>(plan.predicted_finish.size()));
@@ -58,6 +60,8 @@ SnapshotEntry decode_entry(WireReader& in) {
   plan.predicted_makespan = in.read_f64();
   plan.dp_cells_evaluated = in.read_i64();
   plan.dp_threads = static_cast<int>(in.read_u32());
+  plan.has_optimality_bound = in.read_u8() != 0;
+  plan.optimality_gap = in.read_f64();
 
   std::uint32_t counts = in.read_u32();
   LBS_CHECK_MSG(counts <= kMaxSnapshotEntries, "snapshot: implausible count vector");

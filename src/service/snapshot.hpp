@@ -40,7 +40,8 @@
 namespace lbs::service {
 
 inline constexpr std::uint64_t kSnapshotMagic = 0x3150414E5353424CULL;  // "LBSSNAP1"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: plan entries grew the Eq. 4 optimality certificate (flag + f64 gap).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 // One snapshot entry is O(p) small; this bounds a hostile or corrupt
 // entry_count before any allocation trusts it.
 inline constexpr std::uint32_t kMaxSnapshotEntries = 1u << 20;
