@@ -10,11 +10,18 @@
 //      concurrent clients vs 1 client measures how well the batched
 //      dispatch + sharded cache spread independent solves across cores.
 //   2. coalescing proof — 16 clients all request the SAME fresh key, for
-//      several rounds. The tracer counts dp.solve spans: exactly one per
-//      round regardless of the client count, or the coalescing map is
-//      broken.
-//   3. cache-hit serving — 16 clients replay a warmed key set; requests
-//      never touch the queue, throughput is pure sharded-cache reads.
+//      several rounds, against a dedicated server whose solve_delay_ms
+//      holds each solve open until every client has attached (the same
+//      idiom as the server unit test). The tracer counts dp.solve spans:
+//      exactly one per round regardless of the client count, or the
+//      coalescing map is broken. The delay matters: without it, a client
+//      arriving in the window between a solve finishing (inflight entry
+//      erased) and its result landing in the cache legitimately enqueues
+//      a second solve — a benign race, but one that would flake the
+//      exact-count gate under load.
+//   3. cache-hit serving — 16 clients replay phase 1's warmed keys;
+//      requests never touch the queue, throughput is pure sharded-cache
+//      reads.
 //
 // Shape gates are hardware-aware: the 16-vs-1 scaling target is
 // min(4, max(0.75, 0.45 * cores)) — ~4x on the 8+-core CI runners the
@@ -26,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +47,7 @@
 #include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -82,29 +91,48 @@ double wall_seconds() {
       .count();
 }
 
+// Per-request latency percentiles in milliseconds, appended to a
+// record's extras so the regression gate can watch tails, not just
+// aggregate throughput (a lost parallel path shows up in p99 first).
+void append_percentiles(bench::BenchRecord& record,
+                        const std::vector<double>& latencies_s) {
+  if (latencies_s.empty()) return;
+  record.extra.emplace_back("p50_ms", 1e3 * support::quantile(latencies_s, 0.50));
+  record.extra.emplace_back("p95_ms", 1e3 * support::quantile(latencies_s, 0.95));
+  record.extra.emplace_back("p99_ms", 1e3 * support::quantile(latencies_s, 0.99));
+}
+
 // Runs `total_requests` unique-key plan requests spread over `clients`
-// concurrent connections; returns aggregate requests/second. `key_epoch`
-// offsets the item counts so each phase sees fresh keys (cache misses);
-// keep it small — items scale the DP, so a large offset would change the
+// concurrent connections; returns aggregate requests/second and appends
+// each request's latency (seconds) to `latencies_s`. `key_epoch` offsets
+// the item counts so each phase sees fresh keys (cache misses); keep it
+// small — items scale the DP, so a large offset would change the
 // per-solve workload between phases and corrupt the comparison.
 double run_miss_phase(const std::string& socket_path, int clients,
                       int total_requests, long long key_epoch,
-                      std::atomic<int>& failures) {
+                      std::atomic<int>& failures,
+                      std::vector<double>& latencies_s) {
   auto platform = bench_platform();
   std::atomic<int> next{0};
+  std::mutex latency_mu;
   double start = wall_seconds();
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
       service::Client client(socket_path);
+      std::vector<double> mine;
       for (int i = next.fetch_add(1); i < total_requests;
            i = next.fetch_add(1)) {
         // Unique items per request => unique PlanKey => guaranteed miss.
         long long items = kItemsBase + key_epoch + i;
+        double sent = wall_seconds();
         auto response = client.plan_with_retry(platform, items,
                                                core::Algorithm::OptimizedDp, 50);
+        mine.push_back(wall_seconds() - sent);
         if (response.status != service::PlanStatus::Ok) failures.fetch_add(1);
       }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latencies_s.insert(latencies_s.end(), mine.begin(), mine.end());
     });
   }
   for (auto& thread : threads) thread.join();
@@ -135,11 +163,13 @@ int main(int argc, char** argv) {
   server.start();
 
   std::atomic<int> failures{0};
+  std::vector<double> latencies_1;
+  std::vector<double> latencies_16;
   double rps_1 = run_miss_phase(options.socket_path, 1, kSolvesPerPhase,
-                                /*key_epoch=*/0, failures);
+                                /*key_epoch=*/0, failures, latencies_1);
   double rps_16 = run_miss_phase(options.socket_path, kClientsWide,
                                  kSolvesPerPhase, /*key_epoch=*/kSolvesPerPhase,
-                                 failures);
+                                 failures, latencies_16);
   double scaling = rps_16 / rps_1;
 
   support::Table scale_table(
@@ -159,36 +189,53 @@ int main(int argc, char** argv) {
     record.p = 1;
     record.wall_s = kSolvesPerPhase / rps_1;
     record.items_per_s = rps_1;
+    append_percentiles(record, latencies_1);
     report.add(record);
+    record.extra.clear();
     record.name = "miss_16_clients";
     record.p = kClientsWide;
     record.wall_s = kSolvesPerPhase / rps_16;
     record.items_per_s = rps_16;
     record.extra = {{"scaling_x", scaling}};
+    append_percentiles(record, latencies_16);
     report.add(record);
   }
 
   // ---- Phase 2: coalescing proof --------------------------------------
-  (void)tracer.collect();  // drop phase-1 spans: count only this phase's
+  // A dedicated server with solve_delay_ms keeps each round's solve open
+  // until all 16 clients have attached, making "exactly one dp.solve per
+  // round" deterministic instead of a race against client arrival.
   auto platform = bench_platform();
   std::atomic<int> coalesce_failures{0};
-  for (int round = 0; round < kCoalesceRounds; ++round) {
-    long long items = kItemsBase + 2 * kSolvesPerPhase + round;  // fresh key
-    std::vector<std::thread> threads;
-    for (int c = 0; c < kClientsWide; ++c) {
-      threads.emplace_back([&, items] {
-        service::Client client(options.socket_path);
-        auto response = client.plan_with_retry(platform, items,
-                                               core::Algorithm::OptimizedDp, 50);
-        if (response.status != service::PlanStatus::Ok) {
-          coalesce_failures.fetch_add(1);
-        }
-      });
+  long long solves = 0;
+  {
+    obs::Tracer coalesce_tracer;
+    service::ServerOptions coalesce_options;
+    coalesce_options.socket_path = bench_socket_path();
+    coalesce_options.tracer = &coalesce_tracer;
+    coalesce_options.max_queue = 1024;
+    coalesce_options.solve_delay_ms = 200;
+    service::Server coalesce_server(coalesce_options);
+    coalesce_server.start();
+    for (int round = 0; round < kCoalesceRounds; ++round) {
+      long long items = kItemsBase + 2 * kSolvesPerPhase + round;  // fresh key
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kClientsWide; ++c) {
+        threads.emplace_back([&, items] {
+          service::Client client(coalesce_options.socket_path);
+          auto response = client.plan_with_retry(
+              platform, items, core::Algorithm::OptimizedDp, 50);
+          if (response.status != service::PlanStatus::Ok) {
+            coalesce_failures.fetch_add(1);
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
     }
-    for (auto& thread : threads) thread.join();
+    coalesce_server.stop();
+    auto log = coalesce_tracer.collect();
+    solves = static_cast<long long>(log.of_type(obs::EventType::DpSolve).size());
   }
-  auto log = tracer.collect();
-  auto solves = static_cast<long long>(log.of_type(obs::EventType::DpSolve).size());
   long long coalesce_requests = static_cast<long long>(kCoalesceRounds) * kClientsWide;
   std::cout << "\ncoalescing: " << coalesce_requests << " identical requests ("
             << kClientsWide << " clients x " << kCoalesceRounds
@@ -208,20 +255,25 @@ int main(int argc, char** argv) {
 
   // ---- Phase 3: warm-cache serving ------------------------------------
   {
-    std::atomic<int> next{0};
+    std::vector<double> hit_latencies;
+    std::mutex latency_mu;
     double start = wall_seconds();
     std::vector<std::thread> threads;
     for (int c = 0; c < kClientsWide; ++c) {
       threads.emplace_back([&] {
         service::Client client(options.socket_path);
+        std::vector<double> mine;
         for (int i = 0; i < kHitRequestsPerClient; ++i) {
-          // Replay phase 2's warmed keys: all hits.
-          long long items = kItemsBase + 2 * kSolvesPerPhase + (i % kCoalesceRounds);
+          // Replay phase 1's warmed keys: all hits.
+          long long items = kItemsBase + (i % kSolvesPerPhase);
+          double sent = wall_seconds();
           auto response = client.plan_with_retry(platform, items,
                                                  core::Algorithm::OptimizedDp, 50);
+          mine.push_back(wall_seconds() - sent);
           if (response.status != service::PlanStatus::Ok) failures.fetch_add(1);
-          (void)next;
         }
+        std::lock_guard<std::mutex> lock(latency_mu);
+        hit_latencies.insert(hit_latencies.end(), mine.begin(), mine.end());
       });
     }
     for (auto& thread : threads) thread.join();
@@ -240,6 +292,7 @@ int main(int argc, char** argv) {
     record.wall_s = elapsed;
     record.items_per_s = rps_hit;
     record.extra = {{"hit_ratio_vs_miss", rps_hit / rps_16}};
+    append_percentiles(record, hit_latencies);
     report.add(record);
   }
 

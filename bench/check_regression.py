@@ -23,6 +23,16 @@ a 16-thread baseline -- the throughput gate is skipped for that record
 (reported as "skip"), because the comparison would measure the runner,
 not the code. Presence is still enforced: the record must exist.
 
+Latency percentiles: when BOTH records carry a percentile field (p50_ms /
+p95_ms / p99_ms), it is gated the other way around -- lower is better:
+
+    current.p99_ms <= baseline.p99_ms * latency-factor
+
+with --latency-factor defaulting to --factor. Percentile fields only in
+the baseline are a failure (the measurement was silently dropped);
+fields only in CURRENT are allowed (a baseline refresh picks them up).
+The thread-mismatch skip applies to percentiles too.
+
 --pair OFF:ON compares two record names measured in the SAME run (so
 runner speed cancels out) and fails when the ON variant's throughput
 falls more than --pair-delta (default 5%) below OFF at any matching n.
@@ -37,6 +47,8 @@ import argparse
 import json
 import sys
 
+PERCENTILE_FIELDS = ("p50_ms", "p95_ms", "p99_ms")
+
 
 def load_records(path):
     with open(path) as fh:
@@ -45,6 +57,30 @@ def load_records(path):
     for record in report.get("records", []):
         records[(record["name"], record["n"])] = record
     return records
+
+
+def check_percentiles(name, n, base_record, cur_record, factor, width):
+    """Latency tails gate (lower is better). Returns the failure count."""
+    failures = 0
+    for field in PERCENTILE_FIELDS:
+        base_value = base_record.get(field)
+        if base_value is None:
+            continue  # baseline predates percentiles for this record
+        label = f"{name}.{field}"
+        cur_value = cur_record.get(field)
+        if cur_value is None:
+            print(f"{label:<{width}} {n:>10} {base_value:>14.3g} "
+                  f"{'MISSING':>14} {'-':>7}  FAIL")
+            failures += 1
+            continue
+        ratio = cur_value / base_value if base_value > 0 else float("inf")
+        ok = cur_value <= base_value * factor
+        print(f"{label:<{width}} {n:>10} {base_value:>14.3g} "
+              f"{cur_value:>14.3g} {ratio:>6.2f}x  "
+              f"{'ok' if ok else 'FAIL'} (ms, lower is better)")
+        if not ok:
+            failures += 1
+    return failures
 
 
 def check_pairs(current, pairs, delta):
@@ -84,6 +120,9 @@ def main():
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--factor", type=float, default=3.0,
                         help="allowed slowdown factor (default: 3.0)")
+    parser.add_argument("--latency-factor", type=float, default=None,
+                        help="allowed growth factor for p50/p95/p99 "
+                             "latency fields (default: --factor)")
     parser.add_argument("--pair", action="append", default=[],
                         metavar="OFF:ON",
                         help="record-name pair measured in the same run; "
@@ -95,9 +134,11 @@ def main():
 
     current = load_records(args.current)
     baseline = load_records(args.baseline)
+    latency_factor = (args.latency_factor if args.latency_factor is not None
+                      else args.factor)
 
     failures = 0
-    width = max((len(name) for name, _ in baseline), default=4) + 2
+    width = max((len(name) for name, _ in baseline), default=4) + 9
     print(f"{'record':<{width}} {'n':>10} {'baseline/s':>14} "
           f"{'current/s':>14} {'ratio':>7}  verdict")
     for key in sorted(baseline):
@@ -123,6 +164,8 @@ def main():
               f"{'ok' if ok else 'FAIL'}")
         if not ok:
             failures += 1
+        failures += check_percentiles(name, n, baseline[key], current[key],
+                                      latency_factor, width)
 
     for key in sorted(set(current) - set(baseline)):
         print(f"{key[0]:<{width}} {key[1]:>10} {'(no baseline)':>14} "

@@ -1,10 +1,18 @@
-// lbsctl — control client for a running lbsd daemon.
+// lbsctl — control client for running lbsd daemons.
 //
-//   ./build/examples/lbsctl <socket-path> ping
-//   ./build/examples/lbsctl <socket-path> stats
-//   ./build/examples/lbsctl <socket-path> shutdown
-//   ./build/examples/lbsctl <socket-path> plan <grid-config> <items>
+//   ./build/examples/lbsctl <endpoints> ping
+//   ./build/examples/lbsctl <endpoints> stats
+//   ./build/examples/lbsctl <endpoints> shutdown
+//   ./build/examples/lbsctl <endpoints> plan <grid-config> <items>
 //        [--algorithm A] [--ordering O] [--root MACHINE] [--no-retry]
+//
+// <endpoints> is a comma-separated list of Endpoint::parse specs (a unix
+// path, "unix:PATH", "tcp:HOST:PORT", or "HOST:PORT"). With one endpoint
+// lbsctl behaves as before; with several it addresses the FLEET:
+// ping/stats/shutdown fan out to every replica, and plan routes through
+// FleetClient's consistent-hash ring — the same key lands on the same
+// replica that every other fleet client would pick, so a warm cache stays
+// warm.
 //
 // `plan` is lbsplan's remote twin: same grid config, same output columns,
 // but the counts come from the shared daemon — warmed caches and
@@ -17,11 +25,12 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/ordering.hpp"
 #include "core/root_selection.hpp"
 #include "model/grid_parser.hpp"
-#include "service/client.hpp"
+#include "service/fleet.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -29,11 +38,11 @@ namespace {
 using namespace lbs;
 
 int usage() {
-  std::cerr << "usage: lbsctl <socket-path> <command>\n"
-               "  ping                        liveness check\n"
+  std::cerr << "usage: lbsctl <endpoint[,endpoint...]> <command>\n"
+               "  ping                        liveness check (every replica)\n"
                "  stats                       dump server counters + cache stats JSON\n"
-               "  shutdown                    ask the daemon to exit\n"
-               "  plan <grid-config> <items>  plan via the daemon\n"
+               "  shutdown                    ask the daemon(s) to exit\n"
+               "  plan <grid-config> <items>  plan via the daemon (fleet: ring-routed)\n"
                "       [--algorithm auto|exact-dp|optimized-dp|lp-heuristic|closed-form|uniform]\n"
                "       [--ordering descending|ascending|grid] [--root MACHINE] [--no-retry]\n";
   return 2;
@@ -58,7 +67,7 @@ bool parse_ordering(const std::string& name, core::OrderingPolicy& policy) {
   return true;
 }
 
-int run_plan(service::Client& client, int argc, char** argv) {
+int run_plan(std::vector<service::Endpoint> replicas, int argc, char** argv) {
   if (argc < 5) return usage();
   std::ifstream file(argv[3]);
   if (!file) {
@@ -111,9 +120,12 @@ int run_plan(service::Client& client, int argc, char** argv) {
   }
 
   auto platform = core::ordered_platform(grid, root, ordering);
-  service::PlanResponse response =
-      retry ? client.plan_with_retry(platform, items, algorithm)
-            : client.plan(platform, items, algorithm);
+
+  service::FleetOptions fleet_options;
+  fleet_options.replicas = std::move(replicas);
+  fleet_options.retries_per_replica = retry ? 8 : 0;
+  service::FleetClient fleet(std::move(fleet_options));
+  service::PlanResponse response = fleet.plan(platform, items, algorithm);
 
   switch (response.status) {
     case service::PlanStatus::Ok:
@@ -127,6 +139,12 @@ int run_plan(service::Client& client, int argc, char** argv) {
       return 1;
     case service::PlanStatus::Disconnected:
       std::cerr << "connection lost: " << response.message << '\n';
+      return 1;
+    case service::PlanStatus::Timeout:
+      std::cerr << "timed out: " << response.message << '\n';
+      return 1;
+    case service::PlanStatus::BreakerOpen:
+      std::cerr << "circuit breaker open: " << response.message << '\n';
       return 1;
   }
 
@@ -156,37 +174,64 @@ int run_plan(service::Client& client, int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
-  std::string socket_path = argv[1];
   std::string command = argv[2];
 
   try {
-    service::Client client(socket_path);
+    std::vector<service::Endpoint> replicas = service::parse_endpoint_list(argv[1]);
+    if (command == "plan") return run_plan(std::move(replicas), argc, argv);
+
+    service::FleetOptions fleet_options;
+    fleet_options.replicas = replicas;
+    service::FleetClient fleet(std::move(fleet_options));
+    const bool single = fleet.replica_count() == 1;
+
     if (command == "ping") {
-      if (client.ping()) {
-        std::cout << "pong\n";
-        return 0;
+      int failures = 0;
+      for (std::size_t i = 0; i < fleet.replica_count(); ++i) {
+        bool ok = fleet.ping(i);
+        if (!ok) ++failures;
+        if (single) {
+          if (ok) std::cout << "pong\n";
+          else std::cerr << "no reply\n";
+        } else {
+          std::cout << "replica " << i << " (" << replicas[i].to_string()
+                    << "): " << (ok ? "pong" : "no reply") << '\n';
+        }
       }
-      std::cerr << "no reply\n";
-      return 1;
+      return failures > 0 ? 1 : 0;
     }
     if (command == "stats") {
-      std::string stats = client.server_stats();
-      if (stats.empty()) {
-        std::cerr << "no reply\n";
-        return 1;
+      int failures = 0;
+      for (std::size_t i = 0; i < fleet.replica_count(); ++i) {
+        std::string stats = fleet.stats(i);
+        if (!single) {
+          std::cout << "== replica " << i << " (" << replicas[i].to_string()
+                    << ") ==\n";
+        }
+        if (stats.empty()) {
+          std::cerr << "no reply\n";
+          ++failures;
+        } else {
+          std::cout << stats << '\n';
+        }
       }
-      std::cout << stats << '\n';
-      return 0;
+      return failures > 0 ? 1 : 0;
     }
     if (command == "shutdown") {
-      if (client.shutdown_server()) {
-        std::cout << "shutdown acknowledged\n";
-        return 0;
+      int failures = 0;
+      for (std::size_t i = 0; i < fleet.replica_count(); ++i) {
+        bool ok = fleet.shutdown_replica(i);
+        if (!ok) ++failures;
+        if (single) {
+          if (ok) std::cout << "shutdown acknowledged\n";
+          else std::cerr << "no ack\n";
+        } else {
+          std::cout << "replica " << i << " (" << replicas[i].to_string()
+                    << "): " << (ok ? "shutdown acknowledged" : "no ack") << '\n';
+        }
       }
-      std::cerr << "no ack\n";
-      return 1;
+      return failures > 0 ? 1 : 0;
     }
-    if (command == "plan") return run_plan(client, argc, argv);
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "lbsctl: " << error.what() << '\n';

@@ -1,8 +1,17 @@
 // lbsd — the load-balancing scatter planning daemon.
 //
-//   ./build/examples/lbsd /tmp/lbsd.sock [options]
+//   ./build/examples/lbsd /tmp/lbsd.sock [options]      # unix socket
+//   ./build/examples/lbsd --tcp 0.0.0.0:7411 [options]  # TCP
+//
+// The positional endpoint accepts any Endpoint::parse spec (a bare path,
+// "unix:PATH", "tcp:HOST:PORT", or "HOST:PORT"); --tcp is the explicit
+// spelling. A fleet is N of these, one per replica, each with its OWN
+// --snapshot file — FleetClient partitions the key space across them, so
+// each snapshot holds that replica's partition and nothing else.
 //
 // Options:
+//   --tcp HOST:PORT     listen on TCP instead of a unix socket
+//                       (port 0 = kernel-assigned, printed on startup)
 //   --shards N          cache shards (default 8)
 //   --capacity N        cached plans per shard (default 128)
 //   --workers N         DP worker threads, 0 = hardware (default 0)
@@ -45,10 +54,12 @@ std::atomic<bool> g_signal{false};
 void on_signal(int) { g_signal.store(true); }
 
 int usage() {
-  std::cerr << "usage: lbsd <socket-path> [--shards N] [--capacity N]"
+  std::cerr << "usage: lbsd <endpoint> [--tcp HOST:PORT] [--shards N] [--capacity N]"
                " [--workers N] [--queue N] [--batch N] [--retry-after MS]"
                " [--max-processors N] [--trace FILE] [--snapshot FILE]"
-               " [--snapshot-interval-ms MS] [--warm-start FILE]\n";
+               " [--snapshot-interval-ms MS] [--warm-start FILE]\n"
+               "  <endpoint>: unix path, unix:PATH, tcp:HOST:PORT, or HOST:PORT"
+               " (omit it when --tcp is given)\n";
   return 2;
 }
 
@@ -63,13 +74,20 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
 
   lbs::service::ServerOptions options;
-  options.socket_path = argv[1];
+  std::string endpoint_spec;
   std::string trace_path;
 
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 1;
+  if (argv[1][0] != '-') {
+    endpoint_spec = argv[1];
+    first_flag = 2;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
     int value = 0;
-    if (arg == "--shards" && i + 1 < argc && parse_int(argv[++i], value)) {
+    if (arg == "--tcp" && i + 1 < argc) {
+      endpoint_spec = std::string("tcp:") + argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc && parse_int(argv[++i], value)) {
       options.cache_shards = value;
     } else if (arg == "--capacity" && i + 1 < argc && parse_int(argv[++i], value)) {
       options.cache_capacity_per_shard = static_cast<std::size_t>(value);
@@ -98,6 +116,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (endpoint_spec.empty()) return usage();
+  try {
+    options.endpoint = lbs::service::Endpoint::parse(endpoint_spec);
+  } catch (const std::exception& error) {
+    std::cerr << "lbsd: " << error.what() << '\n';
+    return usage();
+  }
+
   if (options.snapshot_interval_ms > 0 && options.snapshot_path.empty()) {
     std::cerr << "lbsd: --snapshot-interval-ms requires --snapshot\n";
     return usage();
@@ -118,7 +144,8 @@ int main(int argc, char** argv) {
     std::cerr << "lbsd: " << error.what() << '\n';
     return 1;
   }
-  std::cout << "lbsd listening on " << server.options().socket_path << " ("
+  // endpoint() post-start reports the real TCP port even when 0 was asked.
+  std::cout << "lbsd listening on " << server.endpoint().to_string() << " ("
             << server.options().cache_shards << " cache shards, queue depth "
             << server.options().max_queue << ")\n";
 

@@ -77,8 +77,8 @@ std::uint32_t backoff_with_jitter(std::uint32_t hint_ms, int attempt,
   return static_cast<std::uint32_t>(std::min(jittered, cap));
 }
 
-Client::Client(const std::string& socket_path)
-    : Client(ClientOptions{.socket_path = socket_path}) {}
+Client::Client(const std::string& endpoint_spec)
+    : Client(ClientOptions{.endpoint = Endpoint::parse(endpoint_spec)}) {}
 
 Client::Client(ClientOptions options)
     : options_(std::move(options)),
@@ -86,13 +86,17 @@ Client::Client(ClientOptions options)
                                            : &obs::global_metrics()),
       rng_(options_.jitter_seed != 0 ? options_.jitter_seed
                                      : derive_jitter_seed(this)) {
-  LBS_CHECK_MSG(!options_.socket_path.empty(), "service client needs a socket path");
+  if (!options_.endpoint.valid()) {
+    LBS_CHECK_MSG(!options_.socket_path.empty(),
+                  "service client needs a socket path or an endpoint");
+    options_.endpoint = Endpoint::unix_path(options_.socket_path);
+  }
   LBS_CHECK_MSG(options_.breaker_threshold >= 0,
                 "breaker_threshold must be >= 0 (0 disables)");
-  fd_ = connect_unix(options_.socket_path);
+  fd_ = connect_endpoint(options_.endpoint);
   if (fd_ < 0) {
     throw lbs::Error("service client: no server listening at " +
-                     options_.socket_path);
+                     options_.endpoint.to_string());
   }
   reader_ = std::thread([this] { reader_loop(); });
   sweeper_ = std::thread([this] { sweeper_loop(); });
@@ -481,7 +485,7 @@ bool Client::try_reconnect() {
 
   teardown_connection_locked();
 
-  int fd = connect_unix(options_.socket_path);
+  int fd = connect_endpoint(options_.endpoint);
   if (fd < 0) return false;
   {
     std::lock_guard<std::mutex> lock(write_mu_);

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "service/socket.hpp"
 #include "support/rng.hpp"
 
 namespace lbs::obs {
@@ -66,8 +67,13 @@ class Metrics;
 namespace lbs::service {
 
 struct ClientOptions {
-  // Filesystem path of the lbsd Unix socket (required).
+  // Filesystem path of the lbsd Unix socket. Legacy/simple form —
+  // ignored when `endpoint` is set. One of the two is required.
   std::string socket_path;
+
+  // Where the daemon listens: unix path or TCP host:port. Takes
+  // precedence over socket_path.
+  Endpoint endpoint;
 
   // Default deadline for one plan request, send to reply. 0: wait
   // forever (legacy behavior). Expired requests resolve
@@ -111,9 +117,10 @@ struct ClientOptions {
 
 class Client {
  public:
-  // Connects to a listening lbsd socket. Throws lbs::Error when no server
-  // is reachable at `socket_path` / `options.socket_path`.
-  explicit Client(const std::string& socket_path);
+  // Connects to a listening lbsd endpoint. The string form accepts any
+  // Endpoint::parse spec (a bare path, "host:port", "unix:…", "tcp:…").
+  // Throws lbs::Error when no server is reachable there.
+  explicit Client(const std::string& endpoint_spec);
   explicit Client(ClientOptions options);
   ~Client();
 

@@ -1,0 +1,182 @@
+#include "service/fleet.hpp"
+
+#include <utility>
+
+#include "core/plan_cache.hpp"
+#include "core/planner.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+
+namespace {
+
+bool is_transport_failure(PlanStatus status) {
+  return status == PlanStatus::Disconnected || status == PlanStatus::Timeout ||
+         status == PlanStatus::BreakerOpen;
+}
+
+}  // namespace
+
+FleetClient::FleetClient(FleetOptions options)
+    : options_(std::move(options)), ring_(options_.virtual_nodes) {
+  LBS_CHECK_MSG(!options_.replicas.empty(), "fleet needs at least one replica");
+  LBS_CHECK_MSG(options_.retries_per_replica >= 0,
+                "retries_per_replica must be >= 0");
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &obs::global_metrics();
+
+  slots_.reserve(options_.replicas.size());
+  served_.reserve(options_.replicas.size());
+  for (const Endpoint& endpoint : options_.replicas) {
+    LBS_CHECK_MSG(endpoint.valid(), "fleet replica endpoint is empty");
+    ring_.add_node(endpoint.to_string());  // rejects duplicates
+    auto slot = std::make_unique<Slot>();
+    slot->endpoint = endpoint;
+    slots_.push_back(std::move(slot));
+    served_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+FleetClient::~FleetClient() { close(); }
+
+Client* FleetClient::ensure_client(Slot& slot) {
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.client != nullptr) return slot.client.get();
+  auto now = std::chrono::steady_clock::now();
+  if (now < slot.down_until) return nullptr;
+
+  ClientOptions client_options = options_.client;
+  client_options.endpoint = slot.endpoint;
+  client_options.socket_path.clear();
+  client_options.local_fallback = false;  // the fleet owns the fallback decision
+  client_options.metrics = metrics_;
+  try {
+    slot.client = std::make_unique<Client>(std::move(client_options));
+  } catch (const lbs::Error&) {
+    slot.down_until =
+        now + std::chrono::milliseconds(options_.down_retry_ms);
+    metrics_->counter("service.fleet.dial_failures").add();
+    return nullptr;
+  }
+  return slot.client.get();
+}
+
+PlanResponse FleetClient::plan(const model::Platform& platform, long long items,
+                               core::Algorithm algorithm) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("service.fleet.requests").add();
+
+  core::PlanKey key = core::make_plan_key(platform, items, algorithm);
+  std::uint64_t hash = static_cast<std::uint64_t>(core::PlanKeyHash{}(key));
+  std::size_t attempts = options_.route_attempts > 0
+                             ? static_cast<std::size_t>(options_.route_attempts)
+                             : slots_.size();
+  std::vector<const std::string*> candidates = ring_.nodes_for(hash, attempts);
+
+  PlanResponse last;
+  last.status = PlanStatus::Disconnected;
+  last.message = "fleet: no replica reachable";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::size_t idx = replica_index(candidates[i]);
+    Slot& slot = *slots_[idx];
+    Client* client = ensure_client(slot);
+    if (client == nullptr) continue;  // down cooldown, or the dial just failed
+
+    PlanResponse response = client->plan_with_retry(platform, items, algorithm,
+                                                    options_.retries_per_replica);
+    if (!is_transport_failure(response.status)) {
+      // Conclusive: the replica spoke (Ok / Error / Rejected). Rejected is
+      // deliberately NOT rerouted — the home replica is alive, merely
+      // saturated, and spilling its keys would melt the partition.
+      served_[idx]->fetch_add(1, std::memory_order_relaxed);
+      if (i > 0) {
+        rerouted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_->counter("service.fleet.rerouted").add();
+      }
+      return response;
+    }
+    metrics_->counter("service.fleet.transport_failures").add();
+    last = std::move(response);
+  }
+
+  if (options_.local_fallback) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("service.fleet.fallbacks").add();
+    return local_plan(platform, items, algorithm, "fleet: all replicas failed");
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("service.fleet.exhausted").add();
+  return last;
+}
+
+std::size_t FleetClient::route_of(const model::Platform& platform, long long items,
+                                  core::Algorithm algorithm) const {
+  core::PlanKey key = core::make_plan_key(platform, items, algorithm);
+  std::uint64_t hash = static_cast<std::uint64_t>(core::PlanKeyHash{}(key));
+  return replica_index(&ring_.node_for(hash));
+}
+
+PlanResponse FleetClient::local_plan(const model::Platform& platform,
+                                     long long items, core::Algorithm algorithm,
+                                     const std::string& reason) {
+  PlanResponse response;
+  try {
+    core::PlannerOptions planner_options;
+    planner_options.algorithm = algorithm;
+    planner_options.dp.threads = options_.fallback_dp_threads;
+    core::ScatterPlan plan = core::plan_scatter(platform, items, planner_options);
+    response.status = PlanStatus::Ok;
+    response.counts = std::move(plan.distribution.counts);
+    response.predicted_makespan = plan.predicted_makespan;
+    response.algorithm_used = plan.algorithm_used;
+    response.dp_cells_evaluated = plan.dp_cells_evaluated;
+    response.has_optimality_bound = plan.has_optimality_bound;
+    response.optimality_gap = plan.optimality_gap;
+    response.local_fallback = true;
+    response.message = reason;
+  } catch (const lbs::Error& error) {
+    response.status = PlanStatus::Error;
+    response.message = error.what();
+  }
+  return response;
+}
+
+bool FleetClient::ping(std::size_t replica) {
+  LBS_CHECK_MSG(replica < slots_.size(), "fleet replica index out of range");
+  Client* client = ensure_client(*slots_[replica]);
+  return client != nullptr && client->ping();
+}
+
+std::string FleetClient::stats(std::size_t replica) {
+  LBS_CHECK_MSG(replica < slots_.size(), "fleet replica index out of range");
+  Client* client = ensure_client(*slots_[replica]);
+  return client != nullptr ? client->server_stats() : std::string{};
+}
+
+bool FleetClient::shutdown_replica(std::size_t replica) {
+  LBS_CHECK_MSG(replica < slots_.size(), "fleet replica index out of range");
+  Client* client = ensure_client(*slots_[replica]);
+  return client != nullptr && client->shutdown_server();
+}
+
+FleetClient::Counters FleetClient::counters() const {
+  Counters out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.rerouted = rerouted_.load(std::memory_order_relaxed);
+  out.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  out.exhausted = exhausted_.load(std::memory_order_relaxed);
+  out.per_replica.reserve(served_.size());
+  for (const auto& count : served_) {
+    out.per_replica.push_back(count->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void FleetClient::close() {
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->client != nullptr) slot->client->close();
+  }
+}
+
+}  // namespace lbs::service

@@ -1,0 +1,167 @@
+// FleetClient — consistent-hash routing over N lbsd replicas.
+//
+// One lbsd is a single point of failure and a single cache; a fleet of
+// N replicas behind naive round-robin would be N duplicated caches (every
+// replica eventually solves every hot key). FleetClient instead routes
+// each request by its PlanKey over a support::HashRing keyed on the
+// replicas' endpoints, so the fleet's ShardedPlanCaches PARTITION the key
+// space: a key has exactly one home replica, aggregate cache capacity is
+// the sum of the replicas', and a warm key is warm fleet-wide because
+// every client routes it to the same place. The same key → same replica
+// property is also what keeps request coalescing effective under a fleet:
+// k identical concurrent requests from many FleetClients still meet in
+// one replica's in-flight map and cost one dp.solve.
+//
+// Failure handling is layered:
+//   - each replica gets its own service::Client, with the per-connection
+//     deadline/backoff/circuit-breaker machinery from client.hpp;
+//   - when a replica's breaker is open, its dial fails, or a request
+//     comes back with a transport status (Disconnected / Timeout /
+//     BreakerOpen), the request REROUTES to the next distinct node on
+//     the ring — the deterministic failover order, so even failover
+//     traffic concentrates on one substitute replica and stays
+//     cacheable. A replica that refused a dial is marked down for
+//     down_retry_ms before the next dial attempt.
+//   - when every candidate replica fails at transport level and
+//     local_fallback is set, the plan degrades to the in-process
+//     planner (same engine, flagged local_fallback), exactly like the
+//     single-daemon client.
+//
+// Rejected (backpressure) is NOT rerouted by default: the home replica is
+// alive, merely saturated; spilling its keys onto neighbors would melt
+// the partition exactly when the fleet is hottest.
+//
+// Thread-safe: many threads may call plan() concurrently; per-replica
+// clients are created on first use under a per-slot mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/socket.hpp"
+#include "support/hash_ring.hpp"
+
+namespace lbs::service {
+
+struct FleetOptions {
+  // The replica endpoints (ring membership). Order is irrelevant to
+  // routing — the ring hashes endpoint identities — but indexes into
+  // counters().per_replica follow this vector. Must be non-empty with
+  // distinct endpoints.
+  std::vector<Endpoint> replicas;
+
+  // Ring geometry (support::HashRing).
+  int virtual_nodes = 128;
+
+  // Template for every per-replica connection: deadlines, backoff,
+  // breaker. endpoint/socket_path are overwritten per replica, and
+  // local_fallback is forced off (the fleet owns the fallback decision).
+  ClientOptions client;
+
+  // plan_with_retry budget per replica attempt. Small on purpose: a
+  // replica that fails this many consecutive transports is better served
+  // by rerouting than by more patience.
+  int retries_per_replica = 2;
+
+  // How many distinct ring nodes to try before giving up. 0 = all.
+  int route_attempts = 0;
+
+  // A replica whose dial failed is not re-dialed for this long; requests
+  // reroute past it meanwhile.
+  std::uint32_t down_retry_ms = 200;
+
+  // After every candidate fails at transport level: plan in-process
+  // (core::plan_scatter) instead of returning the typed failure.
+  bool local_fallback = false;
+  int fallback_dp_threads = 1;
+
+  // service.fleet.* counters/histograms; null falls back to
+  // obs::global_metrics().
+  obs::Metrics* metrics = nullptr;
+};
+
+class FleetClient {
+ public:
+  explicit FleetClient(FleetOptions options);
+  ~FleetClient();
+
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  // Routes by PlanKey and returns the first conclusive response (Ok /
+  // Error / Rejected); transport failures walk the ring. Never throws on
+  // transport trouble — a fleet with every replica down returns the last
+  // typed failure (or the local fallback's plan).
+  [[nodiscard]] PlanResponse plan(const model::Platform& platform, long long items,
+                                  core::Algorithm algorithm = core::Algorithm::Auto);
+
+  // The replica index (into options().replicas) a key routes to first —
+  // the partition proof's oracle, identical to what plan() uses.
+  [[nodiscard]] std::size_t route_of(const model::Platform& platform,
+                                     long long items,
+                                     core::Algorithm algorithm =
+                                         core::Algorithm::Auto) const;
+
+  // Control-plane helpers addressed by replica index. ping returns false
+  // (and stats empty) when the replica cannot be reached.
+  [[nodiscard]] bool ping(std::size_t replica);
+  [[nodiscard]] std::string stats(std::size_t replica);
+  bool shutdown_replica(std::size_t replica);
+
+  struct Counters {
+    std::uint64_t requests = 0;    // plan() calls
+    std::uint64_t rerouted = 0;    // served by a non-home replica
+    std::uint64_t fallbacks = 0;   // local in-process plans
+    std::uint64_t exhausted = 0;   // every candidate failed, no fallback
+    std::vector<std::uint64_t> per_replica;  // conclusive responses served
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t replica_count() const { return slots_.size(); }
+
+  // Closes every per-replica connection. Terminal.
+  void close();
+
+ private:
+  struct Slot {
+    Endpoint endpoint;
+    std::mutex mu;  // guards client creation/teardown and down_until
+    std::unique_ptr<Client> client;
+    std::chrono::steady_clock::time_point down_until{};
+  };
+
+  // Dials if needed; nullptr while the replica is marked down or the dial
+  // fails (which arms down_until).
+  [[nodiscard]] Client* ensure_client(Slot& slot);
+
+  // Ring node -> replica index. The ring preserves insertion order and
+  // membership never changes after the ctor, so the node's position in
+  // ring_.nodes() IS the replica index.
+  [[nodiscard]] std::size_t replica_index(const std::string* node) const {
+    return static_cast<std::size_t>(node - ring_.nodes().data());
+  }
+
+  [[nodiscard]] PlanResponse local_plan(const model::Platform& platform,
+                                        long long items, core::Algorithm algorithm,
+                                        const std::string& reason);
+
+  FleetOptions options_;
+  obs::Metrics* metrics_ = nullptr;
+  support::HashRing ring_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> served_;
+};
+
+}  // namespace lbs::service

@@ -57,7 +57,11 @@ Server::Server(ServerOptions options)
                                      : support::default_parallelism()) -
             1),
       queue_(options_.max_queue) {
-  LBS_CHECK_MSG(!options_.socket_path.empty(), "server needs a socket path");
+  if (!options_.endpoint.valid()) {
+    LBS_CHECK_MSG(!options_.socket_path.empty(),
+                  "server needs a socket path or an endpoint");
+    options_.endpoint = Endpoint::unix_path(options_.socket_path);
+  }
   LBS_CHECK_MSG(options_.max_queue >= 1, "server queue needs capacity >= 1");
   LBS_CHECK_MSG(options_.max_batch >= 1, "server batch size must be >= 1");
   LBS_CHECK_MSG(options_.max_processors >= 1, "max_processors must be >= 1");
@@ -74,7 +78,7 @@ obs::Tracer* Server::tracer() const {
 void Server::start() {
   LBS_CHECK_MSG(!started_, "server already started");
   if (!options_.warm_start_path.empty()) warm_start();
-  listen_fd_ = listen_unix(options_.socket_path);
+  listen_fd_ = listen_endpoint(options_.endpoint);
   started_ = true;
   stop_.store(false, std::memory_order_release);
   {
@@ -127,7 +131,9 @@ void Server::stop() {
   }
   close_fd(listen_fd_);
   listen_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  if (options_.endpoint.kind == Endpoint::Kind::Unix) {
+    ::unlink(options_.endpoint.path.c_str());
+  }
   started_ = false;
 }
 

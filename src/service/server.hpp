@@ -49,6 +49,7 @@
 #include "core/sharded_plan_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/snapshot.hpp"
+#include "service/socket.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/thread_pool.hpp"
 
@@ -61,8 +62,14 @@ class Tracer;
 namespace lbs::service {
 
 struct ServerOptions {
-  // Filesystem path of the Unix-domain listening socket (required).
+  // Filesystem path of the Unix-domain listening socket. Legacy/simple
+  // form — ignored when `endpoint` is set. One of the two is required.
   std::string socket_path;
+
+  // Where to listen: a unix path or a TCP host:port (Endpoint::tcp with
+  // port 0 lets the kernel pick; Server::endpoint() reports the bound
+  // port after start()). Takes precedence over socket_path.
+  Endpoint endpoint;
 
   // Sharded plan cache geometry (core::ShardedPlanCache).
   int cache_shards = 8;
@@ -147,6 +154,10 @@ class Server {
   bool wait_until_stop_requested_for(int timeout_ms);
 
   [[nodiscard]] const ServerOptions& options() const { return options_; }
+  // The resolved listening address. For a TCP endpoint requested with
+  // port 0 this carries the kernel-assigned port once start() returns —
+  // the address fleet peers must dial.
+  [[nodiscard]] const Endpoint& endpoint() const { return options_.endpoint; }
   [[nodiscard]] core::ShardedPlanCache& cache() { return cache_; }
 
   // Monotonic totals since start; `requests` counts plan requests only.

@@ -6,6 +6,9 @@
 #include <limits>
 #include <thread>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -27,10 +30,40 @@ namespace {
 sockaddr_un make_address(const std::string& path) {
   sockaddr_un address{};
   address.sun_family = AF_UNIX;
-  LBS_CHECK_MSG(path.size() + 1 <= sizeof(address.sun_path),
-                "socket path too long for sockaddr_un");
+  if (path.size() + 1 > sizeof(address.sun_path)) {
+    // Operator error, not a broken invariant: a daemon handed a bad
+    // --socket flag reports this and exits instead of crashing.
+    throw Error("service socket: path too long for sockaddr_un (" +
+                std::to_string(path.size()) + " bytes, max " +
+                std::to_string(sizeof(address.sun_path) - 1) + "): " + path);
+  }
   std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
   return address;
+}
+
+// Nagle off for the framed request/response pattern; a no-op (ignored
+// error) on Unix-domain fds, so accept paths can call it unconditionally.
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Resolved addrinfo list for a TCP endpoint, freed by the caller via
+// freeaddrinfo. Throws service::Error when the host does not resolve.
+addrinfo* resolve_tcp(const Endpoint& endpoint, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  addrinfo* result = nullptr;
+  std::string service = std::to_string(endpoint.port);
+  const char* node = endpoint.host.empty() ? nullptr : endpoint.host.c_str();
+  int rc = ::getaddrinfo(node, service.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw Error("service socket: cannot resolve " + endpoint.to_string() +
+                ": " + ::gai_strerror(rc));
+  }
+  return result;
 }
 
 // Remaining poll budget in ms: -1 for "no deadline", 0 when already past.
@@ -153,6 +186,90 @@ std::uint32_t get_le32(const std::uint8_t* in) {
 
 }  // namespace
 
+Endpoint Endpoint::unix_path(std::string socket_path) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::Unix;
+  endpoint.path = std::move(socket_path);
+  return endpoint;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint endpoint;
+  endpoint.kind = Kind::Tcp;
+  endpoint.host = std::move(host);
+  endpoint.port = port;
+  return endpoint;
+}
+
+namespace {
+
+// "host:port" with a numeric in-range port after the LAST colon (so
+// "[::1]-style" bracketed v6 is not needed for the common cases, and
+// "tcp:host:port" splits correctly after the prefix is stripped).
+bool parse_host_port(const std::string& spec, Endpoint& out) {
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return false;
+  }
+  long long port = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return false;
+    port = port * 10 + (spec[i] - '0');
+    if (port > 65535) return false;
+  }
+  if (port <= 0) return false;
+  out = Endpoint::tcp(spec.substr(0, colon), static_cast<std::uint16_t>(port));
+  return true;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.empty()) throw Error("service socket: empty endpoint spec");
+  if (spec.rfind("unix:", 0) == 0) return unix_path(spec.substr(5));
+  if (spec.rfind("tcp:", 0) == 0) {
+    Endpoint endpoint;
+    if (!parse_host_port(spec.substr(4), endpoint)) {
+      throw Error("service socket: bad tcp endpoint (want tcp:host:port): " +
+                  spec);
+    }
+    return endpoint;
+  }
+  // A filesystem path never needs a trailing :port, so host:port wins the
+  // ambiguity; anything else is a unix path.
+  Endpoint endpoint;
+  if (parse_host_port(spec, endpoint)) return endpoint;
+  return unix_path(spec);
+}
+
+std::string Endpoint::to_string() const {
+  switch (kind) {
+    case Kind::Unix:
+      return "unix:" + path;
+    case Kind::Tcp:
+      return "tcp:" + host + ":" + std::to_string(port);
+    case Kind::None:
+      return "<invalid endpoint>";
+  }
+  return "<invalid endpoint>";
+}
+
+std::vector<Endpoint> parse_endpoint_list(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t comma = spec.find(',', begin);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string one = spec.substr(begin, comma - begin);
+    if (!one.empty()) endpoints.push_back(Endpoint::parse(one));
+    begin = comma + 1;
+  }
+  if (endpoints.empty()) {
+    throw Error("service socket: empty endpoint list: " + spec);
+  }
+  return endpoints;
+}
+
 IoDeadline deadline_after_ms(std::uint32_t ms) {
   return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
 }
@@ -191,6 +308,102 @@ int connect_unix(const std::string& path) {
   return fd;
 }
 
+namespace {
+
+int listen_tcp(Endpoint& endpoint, int backlog) {
+  addrinfo* addresses = resolve_tcp(endpoint, /*passive=*/true);
+  int fd = -1;
+  int saved = 0;
+  for (addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved = errno;
+      continue;
+    }
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      // Port 0 asked the kernel to pick: report the real one back so the
+      // caller can hand peers a dialable endpoint.
+      if (endpoint.port == 0) {
+        sockaddr_storage bound{};
+        socklen_t bound_len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                          &bound_len) == 0) {
+          if (bound.ss_family == AF_INET) {
+            endpoint.port = ntohs(
+                reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+          } else if (bound.ss_family == AF_INET6) {
+            endpoint.port = ntohs(
+                reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+          }
+        }
+      }
+      ::freeaddrinfo(addresses);
+      return fd;
+    }
+    saved = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addresses);
+  errno = saved;
+  raise_errno("bind/listen " + endpoint.to_string());
+}
+
+int connect_tcp(const Endpoint& endpoint) {
+  addrinfo* addresses = resolve_tcp(endpoint, /*passive=*/false);
+  int saved = 0;
+  for (addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      set_nodelay(fd);
+      ::freeaddrinfo(addresses);
+      return fd;
+    }
+    saved = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(addresses);
+  if (saved == ECONNREFUSED || saved == ETIMEDOUT || saved == EHOSTUNREACH ||
+      saved == ENETUNREACH || saved == EADDRNOTAVAIL) {
+    return -1;  // nobody serving there right now — the caller's retry loop owns it
+  }
+  errno = saved;
+  raise_errno("connect " + endpoint.to_string());
+}
+
+}  // namespace
+
+int listen_endpoint(Endpoint& endpoint, int backlog) {
+  switch (endpoint.kind) {
+    case Endpoint::Kind::Unix:
+      return listen_unix(endpoint.path, backlog);
+    case Endpoint::Kind::Tcp:
+      return listen_tcp(endpoint, backlog);
+    case Endpoint::Kind::None:
+      break;
+  }
+  throw Error("service socket: cannot listen on an invalid endpoint");
+}
+
+int connect_endpoint(const Endpoint& endpoint) {
+  switch (endpoint.kind) {
+    case Endpoint::Kind::Unix:
+      return connect_unix(endpoint.path);
+    case Endpoint::Kind::Tcp:
+      return connect_tcp(endpoint);
+    case Endpoint::Kind::None:
+      break;
+  }
+  throw Error("service socket: cannot connect to an invalid endpoint");
+}
+
 int accept_with_stop(int listen_fd, const std::atomic<bool>& stop, int slice_ms) {
   while (!stop.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd, POLLIN, 0};
@@ -201,7 +414,10 @@ int accept_with_stop(int listen_fd, const std::atomic<bool>& stop, int slice_ms)
     }
     if (ready == 0) continue;
     int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd >= 0) return fd;
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return fd;
+    }
     if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
     return -1;  // listener closed under us: shutdown path
   }

@@ -1,14 +1,19 @@
-// Thin POSIX wrappers for the service's Unix-domain transport.
+// Thin POSIX wrappers for the service's stream transports.
 //
-// lbsd listens on a filesystem socket (SOCK_STREAM over AF_UNIX): local,
-// no network dependency, and the length-prefixed framing from
-// service/protocol.hpp rides on a reliable byte stream. Everything here
-// is poll-based: reads wait in poll() slices so a thread blocked on a
+// lbsd listens on an Endpoint: either a filesystem socket (SOCK_STREAM
+// over AF_UNIX — local, no network dependency) or a TCP host:port (the
+// fleet transport — N replicas on N ports, one consistent-hash ring in
+// front). Both carry the identical length-prefixed framing from
+// service/protocol.hpp on a reliable byte stream; everything above the
+// fd never knows which family it is speaking. Everything here is
+// poll-based: reads wait in poll() slices so a thread blocked on a
 // quiet peer still notices `stop` (the server/client shutdown flag)
 // within one slice, and both directions accept a per-call deadline so a
 // stalled or half-dead peer surfaces as a typed IoStatus::TimedOut
 // instead of hanging the caller forever (poll(2) carries the timeout; no
 // SO_RCVTIMEO, which a mid-frame short read would quietly reset).
+// TCP connections set TCP_NODELAY: frames are small and latency-bound,
+// and Nagle would serialize the pipelined request/response pattern.
 //
 // Frame integrity: every frame is `u32 length | u32 crc32 | payload`.
 // The CRC (support::crc32 over the payload) turns in-flight byte
@@ -24,7 +29,10 @@
 // Error policy follows the repo convention: conditions that are *data*
 // (peer hung up, stop requested, deadline passed) are return values;
 // violated invariants, corrupt frames, and unexpected syscall failures
-// throw lbs::Error.
+// throw lbs::Error. Operator mistakes a CLI should report cleanly — a
+// socket path too long for sockaddr_un, an unresolvable host, a
+// malformed endpoint spec — throw the narrower service::Error so callers
+// can tell "you misconfigured me" from "an invariant broke".
 #pragma once
 
 #include <atomic>
@@ -33,7 +41,49 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace lbs::service {
+
+// Typed service-layer error: endpoint/transport configuration the
+// operator got wrong (bad --socket path, bad host:port). Derives from
+// lbs::Error so existing catch sites keep working; daemons catch it and
+// exit with a clean message instead of a crash report.
+class Error : public lbs::Error {
+ public:
+  using lbs::Error::Error;
+};
+
+// Where a Server listens or a Client dials: a Unix-domain filesystem
+// path or a TCP host:port. One Endpoint type end to end is what lets the
+// fleet mix transports freely (local replicas on unix sockets, remote
+// ones over TCP) behind the same wire protocol.
+struct Endpoint {
+  enum class Kind : std::uint8_t { None, Unix, Tcp };
+
+  Kind kind = Kind::None;
+  std::string path;  // Kind::Unix: filesystem socket path
+  std::string host;  // Kind::Tcp: numeric address or resolvable name
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static Endpoint unix_path(std::string socket_path);
+  [[nodiscard]] static Endpoint tcp(std::string host, std::uint16_t port);
+
+  // Accepts "unix:/path", "tcp:host:port", bare "host:port" (the text
+  // after the last ':' must be a valid port), and bare filesystem paths.
+  // Throws service::Error on a spec that parses as neither.
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+
+  [[nodiscard]] bool valid() const { return kind != Kind::None; }
+  // Round-trips through parse(); also the fleet's ring node identity.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+// Splits a comma-separated endpoint list ("a.sock,host:4077,unix:b") —
+// the fleet addressing syntax lbsctl and the load generator accept.
+[[nodiscard]] std::vector<Endpoint> parse_endpoint_list(const std::string& spec);
 
 // Outcome of one framed I/O call.
 enum class IoStatus : std::uint8_t {
@@ -50,13 +100,22 @@ using IoDeadline = std::chrono::steady_clock::time_point;
 [[nodiscard]] IoDeadline deadline_after_ms(std::uint32_t ms);
 
 // Binds and listens on `path` (unlinking any stale socket file first).
-// Returns the listening fd; throws lbs::Error on failure (e.g. a path
-// longer than sockaddr_un allows).
+// Returns the listening fd; throws service::Error on an unusable path
+// (too long for sockaddr_un) and lbs::Error on unexpected failures.
 [[nodiscard]] int listen_unix(const std::string& path, int backlog = 64);
 
 // Connects to a listening socket. Returns the fd, or -1 when the server
 // is not there (no daemon, stale path); throws on unexpected errors.
 [[nodiscard]] int connect_unix(const std::string& path);
+
+// Family-dispatching variants. listen_endpoint updates a Tcp endpoint's
+// port in place when it was 0 (kernel-assigned), so the caller learns
+// the address peers must dial. connect_endpoint returns -1 when no
+// server is reachable there (refused, unreachable, missing socket file);
+// both throw service::Error on misconfiguration (invalid endpoint,
+// unresolvable host, oversize unix path).
+[[nodiscard]] int listen_endpoint(Endpoint& endpoint, int backlog = 64);
+[[nodiscard]] int connect_endpoint(const Endpoint& endpoint);
 
 // Accepts one connection, polling in `slice_ms` intervals so `stop` is
 // honored. Returns the connection fd, or -1 on stop/listener close.

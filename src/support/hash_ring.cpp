@@ -1,0 +1,103 @@
+#include "support/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing so sequential virtual-node
+// indices and structurally similar ids land far apart on the circle.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(int virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  LBS_CHECK_MSG(virtual_nodes >= 1, "hash ring needs >= 1 virtual node");
+}
+
+std::uint64_t HashRing::mix(std::uint64_t value) { return splitmix64(value); }
+
+void HashRing::add_node(const std::string& id) {
+  LBS_CHECK_MSG(!id.empty(), "hash ring node id must be non-empty");
+  LBS_CHECK_MSG(std::find(ids_.begin(), ids_.end(), id) == ids_.end(),
+                "hash ring node id already present: " + id);
+  ids_.push_back(id);
+  rebuild();
+}
+
+void HashRing::remove_node(const std::string& id) {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  LBS_CHECK_MSG(it != ids_.end(), "hash ring node id not present: " + id);
+  ids_.erase(it);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  // Point positions are a pure function of (id, virtual index) — never of
+  // membership — which is what bounds remap on add/remove to the changed
+  // node's own share.
+  ring_.clear();
+  ring_.reserve(ids_.size() * static_cast<std::size_t>(virtual_nodes_));
+  for (std::size_t node = 0; node < ids_.size(); ++node) {
+    std::uint64_t seed = fnv1a(ids_[node]);
+    for (int v = 0; v < virtual_nodes_; ++v) {
+      std::uint64_t position =
+          splitmix64(seed ^ (static_cast<std::uint64_t>(v) * 0xc2b2ae3d27d4eb4fULL));
+      ring_.push_back({position, static_cast<std::uint32_t>(node)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position < b.position || (a.position == b.position && a.node < b.node);
+  });
+}
+
+const std::string& HashRing::node_for(std::uint64_t key_hash) const {
+  LBS_CHECK_MSG(!ring_.empty(), "hash ring is empty");
+  std::uint64_t where = mix(key_hash);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), where,
+      [](const Point& point, std::uint64_t value) { return point.position < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top of the circle
+  return ids_[it->node];
+}
+
+std::vector<const std::string*> HashRing::nodes_for(std::uint64_t key_hash,
+                                                    std::size_t count) const {
+  LBS_CHECK_MSG(!ring_.empty(), "hash ring is empty");
+  count = std::min(count, ids_.size());
+  std::vector<const std::string*> out;
+  out.reserve(count);
+  std::vector<bool> seen(ids_.size(), false);
+  std::uint64_t where = mix(key_hash);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), where,
+      [](const Point& point, std::uint64_t value) { return point.position < value; });
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < count; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->node]) {
+      seen[it->node] = true;
+      out.push_back(&ids_[it->node]);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace lbs::support

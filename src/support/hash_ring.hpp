@@ -1,0 +1,79 @@
+// Consistent-hash ring with virtual nodes.
+//
+// The planner fleet routes every PlanKey to one of N replicas so their
+// plan caches *partition* the key space instead of duplicating it. Two
+// properties make that partition worth having, and both are this ring's
+// contract:
+//
+//   Uniform spread.  Each node contributes `virtual_nodes` points whose
+//   positions are a pure function of (node id, replica index) through a
+//   splitmix64-style mixer, so with enough points per node every node
+//   owns ~1/N of the 64-bit key circle. The property test bounds the
+//   chi-square statistic of the observed spread.
+//
+//   Bounded remap.  Because point positions never depend on ring
+//   membership, adding or removing one node moves ONLY the keys that
+//   node owns (~1/N of them); every other key keeps its assignment.
+//   A modulo table would remap (N-1)/N of the keys instead — and cold
+//   every replica's cache on each membership change.
+//
+// Lookup walks clockwise from the key's hash to the first point;
+// nodes_for() keeps walking and collects *distinct* nodes in order,
+// which is the fleet's failover sequence: the second node is where a
+// key lands while its home replica is down, deterministically, so even
+// failover traffic stays cacheable.
+//
+// Not internally synchronized: membership changes are rare and callers
+// (FleetClient) treat the ring as immutable after construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbs::support {
+
+class HashRing {
+ public:
+  // More virtual nodes -> flatter spread (stddev of a node's share is
+  // ~1/(N*sqrt(virtual_nodes))) at O(total points) memory and
+  // O(log points) lookup. 128 keeps the imbalance under ~10%.
+  explicit HashRing(int virtual_nodes = 128);
+
+  // Node ids must be unique and non-empty (the fleet uses the replica's
+  // Endpoint::to_string()). Throws lbs::Error on duplicates.
+  void add_node(const std::string& id);
+  // Throws lbs::Error when the id is not a member.
+  void remove_node(const std::string& id);
+
+  [[nodiscard]] std::size_t node_count() const { return ids_.size(); }
+  [[nodiscard]] const std::vector<std::string>& nodes() const { return ids_; }
+  [[nodiscard]] int virtual_nodes() const { return virtual_nodes_; }
+
+  // The node owning `key_hash` (the first point clockwise). Requires a
+  // non-empty ring.
+  [[nodiscard]] const std::string& node_for(std::uint64_t key_hash) const;
+
+  // Up to `count` DISTINCT nodes in clockwise preference order starting
+  // at the owner — the failover sequence for one key.
+  [[nodiscard]] std::vector<const std::string*> nodes_for(
+      std::uint64_t key_hash, std::size_t count) const;
+
+  // Mixes a raw 64-bit key (e.g. a PlanKeyHash value) onto the ring's
+  // circle. Exposed so tests and routing previews agree with routing.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t value);
+
+ private:
+  void rebuild();
+
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t node;  // index into ids_
+  };
+
+  int virtual_nodes_;
+  std::vector<std::string> ids_;
+  std::vector<Point> ring_;  // sorted by position
+};
+
+}  // namespace lbs::support

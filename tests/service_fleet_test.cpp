@@ -1,0 +1,273 @@
+// Fleet tests: TCP endpoints and the consistent-hash cache partition.
+//
+// The partition proof is the heart of this file: k distinct PlanKeys
+// driven through a FleetClient over three TCP replicas must be solved
+// EXACTLY once fleet-wide, each on the replica route_of predicts, and a
+// replay of every key must be all cache hits with zero new solves — the
+// property that makes N replicas N-times the cache instead of N copies
+// of it. Replicas listen on port 0 (kernel-assigned, reported back by
+// Server::endpoint()) so parallel ctest runs cannot collide.
+#include "service/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+namespace {
+
+std::string test_socket_path() {
+  static int counter = 0;
+  return "/tmp/lbs_fleet_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(++counter) + ".sock";
+}
+
+// A platform whose worker slope varies with `seed`: distinct PlanKeys.
+model::Platform seeded_platform(int seed) {
+  model::Platform platform;
+  model::Processor worker;
+  worker.label = "worker";
+  worker.comm = model::Cost::linear(0.5);
+  worker.comp = model::Cost::tabulated(
+      {{10, 1.0 + 0.01 * seed}, {100, 9.0 + 0.01 * seed}});
+  platform.processors.push_back(worker);
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(0.2);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+// N replicas on kernel-assigned TCP ports, plus the FleetOptions that
+// address them.
+struct Fleet {
+  std::vector<std::unique_ptr<Server>> servers;
+  FleetOptions options;
+};
+
+Fleet start_tcp_fleet(int replicas) {
+  Fleet fleet;
+  for (int i = 0; i < replicas; ++i) {
+    ServerOptions options;
+    options.endpoint = Endpoint::tcp("127.0.0.1", 0);
+    auto server = std::make_unique<Server>(options);
+    server->start();
+    EXPECT_NE(server->endpoint().port, 0) << "kernel did not assign a port";
+    fleet.options.replicas.push_back(server->endpoint());
+    fleet.servers.push_back(std::move(server));
+  }
+  return fleet;
+}
+
+TEST(ServiceEndpoint, ParseCoversAllSpellings) {
+  Endpoint unix_ep = Endpoint::parse("/tmp/lbsd.sock");
+  EXPECT_EQ(unix_ep.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(unix_ep.path, "/tmp/lbsd.sock");
+  EXPECT_EQ(unix_ep.to_string(), "unix:/tmp/lbsd.sock");
+
+  Endpoint prefixed = Endpoint::parse("unix:relative.sock");
+  EXPECT_EQ(prefixed.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(prefixed.path, "relative.sock");
+
+  Endpoint tcp = Endpoint::parse("tcp:localhost:7411");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(tcp.host, "localhost");
+  EXPECT_EQ(tcp.port, 7411);
+  EXPECT_EQ(tcp.to_string(), "tcp:localhost:7411");
+
+  // Bare host:port — the numeric port after the last colon wins the
+  // ambiguity with unix paths…
+  Endpoint bare = Endpoint::parse("127.0.0.1:80");
+  EXPECT_EQ(bare.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(bare.host, "127.0.0.1");
+  EXPECT_EQ(bare.port, 80);
+
+  // …and a non-numeric suffix stays a unix path.
+  EXPECT_EQ(Endpoint::parse("host:notaport").kind, Endpoint::Kind::Unix);
+
+  EXPECT_THROW(Endpoint::parse(""), Error);
+  EXPECT_THROW(Endpoint::parse("tcp:nohostport"), Error);
+  EXPECT_THROW(Endpoint::parse("tcp:host:99999"), Error);
+
+  auto list = parse_endpoint_list("a.sock,tcp:h:1,,unix:b.sock");
+  ASSERT_EQ(list.size(), 3u);  // empty elements are skipped
+  EXPECT_EQ(list[0].kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(list[1].kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(list[2].path, "b.sock");
+  EXPECT_THROW(parse_endpoint_list(",,"), Error);
+}
+
+// Satellite of the transport work: an over-long unix path used to abort
+// the process inside make_address; now it is a typed service::Error the
+// operator can read.
+TEST(ServiceEndpoint, OverlongUnixPathIsATypedError) {
+  ServerOptions options;
+  options.socket_path = "/tmp/" + std::string(200, 'x') + ".sock";
+  Server server(options);
+  try {
+    server.start();
+    FAIL() << "start() accepted a path sockaddr_un cannot hold";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("too long"), std::string::npos);
+  }
+}
+
+TEST(ServiceFleet, TcpRoundTripMatchesPlannerBitExactly) {
+  ServerOptions options;
+  options.endpoint = Endpoint::tcp("127.0.0.1", 0);
+  Server server(options);
+  server.start();
+
+  Client client(server.endpoint().to_string());
+  auto platform = model::paper_testbed();
+  auto full = model::make_platform(platform, model::paper_root(platform));
+  PlanResponse response = client.plan(full, 817101);
+
+  ASSERT_EQ(response.status, PlanStatus::Ok);
+  auto direct = core::plan_scatter(full, 817101);
+  EXPECT_EQ(response.counts, direct.distribution.counts);
+  EXPECT_DOUBLE_EQ(response.predicted_makespan, direct.predicted_makespan);
+  server.stop();
+}
+
+// THE partition proof.
+TEST(ServiceFleet, DistinctKeysPartitionAcrossReplicaCaches) {
+  constexpr int kReplicas = 3;
+  constexpr int kKeys = 24;
+  Fleet fleet = start_tcp_fleet(kReplicas);
+  obs::Metrics metrics;
+  fleet.options.metrics = &metrics;
+  FleetClient client(fleet.options);
+
+  // Solve k distinct keys; record where each was predicted to land.
+  std::vector<std::uint64_t> predicted(kReplicas, 0);
+  for (int seed = 0; seed < kKeys; ++seed) {
+    auto platform = seeded_platform(seed);
+    std::size_t home = client.route_of(platform, 4000, core::Algorithm::ExactDp);
+    ASSERT_LT(home, static_cast<std::size_t>(kReplicas));
+    ++predicted[home];
+    PlanResponse response = client.plan(platform, 4000, core::Algorithm::ExactDp);
+    ASSERT_EQ(response.status, PlanStatus::Ok) << response.message;
+    EXPECT_FALSE(response.cache_hit);
+    core::PlannerOptions exact;
+    exact.algorithm = core::Algorithm::ExactDp;
+    auto direct = core::plan_scatter(platform, 4000, exact);
+    EXPECT_EQ(response.counts, direct.distribution.counts);
+  }
+
+  // Each key was solved exactly once fleet-wide, on its home replica.
+  std::uint64_t total_solved = 0;
+  for (int r = 0; r < kReplicas; ++r) {
+    Server::Counters counters = fleet.servers[static_cast<std::size_t>(r)]->counters();
+    EXPECT_EQ(counters.solved, predicted[static_cast<std::size_t>(r)])
+        << "replica " << r << " solved keys routed elsewhere";
+    EXPECT_EQ(counters.cache_hits, 0u);
+    total_solved += counters.solved;
+  }
+  EXPECT_EQ(total_solved, static_cast<std::uint64_t>(kKeys));
+
+  // With healthy replicas nothing reroutes, and every response was served
+  // by the replica the ring names.
+  FleetClient::Counters fleet_counters = client.counters();
+  EXPECT_EQ(fleet_counters.requests, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(fleet_counters.rerouted, 0u);
+  EXPECT_EQ(fleet_counters.fallbacks, 0u);
+  for (int r = 0; r < kReplicas; ++r) {
+    EXPECT_EQ(fleet_counters.per_replica[static_cast<std::size_t>(r)],
+              predicted[static_cast<std::size_t>(r)]);
+  }
+
+  // Replay every key: all cache hits, ZERO new solves anywhere — the
+  // fleet never duplicates a dp.solve across replicas.
+  for (int seed = 0; seed < kKeys; ++seed) {
+    auto platform = seeded_platform(seed);
+    PlanResponse response = client.plan(platform, 4000, core::Algorithm::ExactDp);
+    ASSERT_EQ(response.status, PlanStatus::Ok);
+    EXPECT_TRUE(response.cache_hit) << "seed " << seed << " missed on replay";
+  }
+  std::uint64_t total_after = 0;
+  std::uint64_t hits_after = 0;
+  for (const auto& server : fleet.servers) {
+    total_after += server->counters().solved;
+    hits_after += server->counters().cache_hits;
+  }
+  EXPECT_EQ(total_after, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(hits_after, static_cast<std::uint64_t>(kKeys));
+
+  client.close();
+  for (auto& server : fleet.servers) server->stop();
+}
+
+TEST(ServiceFleet, RouteOfIsStableAcrossClients) {
+  Fleet fleet = start_tcp_fleet(3);
+  FleetClient a(fleet.options);
+  FleetClient b(fleet.options);
+  for (int seed = 0; seed < 32; ++seed) {
+    auto platform = seeded_platform(seed);
+    EXPECT_EQ(a.route_of(platform, 4000), b.route_of(platform, 4000));
+    EXPECT_EQ(a.route_of(platform, 4000), a.route_of(platform, 4000));
+    // items is part of the key: different items may route elsewhere, and
+    // must do so consistently.
+    EXPECT_EQ(a.route_of(platform, 8000), b.route_of(platform, 8000));
+  }
+  for (auto& server : fleet.servers) server->stop();
+}
+
+TEST(ServiceFleet, ControlPlaneReachesEachReplica) {
+  Fleet fleet = start_tcp_fleet(2);
+  FleetClient client(fleet.options);
+  EXPECT_TRUE(client.ping(0));
+  EXPECT_TRUE(client.ping(1));
+  EXPECT_NE(client.stats(0).find("\"service\""), std::string::npos);
+  EXPECT_NE(client.stats(1).find("\"service\""), std::string::npos);
+  client.close();
+  for (auto& server : fleet.servers) server->stop();
+}
+
+TEST(ServiceFleet, AllReplicasDownFallsBackLocallyWhenAsked) {
+  // Endpoints that never listened: with local_fallback the plan degrades
+  // to the in-process planner and says so; without, a typed transport
+  // failure comes back. Never an exception, never a hang.
+  FleetOptions options;
+  options.replicas = {Endpoint::unix_path(test_socket_path()),
+                      Endpoint::unix_path(test_socket_path())};
+  options.local_fallback = true;
+  FleetClient with_fallback(options);
+
+  auto platform = seeded_platform(1);
+  PlanResponse response = with_fallback.plan(platform, 4000);
+  ASSERT_EQ(response.status, PlanStatus::Ok);
+  EXPECT_TRUE(response.local_fallback);
+  auto direct = core::plan_scatter(platform, 4000);
+  EXPECT_EQ(response.counts, direct.distribution.counts);
+  EXPECT_EQ(with_fallback.counters().fallbacks, 1u);
+
+  options.local_fallback = false;
+  FleetClient without_fallback(options);
+  PlanResponse failure = without_fallback.plan(platform, 4000);
+  EXPECT_EQ(failure.status, PlanStatus::Disconnected);
+  EXPECT_EQ(without_fallback.counters().exhausted, 1u);
+}
+
+TEST(ServiceFleet, RejectsDuplicateOrEmptyMembership) {
+  FleetOptions empty;
+  EXPECT_THROW(FleetClient{empty}, lbs::Error);
+
+  FleetOptions duplicated;
+  duplicated.replicas = {Endpoint::tcp("h", 1), Endpoint::tcp("h", 1)};
+  EXPECT_THROW(FleetClient{duplicated}, lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::service

@@ -1,0 +1,182 @@
+// Property tests for the consistent-hash ring: the two contracts the
+// planner fleet's cache partition stands on.
+//
+//   Uniform spread — chi-square bound. With vnodes points per node the
+//   relative stddev of a node's share is ~1/sqrt(vnodes) (~9% at 128),
+//   so for M keys the expected chi-square statistic sum((obs-exp)^2/exp)
+//   is about M/(N*vnodes) — well under 0.01*M. We bound at 0.03*M: an
+//   order of magnitude of headroom, yet a single node at twice its fair
+//   share alone contributes ~M/N = 0.125*M for N=8 and fails.
+//
+//   Bounded remap — removing one node moves ONLY that node's keys
+//   (~1/N of them); adding one moves only keys onto the newcomer. A
+//   modulo table would remap (N-1)/N and cold every replica's cache.
+#include "support/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lbs::support {
+namespace {
+
+constexpr int kNodes = 8;
+constexpr std::uint64_t kKeys = 100000;
+
+HashRing ring_of(int nodes, int virtual_nodes = 128) {
+  HashRing ring(virtual_nodes);
+  for (int i = 0; i < nodes; ++i) ring.add_node("replica-" + std::to_string(i));
+  return ring;
+}
+
+// Sequential ids stand in for PlanKey hashes: node_for mixes internally,
+// so structure in the input must not survive onto the circle.
+std::vector<std::string> assignments(const HashRing& ring, std::uint64_t keys) {
+  std::vector<std::string> out;
+  out.reserve(keys);
+  for (std::uint64_t k = 0; k < keys; ++k) out.push_back(ring.node_for(k));
+  return out;
+}
+
+TEST(HashRing, SpreadIsUniformByChiSquare) {
+  HashRing ring = ring_of(kNodes);
+  std::map<std::string, std::uint64_t> counts;
+  for (const std::string& node : assignments(ring, kKeys)) ++counts[node];
+
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(kNodes))
+      << "some node owns no keys at all";
+  const double expected = static_cast<double>(kKeys) / kNodes;
+  double chi_square = 0.0;
+  for (const auto& [node, observed] : counts) {
+    const double diff = static_cast<double>(observed) - expected;
+    chi_square += diff * diff / expected;
+    // No node above twice or below half its fair share.
+    EXPECT_GT(static_cast<double>(observed), 0.5 * expected) << node;
+    EXPECT_LT(static_cast<double>(observed), 2.0 * expected) << node;
+  }
+  EXPECT_LT(chi_square, 0.03 * static_cast<double>(kKeys))
+      << "spread is grossly skewed";
+}
+
+TEST(HashRing, MoreVirtualNodesFlattenTheSpread) {
+  // The imbalance (max share / fair share) must not grow when vnodes
+  // quadruple; statistically it shrinks ~2x. A loose monotonicity check
+  // that catches a vnode loop wired to the wrong seed.
+  auto max_share = [](int vnodes) {
+    HashRing ring = ring_of(kNodes, vnodes);
+    std::map<std::string, std::uint64_t> counts;
+    for (std::uint64_t k = 0; k < kKeys; ++k) ++counts[ring.node_for(k)];
+    std::uint64_t max_count = 0;
+    for (const auto& entry : counts) max_count = std::max(max_count, entry.second);
+    return static_cast<double>(max_count) * kNodes / kKeys;
+  };
+  EXPECT_LT(max_share(256), max_share(16) + 0.05);
+}
+
+TEST(HashRing, RemovingOneNodeMovesOnlyItsKeys) {
+  HashRing ring = ring_of(kNodes);
+  const std::vector<std::string> before = assignments(ring, kKeys);
+  const std::string victim = "replica-3";
+
+  ring.remove_node(victim);
+  const std::vector<std::string> after = assignments(ring, kKeys);
+
+  std::uint64_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (before[k] == victim) {
+      ++moved;
+      EXPECT_NE(after[k], victim);
+    } else {
+      // THE bounded-remap property: a surviving node's keys never move.
+      ASSERT_EQ(after[k], before[k]) << "key " << k << " moved between survivors";
+    }
+  }
+  // The victim owned ~1/N of the keys; remap fraction <= 1/N + epsilon.
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_LT(fraction, 1.0 / kNodes + 0.05);
+  EXPECT_GT(fraction, 0.0);
+
+  // Membership is the only input: adding the node back restores every
+  // assignment exactly.
+  ring.add_node(victim);
+  EXPECT_EQ(assignments(ring, kKeys), before);
+}
+
+TEST(HashRing, AddingOneNodeMovesOnlyKeysOntoIt) {
+  HashRing ring = ring_of(kNodes);
+  const std::vector<std::string> before = assignments(ring, kKeys);
+
+  ring.add_node("replica-new");
+  const std::vector<std::string> after = assignments(ring, kKeys);
+
+  std::uint64_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (after[k] != before[k]) {
+      ++moved;
+      ASSERT_EQ(after[k], "replica-new") << "key " << k << " moved between old nodes";
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_LT(fraction, 1.0 / (kNodes + 1) + 0.05);
+  EXPECT_GT(fraction, 0.0);
+}
+
+TEST(HashRing, AssignmentIsIndependentOfInsertionOrder) {
+  HashRing forward(128);
+  HashRing backward(128);
+  for (int i = 0; i < kNodes; ++i) {
+    forward.add_node("replica-" + std::to_string(i));
+    backward.add_node("replica-" + std::to_string(kNodes - 1 - i));
+  }
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    EXPECT_EQ(forward.node_for(k), backward.node_for(k));
+  }
+}
+
+TEST(HashRing, NodesForIsTheDistinctFailoverSequence) {
+  HashRing ring = ring_of(4);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    auto sequence = ring.nodes_for(k, 16);  // count clamps to node_count
+    ASSERT_EQ(sequence.size(), 4u);
+    EXPECT_EQ(*sequence[0], ring.node_for(k));
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      for (std::size_t j = i + 1; j < sequence.size(); ++j) {
+        EXPECT_NE(*sequence[i], *sequence[j]);
+      }
+    }
+  }
+}
+
+TEST(HashRing, FailoverTargetIsDeterministic) {
+  // The second node in the sequence is where a key lands while its home
+  // is down — it must equal node_for on the ring without the home.
+  HashRing ring = ring_of(kNodes);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    auto sequence = ring.nodes_for(k, 2);
+    ASSERT_EQ(sequence.size(), 2u);
+    HashRing without = ring_of(kNodes);
+    without.remove_node(*sequence[0]);
+    EXPECT_EQ(without.node_for(k), *sequence[1]);
+  }
+}
+
+TEST(HashRing, MembershipErrorsAreTyped) {
+  HashRing ring(8);
+  ring.add_node("a");
+  EXPECT_THROW(ring.add_node("a"), lbs::Error);
+  EXPECT_THROW(ring.remove_node("missing"), lbs::Error);
+  EXPECT_THROW(ring.add_node(""), lbs::Error);
+  EXPECT_THROW(HashRing(0), lbs::Error);
+
+  HashRing empty(8);
+  EXPECT_THROW((void)empty.node_for(7), lbs::Error);
+  EXPECT_THROW((void)empty.nodes_for(7, 1), lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::support
