@@ -29,13 +29,25 @@ model::Platform reduce_platform(const model::Platform& platform,
 std::function<std::vector<long long>(const std::vector<int>&, long long)>
 make_ft_replanner(model::Platform platform, Algorithm algorithm) {
   LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
+  return make_ft_replanner(
+      [platform = std::move(platform)] { return platform; }, algorithm);
+}
+
+std::function<std::vector<long long>(const std::vector<int>&, long long)>
+make_ft_replanner(PlatformProvider provider, Algorithm algorithm,
+                  std::shared_ptr<PlanCache> cache) {
+  LBS_CHECK_MSG(provider != nullptr, "null platform provider");
   // Recovery traffic repeats itself: every scatter under the same fault
   // pattern re-plans the same survivor sets for the same remainders, so
   // each replanner carries a small plan cache keyed on the reduced
-  // platform's cost structure.
-  auto cache = std::make_shared<PlanCache>(64);
-  return [platform = std::move(platform), algorithm, cache](
+  // platform's cost structure. Because the key is the cost fingerprints,
+  // a provider that hands back refreshed costs misses cleanly instead of
+  // being served a plan for the old model.
+  if (cache == nullptr) cache = std::make_shared<PlanCache>(64);
+  return [provider = std::move(provider), algorithm, cache](
              const std::vector<int>& alive, long long items) {
+    auto platform = provider();
+    LBS_CHECK_MSG(platform.size() >= 1, "empty platform");
     auto reduced = reduce_platform(platform, alive);
     auto plan = cache->plan(reduced, items, algorithm);
     return plan.distribution.counts;

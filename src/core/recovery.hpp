@@ -12,8 +12,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "model/platform.hpp"
 
@@ -35,5 +37,26 @@ std::function<std::vector<long long>(const std::vector<int>& alive,
                                      long long items)>
 make_ft_replanner(model::Platform platform,
                   Algorithm algorithm = Algorithm::Auto);
+
+// Supplies the platform a replanner re-plans over. Called once per replan,
+// so a provider backed by a live cost model (core::AdaptivePlanner's
+// refitted fits, a monitor daemon's instantaneous alphas) makes every
+// recovery use the *current* costs instead of the construction-time ones.
+// Must be callable from the replanner's thread; must always return a
+// platform with the same processor positions as the original.
+using PlatformProvider = std::function<model::Platform()>;
+
+// Cost-refreshing variant: each replan fetches provider() first, so cost
+// updates between scatters are picked up on the next recovery. The plan
+// cache is keyed on the reduced platform's cost fingerprints, so a
+// refreshed cost can never be served a stale plan — and unchanged costs
+// still hit in O(1). Passing `cache` shares it with other planning paths
+// (core::AdaptivePlanner routes its drift replans and its plan() calls
+// through one cache this way); nullptr gets a private 64-entry cache.
+std::function<std::vector<long long>(const std::vector<int>& alive,
+                                     long long items)>
+make_ft_replanner(PlatformProvider provider,
+                  Algorithm algorithm = Algorithm::Auto,
+                  std::shared_ptr<PlanCache> cache = nullptr);
 
 }  // namespace lbs::core

@@ -1,0 +1,110 @@
+#include "model/online_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lbs::model {
+
+OnlineAffineFit::OnlineAffineFit(OnlineFitOptions options) : options_(options) {
+  LBS_CHECK_MSG(options_.forgetting > 0.0 && options_.forgetting <= 1.0,
+                "forgetting factor must be in (0, 1]");
+  LBS_CHECK_MSG(options_.intercept_tolerance >= 0.0,
+                "negative intercept tolerance");
+  LBS_CHECK_MSG(options_.min_samples >= 1, "min_samples must be >= 1");
+}
+
+OnlineAffineFit::OnlineAffineFit(const Cost& prior, double prior_weight,
+                                 OnlineFitOptions options)
+    : OnlineAffineFit(options) {
+  LBS_CHECK_MSG(prior_weight > 0.0, "prior weight must be > 0");
+  auto coeffs = prior.affine();
+  LBS_CHECK_MSG(coeffs.has_value(),
+                "online fit prior must be zero, linear, or affine");
+  prior_intercept_ = coeffs->fixed;
+  prior_slope_ = coeffs->per_item;
+  prior_weight_ = prior_weight;
+}
+
+void OnlineAffineFit::observe(long long items, double seconds) {
+  LBS_CHECK_MSG(items > 0, "online fit sample with non-positive item count");
+  LBS_CHECK_MSG(seconds >= 0.0, "online fit sample with negative duration");
+  const double lambda = options_.forgetting;
+  sw_ = lambda * sw_ + 1.0;
+  sx_ = lambda * sx_ + static_cast<double>(items);
+  sxx_ = lambda * sxx_ + static_cast<double>(items) * static_cast<double>(items);
+  sy_ = lambda * sy_ + seconds;
+  sxy_ = lambda * sxy_ + static_cast<double>(items) * seconds;
+  if (count_ == 0) {
+    first_items_ = items;
+  } else if (items != first_items_) {
+    distinct_items_ = true;
+  }
+  ++count_;
+  max_items_ = std::max(max_items_, items);
+}
+
+bool OnlineAffineFit::ready() const { return count_ >= options_.min_samples; }
+
+OnlineAffineFit::Coefficients OnlineAffineFit::solve() const {
+  // Ridge-anchored weighted normal equations:
+  //   [sw + τ   sx    ] [intercept]   [sy  + τ·b0]
+  //   [sx       sxx + τ] [slope    ] = [sxy + τ·a0]
+  // where τ is the prior weight and (b0, a0) the prior coefficients. With
+  // τ > 0 the system is always nonsingular; with τ = 0 and degenerate x
+  // (all samples at one item count) we fall back to the proportional fit
+  // through the origin, the only estimator the data supports.
+  const double tau = prior_weight_;
+  const double a00 = sw_ + tau;
+  const double a01 = sx_;
+  const double a11 = sxx_ + tau;
+  const double b0 = sy_ + tau * prior_intercept_;
+  const double b1 = sxy_ + tau * prior_slope_;
+  const double det = a00 * a11 - a01 * a01;
+  Coefficients out;
+  // The determinant of the (PSD) normal matrix degenerates only when the
+  // sample x's are (numerically) all equal and there is no prior.
+  if (det <= 1e-12 * std::max(a00 * a11, 1.0)) {
+    out.intercept = 0.0;
+    out.slope = sxx_ > 0.0 ? sxy_ / sxx_ : 0.0;
+    return out;
+  }
+  out.intercept = (b0 * a11 - a01 * b1) / det;
+  out.slope = (a00 * b1 - a01 * b0) / det;
+  return out;
+}
+
+double OnlineAffineFit::slope() const { return std::max(solve().slope, 0.0); }
+
+double OnlineAffineFit::intercept() const {
+  return std::max(solve().intercept, 0.0);
+}
+
+double OnlineAffineFit::predict(long long items) const {
+  LBS_CHECK_MSG(items >= 0, "predict of negative item count");
+  if (items == 0) return 0.0;
+  return intercept() + slope() * static_cast<double>(items);
+}
+
+Cost OnlineAffineFit::cost() const {
+  auto coeffs = solve();
+  double slope = std::max(coeffs.slope, 0.0);
+  double intercept = std::max(coeffs.intercept, 0.0);
+  // The reference scale for "negligible": the full transfer at the largest
+  // item count seen, or the prior's scale before any data arrived.
+  long long scale_items = max_items_ > 0 ? max_items_ : 1;
+  double full_transfer = slope * static_cast<double>(scale_items);
+  if (intercept <= options_.intercept_tolerance * full_transfer) {
+    // Latency negligible: refit proportionally (the calibrate() move),
+    // still pulled toward the prior slope by the ridge term.
+    const double tau = prior_weight_;
+    double denom = sxx_ + tau;
+    double proportional =
+        denom > 0.0 ? (sxy_ + tau * prior_slope_) / denom : 0.0;
+    return Cost::linear(std::max(proportional, 0.0));
+  }
+  return Cost::affine(intercept, slope);
+}
+
+}  // namespace lbs::model

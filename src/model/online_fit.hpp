@@ -1,0 +1,108 @@
+// Online refinement of affine cost models from streamed timing samples.
+//
+// model::calibrate is the paper's one-shot, offline path: run a series of
+// benchmarks, fit Table 1's α/β once, plan forever. A grid drifts out from
+// under that fit — nodes degrade, links congest, the initial measurements
+// were simply wrong — so the adaptive runtime (core/adaptive.hpp) needs
+// the same fit maintained *incrementally*: every scatter round contributes
+// one (items, seconds) sample per processor, recent rounds must outweigh
+// stale ones, and the construction-time cost model should anchor the fit
+// until real measurements accumulate.
+//
+// OnlineAffineFit is recursive least squares with an exponential
+// forgetting factor, kept as decayed sufficient statistics (the normal
+// equations are solved on demand — algebraically the same estimator as
+// textbook covariance-form RLS, without its covariance-windup failure
+// mode under constant regressors, which is exactly the common case here:
+// a converged plan feeds every rank the same item count each round). The
+// construction-time prior enters as a ridge penalty pulling the
+// coefficients toward it with a chosen pseudo-sample weight, so a fit
+// with no (or degenerate) data reproduces the prior instead of exploding.
+//
+// The intercept-drop decision mirrors model::calibrate byte for byte: when
+// the fitted intercept is below intercept_tolerance of the full-transfer
+// time at the largest item count seen, the cost collapses to the linear
+// model with a proportional refit — the paper's own "latency negligible"
+// judgement, applied online.
+#pragma once
+
+#include "model/cost.hpp"
+
+namespace lbs::model {
+
+struct OnlineFitOptions {
+  // Exponential forgetting factor λ in (0, 1]: sample weights decay by λ
+  // per observation, so the effective memory is ~1/(1-λ) samples. 1.0
+  // never forgets (pure accumulation, the offline calibrate limit).
+  double forgetting = 0.95;
+  // Same seam as model::calibrate: drop the intercept when it is below
+  // this fraction of slope * max_items_seen.
+  double intercept_tolerance = 0.01;
+  // ready() requires at least this many observations before the fit
+  // should be trusted over the prior.
+  int min_samples = 3;
+};
+
+// Incrementally fitted t(x) = intercept + slope * x with non-negativity
+// clamps, optionally anchored at a prior Cost. Not thread-safe; owners
+// (core::AdaptivePlanner) serialize access.
+class OnlineAffineFit {
+ public:
+  explicit OnlineAffineFit(OnlineFitOptions options = {});
+
+  // Anchors the estimate at `prior` (which must be zero, linear, or
+  // affine) with the strength of `prior_weight` pseudo-samples: the fit
+  // starts exactly at the prior's coefficients and moves only as real
+  // samples outweigh it. prior_weight must be > 0.
+  OnlineAffineFit(const Cost& prior, double prior_weight,
+                  OnlineFitOptions options = {});
+
+  // One measurement: `items` took `seconds`. items must be > 0 (t(0) = 0
+  // by the paper's framework, so a zero-item round carries no signal);
+  // seconds must be >= 0.
+  void observe(long long items, double seconds);
+
+  [[nodiscard]] long long samples() const { return count_; }
+
+  // True once min_samples observations arrived — the point where cost()
+  // reflects data rather than prior. Distinct item counts are NOT
+  // required: a converged plan feeds each rank the same count every
+  // round, and the ridge prior (or, unanchored, the proportional
+  // fallback) keeps the estimator well-defined at a single x.
+  [[nodiscard]] bool ready() const;
+
+  // Current estimates, clamped to >= 0 (negative costs are measurement
+  // noise, never physics — the same clamp model::calibrate applies).
+  [[nodiscard]] double slope() const;
+  [[nodiscard]] double intercept() const;
+  [[nodiscard]] double predict(long long items) const;
+
+  // The fitted Cost with the intercept-drop rule applied: Cost::linear
+  // when the intercept is negligible (refit proportionally, as calibrate
+  // does), Cost::affine otherwise.
+  [[nodiscard]] Cost cost() const;
+
+ private:
+  struct Coefficients {
+    double intercept = 0.0;
+    double slope = 0.0;
+  };
+  [[nodiscard]] Coefficients solve() const;
+
+  OnlineFitOptions options_;
+  double prior_intercept_ = 0.0;
+  double prior_slope_ = 0.0;
+  double prior_weight_ = 0.0;  // ridge strength; 0 = unanchored
+  // Exponentially decayed sufficient statistics of the weighted samples.
+  double sw_ = 0.0;   // Σ w
+  double sx_ = 0.0;   // Σ w·x
+  double sxx_ = 0.0;  // Σ w·x²
+  double sy_ = 0.0;   // Σ w·y
+  double sxy_ = 0.0;  // Σ w·x·y
+  long long count_ = 0;
+  long long max_items_ = 0;
+  long long first_items_ = 0;
+  bool distinct_items_ = false;
+};
+
+}  // namespace lbs::model

@@ -46,6 +46,8 @@ const char* to_string(EventType type) {
     case EventType::ServiceQueue: return "service.queue";
     case EventType::ServiceBatch: return "service.batch";
     case EventType::ServiceSnapshot: return "service.snapshot";
+    case EventType::AdaptiveDrift: return "adaptive.drift";
+    case EventType::AdaptiveRefit: return "adaptive.refit";
   }
   return "?";
 }

@@ -21,6 +21,8 @@
 //   recovery.replan  instant  FT scatter re-planned the undelivered pool
 //   rank.death       instant  FT scatter detected a dead receiver
 //   cache.hit/miss   instant  plan-cache probe outcome
+//   adaptive.drift   instant  predicted-vs-observed drift evaluation
+//   adaptive.refit   span     cost model refitted from online samples
 //
 // Clock domains: Wall events carry real seconds (mq runtime, planner),
 // Virtual events carry nominal simulator seconds (gridsim). A TraceLog
@@ -49,6 +51,8 @@ enum class EventType : std::uint8_t {
   ServiceQueue,    // span: a solve waiting in the service's bounded queue
   ServiceBatch,    // span: one batch of solves fanned over the DP pool
   ServiceSnapshot, // span: one plan-cache snapshot write (or warm-start read)
+  AdaptiveDrift,   // instant: one drift evaluation of observed vs Eq. 1 times
+  AdaptiveRefit,   // span: cost model refitted from online timing samples
 };
 
 // Stable event name ("comm.send", "cache.hit", ...): the Chrome export's
@@ -79,6 +83,10 @@ enum class Clock : std::uint8_t {
 //   ServiceQueue:   arg0 = queue depth at enqueue, arg1 = items
 //   ServiceBatch:   arg0 = batch size (solves fanned over the DP pool)
 //   ServiceSnapshot: arg0 = entries, arg1 = bytes, arg2 = 0 write / 1 restore
+//   AdaptiveDrift:  arg0 = drift in parts-per-million of the predicted
+//                   makespan, arg1 = 1 when it crossed the threshold
+//   AdaptiveRefit:  arg0 = processors whose costs changed, arg1 = platform
+//                   version after the refit (0 is the construction model)
 struct TraceEvent {
   EventType type = EventType::ScatterPlan;
   Clock clock = Clock::Wall;

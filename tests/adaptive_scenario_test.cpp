@@ -1,0 +1,407 @@
+// Drift-scenario suite gating the adaptive runtime.
+//
+// Each scenario drives core::AdaptivePlanner round by round against a
+// *truth* platform the planner cannot see: every round plans on the
+// believed model, executes on the truth via gridsim::simulate_scatter
+// (exact Eq. 1, deterministic), feeds the resulting Timeline back as
+// observations, and advances a virtual clock by the round's makespan. The
+// gates compare against a perfect-knowledge oracle (plan_scatter on the
+// truth itself):
+//
+//   degrading node   — one worker's compute slows linearly then plateaus;
+//                      must converge within a bounded number of rounds and
+//                      land within 10% of the oracle post-convergence.
+//   diurnal load     — sinusoidal background load; adaptation must beat
+//                      the static plan on cumulative makespan.
+//   mis-calibration  — the initial α/β are simply wrong; first replan must
+//                      come as soon as the fits are ready and the steady
+//                      state must be near-oracle.
+//   no-drift control — accurate model, stable truth: zero refits, zero
+//                      replans, version 0 forever.
+//   differential     — adaptation disabled is bit-identical to the plain
+//                      planner, round after round, drift notwithstanding.
+//   noisy robustness — the mis-calibration scenario under multiplicative
+//                      compute noise, swept over seeds (LBS_ADAPTIVE_ITERS
+//                      scales the sweep; nightly runs it at 10).
+//
+// When LBS_ADAPTIVE_STATS names a file, each scenario appends one JSON
+// line of convergence statistics — the nightly job uploads that file as a
+// build artifact.
+
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "gridsim/gridsim.hpp"
+#include "model/platform.hpp"
+
+namespace lbs::core {
+namespace {
+
+constexpr long long kItems = 200000;
+constexpr double kPi = 3.14159265358979323846;
+
+int scenario_iters() {
+  const char* env = std::getenv("LBS_ADAPTIVE_ITERS");
+  if (env == nullptr) return 2;
+  int iters = std::atoi(env);
+  return iters > 0 ? iters : 2;
+}
+
+// One JSONL line of convergence stats per scenario, for the nightly
+// artifact. No-op unless LBS_ADAPTIVE_STATS names a file.
+void export_stats(const std::string& scenario,
+                  const std::vector<std::pair<std::string, double>>& fields) {
+  const char* path = std::getenv("LBS_ADAPTIVE_STATS");
+  if (path == nullptr || *path == '\0') return;
+  std::ostringstream line;
+  line << "{\"scenario\":\"" << scenario << "\"";
+  for (const auto& [key, value] : fields) {
+    line << ",\"" << key << "\":" << value;
+  }
+  line << "}\n";
+  std::ofstream out(path, std::ios::app);
+  out << line.str();
+}
+
+// Heterogeneous linear platform, root last. comp_slopes are per-worker;
+// the root computes at `root_slope`.
+model::Platform linear_platform(const std::vector<double>& comp_slopes,
+                                double comm_slope = 2e-6,
+                                double root_slope = 4e-6) {
+  model::Platform platform;
+  for (std::size_t i = 0; i < comp_slopes.size(); ++i) {
+    model::Processor p;
+    p.label = "w" + std::to_string(i);
+    p.comm = model::Cost::linear(comm_slope);
+    p.comp = model::Cost::linear(comp_slopes[i]);
+    platform.processors.push_back(p);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(root_slope);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+// Truth at round r: `base` with worker `position`'s compute scaled by
+// factor(r).
+model::Platform with_comp_factor(const model::Platform& base, int position,
+                                 double factor) {
+  model::Platform truth = base;
+  auto& processor = truth.processors[static_cast<std::size_t>(position)];
+  processor.comp = model::Cost::scaled(processor.comp, factor);
+  return truth;
+}
+
+std::vector<RankObservation> from_timeline(const gridsim::Timeline& timeline) {
+  std::vector<RankObservation> observations;
+  for (std::size_t i = 0; i < timeline.traces.size(); ++i) {
+    const auto& trace = timeline.traces[i];
+    RankObservation obs;
+    obs.rank = static_cast<int>(i);
+    obs.items = trace.items;
+    obs.comm_seconds = trace.comm_time();
+    obs.comp_seconds = trace.compute_end - trace.recv_end;
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+struct RoundRecord {
+  double achieved = 0.0;  // simulated makespan on the truth
+  double oracle = 0.0;    // perfect-knowledge plan's makespan on the truth
+  AdaptiveOutcome outcome;
+};
+
+struct ScenarioRun {
+  std::vector<RoundRecord> rounds;
+  int first_replan = -1;
+  int last_replan = -1;
+
+  [[nodiscard]] double ratio(int round) const {
+    return rounds[static_cast<std::size_t>(round)].achieved /
+           rounds[static_cast<std::size_t>(round)].oracle;
+  }
+  // Mean achieved/oracle over the final `tail` rounds.
+  [[nodiscard]] double tail_ratio(int tail) const {
+    double sum = 0.0;
+    int n = static_cast<int>(rounds.size());
+    for (int r = n - tail; r < n; ++r) sum += ratio(r);
+    return sum / tail;
+  }
+  [[nodiscard]] double total_achieved() const {
+    double sum = 0.0;
+    for (const auto& r : rounds) sum += r.achieved;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t replans() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rounds) n += r.outcome.replanned ? 1 : 0;
+    return n;
+  }
+};
+
+// Drives `planner` for `rounds` rounds against truth_at(r), feeding the
+// simulated Timeline back after each round.
+ScenarioRun run_scenario(AdaptivePlanner& planner,
+                         const std::function<model::Platform(int)>& truth_at,
+                         int rounds, const gridsim::SimOptions& sim = {}) {
+  ScenarioRun run;
+  double now = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    auto truth = truth_at(r);
+    auto plan = planner.plan(kItems);
+    auto result = gridsim::simulate_scatter(truth, plan.distribution, sim);
+    now += result.timeline.makespan();
+
+    RoundRecord record;
+    record.achieved = result.timeline.makespan();
+    record.oracle =
+        makespan(truth, plan_scatter(truth, kItems).distribution);
+    record.outcome =
+        planner.observe_round(plan, from_timeline(result.timeline), now);
+    if (record.outcome.replanned) {
+      if (run.first_replan < 0) run.first_replan = r;
+      run.last_replan = r;
+    }
+    run.rounds.push_back(record);
+  }
+  return run;
+}
+
+// --- Scenario 1: slowly degrading node -------------------------------
+
+// Worker 0 picks up a competing job: its compute slows linearly over the
+// first 12 rounds (final slowdown 2.8x), then plateaus. The planner must
+// track the drift while it lasts, stop replanning once the truth settles,
+// and end within 10% of the perfect-knowledge oracle.
+TEST(AdaptiveScenario, DegradingNodeConvergesNearOracle) {
+  auto base = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth_at = [&base](int r) {
+    double factor = 1.0 + 0.15 * std::min(r, 12);
+    return with_comp_factor(base, 0, factor);
+  };
+
+  AdaptiveOptions options;
+  options.forgetting = 0.7;
+  AdaptivePlanner planner(base, options);
+
+  const int rounds = 30;
+  auto run = run_scenario(planner, truth_at, rounds);
+
+  EXPECT_GE(run.replans(), 1u);
+  // Converged: no replans once the plateau has been absorbed.
+  EXPECT_LE(run.last_replan, 20);
+  EXPECT_GE(run.first_replan, 0);
+  // Post-convergence quality: within 10% of the oracle.
+  EXPECT_LE(run.tail_ratio(5), 1.10);
+  // Adaptation beat freezing the round-0 plan for the whole run.
+  auto frozen = plan_scatter(base, kItems).distribution;
+  double static_total = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    static_total += makespan(truth_at(r), frozen);
+  }
+  EXPECT_LT(run.total_achieved(), static_total);
+
+  export_stats("degrading_node",
+               {{"rounds", rounds},
+                {"replans", static_cast<double>(run.replans())},
+                {"first_replan", run.first_replan},
+                {"last_replan", run.last_replan},
+                {"tail_ratio", run.tail_ratio(5)},
+                {"static_total", static_total},
+                {"adaptive_total", run.total_achieved()}});
+}
+
+// --- Scenario 2: diurnal (sinusoidal) load ---------------------------
+
+// Worker 1's compute oscillates with a 24-round period (amplitude 0.5) —
+// background load rising and falling through a day. The model can only
+// chase the sinusoid, so the gate is aggregate: adaptation must beat the
+// static plan over two full periods, without degenerating into a replan
+// every round.
+TEST(AdaptiveScenario, DiurnalLoadBeatsStaticPlan) {
+  auto base = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth_at = [&base](int r) {
+    double factor = 1.0 + 0.5 * std::sin(2.0 * kPi * r / 24.0);
+    return with_comp_factor(base, 1, std::max(factor, 0.05));
+  };
+
+  AdaptiveOptions options;
+  options.forgetting = 0.5;  // short memory: chase the oscillation
+  AdaptivePlanner planner(base, options);
+
+  const int rounds = 48;
+  auto run = run_scenario(planner, truth_at, rounds);
+
+  auto frozen = plan_scatter(base, kItems).distribution;
+  double static_total = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    static_total += makespan(truth_at(r), frozen);
+  }
+  EXPECT_LT(run.total_achieved(), static_total);
+  EXPECT_GE(run.replans(), 4u);
+  // The tracking lag is bounded: on average within 20% of the oracle.
+  double mean_ratio = 0.0;
+  for (int r = 0; r < rounds; ++r) mean_ratio += run.ratio(r);
+  mean_ratio /= rounds;
+  EXPECT_LE(mean_ratio, 1.20);
+
+  export_stats("diurnal",
+               {{"rounds", rounds},
+                {"replans", static_cast<double>(run.replans())},
+                {"mean_ratio", mean_ratio},
+                {"static_total", static_total},
+                {"adaptive_total", run.total_achieved()}});
+}
+
+// --- Scenario 3: mis-calibrated initial model ------------------------
+
+// The offline calibration got the workers backwards: the believed platform
+// says w0/w1 are the slow pair when in truth w2/w3 are. The truth never
+// changes — one correction suffices — so the gates are sharp: the first
+// replan lands as soon as the fits are ready (min_samples rounds), the
+// planner goes quiet shortly after, and the steady state is near-exact
+// (linear costs: the proportional refit recovers the true slope).
+TEST(AdaptiveScenario, MisCalibrationConvergesFast) {
+  auto believed = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth = linear_platform({2e-5, 2e-5, 1e-5, 1e-5});
+  auto truth_at = [&truth](int) { return truth; };
+
+  AdaptiveOptions options;
+  options.min_samples = 3;
+  AdaptivePlanner planner(believed, options);
+
+  const int rounds = 15;
+  auto run = run_scenario(planner, truth_at, rounds);
+
+  // Rounds 0..1 accumulate samples; round 2 (= min_samples - 1) is the
+  // earliest possible correction and drift is blatant, so it must happen.
+  EXPECT_EQ(run.first_replan, options.min_samples - 1);
+  EXPECT_LE(run.last_replan, 6);
+  EXPECT_LE(run.tail_ratio(5), 1.02);
+  EXPECT_EQ(planner.stats().replans, run.replans());
+
+  export_stats("mis_calibration",
+               {{"rounds", rounds},
+                {"replans", static_cast<double>(run.replans())},
+                {"first_replan", run.first_replan},
+                {"last_replan", run.last_replan},
+                {"tail_ratio", run.tail_ratio(5)}});
+}
+
+// --- Scenario 4: no-drift control ------------------------------------
+
+// Accurate model, stable truth: the adaptive machinery must do nothing.
+// Zero refits, zero replans, version 0 — adaptation is free when the
+// calibration is right.
+TEST(AdaptiveScenario, NoDriftControlNeverReplans) {
+  auto base = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth_at = [&base](int) { return base; };
+
+  AdaptiveOptions options;
+  options.min_samples = 1;  // fits ready immediately — still no trigger
+  AdaptivePlanner planner(base, options);
+
+  auto run = run_scenario(planner, truth_at, 20);
+
+  EXPECT_EQ(run.replans(), 0u);
+  EXPECT_EQ(run.first_replan, -1);
+  EXPECT_EQ(planner.platform_version(), 0u);
+  EXPECT_EQ(planner.stats().refits, 0u);
+  EXPECT_EQ(planner.stats().drift_detected, 0u);
+  for (const auto& record : run.rounds) {
+    EXPECT_LT(record.outcome.drift, 1e-9);
+  }
+
+  export_stats("no_drift_control",
+               {{"rounds", 20},
+                {"replans", 0},
+                {"max_drift", run.rounds.back().outcome.drift}});
+}
+
+// --- Scenario 5: differential (adaptation disabled) ------------------
+
+// With enabled=false the planner is transparent: every round's plan is
+// bit-identical to plain plan_scatter on the construction platform, even
+// while heavy drift streams through observe_round.
+TEST(AdaptiveScenario, DisabledIsBitIdenticalUnderDrift) {
+  auto base = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth_at = [&base](int r) {
+    return with_comp_factor(base, 0, 1.0 + 0.3 * r);
+  };
+
+  AdaptiveOptions options;
+  options.enabled = false;
+  options.min_samples = 1;
+  AdaptivePlanner planner(base, options);
+
+  auto reference = plan_scatter(base, kItems);
+  double now = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    auto plan = planner.plan(kItems);
+    ASSERT_EQ(plan.distribution.counts, reference.distribution.counts);
+    ASSERT_EQ(plan.displacements, reference.displacements);
+    ASSERT_EQ(plan.algorithm_used, reference.algorithm_used);
+    ASSERT_DOUBLE_EQ(plan.predicted_makespan, reference.predicted_makespan);
+    auto result = gridsim::simulate_scatter(truth_at(r), plan.distribution);
+    now += result.timeline.makespan();
+    auto outcome =
+        planner.observe_round(plan, from_timeline(result.timeline), now);
+    ASSERT_FALSE(outcome.drift_detected);
+    ASSERT_FALSE(outcome.replanned);
+  }
+  EXPECT_EQ(planner.platform_version(), 0u);
+}
+
+// --- Scenario 6: noisy robustness sweep ------------------------------
+
+// The mis-calibration scenario under 5% multiplicative compute noise,
+// swept over noise seeds. Noise sits below the drift threshold, so the
+// planner must still converge (no replan storm from noise alone) and land
+// within 20% of the noise-free oracle. LBS_ADAPTIVE_ITERS widens the
+// sweep (nightly: 10 seeds).
+TEST(AdaptiveScenario, NoisySweepStaysRobust) {
+  auto believed = linear_platform({1e-5, 1e-5, 2e-5, 2e-5});
+  auto truth = linear_platform({2e-5, 2e-5, 1e-5, 1e-5});
+  auto truth_at = [&truth](int) { return truth; };
+
+  const int iters = scenario_iters();
+  const int rounds = 25;
+  for (int seed = 1; seed <= iters; ++seed) {
+    AdaptiveOptions options;
+    options.forgetting = 0.8;  // average the noise out
+    AdaptivePlanner planner(believed, options);
+
+    gridsim::SimOptions sim;
+    sim.compute_noise = 0.05;
+    sim.noise_seed = static_cast<std::uint64_t>(seed);
+    auto run = run_scenario(planner, truth_at, rounds, sim);
+
+    EXPECT_GE(run.replans(), 1u) << "seed " << seed;
+    EXPECT_LE(run.replans(), static_cast<std::uint64_t>(rounds / 2))
+        << "noise alone caused a replan storm, seed " << seed;
+    EXPECT_LE(run.tail_ratio(5), 1.20) << "seed " << seed;
+
+    export_stats("noisy_sweep_seed_" + std::to_string(seed),
+                 {{"rounds", rounds},
+                  {"replans", static_cast<double>(run.replans())},
+                  {"last_replan", run.last_replan},
+                  {"tail_ratio", run.tail_ratio(5)}});
+  }
+}
+
+}  // namespace
+}  // namespace lbs::core

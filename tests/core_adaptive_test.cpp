@@ -1,0 +1,423 @@
+// Unit and edge-case tests for the adaptive runtime (core::AdaptivePlanner)
+// and the make_ft_replanner cost-provider hook.
+//
+// The drift-scenario suite (tests/adaptive_scenario_test.cpp) gates the
+// end-to-end behaviour; this file pins the machinery: replan-storm
+// suppression under continuous drift (cooldown), warm plan-cache
+// invalidation on refit (stale fingerprints never served), the provider
+// hook picking up refreshed costs on the next recovery replan, the
+// disabled-mode bit-identity, and TSan-clean concurrent
+// refit-while-planning.
+
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "gridsim/faultsim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace lbs::core {
+namespace {
+
+// A small heterogeneous linear platform, root last (paper convention).
+model::Platform test_platform(int workers = 3) {
+  model::Platform platform;
+  for (int i = 0; i < workers; ++i) {
+    model::Processor p;
+    p.label = "w" + std::to_string(i);
+    p.comm = model::Cost::linear(1e-5 * static_cast<double>(i + 1));
+    p.comp = model::Cost::linear(1e-4 * static_cast<double>(i + 1));
+    platform.processors.push_back(p);
+  }
+  model::Processor root;
+  root.label = "root";
+  root.comm = model::Cost::zero();
+  root.comp = model::Cost::linear(2e-4);
+  platform.processors.push_back(root);
+  return platform;
+}
+
+// Observations as if `truth` executed the plan: exact Eq. 1 components.
+std::vector<RankObservation> observe_on(const model::Platform& truth,
+                                        const ScatterPlan& plan) {
+  std::vector<RankObservation> observations;
+  for (int i = 0; i < truth.size(); ++i) {
+    RankObservation obs;
+    obs.rank = i;
+    obs.items = plan.distribution.counts[static_cast<std::size_t>(i)];
+    obs.comm_seconds = truth[i].comm(obs.items);
+    obs.comp_seconds = truth[i].comp(obs.items);
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+// `truth` = the base platform with one worker's compute slowed by
+// `factor` (a competing job on that node).
+model::Platform degraded(const model::Platform& base, int position,
+                         double slowdown) {
+  model::Platform truth = base;
+  auto& processor = truth.processors[static_cast<std::size_t>(position)];
+  processor.comp = model::Cost::scaled(processor.comp, slowdown);
+  return truth;
+}
+
+constexpr long long kItems = 120000;
+
+TEST(AdaptivePlanner, NoDriftMeansNoRefitAndCacheHits) {
+  auto base = test_platform();
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  AdaptivePlanner planner(base, options);
+
+  auto first = planner.plan(kItems);
+  for (int round = 0; round < 5; ++round) {
+    auto plan = planner.plan(kItems);
+    EXPECT_EQ(plan.distribution.counts, first.distribution.counts);
+    auto outcome =
+        planner.observe_round(plan, observe_on(base, plan), round * 100.0);
+    EXPECT_LT(outcome.drift, 1e-9);
+    EXPECT_FALSE(outcome.drift_detected);
+    EXPECT_FALSE(outcome.refit);
+    EXPECT_FALSE(outcome.replanned);
+  }
+  EXPECT_EQ(planner.platform_version(), 0u);
+  EXPECT_EQ(planner.stats().replans, 0u);
+  EXPECT_EQ(planner.stats().rounds, 5u);
+}
+
+TEST(AdaptivePlanner, DriftTriggersRefitAndReplan) {
+  auto base = test_platform();
+  auto truth = degraded(base, 0, 4.0);
+
+  AdaptiveOptions options;
+  options.min_samples = 2;
+  obs::Metrics metrics;
+  options.metrics = &metrics;
+  AdaptivePlanner planner(base, options);
+
+  auto plan = planner.plan(kItems);
+  // Round 0: large drift but only one sample — no refit yet.
+  auto outcome0 = planner.observe_round(plan, observe_on(truth, plan), 0.0);
+  EXPECT_TRUE(outcome0.drift_detected);
+  EXPECT_FALSE(outcome0.refit);
+
+  auto outcome1 = planner.observe_round(plan, observe_on(truth, plan), 1.0);
+  EXPECT_TRUE(outcome1.refit);
+  EXPECT_TRUE(outcome1.replanned);
+  EXPECT_EQ(planner.platform_version(), 1u);
+
+  // The refitted model prices w0's compute near the degraded truth.
+  auto refitted = planner.platform();
+  long long w0_items = plan.distribution.counts[0];
+  double priced = refitted[0].comp(w0_items);
+  double actual = truth[0].comp(w0_items);
+  EXPECT_NEAR(priced, actual, 0.10 * actual);
+
+  // The post-refit plan shifts items away from the degraded worker and
+  // beats the stale plan on the true platform.
+  auto adapted = planner.plan(kItems);
+  EXPECT_LT(adapted.distribution.counts[0], plan.distribution.counts[0]);
+  EXPECT_LT(makespan(truth, adapted.distribution),
+            makespan(truth, plan.distribution));
+
+  EXPECT_EQ(metrics.counter("adaptive.refits").value(), 1u);
+  EXPECT_EQ(metrics.counter("adaptive.replans").value(), 1u);
+  EXPECT_GE(metrics.counter("adaptive.drift_detected").value(), 2u);
+}
+
+// Replan storm suppression: continuous drift with a long cooldown must
+// yield exactly one replan, with the rest counted as suppressed.
+TEST(AdaptivePlanner, CooldownSuppressesReplanStorm) {
+  auto base = test_platform();
+  auto truth = degraded(base, 1, 3.0);
+
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.cooldown = 100.0;
+  options.forgetting = 0.5;  // adapt fast so the storm is all drift
+  obs::Metrics metrics;
+  options.metrics = &metrics;
+  AdaptivePlanner planner(base, options);
+
+  int replans = 0;
+  double now = 0.0;
+  for (int round = 0; round < 12; ++round) {
+    auto plan = planner.plan(kItems);
+    // Keep the truth moving so drift never settles inside the cooldown.
+    auto moving = degraded(base, 1, 3.0 + 0.5 * round);
+    auto outcome = planner.observe_round(plan, observe_on(moving, plan),
+                                         now);
+    if (outcome.replanned) ++replans;
+    now += 5.0;  // 12 rounds x 5s << 100s cooldown
+  }
+  EXPECT_EQ(replans, 1);
+  EXPECT_EQ(planner.stats().replans, 1u);
+  EXPECT_GE(planner.stats().suppressed, 10u);
+  EXPECT_EQ(metrics.counter("adaptive.suppressed").value(),
+            planner.stats().suppressed);
+
+  // Once the cooldown elapses, the next drifting round replans again.
+  auto plan = planner.plan(kItems);
+  auto outcome = planner.observe_round(
+      plan, observe_on(degraded(base, 1, 9.0), plan), now + 200.0);
+  EXPECT_TRUE(outcome.replanned);
+  EXPECT_EQ(planner.stats().replans, 2u);
+}
+
+// Warm-cache invalidation: after a refit, plan() must re-solve on the new
+// fingerprints — never serve the pre-refit distribution.
+TEST(AdaptivePlanner, RefitInvalidatesWarmPlanCache) {
+  auto base = test_platform();
+  auto truth = degraded(base, 0, 5.0);
+
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.forgetting = 0.5;
+  AdaptivePlanner planner(base, options);
+
+  // Warm the cache thoroughly on the construction-time model.
+  auto stale = planner.plan(kItems);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(planner.plan(kItems).distribution.counts,
+              stale.distribution.counts);
+  }
+
+  auto outcome =
+      planner.observe_round(stale, observe_on(truth, stale), 0.0);
+  ASSERT_TRUE(outcome.refit);
+
+  // Same request, new model: the distribution must match a fresh solve on
+  // the refitted platform, not the warm stale entry.
+  auto fresh = plan_scatter(planner.platform(), kItems);
+  auto adapted = planner.plan(kItems);
+  EXPECT_EQ(adapted.distribution.counts, fresh.distribution.counts);
+  EXPECT_NE(adapted.distribution.counts, stale.distribution.counts);
+}
+
+// The satellite fix: a replanner built from a provider re-plans on the
+// *current* costs, not the construction-time ones.
+TEST(FtReplanner, ProviderHookPicksUpRefreshedCosts) {
+  auto base = test_platform();
+
+  // Mutable cost source standing in for a live monitor / adaptive model.
+  model::Platform live = base;
+  auto replan = make_ft_replanner([&live] { return live; });
+
+  std::vector<int> alive = {0, 1, 2, 3};
+  auto before = replan(alive, kItems);
+
+  // Degrade w0's compute 6x; the same request must now shift items away.
+  live = degraded(base, 0, 6.0);
+  auto after = replan(alive, kItems);
+  EXPECT_LT(after[0], before[0]);
+  EXPECT_EQ(std::accumulate(after.begin(), after.end(), 0LL), kItems);
+
+  // Regression guard for the old behaviour: the platform-value overload
+  // is frozen at construction time by design, so the same mutation must
+  // NOT leak into it.
+  model::Platform snapshot = base;
+  auto frozen = make_ft_replanner(snapshot);
+  auto frozen_before = frozen(alive, kItems);
+  snapshot = degraded(base, 0, 6.0);  // mutating the local has no effect
+  EXPECT_EQ(frozen(alive, kItems), frozen_before);
+}
+
+// End to end through the fault-recovery machinery: a gridsim FT scatter
+// whose replanner comes from an AdaptivePlanner that refit between
+// scatters re-routes a victim's items using the refreshed costs.
+TEST(FtReplanner, AdaptiveReplannerDrivesFaultRecovery) {
+  auto base = test_platform();
+  auto truth = degraded(base, 0, 5.0);
+
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.forgetting = 0.5;
+  AdaptivePlanner planner(base, options);
+
+  // One observed round refits the model toward the degraded truth.
+  auto plan = planner.plan(kItems);
+  ASSERT_TRUE(
+      planner.observe_round(plan, observe_on(truth, plan), 0.0).refit);
+  auto adapted = planner.plan(kItems);
+
+  // Now crash worker 1 mid-scatter; recovery replans over the survivors
+  // with the planner's live model.
+  mq::FaultPlan fault;
+  fault.crashes.push_back({/*rank=*/1, /*at_nominal_time=*/0.0});
+  gridsim::FtSimOptions ft;
+  ft.replan = planner.replanner();
+  auto result = gridsim::simulate_scatter_ft(truth, adapted.distribution,
+                                             fault, ft);
+  EXPECT_EQ(result.report.deaths.size(), 1u);
+
+  long long delivered = 0;
+  for (const auto& trace : result.timeline.traces) delivered += trace.items;
+  EXPECT_EQ(delivered, kItems);
+  // The dead rank's share went somewhere else.
+  EXPECT_EQ(result.timeline.traces[1].items, 0);
+}
+
+// Differential: with adaptation disabled, output is bit-identical to the
+// plain planner no matter what observations stream in.
+TEST(AdaptivePlanner, DisabledIsBitIdenticalToPlanScatter) {
+  auto base = test_platform();
+  auto truth = degraded(base, 0, 8.0);
+
+  AdaptiveOptions options;
+  options.enabled = false;
+  options.min_samples = 1;
+  AdaptivePlanner planner(base, options);
+
+  auto reference = plan_scatter(base, kItems);
+  for (int round = 0; round < 5; ++round) {
+    auto plan = planner.plan(kItems);
+    EXPECT_EQ(plan.distribution.counts, reference.distribution.counts);
+    EXPECT_EQ(plan.displacements, reference.displacements);
+    EXPECT_EQ(plan.algorithm_used, reference.algorithm_used);
+    EXPECT_EQ(plan.predicted_makespan, reference.predicted_makespan);
+    auto outcome = planner.observe_round(plan, observe_on(truth, plan),
+                                         round * 10.0);
+    EXPECT_FALSE(outcome.drift_detected);
+    EXPECT_FALSE(outcome.replanned);
+  }
+  EXPECT_EQ(planner.platform_version(), 0u);
+  EXPECT_EQ(planner.stats().rounds, 0u);
+}
+
+TEST(AdaptivePlanner, EmitsDriftRefitAndReplanEvents) {
+  auto base = test_platform();
+  auto truth = degraded(base, 0, 4.0);
+
+  obs::Tracer tracer;
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.tracer = &tracer;
+  options.clock = obs::Clock::Virtual;
+  AdaptivePlanner planner(base, options);
+
+  auto plan = planner.plan(kItems);
+  planner.observe_round(plan, observe_on(truth, plan), 17.0);
+
+  auto log = tracer.collect();
+  auto drifts = log.of_type(obs::EventType::AdaptiveDrift);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_TRUE(drifts[0].instant);
+  EXPECT_EQ(drifts[0].clock, obs::Clock::Virtual);
+  EXPECT_DOUBLE_EQ(drifts[0].start, 17.0);
+  EXPECT_GT(drifts[0].arg0, 0);  // drift in ppm
+  EXPECT_EQ(drifts[0].arg1, 1);  // threshold crossed
+
+  auto refits = log.of_type(obs::EventType::AdaptiveRefit);
+  ASSERT_EQ(refits.size(), 1u);
+  EXPECT_GT(refits[0].arg0, 0);
+  EXPECT_EQ(refits[0].arg1, 1);  // platform version
+
+  auto replans = log.of_type(obs::EventType::RecoveryReplan);
+  ASSERT_EQ(replans.size(), 1u);
+  EXPECT_EQ(replans[0].arg0, kItems);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(AdaptivePlanner, RejectsMalformedObservations) {
+  auto base = test_platform();
+  AdaptiveOptions options;
+  AdaptivePlanner planner(base, options);
+  auto plan = planner.plan(kItems);
+
+  std::vector<RankObservation> wrong_arity(3);
+  EXPECT_THROW(planner.observe_round(plan, wrong_arity, 0.0), lbs::Error);
+
+  auto duplicated = observe_on(base, plan);
+  duplicated[1].rank = 0;
+  EXPECT_THROW(planner.observe_round(plan, duplicated, 0.0), lbs::Error);
+
+  auto out_of_range = observe_on(base, plan);
+  out_of_range[1].rank = 99;
+  EXPECT_THROW(planner.observe_round(plan, out_of_range, 0.0), lbs::Error);
+}
+
+// Wall-clock usability (the mq substrate): same machinery, Clock::Wall
+// spans, cooldown in wall seconds.
+TEST(AdaptivePlanner, WallClockSubstrate) {
+  auto base = test_platform();
+  auto truth = degraded(base, 2, 2.0);
+
+  obs::Tracer tracer;
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.clock = obs::Clock::Wall;
+  options.tracer = &tracer;
+  AdaptivePlanner planner(base, options);
+
+  auto plan = planner.plan(kItems);
+  auto outcome =
+      planner.observe_round(plan, observe_on(truth, plan), obs::wall_now());
+  EXPECT_TRUE(outcome.replanned);
+  auto log = tracer.collect();
+  for (const auto& event : log.of_type(obs::EventType::AdaptiveDrift)) {
+    EXPECT_EQ(event.clock, obs::Clock::Wall);
+  }
+}
+
+// Concurrent refit-while-planning (TSan-labelled): planners race
+// observe_round against plan() and replanner() calls; every plan must be
+// internally consistent (counts sum to the request) on whichever model
+// version it saw.
+TEST(AdaptivePlanner, ConcurrentRefitWhilePlanningIsSafe) {
+  auto base = test_platform(5);
+
+  AdaptiveOptions options;
+  options.min_samples = 1;
+  options.forgetting = 0.7;
+  AdaptivePlanner planner(base, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread observer([&] {
+    double now = 0.0;
+    for (int round = 0; round < 60; ++round) {
+      auto plan = planner.plan(kItems);
+      auto truth = degraded(base, round % 5, 1.5 + 0.25 * (round % 8));
+      planner.observe_round(plan, observe_on(truth, plan), now);
+      now += 1.0;
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> planners;
+  for (int t = 0; t < 3; ++t) {
+    planners.emplace_back([&, t] {
+      auto replan = planner.replanner();
+      std::vector<int> alive = {0, 1, 2, 3, 4, 5};
+      while (!stop.load()) {
+        auto plan = planner.plan(kItems + t);
+        long long total = 0;
+        for (long long c : plan.distribution.counts) total += c;
+        if (total != kItems + t) failures.fetch_add(1);
+        auto counts = replan(alive, kItems);
+        long long replanned = 0;
+        for (long long c : counts) replanned += c;
+        if (replanned != kItems) failures.fetch_add(1);
+      }
+    });
+  }
+
+  observer.join();
+  for (auto& thread : planners) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(planner.stats().refits, 1u);
+}
+
+}  // namespace
+}  // namespace lbs::core

@@ -1,0 +1,285 @@
+// Property tests for the offline calibration path (model::calibrate) and
+// its online counterpart (model::OnlineAffineFit).
+//
+// calibrate() is the seam the paper's Table 1 came through ("values come
+// from a series of benchmarks we performed") and the seam the adaptive
+// runtime refits through, so its behaviour is pinned here property-style:
+// known coefficients must be recovered from noisy synthetic samples, the
+// intercept-drop boundary must sit exactly at intercept_tolerance, and
+// the degenerate inputs (all-equal item counts, negative-trend clamps)
+// must do the documented thing rather than whatever falls out.
+
+#include "model/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "model/online_fit.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lbs::model {
+namespace {
+
+std::vector<std::pair<long long, double>> affine_samples(
+    double fixed, double per_item, const std::vector<long long>& items,
+    support::Rng* noise = nullptr, double noise_fraction = 0.0) {
+  std::vector<std::pair<long long, double>> samples;
+  samples.reserve(items.size());
+  for (long long x : items) {
+    double y = fixed + per_item * static_cast<double>(x);
+    if (noise != nullptr) {
+      y *= 1.0 + noise_fraction * noise->normal();
+    }
+    samples.emplace_back(x, y);
+  }
+  return samples;
+}
+
+TEST(Calibrate, RecoversRandomAffineCoefficientsFromNoisySamples) {
+  support::Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    double per_item = rng.uniform(1e-5, 1e-2);
+    // Keep the intercept clearly above the drop boundary so the affine
+    // model is retained: tolerance is 1% of the full transfer.
+    double max_items = 20000.0;
+    double fixed = rng.uniform(0.05, 0.5) * per_item * max_items;
+    std::vector<long long> items;
+    for (int i = 1; i <= 20; ++i) items.push_back(i * 1000);
+    auto samples = affine_samples(fixed, per_item, items, &rng, 0.01);
+
+    auto result = calibrate(samples);
+    EXPECT_FALSE(result.linear_model);
+    EXPECT_NEAR(result.alpha, per_item, 0.05 * per_item);
+    EXPECT_NEAR(result.intercept, fixed, 0.25 * fixed);
+    EXPECT_GT(result.r_squared, 0.99);
+    // The returned Cost evaluates as the fitted coefficients say.
+    EXPECT_NEAR(result.cost(10000), result.intercept + result.alpha * 10000.0,
+                1e-9);
+  }
+}
+
+TEST(Calibrate, RecoversLinearCoefficientFromNoisySamples) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    double per_item = rng.uniform(1e-5, 1e-2);
+    std::vector<long long> items;
+    for (int i = 1; i <= 25; ++i) items.push_back(i * 400);
+    auto samples = affine_samples(0.0, per_item, items, &rng, 0.02);
+
+    auto result = calibrate(samples);
+    EXPECT_TRUE(result.linear_model);
+    EXPECT_EQ(result.intercept, 0.0);
+    EXPECT_NEAR(result.alpha, per_item, 0.05 * per_item);
+  }
+}
+
+// The intercept is dropped exactly when it is <= intercept_tolerance *
+// (slope * max_items). Exact affine samples are recovered to roundoff by
+// OLS, so placing the true intercept just below / just above the boundary
+// pins the branch.
+TEST(Calibrate, InterceptDropBoundarySitsAtTolerance) {
+  const double per_item = 2e-4;
+  const std::vector<long long> items = {1000, 2000, 4000, 8000, 16000};
+  const double full_transfer = per_item * 16000.0;
+  const double tolerance = 0.01;  // calibrate's default
+
+  auto below = calibrate(
+      affine_samples(0.999 * tolerance * full_transfer, per_item, items));
+  EXPECT_TRUE(below.linear_model);
+  EXPECT_EQ(below.intercept, 0.0);
+
+  auto above = calibrate(
+      affine_samples(1.001 * tolerance * full_transfer, per_item, items));
+  EXPECT_FALSE(above.linear_model);
+  EXPECT_GT(above.intercept, 0.0);
+
+  // The same samples flip branch when the tolerance moves past them.
+  auto samples = affine_samples(0.05 * full_transfer, per_item, items);
+  EXPECT_FALSE(calibrate(samples, 0.04).linear_model);
+  EXPECT_TRUE(calibrate(samples, 0.06).linear_model);
+}
+
+TEST(Calibrate, AllEqualItemCountsThrow) {
+  std::vector<std::pair<long long, double>> samples = {
+      {5000, 1.0}, {5000, 1.1}, {5000, 0.9}};
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+}
+
+TEST(Calibrate, FewerThanTwoSamplesThrow) {
+  std::vector<std::pair<long long, double>> samples = {{1000, 1.0}};
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+  samples.clear();
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+}
+
+TEST(Calibrate, NonPositiveItemCountsThrow) {
+  std::vector<std::pair<long long, double>> samples = {{0, 0.0}, {1000, 1.0}};
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+  samples = {{-5, 0.1}, {1000, 1.0}};
+  EXPECT_THROW(calibrate(samples), lbs::Error);
+}
+
+// Decreasing times over increasing counts fit a negative slope; the clamp
+// must produce a valid (non-negative) cost, not a negative one.
+TEST(Calibrate, NegativeSlopeClampsToZero) {
+  std::vector<std::pair<long long, double>> samples = {
+      {1000, 3.0}, {2000, 2.0}, {3000, 1.0}};
+  auto result = calibrate(samples);
+  EXPECT_GE(result.alpha, 0.0);
+  EXPECT_GE(result.intercept, 0.0);
+  // slope clamps to 0, so full_transfer is 0 and the fitted intercept
+  // (positive here) survives as a pure fixed cost.
+  EXPECT_FALSE(result.linear_model);
+  EXPECT_EQ(result.alpha, 0.0);
+  EXPECT_GT(result.intercept, 0.0);
+  EXPECT_GE(result.cost(100), 0.0);
+}
+
+// Both coefficients negative (times shrinking through a negative
+// intercept): everything clamps to the zero-cost linear model.
+TEST(Calibrate, FullyNegativeFitClampsToZeroCost) {
+  std::vector<std::pair<long long, double>> samples = {
+      {1000, 0.0}, {2000, 0.0}, {3000, 0.0}};
+  auto result = calibrate(samples);
+  EXPECT_TRUE(result.linear_model);
+  EXPECT_EQ(result.alpha, 0.0);
+  EXPECT_EQ(result.cost(5000), 0.0);
+}
+
+TEST(Calibrate, RatingMatchesTableOneConvention) {
+  EXPECT_DOUBLE_EQ(rating(0.5, 1.0), 2.0);   // half the per-item cost: 2x
+  EXPECT_DOUBLE_EQ(rating(2.0, 1.0), 0.5);
+  EXPECT_THROW(rating(0.0, 1.0), lbs::Error);
+  EXPECT_THROW(rating(1.0, -1.0), lbs::Error);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineAffineFit: the streaming counterpart the adaptive runtime uses.
+
+TEST(OnlineFit, RecoversAffineCoefficientsFromNoisyStream) {
+  support::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    double per_item = rng.uniform(1e-5, 1e-3);
+    double fixed = rng.uniform(0.2, 0.8) * per_item * 20000.0;
+    OnlineFitOptions options;
+    options.forgetting = 1.0;  // offline limit: plain least squares
+    OnlineAffineFit fit(options);
+    for (int i = 0; i < 200; ++i) {
+      long long x = rng.uniform_int(1000, 20000);
+      double y = (fixed + per_item * static_cast<double>(x)) *
+                 (1.0 + 0.01 * rng.normal());
+      fit.observe(x, y);
+    }
+    EXPECT_TRUE(fit.ready());
+    EXPECT_NEAR(fit.slope(), per_item, 0.05 * per_item);
+    EXPECT_NEAR(fit.intercept(), fixed, 0.25 * fixed);
+  }
+}
+
+TEST(OnlineFit, ForgettingTracksAChangedCoefficient) {
+  OnlineFitOptions options;
+  options.forgetting = 0.8;
+  OnlineAffineFit fit(options);
+  // 50 rounds at alpha = 1e-4, then the "node degrades" to 3e-4.
+  for (int i = 0; i < 50; ++i) {
+    long long x = 1000 + 100 * (i % 7);
+    fit.observe(x, 1e-4 * static_cast<double>(x));
+  }
+  EXPECT_NEAR(fit.slope(), 1e-4, 1e-6);
+  for (int i = 0; i < 50; ++i) {
+    long long x = 1000 + 100 * (i % 7);
+    fit.observe(x, 3e-4 * static_cast<double>(x));
+  }
+  EXPECT_NEAR(fit.slope(), 3e-4, 3e-6);
+
+  // Without forgetting, the same stream stays stuck between the regimes.
+  OnlineFitOptions sticky;
+  sticky.forgetting = 1.0;
+  OnlineAffineFit no_forget(sticky);
+  for (int i = 0; i < 50; ++i) {
+    long long x = 1000 + 100 * (i % 7);
+    no_forget.observe(x, 1e-4 * static_cast<double>(x));
+  }
+  for (int i = 0; i < 50; ++i) {
+    long long x = 1000 + 100 * (i % 7);
+    no_forget.observe(x, 3e-4 * static_cast<double>(x));
+  }
+  EXPECT_GT(no_forget.slope(), 1.5e-4);
+  EXPECT_LT(no_forget.slope(), 2.5e-4);
+}
+
+TEST(OnlineFit, PriorAnchorsUntilDataOutweighsIt) {
+  auto prior = Cost::linear(1e-4);
+  OnlineAffineFit fit(prior, /*prior_weight=*/5.0);
+  // No data: the fit reproduces the prior.
+  EXPECT_NEAR(fit.slope(), 1e-4, 1e-12);
+  EXPECT_NEAR(fit.predict(10000), prior(10000), 1e-9);
+  EXPECT_FALSE(fit.ready());
+
+  // Samples from a 2x slower reality pull the estimate over.
+  for (int i = 0; i < 100; ++i) {
+    long long x = 5000 + 13 * i;
+    fit.observe(x, 2e-4 * static_cast<double>(x));
+  }
+  EXPECT_TRUE(fit.ready());
+  EXPECT_NEAR(fit.slope(), 2e-4, 2e-6);
+}
+
+// The converged-plan regime: every sample at one item count. The fit must
+// stay well-defined and match the observed cost at that operating point.
+TEST(OnlineFit, SingleItemCountStaysWellDefined) {
+  auto prior = Cost::linear(1e-4);
+  OnlineAffineFit anchored(prior, 1.0);
+  for (int i = 0; i < 20; ++i) anchored.observe(10000, 3.0);
+  EXPECT_NEAR(anchored.predict(10000), 3.0, 0.05);
+
+  // Unanchored (cold) fit at a single x: proportional fallback.
+  OnlineAffineFit cold;
+  for (int i = 0; i < 20; ++i) cold.observe(10000, 3.0);
+  EXPECT_NEAR(cold.predict(10000), 3.0, 1e-9);
+  EXPECT_NEAR(cold.slope(), 3.0 / 10000.0, 1e-12);
+}
+
+TEST(OnlineFit, InterceptDropMirrorsCalibrate) {
+  const double per_item = 2e-4;
+  const double full_transfer = per_item * 16000.0;
+  const std::vector<long long> items = {1000, 2000, 4000, 8000, 16000};
+
+  OnlineAffineFit below;  // true intercept below 1% of full transfer
+  for (long long x : items) {
+    below.observe(x, 0.005 * full_transfer + per_item * static_cast<double>(x));
+  }
+  auto below_cost = below.cost();
+  ASSERT_TRUE(below_cost.affine().has_value());
+  EXPECT_EQ(below_cost.affine()->fixed, 0.0);
+
+  OnlineAffineFit above;
+  for (long long x : items) {
+    above.observe(x, 0.05 * full_transfer + per_item * static_cast<double>(x));
+  }
+  auto above_cost = above.cost();
+  ASSERT_TRUE(above_cost.affine().has_value());
+  EXPECT_GT(above_cost.affine()->fixed, 0.0);
+}
+
+TEST(OnlineFit, RejectsInvalidInputs) {
+  OnlineAffineFit fit;
+  EXPECT_THROW(fit.observe(0, 1.0), lbs::Error);
+  EXPECT_THROW(fit.observe(-3, 1.0), lbs::Error);
+  EXPECT_THROW(fit.observe(10, -0.5), lbs::Error);
+  OnlineFitOptions bad;
+  bad.forgetting = 0.0;
+  EXPECT_THROW(OnlineAffineFit{bad}, lbs::Error);
+  bad.forgetting = 1.5;
+  EXPECT_THROW(OnlineAffineFit{bad}, lbs::Error);
+  EXPECT_THROW(OnlineAffineFit(Cost::linear(1e-4), 0.0), lbs::Error);
+  // Non-affine priors have no coefficients to anchor at.
+  EXPECT_THROW(OnlineAffineFit(Cost::chunked(0.1, 5, 1.0), 1.0), lbs::Error);
+}
+
+}  // namespace
+}  // namespace lbs::model
