@@ -2,7 +2,7 @@
 // lbsd replicas over TCP through FleetClient's consistent-hash routing.
 //
 //   ./build/bench/bench_fleet_throughput [--json <file>] [--slo <file>]
-//       [--scale K] [--replicas N] [--workers-per-replica W]
+//       [--scale K] [--replicas N] [--workers-per-replica W] [--reshard]
 //
 // For each fleet size N in {1, 2, 4, ... --replicas}:
 //
@@ -33,6 +33,24 @@
 //     every child), and the warm phase must partition (no duplicate
 //     solves across replicas).
 //
+// --reshard runs the elasticity phase instead: 3 serving replicas under
+// the same multi-process load, a 4th replica JOINS mid-run (two-phase
+// join + snapshot handoff, the epoch bump rides WrongEpoch redirects to
+// every worker process), and the run self-gates on
+//
+//   - zero worker failures across the epoch churn (redirects are typed
+//     retries, not errors),
+//   - bounded remap: the keys whose ring home changed all moved TO the
+//     joiner, and they number at most kKeys/2 (a naive mod-N rehash
+//     moves ~3/4 and trips this),
+//   - zero re-solves: the joiner's solve counter stays 0 (its partition
+//     arrived by snapshot handoff) and fleet-wide solves stay exactly
+//     kKeys,
+//
+// and emits one `fleet_reshard` record whose p50/p95/p99 — measured
+// ACROSS the churn window — check_regression.py holds against
+// bench/baselines/fleet_reshard_smoke.json.
+//
 // --scale multiplies requests per worker (the nightly soak raises it).
 
 #include <sys/wait.h>
@@ -53,10 +71,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "model/cost.hpp"
 #include "model/platform.hpp"
+#include "service/admin.hpp"
 #include "service/fleet.hpp"
+#include "service/membership.hpp"
 #include "service/server.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -99,14 +120,22 @@ double wall_seconds() {
 }
 
 // ---- worker process ------------------------------------------------------
-// bench_fleet_throughput --worker <endpoints> <requests> <worker-id>
+// bench_fleet_throughput --worker <endpoints> <requests> <worker-id> [view]
 // Replays the warmed key set through its own FleetClient and writes each
 // request's latency to stdout as a raw little-endian f64 (seconds).
-// Exit 0 iff every request returned Ok.
-int run_worker(const std::string& endpoints, int requests, int worker_id) {
+// Exit 0 iff every request returned Ok. The optional view file seeds the
+// client with a VERSIONED membership (the reshard phase needs workers to
+// carry a real epoch so WrongEpoch redirects can move them); no watcher
+// runs — mid-run epochs arrive purely over the wire.
+int run_worker(const std::string& endpoints, int requests, int worker_id,
+               const std::string& view_path) {
   service::FleetOptions options;
   options.replicas = service::parse_endpoint_list(endpoints);
   options.client.request_timeout_ms = 30000;
+  if (!view_path.empty()) {
+    options.membership_path = view_path;
+    options.membership_poll_ms = 0;  // one initial read, no polling
+  }
   service::FleetClient fleet(options);
 
   std::vector<double> latencies;
@@ -145,7 +174,7 @@ struct WorkerHandle {
 // forked child of a threaded process may hold a poisoned malloc lock —
 // exec resets the world). /proc/self/exe re-enters this binary.
 WorkerHandle spawn_worker(const std::string& endpoints, int requests,
-                          int worker_id) {
+                          int worker_id, const std::string& view_path = {}) {
   int fds[2];
   if (::pipe(fds) != 0) {
     std::cerr << "pipe: " << std::strerror(errno) << '\n';
@@ -164,7 +193,9 @@ WorkerHandle spawn_worker(const std::string& endpoints, int requests,
     std::string id_arg = std::to_string(worker_id);
     const char* argv[] = {"bench_fleet_throughput", "--worker",
                           endpoints.c_str(),        requests_arg.c_str(),
-                          id_arg.c_str(),           nullptr};
+                          id_arg.c_str(),
+                          view_path.empty() ? nullptr : view_path.c_str(),
+                          nullptr};
     ::execv("/proc/self/exe", const_cast<char* const*>(argv));
     // Only reached when exec failed; stdio may be gone, so raw write.
     const char message[] = "execv /proc/self/exe failed\n";
@@ -278,6 +309,208 @@ FleetMeasurement measure_fleet(int replicas, int workers_per_replica,
   return result;
 }
 
+// ---- reshard phase -------------------------------------------------------
+// 3 serving replicas under worker load, a 4th joins mid-run. Latency is
+// pooled ACROSS the churn window (the p99 includes every redirect), and
+// the phase proves the elasticity invariants on real processes: bounded
+// remap, zero failures, zero re-solves.
+std::uint64_t bench_key_hash(int seed) {
+  core::PlanKey key = core::make_plan_key(keyed_platform(seed), kItemsBase,
+                                          core::Algorithm::OptimizedDp);
+  return static_cast<std::uint64_t>(core::PlanKeyHash{}(key));
+}
+
+int run_reshard(int workers, int scale, const std::string& json_path) {
+  bench::print_header("Planner fleet reshard: 3 -> 4 TCP replicas mid-load");
+  std::cout << "workers: " << workers << " | keys: " << kKeys
+            << " | requests/worker: " << kRequestsPerWorker * scale << '\n';
+
+  std::vector<std::unique_ptr<service::Server>> servers;
+  for (int r = 0; r < 4; ++r) {
+    service::ServerOptions options;
+    options.endpoint = service::Endpoint::tcp("127.0.0.1", 0);
+    options.max_queue = 1024;
+    servers.push_back(std::make_unique<service::Server>(options));
+    servers.back()->start();
+  }
+  const service::Endpoint joiner = servers[3]->endpoint();
+
+  service::MembershipView v1;
+  v1.epoch = 1;
+  std::vector<service::Endpoint> initial;
+  std::string endpoints;
+  for (int r = 0; r < 3; ++r) {
+    v1.members.push_back(service::Member{servers[r]->endpoint(),
+                                         service::ReplicaState::Serving});
+    initial.push_back(servers[r]->endpoint());
+    if (!endpoints.empty()) endpoints += ',';
+    endpoints += servers[r]->endpoint().to_string();
+  }
+  service::admin::PushResult seeded = service::admin::push_view(v1, initial);
+  if (!seeded.errors.empty()) {
+    std::cerr << "seed push failed: " << seeded.errors.front() << '\n';
+    return 1;
+  }
+
+  // Warm every key at its epoch-1 home and prove the partition.
+  bool warm_ok = true;
+  {
+    service::FleetOptions warm_options;
+    warm_options.view = v1;
+    service::FleetClient warm(warm_options);
+    for (int key = 0; key < kKeys; ++key) {
+      auto response = warm.plan(keyed_platform(key), kItemsBase,
+                                core::Algorithm::OptimizedDp);
+      if (response.status != service::PlanStatus::Ok) {
+        std::cerr << "warm solve failed: " << response.message << '\n';
+        warm_ok = false;
+      }
+    }
+  }
+  std::uint64_t warm_solved = 0;
+  for (const auto& server : servers) warm_solved += server->counters().solved;
+  if (warm_solved != static_cast<std::uint64_t>(kKeys)) {
+    std::cerr << "warm partition violated: " << warm_solved << " solves for "
+              << kKeys << " keys\n";
+    warm_ok = false;
+  }
+
+  // Workers need a VERSIONED starting view (an epoch-0 client never gets
+  // redirected); hand them epoch 1 via a throwaway view file.
+  std::string view_path =
+      "/tmp/lbs_bench_reshard_" + std::to_string(::getpid()) + ".view";
+  service::write_view_file(view_path, v1);
+
+  const int requests = kRequestsPerWorker * scale;
+  double start = wall_seconds();
+  std::vector<WorkerHandle> handles;
+  handles.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    handles.push_back(spawn_worker(endpoints, requests, w, view_path));
+  }
+
+  // Let the load reach steady state, then join the 4th replica mid-run.
+  // The workers learn the new epochs purely via WrongEpoch redirects.
+  ::usleep(100 * 1000);
+  service::admin::PushResult joined;
+  auto base = service::admin::fetch_view(servers[1]->endpoint());
+  if (base.has_value()) joined = service::admin::join_fleet(*base, joiner);
+  bool join_ok = base.has_value() && joined.errors.empty() &&
+                 joined.view.epoch == v1.epoch + 2;
+  if (!join_ok) {
+    std::cerr << "join failed: "
+              << (joined.errors.empty() ? "no base view"
+                                        : joined.errors.front())
+              << '\n';
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(workers) * requests);
+  for (auto& handle : handles) read_samples(handle.read_fd, samples);
+  int worker_failures = 0;
+  for (auto& handle : handles) {
+    int status = 0;
+    ::waitpid(handle.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++worker_failures;
+  }
+  double elapsed = wall_seconds() - start;
+  std::remove(view_path.c_str());
+
+  const long long total_requests = static_cast<long long>(workers) * requests;
+  if (samples.size() != static_cast<std::size_t>(total_requests)) {
+    std::cerr << "sample loss: " << samples.size() << " of " << total_requests
+              << " latencies arrived\n";
+    ++worker_failures;
+  }
+  double rps = static_cast<double>(total_requests) / elapsed;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  if (!samples.empty()) {
+    p50 = 1e3 * support::quantile(samples, 0.50);
+    p95 = 1e3 * support::quantile(samples, 0.95);
+    p99 = 1e3 * support::quantile(samples, 0.99);
+  }
+
+  // Bounded remap, on the real rings: every moved key landed on the
+  // joiner, and at most kKeys/2 moved (expected ~kKeys/4; a naive mod-N
+  // rehash would move ~3/4 and fail).
+  support::HashRing old_ring = service::ring_of(v1);
+  support::HashRing new_ring = service::ring_of(joined.view);
+  int moved = 0;
+  bool moved_to_joiner_only = true;
+  std::uint64_t joiner_owned = 0;
+  for (int key = 0; key < kKeys; ++key) {
+    std::uint64_t hash = bench_key_hash(key);
+    const std::string& old_home = old_ring.node_for(hash);
+    const std::string& new_home = new_ring.node_for(hash);
+    if (new_home == joiner.to_string()) ++joiner_owned;
+    if (old_home != new_home) {
+      ++moved;
+      if (new_home != joiner.to_string()) moved_to_joiner_only = false;
+    }
+  }
+  const int remap_budget = kKeys / 2;
+
+  // Zero re-solves: the joiner answered its partition from the snapshot
+  // handoff, and nothing fleet-wide was solved twice.
+  service::Server::Counters joiner_counters = servers[3]->counters();
+  std::uint64_t total_solved = 0;
+  for (const auto& server : servers) total_solved += server->counters().solved;
+  for (auto& server : servers) server->stop();
+
+  support::Table table({"phase", "epoch", "requests", "req/s", "p50 ms",
+                        "p95 ms", "p99 ms"});
+  table.add_row({"3->4 reshard", std::to_string(joined.view.epoch),
+                 std::to_string(total_requests),
+                 support::format_double(rps, 0),
+                 support::format_double(p50, 3), support::format_double(p95, 3),
+                 support::format_double(p99, 3)});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::vector<bench::Comparison> comparisons;
+  comparisons.push_back({"warm partition before churn", "yes",
+                         warm_ok ? "yes" : "NO", warm_ok});
+  comparisons.push_back({"two-phase join completed (epoch 3)", "yes",
+                         join_ok ? "yes" : "NO", join_ok});
+  comparisons.push_back({"worker failures across the epoch churn", "0",
+                         std::to_string(worker_failures),
+                         worker_failures == 0});
+  comparisons.push_back(
+      {"keys moved by the reshard",
+       "<= " + std::to_string(remap_budget) + " of " + std::to_string(kKeys),
+       std::to_string(moved), moved <= remap_budget});
+  comparisons.push_back({"every moved key landed on the joiner", "yes",
+                         moved_to_joiner_only ? "yes" : "NO",
+                         moved_to_joiner_only});
+  comparisons.push_back(
+      {"joiner re-solves (snapshot handoff proof)", "0",
+       std::to_string(joiner_counters.solved), joiner_counters.solved == 0});
+  comparisons.push_back({"fleet-wide solves (each key exactly once)",
+                         std::to_string(kKeys), std::to_string(total_solved),
+                         total_solved == static_cast<std::uint64_t>(kKeys)});
+
+  bench::JsonReport report("fleet_reshard");
+  bench::BenchRecord record;
+  record.name = "fleet_reshard";
+  record.n = 4;  // fleet size after the join
+  record.p = workers;
+  record.wall_s = elapsed;
+  record.items_per_s = rps;
+  record.threads = workers;
+  record.extra = {{"p50_ms", p50},
+                  {"p95_ms", p95},
+                  {"p99_ms", p99},
+                  {"moved_keys", static_cast<double>(moved)},
+                  {"joiner_owned_keys", static_cast<double>(joiner_owned)},
+                  {"joiner_handoff_entries",
+                   static_cast<double>(joiner_counters.handoff_entries)}};
+  report.add(record);
+
+  int rc = bench::print_comparisons(comparisons);
+  if (!report.write(json_path)) rc = 1;
+  return rc;
+}
+
 // Minimal extractor for the SLO file — finds `"key": <number>` in a flat
 // JSON object (the repo carries no JSON parser, and the SLO file is ours).
 std::optional<double> json_number_field(const std::string& text,
@@ -294,11 +527,12 @@ std::optional<double> json_number_field(const std::string& text,
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "--worker") {
-    if (argc != 5) {
-      std::cerr << "worker usage: --worker <endpoints> <requests> <id>\n";
+    if (argc != 5 && argc != 6) {
+      std::cerr << "worker usage: --worker <endpoints> <requests> <id> [view]\n";
       return 2;
     }
-    return run_worker(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
+    return run_worker(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
+                      argc == 6 ? argv[5] : "");
   }
 
   std::string json_path = bench::take_json_flag(argc, argv);
@@ -306,6 +540,7 @@ int main(int argc, char** argv) {
   int scale = 1;
   int max_replicas = 4;
   int workers_per_replica = 2;
+  bool reshard = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--slo" && i + 1 < argc) {
@@ -316,10 +551,16 @@ int main(int argc, char** argv) {
       max_replicas = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "--workers-per-replica" && i + 1 < argc) {
       workers_per_replica = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--reshard") {
+      reshard = true;
     } else {
       std::cerr << "unknown flag: " << arg << '\n';
       return 2;
     }
+  }
+
+  if (reshard) {
+    return run_reshard(workers_per_replica * 3, scale, json_path);
   }
 
   const int cores = support::default_parallelism();

@@ -18,6 +18,19 @@
 // but the counts come from the shared daemon — warmed caches and
 // coalesced solves included. Rejected (backpressure) responses are
 // retried with the server's retry_after_ms hint unless --no-retry.
+//
+// The membership verbs drive fleet elasticity (docs/service.md#elasticity):
+//
+//   membership            print the fleet's current view
+//   join <endpoint>       two-phase join: announce (Joining), then promote
+//                         (Serving) — the joiner pulls its partition before
+//                         it goes route-eligible, so it starts warm
+//   drain <endpoint>      survivors pull the target's partition, then the
+//                         target stops admitting new keys
+//   remove <endpoint>     drop the target from the view entirely
+//
+// With --membership FILE the resulting view is also written to FILE
+// (atomic rename), which converges every daemon/client watching it.
 
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +43,9 @@
 #include "core/ordering.hpp"
 #include "core/root_selection.hpp"
 #include "model/grid_parser.hpp"
+#include "service/admin.hpp"
 #include "service/fleet.hpp"
+#include "service/membership.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -44,7 +59,13 @@ int usage() {
                "  shutdown                    ask the daemon(s) to exit\n"
                "  plan <grid-config> <items>  plan via the daemon (fleet: ring-routed)\n"
                "       [--algorithm auto|exact-dp|optimized-dp|lp-heuristic|closed-form|uniform]\n"
-               "       [--ordering descending|ascending|grid] [--root MACHINE] [--no-retry]\n";
+               "       [--ordering descending|ascending|grid] [--root MACHINE] [--no-retry]\n"
+               "  membership                  print the fleet's current view\n"
+               "  join <endpoint>             add a replica (two-phase, warm handoff)\n"
+               "  drain <endpoint>            drain a replica (survivors pull first)\n"
+               "  remove <endpoint>           drop a replica from the view\n"
+               "       join/drain/remove accept [--membership FILE] to also write\n"
+               "       the resulting view to FILE (atomic rename)\n";
   return 2;
 }
 
@@ -146,6 +167,11 @@ int run_plan(std::vector<service::Endpoint> replicas, int argc, char** argv) {
     case service::PlanStatus::BreakerOpen:
       std::cerr << "circuit breaker open: " << response.message << '\n';
       return 1;
+    case service::PlanStatus::WrongEpoch:
+      // FleetClient follows redirects itself; seeing this means the fleet
+      // membership churned faster than max_redirects could chase.
+      std::cerr << "membership epoch churn: " << response.message << '\n';
+      return 1;
   }
 
   std::cout << "algorithm: " << core::to_string(response.algorithm_used)
@@ -170,6 +196,68 @@ int run_plan(std::vector<service::Endpoint> replicas, int argc, char** argv) {
   return 0;
 }
 
+// The fleet's current view: asked of the first member that answers with
+// a non-empty one; an unversioned fleet (epoch 0, no --membership on the
+// daemons yet) synthesizes it from the CLI endpoint list.
+service::MembershipView fleet_base_view(
+    const std::vector<service::Endpoint>& replicas) {
+  for (const auto& endpoint : replicas) {
+    auto view = service::admin::fetch_view(endpoint);
+    if (view.has_value() && !view->members.empty()) return *view;
+  }
+  service::MembershipView base;
+  for (const auto& endpoint : replicas) {
+    base.members.push_back(service::Member{endpoint, service::ReplicaState::Serving});
+  }
+  return base;
+}
+
+int report_push(const service::admin::PushResult& result,
+                const std::string& membership_file) {
+  std::cout << service::serialize_view(result.view);
+  std::cout << "acked by " << result.acked << " replica(s)\n";
+  for (const std::string& error : result.errors) {
+    std::cerr << "lbsctl: " << error << '\n';
+  }
+  if (!membership_file.empty()) {
+    service::write_view_file(membership_file, result.view);
+    std::cout << "view written to " << membership_file << '\n';
+  }
+  return result.errors.empty() ? 0 : 1;
+}
+
+int run_membership_verb(const std::string& command,
+                        std::vector<service::Endpoint> replicas, int argc,
+                        char** argv) {
+  if (command == "membership") {
+    service::MembershipView view = fleet_base_view(replicas);
+    std::cout << service::serialize_view(view);
+    return 0;
+  }
+  if (argc < 4) return usage();
+  service::Endpoint target = service::Endpoint::parse(argv[3]);
+  std::string membership_file;
+  for (int i = 4; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--membership" && i + 1 < argc) {
+      membership_file = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  service::MembershipView base = fleet_base_view(replicas);
+  service::admin::PushResult result;
+  if (command == "join") {
+    result = service::admin::join_fleet(base, target);
+  } else if (command == "drain") {
+    result = service::admin::drain_replica(base, target);
+  } else {
+    result = service::admin::remove_replica(base, target);
+  }
+  return report_push(result, membership_file);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +267,10 @@ int main(int argc, char** argv) {
   try {
     std::vector<service::Endpoint> replicas = service::parse_endpoint_list(argv[1]);
     if (command == "plan") return run_plan(std::move(replicas), argc, argv);
+    if (command == "membership" || command == "join" || command == "drain" ||
+        command == "remove") {
+      return run_membership_verb(command, std::move(replicas), argc, argv);
+    }
 
     service::FleetOptions fleet_options;
     fleet_options.replicas = replicas;

@@ -27,6 +27,11 @@
 //                       periodic snapshot cadence (requires --snapshot)
 //   --warm-start FILE   replay a snapshot into the cache before serving;
 //                       a corrupt/missing file logs and cold-starts
+//   --membership FILE   adopt the fleet membership view from FILE at
+//                       startup and watch it for changes (newer epoch
+//                       wins; see docs/service.md#elasticity)
+//   --membership-poll-ms MS
+//                       membership file poll cadence (default 200)
 //
 // `--snapshot S --warm-start S` is the crash-safe restart idiom: every
 // run resumes from the previous run's cache.
@@ -57,7 +62,8 @@ int usage() {
   std::cerr << "usage: lbsd <endpoint> [--tcp HOST:PORT] [--shards N] [--capacity N]"
                " [--workers N] [--queue N] [--batch N] [--retry-after MS]"
                " [--max-processors N] [--trace FILE] [--snapshot FILE]"
-               " [--snapshot-interval-ms MS] [--warm-start FILE]\n"
+               " [--snapshot-interval-ms MS] [--warm-start FILE]"
+               " [--membership FILE] [--membership-poll-ms MS]\n"
                "  <endpoint>: unix path, unix:PATH, tcp:HOST:PORT, or HOST:PORT"
                " (omit it when --tcp is given)\n";
   return 2;
@@ -111,6 +117,11 @@ int main(int argc, char** argv) {
       options.snapshot_interval_ms = static_cast<std::uint32_t>(value);
     } else if (arg == "--warm-start" && i + 1 < argc) {
       options.warm_start_path = argv[++i];
+    } else if (arg == "--membership" && i + 1 < argc) {
+      options.membership_path = argv[++i];
+    } else if (arg == "--membership-poll-ms" && i + 1 < argc &&
+               parse_int(argv[++i], value)) {
+      options.membership_poll_ms = static_cast<std::uint32_t>(value);
     } else {
       return usage();
     }

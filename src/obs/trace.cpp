@@ -48,6 +48,7 @@ const char* to_string(EventType type) {
     case EventType::ServiceSnapshot: return "service.snapshot";
     case EventType::AdaptiveDrift: return "adaptive.drift";
     case EventType::AdaptiveRefit: return "adaptive.refit";
+    case EventType::ServiceMembership: return "service.membership";
   }
   return "?";
 }

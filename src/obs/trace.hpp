@@ -53,6 +53,7 @@ enum class EventType : std::uint8_t {
   ServiceSnapshot, // span: one plan-cache snapshot write (or warm-start read)
   AdaptiveDrift,   // instant: one drift evaluation of observed vs Eq. 1 times
   AdaptiveRefit,   // span: cost model refitted from online timing samples
+  ServiceMembership,  // span: a replica adopting a membership view (incl. pulls)
 };
 
 // Stable event name ("comm.send", "cache.hit", ...): the Chrome export's
@@ -87,6 +88,8 @@ enum class Clock : std::uint8_t {
 //                   makespan, arg1 = 1 when it crossed the threshold
 //   AdaptiveRefit:  arg0 = processors whose costs changed, arg1 = platform
 //                   version after the refit (0 is the construction model)
+//   ServiceMembership: arg0 = adopted epoch, arg1 = member count,
+//                   arg2 = warm-start entries pulled during the reshard
 struct TraceEvent {
   EventType type = EventType::ScatterPlan;
   Clock clock = Clock::Wall;

@@ -123,6 +123,7 @@ std::future<PlanResponse> Client::plan_async(const model::Platform& platform,
   request.id = id;
   request.algorithm = algorithm;
   request.items = items;
+  request.epoch = epoch_.load(std::memory_order_relaxed);
   request.platform = platform;
   std::vector<std::uint8_t> payload = encode_plan_request(request);
 
@@ -182,7 +183,10 @@ PlanResponse Client::plan_with_retry(const model::Platform& platform,
 
     response = plan(platform, items, algorithm);
     if (response.status == PlanStatus::Ok ||
-        response.status == PlanStatus::Error) {
+        response.status == PlanStatus::Error ||
+        response.status == PlanStatus::WrongEpoch) {
+      // WrongEpoch is conclusive here: this replica will keep redirecting
+      // until the caller re-rings from current_view and routes elsewhere.
       return response;
     }
 
@@ -294,8 +298,21 @@ bool Client::shutdown_server() {
   return reply.type == MessageType::ShutdownAck;
 }
 
+std::optional<MembershipView> Client::membership_exchange(
+    const MembershipView& view) {
+  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Message reply = send_control_frame(id, encode_membership_update(id, view)).get();
+  if (reply.type != MessageType::MembershipAck || !reply.view) return std::nullopt;
+  return std::move(reply.view);
+}
+
 std::future<Message> Client::send_control(MessageType type) {
   std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return send_control_frame(id, encode_control(type, id));
+}
+
+std::future<Message> Client::send_control_frame(
+    std::uint64_t id, const std::vector<std::uint8_t>& payload) {
   TimePoint deadline = plan_deadline(options_.control_timeout_ms);
 
   std::promise<Message> promise;
@@ -305,7 +322,6 @@ std::future<Message> Client::send_control(MessageType type) {
     return future;
   }
 
-  std::vector<std::uint8_t> payload = encode_control(type, id);
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_controls_.emplace(id, PendingControl{std::move(promise), deadline});

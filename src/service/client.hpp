@@ -147,7 +147,10 @@ class Client {
   // with jittered exponential backoff) and transport failures (after
   // try_reconnect) up to `max_retries` extra attempts; fails fast with
   // BreakerOpen while the breaker is open; degrades to the in-process
-  // planner when configured. Ok and Error return immediately.
+  // planner when configured. Ok, Error, and WrongEpoch return
+  // immediately — WrongEpoch is conclusive for THIS replica (the caller
+  // must re-ring from response.current_view and route elsewhere; a
+  // retry here would just be redirected again).
   [[nodiscard]] PlanResponse plan_with_retry(
       const model::Platform& platform, long long items,
       core::Algorithm algorithm = core::Algorithm::Auto, int max_retries = 8);
@@ -161,6 +164,23 @@ class Client {
 
   // Asks the server to shut down; true when the ack arrived.
   bool shutdown_server();
+
+  // The membership epoch stamped on every outgoing plan request (0 =
+  // unversioned). FleetClient keeps this in step with its view so the
+  // server can detect a stale router.
+  void set_epoch(std::uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  // One MembershipUpdate round-trip: the server adopts `view` iff newer
+  // and the Ack returns wherever it converged. An epoch-0 view is a pure
+  // query. Returns nullopt when the connection is down or the reply was
+  // not an Ack; like all control traffic, never feeds the breaker.
+  [[nodiscard]] std::optional<MembershipView> membership_exchange(
+      const MembershipView& view);
 
   [[nodiscard]] bool connected() const {
     return !disconnected_.load(std::memory_order_acquire);
@@ -196,6 +216,9 @@ class Client {
   // matching response Message, or type == PlanResponse + Disconnected
   // body when the connection dies first.
   [[nodiscard]] std::future<Message> send_control(MessageType type);
+  // Same demux path for a control frame with a body (MembershipUpdate).
+  [[nodiscard]] std::future<Message> send_control_frame(
+      std::uint64_t id, const std::vector<std::uint8_t>& payload);
   [[nodiscard]] bool send_payload(const std::vector<std::uint8_t>& payload,
                                   TimePoint deadline);
   void reader_loop();
@@ -231,6 +254,7 @@ class Client {
   std::map<std::uint64_t, PendingControl> pending_controls_;
   std::thread sweeper_;
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> epoch_{0};
 
   mutable std::mutex breaker_mu_;
   int consecutive_failures_ = 0;  // guarded by breaker_mu_

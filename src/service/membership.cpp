@@ -1,0 +1,164 @@
+#include "service/membership.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace lbs::service {
+
+const char* to_string(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::Joining: return "joining";
+    case ReplicaState::Serving: return "serving";
+    case ReplicaState::Draining: return "draining";
+  }
+  return "?";
+}
+
+ReplicaState parse_replica_state(const std::string& word) {
+  if (word == "joining") return ReplicaState::Joining;
+  if (word == "serving") return ReplicaState::Serving;
+  if (word == "draining") return ReplicaState::Draining;
+  throw Error("membership: unknown replica state '" + word + "'");
+}
+
+const Member* MembershipView::find(const Endpoint& endpoint) const {
+  for (const Member& member : members) {
+    if (member.endpoint == endpoint) return &member;
+  }
+  return nullptr;
+}
+
+Member* MembershipView::find(const Endpoint& endpoint) {
+  for (Member& member : members) {
+    if (member.endpoint == endpoint) return &member;
+  }
+  return nullptr;
+}
+
+std::vector<Endpoint> MembershipView::serving_endpoints() const {
+  std::vector<Endpoint> out;
+  for (const Member& member : members) {
+    if (member.state == ReplicaState::Serving) out.push_back(member.endpoint);
+  }
+  return out;
+}
+
+void validate_view(const MembershipView& view) {
+  std::unordered_set<std::string> seen;
+  for (const Member& member : view.members) {
+    if (!member.endpoint.valid()) {
+      throw Error("membership: view contains an invalid endpoint");
+    }
+    if (!seen.insert(member.endpoint.to_string()).second) {
+      throw Error("membership: duplicate endpoint " + member.endpoint.to_string());
+    }
+  }
+}
+
+bool adopt(MembershipView& current, const MembershipView& update) {
+  if (update.epoch <= current.epoch) return false;
+  current = update;
+  return true;
+}
+
+support::HashRing ring_of(const MembershipView& view, int virtual_nodes) {
+  support::HashRing ring(virtual_nodes);
+  for (const Member& member : view.members) {
+    if (member.state == ReplicaState::Serving) {
+      ring.add_node(member.endpoint.to_string());
+    }
+  }
+  return ring;
+}
+
+std::string serialize_view(const MembershipView& view) {
+  std::ostringstream out;
+  out << "epoch " << view.epoch << '\n';
+  for (const Member& member : view.members) {
+    out << to_string(member.state) << ' ' << member.endpoint.to_string() << '\n';
+  }
+  return out.str();
+}
+
+MembershipView parse_view(const std::string& text) {
+  MembershipView view;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_epoch = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim whitespace; skip blanks and comments.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string word;
+    fields >> word;
+    if (!saw_epoch) {
+      // The first meaningful line must declare the epoch.
+      std::string value;
+      if (word != "epoch" || !(fields >> value)) {
+        throw Error("membership: line " + std::to_string(line_no) +
+                    ": expected 'epoch <n>' first");
+      }
+      try {
+        std::size_t used = 0;
+        view.epoch = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw Error("membership: line " + std::to_string(line_no) +
+                    ": bad epoch '" + value + "'");
+      }
+      saw_epoch = true;
+      continue;
+    }
+    std::string spec;
+    if (!(fields >> spec)) {
+      throw Error("membership: line " + std::to_string(line_no) +
+                  ": expected '<state> <endpoint>'");
+    }
+    Member member;
+    member.state = parse_replica_state(word);
+    member.endpoint = Endpoint::parse(spec);
+    view.members.push_back(member);
+  }
+  if (!saw_epoch) throw Error("membership: no 'epoch' line");
+  validate_view(view);
+  return view;
+}
+
+MembershipView read_view_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("membership: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_view(buffer.str());
+}
+
+void write_view_file(const std::string& path, const MembershipView& view) {
+  validate_view(view);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("membership: cannot write " + tmp);
+    out << serialize_view(view);
+    out.flush();
+    if (!out) throw Error("membership: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw Error("membership: rename " + tmp + " -> " + path + " failed: " +
+                std::strerror(err));
+  }
+}
+
+}  // namespace lbs::service

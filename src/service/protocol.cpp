@@ -229,6 +229,7 @@ std::vector<std::uint8_t> encode_plan_request(const PlanRequest& request) {
   put_header(out, MessageType::PlanRequest, request.id);
   out.put_u8(static_cast<std::uint8_t>(request.algorithm));
   out.put_i64(request.items);
+  out.put_u64(request.epoch);
   encode_platform(out, request.platform);
   return out.take();
 }
@@ -255,6 +256,9 @@ std::vector<std::uint8_t> encode_plan_response(const PlanResponse& response) {
     case PlanStatus::Rejected:
       out.put_u32(response.retry_after_ms);
       break;
+    case PlanStatus::WrongEpoch:
+      encode_membership_view(out, response.current_view);
+      break;
     case PlanStatus::Error:
     case PlanStatus::Disconnected:
     case PlanStatus::Timeout:
@@ -279,13 +283,78 @@ std::vector<std::uint8_t> encode_stats_response(std::uint64_t id,
   return out.take();
 }
 
+void encode_membership_view(WireWriter& out, const MembershipView& view) {
+  out.put_u64(view.epoch);
+  out.put_u32(static_cast<std::uint32_t>(view.members.size()));
+  for (const Member& member : view.members) {
+    out.put_u8(static_cast<std::uint8_t>(member.state));
+    out.put_string(member.endpoint.to_string());
+  }
+}
+
+MembershipView decode_membership_view(WireReader& in) {
+  MembershipView view;
+  view.epoch = in.read_u64();
+  std::uint32_t count = in.read_u32();
+  LBS_CHECK_MSG(count <= kMaxViewMembers, "wire: implausible member count");
+  view.members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Member member;
+    std::uint8_t raw_state = in.read_u8();
+    LBS_CHECK_MSG(raw_state <= static_cast<std::uint8_t>(ReplicaState::Draining),
+                  "wire: unknown replica state");
+    member.state = static_cast<ReplicaState>(raw_state);
+    member.endpoint = Endpoint::parse(in.read_string());
+    view.members.push_back(std::move(member));
+  }
+  validate_view(view);
+  return view;
+}
+
+std::vector<std::uint8_t> encode_membership_update(std::uint64_t id,
+                                                   const MembershipView& view) {
+  WireWriter out;
+  put_header(out, MessageType::MembershipUpdate, id);
+  encode_membership_view(out, view);
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_membership_ack(std::uint64_t id,
+                                                const MembershipView& view) {
+  WireWriter out;
+  put_header(out, MessageType::MembershipAck, id);
+  encode_membership_view(out, view);
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_snapshot_range(std::uint64_t id,
+                                                const MembershipView& view,
+                                                const std::string& owner) {
+  WireWriter out;
+  put_header(out, MessageType::SnapshotRange, id);
+  encode_membership_view(out, view);
+  out.put_string(owner);
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_snapshot_range_data(
+    std::uint64_t id, const std::vector<SnapshotEntry>& entries) {
+  LBS_CHECK_MSG(entries.size() <= kMaxSnapshotEntries,
+                "wire: too many handoff entries");
+  WireWriter out;
+  put_header(out, MessageType::SnapshotRangeData, id);
+  out.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const SnapshotEntry& entry : entries) encode_snapshot_entry(out, entry);
+  return out.take();
+}
+
 Message decode_message(const std::uint8_t* data, std::size_t size) {
   WireReader in(data, size);
   std::uint8_t version = in.read_u8();
   LBS_CHECK_MSG(version == kProtocolVersion, "wire: protocol version mismatch");
   std::uint8_t raw_type = in.read_u8();
   LBS_CHECK_MSG(raw_type >= static_cast<std::uint8_t>(MessageType::PlanRequest) &&
-                    raw_type <= static_cast<std::uint8_t>(MessageType::ShutdownAck),
+                    raw_type <= static_cast<std::uint8_t>(MessageType::SnapshotRangeData),
                 "wire: unknown message type");
 
   Message message;
@@ -298,6 +367,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       request.id = message.id;
       request.algorithm = decode_algorithm(in.read_u8());
       request.items = in.read_i64();
+      request.epoch = in.read_u64();
       request.platform = decode_platform(in);
       message.plan_request = std::move(request);
       break;
@@ -306,7 +376,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       PlanResponse response;
       response.id = message.id;
       std::uint8_t raw_status = in.read_u8();
-      LBS_CHECK_MSG(raw_status <= static_cast<std::uint8_t>(PlanStatus::BreakerOpen),
+      LBS_CHECK_MSG(raw_status <= static_cast<std::uint8_t>(PlanStatus::WrongEpoch),
                     "wire: unknown plan status");
       response.status = static_cast<PlanStatus>(raw_status);
       switch (response.status) {
@@ -330,6 +400,9 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
         case PlanStatus::Rejected:
           response.retry_after_ms = in.read_u32();
           break;
+        case PlanStatus::WrongEpoch:
+          response.current_view = decode_membership_view(in);
+          break;
         case PlanStatus::Error:
         case PlanStatus::Disconnected:
         case PlanStatus::Timeout:
@@ -343,6 +416,24 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
     case MessageType::StatsResponse:
       message.text = in.read_string();
       break;
+    case MessageType::MembershipUpdate:
+    case MessageType::MembershipAck:
+      message.view = decode_membership_view(in);
+      break;
+    case MessageType::SnapshotRange:
+      message.view = decode_membership_view(in);
+      message.text = in.read_string();
+      break;
+    case MessageType::SnapshotRangeData: {
+      std::uint32_t count = in.read_u32();
+      LBS_CHECK_MSG(count <= kMaxSnapshotEntries,
+                    "wire: implausible handoff entry count");
+      message.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        message.entries.push_back(decode_snapshot_entry(in));
+      }
+      break;
+    }
     case MessageType::Ping:
     case MessageType::Pong:
     case MessageType::StatsRequest:

@@ -38,6 +38,8 @@
 #include "core/planner.hpp"
 #include "model/cost.hpp"
 #include "model/platform.hpp"
+#include "service/membership.hpp"
+#include "service/snapshot.hpp"
 
 namespace lbs::service {
 
@@ -46,11 +48,20 @@ namespace lbs::service {
 // to make the mismatch a clean decode error rather than garbage.
 // v3: Ok plan responses carry the Eq. 4 optimality certificate (a flag
 // bit plus the f64 gap), so fast-path plans arrive with their bound.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+// v4: elastic fleets — plan requests carry the client's membership epoch,
+// a stale epoch earns a WrongEpoch response embedding the server's
+// current view, and four control frames move views and warm-start
+// entries around: MembershipUpdate/MembershipAck (push a view / return
+// the holder's view) and SnapshotRange/SnapshotRangeData (a joining
+// replica pulls the cache entries it now owns, in snapshot-codec bytes).
+inline constexpr std::uint8_t kProtocolVersion = 4;
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
 // Nested Scaled specs deeper than this are rejected at decode (a legit
 // platform wraps a cost a handful of times; a hostile frame recurses).
 inline constexpr int kMaxCostSpecDepth = 16;
+// A fleet is tens of replicas, not millions: bounds a hostile member
+// count before any allocation trusts it.
+inline constexpr std::uint32_t kMaxViewMembers = 4096;
 
 enum class MessageType : std::uint8_t {
   PlanRequest = 1,
@@ -61,6 +72,16 @@ enum class MessageType : std::uint8_t {
   StatsResponse = 6,
   Shutdown = 7,
   ShutdownAck = 8,
+  // v4 membership control plane. MembershipUpdate carries a view the
+  // receiver adopt()s iff newer; the Ack always returns the receiver's
+  // (possibly unchanged) view, so an update with epoch 0 doubles as a
+  // pure membership query. SnapshotRange asks "send me the snapshot
+  // entries that `owner` owns under this view's ring"; the RangeData
+  // reply carries them in the snapshot codec's entry encoding.
+  MembershipUpdate = 9,
+  MembershipAck = 10,
+  SnapshotRange = 11,
+  SnapshotRangeData = 12,
 };
 
 enum class PlanStatus : std::uint8_t {
@@ -70,12 +91,19 @@ enum class PlanStatus : std::uint8_t {
   Disconnected = 3,  // client-side only: connection died before the reply
   Timeout = 4,       // client-side only: request deadline passed first
   BreakerOpen = 5,   // client-side only: circuit breaker failing fast
+  WrongEpoch = 6,    // request's membership epoch is stale; the response
+                     // carries the server's current view — reroute, don't retry
 };
 
 struct PlanRequest {
   std::uint64_t id = 0;
   core::Algorithm algorithm = core::Algorithm::Auto;
   long long items = 0;
+  // The membership epoch the client routed under. 0 = unversioned (a
+  // pre-elasticity client, or one never handed a view): the server
+  // serves it rather than strand legacy clients. A nonzero epoch older
+  // than the server's view earns WrongEpoch instead of a plan.
+  std::uint64_t epoch = 0;
   model::Platform platform;  // root last; labels synthesized on decode
 };
 
@@ -102,6 +130,10 @@ struct PlanResponse {
   // status == Rejected:
   std::uint32_t retry_after_ms = 0;
 
+  // status == WrongEpoch: the server's current membership view — the
+  // redirect payload a stale client adopts before rerouting.
+  MembershipView current_view;
+
   // status == Error (and the client-side statuses): human-readable cause.
   std::string message;
 
@@ -116,7 +148,13 @@ struct Message {
   std::uint64_t id = 0;
   std::optional<PlanRequest> plan_request;
   std::optional<PlanResponse> plan_response;
-  std::string text;  // StatsResponse: metrics JSON
+  // StatsResponse: metrics JSON. SnapshotRange: the requester's own
+  // canonical endpoint spec (the ring node whose keys it wants).
+  std::string text;
+  // MembershipUpdate / MembershipAck / SnapshotRange: the view in play.
+  std::optional<MembershipView> view;
+  // SnapshotRangeData: the requested warm-start entries.
+  std::vector<SnapshotEntry> entries;
 };
 
 // Bounds-checked little-endian reader over a received payload. All reads
@@ -175,6 +213,19 @@ void encode_platform(WireWriter& out, const model::Platform& platform);
 [[nodiscard]] std::vector<std::uint8_t> encode_control(MessageType type, std::uint64_t id);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_response(std::uint64_t id,
                                                               const std::string& json);
+
+// v4 membership / handoff frames. Views encode as
+// `u64 epoch | u32 member_count | per member: u8 state | string spec`.
+void encode_membership_view(WireWriter& out, const MembershipView& view);
+[[nodiscard]] MembershipView decode_membership_view(WireReader& in);
+[[nodiscard]] std::vector<std::uint8_t> encode_membership_update(
+    std::uint64_t id, const MembershipView& view);
+[[nodiscard]] std::vector<std::uint8_t> encode_membership_ack(
+    std::uint64_t id, const MembershipView& view);
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_range(
+    std::uint64_t id, const MembershipView& view, const std::string& owner);
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_range_data(
+    std::uint64_t id, const std::vector<SnapshotEntry>& entries);
 
 // Decodes one payload. Throws lbs::Error on version mismatch, unknown
 // type, truncation, or trailing bytes.

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "obs/metrics.hpp"
@@ -79,16 +80,37 @@ void Server::start() {
   LBS_CHECK_MSG(!started_, "server already started");
   if (!options_.warm_start_path.empty()) warm_start();
   listen_fd_ = listen_endpoint(options_.endpoint);
+  // Bootstrap membership AFTER the endpoint is resolved (a TCP port-0
+  // listener learns its port above) so this replica can find itself in
+  // the view. No pulls at bootstrap: there is no older view to reshard
+  // from, and warm state comes from the snapshot file.
+  if (!options_.membership_path.empty()) {
+    try {
+      (void)adopt_view(read_view_file(options_.membership_path),
+                       /*allow_pull=*/false);
+    } catch (const lbs::Error& error) {
+      metrics_->counter("service.membership.file_rejected").add();
+      std::fprintf(stderr, "lbsd: membership file rejected (%s): epoch 0\n",
+                   error.what());
+    }
+  }
   started_ = true;
   stop_.store(false, std::memory_order_release);
   {
     std::lock_guard lock(snapshot_wake_mu_);
     snapshot_stop_ = false;
   }
+  {
+    std::lock_guard lock(membership_wake_mu_);
+    membership_stop_ = false;
+  }
   accept_thread_ = std::thread(&Server::accept_loop, this);
   dispatch_thread_ = std::thread(&Server::dispatch_loop, this);
   if (!options_.snapshot_path.empty() && options_.snapshot_interval_ms > 0) {
     snapshot_thread_ = std::thread(&Server::snapshot_loop, this);
+  }
+  if (!options_.membership_path.empty() && options_.membership_poll_ms > 0) {
+    membership_thread_ = std::thread(&Server::membership_watch_loop, this);
   }
 }
 
@@ -101,6 +123,12 @@ void Server::stop() {
     snapshot_stop_ = true;
   }
   snapshot_wake_cv_.notify_all();
+  {
+    std::lock_guard lock(membership_wake_mu_);
+    membership_stop_ = true;
+  }
+  membership_wake_cv_.notify_all();
+  if (membership_thread_.joinable()) membership_thread_.join();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard lock(connections_mu_);
@@ -211,6 +239,183 @@ void Server::snapshot_loop() {
   }
 }
 
+MembershipView Server::membership_view() const {
+  std::lock_guard lock(view_mu_);
+  return *view_;
+}
+
+bool Server::adopt_view(const MembershipView& update, bool allow_pull) {
+  // adopt_mu_ serializes whole adoptions (compare, pull, publish) so two
+  // racing updates cannot interleave their pulls; view_mu_ stays cheap.
+  std::lock_guard adoption(adopt_mu_);
+  MembershipView current;
+  {
+    std::lock_guard lock(view_mu_);
+    current = *view_;
+  }
+  MembershipView next = current;
+  if (!adopt(next, update)) return false;
+
+  const double started_at = obs::wall_now();
+  std::size_t pulled = 0;
+  if (allow_pull) {
+    const std::string self = options_.endpoint.to_string();
+    const Member* self_now = next.find(options_.endpoint);
+    const bool now_eligible =
+        self_now != nullptr && self_now->state == ReplicaState::Serving;
+    const Member* self_before = current.find(options_.endpoint);
+    const bool was_eligible = current.epoch != 0 && self_before != nullptr &&
+                              self_before->state == ReplicaState::Serving;
+    std::vector<Endpoint> donors;
+    if (now_eligible && !was_eligible) {
+      // This replica just became route-eligible (a join's serving phase):
+      // its new partition is scattered across every serving peer.
+      for (const Member& member : next.members) {
+        if (member.state == ReplicaState::Serving &&
+            member.endpoint.to_string() != self) {
+          donors.push_back(member.endpoint);
+        }
+      }
+    } else if (now_eligible && current.epoch != 0) {
+      // A peer moved serving -> draining: the keys it owned now land on
+      // the survivors. Pull this replica's share while the drainer still
+      // has its cache (the donor path is stateless, so it serves pulls
+      // regardless of its own view).
+      for (const Member& member : next.members) {
+        if (member.state != ReplicaState::Draining) continue;
+        const Member* before = current.find(member.endpoint);
+        if (before != nullptr && before->state == ReplicaState::Serving) {
+          donors.push_back(member.endpoint);
+        }
+      }
+    }
+    // Pulls happen BEFORE the view is published: until they finish this
+    // replica keeps answering by the old epoch, and the moment the new
+    // ring routes a key here the cache is already warm — zero re-solves.
+    for (const Endpoint& donor : donors) pulled += pull_partition(next, donor);
+  }
+  {
+    std::lock_guard lock(view_mu_);
+    view_ = std::make_shared<const MembershipView>(next);
+  }
+  membership_updates_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("service.membership.updates").add();
+  if (obs::Tracer* t = tracer()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::ServiceMembership;
+    event.start = started_at;
+    event.duration = obs::wall_now() - started_at;
+    event.arg0 = static_cast<long long>(next.epoch);
+    event.arg1 = static_cast<long long>(next.members.size());
+    event.arg2 = static_cast<long long>(pulled);
+    t->record(event);
+  }
+  return true;
+}
+
+std::vector<SnapshotEntry> Server::entries_owned_by(
+    const MembershipView& view, const std::string& owner) const {
+  std::vector<SnapshotEntry> out;
+  support::HashRing ring = ring_of(view);
+  if (ring.node_count() == 0) return out;
+  // Keep the encoded reply under the frame bound; a dropped tail costs
+  // the joiner a few re-solves, not correctness.
+  const std::size_t budget = kMaxFrameBytes - 4096;
+  std::size_t used = 0;
+  for (auto& entry : cache_.export_entries()) {
+    const std::uint64_t hash = core::PlanKeyHash{}(entry.first);
+    if (ring.node_for(hash) != owner) continue;
+    const std::size_t bytes = 64 + entry.first.costs.size() * 8 +
+                              entry.second.distribution.counts.size() * 8 +
+                              entry.second.predicted_finish.size() * 8;
+    if (used + bytes > budget) break;
+    used += bytes;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t Server::pull_partition(const MembershipView& view,
+                                   const Endpoint& donor) {
+  const double started_at = obs::wall_now();
+  metrics_->counter("service.membership.handoff_pulls").add();
+  const int fd = connect_endpoint(donor);
+  if (fd < 0) {
+    metrics_->counter("service.membership.handoff_failures").add();
+    std::fprintf(stderr, "lbsd: handoff pull from %s failed: unreachable\n",
+                 donor.to_string().c_str());
+    return 0;
+  }
+  std::size_t restored = 0;
+  try {
+    const IoDeadline deadline = deadline_after_ms(options_.handoff_timeout_ms);
+    const std::vector<std::uint8_t> request =
+        encode_snapshot_range(1, view, options_.endpoint.to_string());
+    if (send_frame_within(fd, request, deadline) != IoStatus::Ok) {
+      throw lbs::Error("handoff: request not sent before the deadline");
+    }
+    std::vector<std::uint8_t> reply;
+    if (recv_frame_within(fd, reply, stop_, deadline) != IoStatus::Ok) {
+      throw lbs::Error("handoff: no reply before the deadline");
+    }
+    Message message = decode_message(reply);
+    LBS_CHECK_MSG(message.type == MessageType::SnapshotRangeData,
+                  "handoff: unexpected reply type");
+    cache_.restore_entries(message.entries);
+    restored = message.entries.size();
+    handoff_entries_.fetch_add(restored, std::memory_order_relaxed);
+    metrics_->counter("service.membership.handoff_entries")
+        .add(static_cast<std::uint64_t>(restored));
+    metrics_->histogram("service.membership.handoff_seconds")
+        .observe(obs::wall_now() - started_at);
+  } catch (const lbs::Error& error) {
+    // A failed pull degrades the warm start, never the reshard: the keys
+    // involved just re-solve on first touch.
+    metrics_->counter("service.membership.handoff_failures").add();
+    std::fprintf(stderr, "lbsd: handoff pull from %s failed: %s\n",
+                 donor.to_string().c_str(), error.what());
+  }
+  close_fd(fd);
+  return restored;
+}
+
+void Server::membership_watch_loop() {
+  const auto interval = std::chrono::milliseconds(options_.membership_poll_ms);
+  auto stamp_of = [this]() -> std::pair<long long, long long> {
+    struct ::stat st {};
+    if (::stat(options_.membership_path.c_str(), &st) != 0) return {-1, -1};
+    return {static_cast<long long>(st.st_mtim.tv_sec) * 1000000000LL +
+                st.st_mtim.tv_nsec,
+            static_cast<long long>(st.st_size)};
+  };
+  // Start "unknown" so the first poll re-reads the file: adopt() dedups
+  // by epoch, so the redundant read is one parse, not a flap.
+  std::pair<long long, long long> last{-2, -2};
+  std::unique_lock lock(membership_wake_mu_);
+  while (!membership_stop_) {
+    if (membership_wake_cv_.wait_for(lock, interval,
+                                     [this] { return membership_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    const auto stamp = stamp_of();
+    if (stamp != last && stamp.first >= 0) {
+      last = stamp;
+      try {
+        (void)adopt_view(read_view_file(options_.membership_path),
+                         /*allow_pull=*/true);
+      } catch (const lbs::Error& error) {
+        // A torn or bad file must not move the view; the atomic
+        // write_view_file makes this a misconfiguration signal.
+        metrics_->counter("service.membership.file_rejected").add();
+        std::fprintf(stderr, "lbsd: membership file rejected: %s\n",
+                     error.what());
+      }
+    }
+    lock.lock();
+  }
+}
+
 void Server::request_stop() {
   {
     std::lock_guard lock(stop_request_mu_);
@@ -294,10 +499,29 @@ void Server::handle_message(const std::shared_ptr<Connection>& connection,
       (void)connection->send(encode_control(MessageType::ShutdownAck, message.id));
       request_stop();
       return;
+    case MessageType::MembershipUpdate:
+      // Adopt iff newer (an epoch-0 update is a pure query); the Ack
+      // always carries this replica's view, so the sender learns where
+      // this replica converged either way.
+      (void)adopt_view(*message.view, /*allow_pull=*/true);
+      (void)connection->send(
+          encode_membership_ack(message.id, membership_view()));
+      return;
+    case MessageType::SnapshotRange:
+      // Donor side of a reshard: ship whatever cache entries `owner`
+      // owns under the proposed view's ring. Stateless on purpose — a
+      // draining replica (or one that has not adopted the view yet)
+      // still donates, which is what makes the pull-before-publish
+      // ordering on the puller deadlock-free.
+      (void)connection->send(encode_snapshot_range_data(
+          message.id, entries_owned_by(*message.view, message.text)));
+      return;
     case MessageType::PlanResponse:
     case MessageType::Pong:
     case MessageType::StatsResponse:
     case MessageType::ShutdownAck:
+    case MessageType::MembershipAck:
+    case MessageType::SnapshotRangeData:
       // Server-to-client messages arriving at the server: protocol abuse.
       throw lbs::Error("wire: client sent a server-side message type");
   }
@@ -341,6 +565,40 @@ void Server::handle_plan(const std::shared_ptr<Connection>& connection,
   requests_.fetch_add(1, std::memory_order_relaxed);
   metrics_->counter("service.requests").add();
   Waiter waiter{connection, request.id, /*coalesced=*/false, received_at};
+
+  // Epoch gate. A request routed under an older view gets the current
+  // view back instead of a plan — the client re-rings and retries where
+  // the key now lives. Epoch 0 (an unversioned client) is always served
+  // by a serving replica. A draining (or view-absent) replica still
+  // serves cache hits and coalesce-attaches — "in-flight work" — but
+  // redirects anything that would admit a NEW unique solve.
+  std::shared_ptr<const MembershipView> view;
+  {
+    std::lock_guard lock(view_mu_);
+    view = view_;
+  }
+  bool drain_new_keys = false;
+  if (view->epoch != 0) {
+    // ANY nonzero mismatch redirects — including a request epoch NEWER
+    // than this replica's view. Serving such a request would apply the
+    // old ring to a key the client already routes by the new one (the
+    // classic reshard race: the admin's sequential pushes let a client
+    // learn epoch N+1 before this replica does). The redirect carries
+    // this replica's older view; the client answers by gossiping its
+    // newer one back (membership_exchange), which triggers this
+    // replica's handoff pull before the retry lands.
+    if (request.epoch != 0 && request.epoch != view->epoch) {
+      wrong_epoch_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.membership.wrong_epoch").add();
+      PlanResponse response;
+      response.status = PlanStatus::WrongEpoch;
+      response.current_view = *view;
+      respond_plan(waiter, std::move(response));
+      return;
+    }
+    const Member* self = view->find(options_.endpoint);
+    drain_new_keys = self == nullptr || self->state != ReplicaState::Serving;
+  }
 
   // Admission control: answer implausible requests before they cost
   // anything. (The wire layer already bounds processor count at 2^20;
@@ -389,6 +647,17 @@ void Server::handle_plan(const std::shared_ptr<Connection>& connection,
       it->second->waiters.push_back(std::move(waiter));
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       metrics_->counter("service.coalesced").add();
+      return;
+    }
+
+    if (drain_new_keys) {
+      lock.unlock();
+      wrong_epoch_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->counter("service.membership.wrong_epoch").add();
+      PlanResponse response;
+      response.status = PlanStatus::WrongEpoch;
+      response.current_view = *view;
+      respond_plan(waiter, std::move(response));
       return;
     }
 
@@ -523,19 +792,33 @@ Server::Counters Server::counters() const {
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.errors = errors_.load(std::memory_order_relaxed);
   out.connections = connections_.load(std::memory_order_relaxed);
+  out.membership_updates = membership_updates_.load(std::memory_order_relaxed);
+  out.wrong_epoch = wrong_epoch_.load(std::memory_order_relaxed);
+  out.handoff_entries = handoff_entries_.load(std::memory_order_relaxed);
   return out;
 }
 
 std::string Server::stats_json() const {
   Counters c = counters();
   core::ShardedPlanCache::Stats cache_stats = cache_.stats();
+  MembershipView view = membership_view();
+  const char* state = "serving";
+  if (view.epoch != 0) {
+    const Member* self = view.find(options_.endpoint);
+    state = self != nullptr ? to_string(self->state) : "absent";
+  }
   std::ostringstream out;
   out << "{\"service\": {"
       << "\"requests\": " << c.requests << ", \"cache_hits\": " << c.cache_hits
       << ", \"coalesced\": " << c.coalesced << ", \"solved\": " << c.solved
       << ", \"rejected\": " << c.rejected << ", \"errors\": " << c.errors
       << ", \"connections\": " << c.connections
-      << ", \"queue_depth\": " << queue_.size() << "}, \"cache\": {"
+      << ", \"queue_depth\": " << queue_.size() << "}, \"membership\": {"
+      << "\"epoch\": " << view.epoch << ", \"state\": \"" << state
+      << "\", \"members\": " << view.members.size()
+      << ", \"updates\": " << c.membership_updates
+      << ", \"wrong_epoch\": " << c.wrong_epoch
+      << ", \"handoff_entries\": " << c.handoff_entries << "}, \"cache\": {"
       << "\"hits\": " << cache_stats.hits << ", \"misses\": " << cache_stats.misses
       << ", \"evictions\": " << cache_stats.evictions
       << ", \"size\": " << cache_.size() << ", \"shards\": " << cache_.shards()

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/sharded_plan_cache.hpp"
+#include "service/membership.hpp"
 #include "service/protocol.hpp"
 #include "service/snapshot.hpp"
 #include "service/socket.hpp"
@@ -119,6 +120,16 @@ struct ServerOptions {
   // the reply is abandoned and the connection is dropped.
   std::uint32_t reply_timeout_ms = 5000;
 
+  // Elastic membership (service/membership.hpp). membership_path: a view
+  // file read at start() and, when membership_poll_ms > 0, watched by
+  // mtime so an operator edit propagates without a restart — the same
+  // convergence path as a MembershipUpdate frame. handoff_timeout_ms
+  // bounds each snapshot-range pull from a peer during a reshard; a slow
+  // or dead donor costs one timeout and a counted failure, never a hang.
+  std::string membership_path;
+  std::uint32_t membership_poll_ms = 200;
+  std::uint32_t handoff_timeout_ms = 5000;
+
   // Observability. Null tracer falls back to obs::global_tracer() (and
   // tracing is off when that is null too); null metrics falls back to
   // obs::global_metrics().
@@ -169,8 +180,22 @@ class Server {
     std::uint64_t rejected = 0;
     std::uint64_t errors = 0;
     std::uint64_t connections = 0;
+    std::uint64_t membership_updates = 0;  // views adopted (epoch advanced)
+    std::uint64_t wrong_epoch = 0;         // plan requests redirected
+    std::uint64_t handoff_entries = 0;     // warm-start entries pulled in
   };
   [[nodiscard]] Counters counters() const;
+
+  // The membership view this replica currently routes by (epoch 0 until
+  // one is installed). adopt_view applies the single convergence rule —
+  // newer epoch wins — and returns whether it won. When it did and
+  // `allow_pull` is set, the replica first pulls the snapshot entries it
+  // now owns from the right donors (every serving peer when this replica
+  // just became route-eligible; each newly-draining member otherwise),
+  // warm-starting its partition BEFORE the view is published, so a
+  // request routed under the new ring finds the cache already hot.
+  [[nodiscard]] MembershipView membership_view() const;
+  bool adopt_view(const MembershipView& update, bool allow_pull);
 
   // The StatsResponse body: {"service": ..., "cache": ..., "metrics": ...}.
   [[nodiscard]] std::string stats_json() const;
@@ -211,6 +236,10 @@ class Server {
   void connection_loop(std::shared_ptr<Connection> connection);
   void dispatch_loop();
   void snapshot_loop();
+  void membership_watch_loop();
+  std::size_t pull_partition(const MembershipView& view, const Endpoint& donor);
+  [[nodiscard]] std::vector<SnapshotEntry> entries_owned_by(
+      const MembershipView& view, const std::string& owner) const;
   void warm_start();
   void record_snapshot_span(double start, const SnapshotStats& stats,
                             bool restore) const;
@@ -231,12 +260,22 @@ class Server {
   std::mutex inflight_mu_;
   std::unordered_map<core::PlanKey, PendingPtr, core::PlanKeyHash> inflight_;
 
+  // Current view behind a shared_ptr so the per-request read is a lock +
+  // pointer copy, not a member-vector copy. adopt_mu_ serializes
+  // adoption (including the pre-publish handoff pulls); view_mu_ only
+  // guards the pointer swap/read.
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const MembershipView> view_ =
+      std::make_shared<const MembershipView>();
+  std::mutex adopt_mu_;
+
   int listen_fd_ = -1;
   bool started_ = false;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::thread dispatch_thread_;
   std::thread snapshot_thread_;
+  std::thread membership_thread_;
   std::mutex connections_mu_;
   std::vector<std::thread> connection_threads_;
   // Every accepted connection, kept open through the drain so replies to
@@ -253,6 +292,10 @@ class Server {
   std::condition_variable snapshot_wake_cv_;
   bool snapshot_stop_ = false;  // guarded by snapshot_wake_mu_
 
+  std::mutex membership_wake_mu_;
+  std::condition_variable membership_wake_cv_;
+  bool membership_stop_ = false;  // guarded by membership_wake_mu_
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
@@ -260,6 +303,9 @@ class Server {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> membership_updates_{0};
+  std::atomic<std::uint64_t> wrong_epoch_{0};
+  std::atomic<std::uint64_t> handoff_entries_{0};
 };
 
 }  // namespace lbs::service

@@ -14,10 +14,10 @@
 namespace lbs::service {
 
 namespace {
-
 constexpr std::size_t kHeaderBytes = 24;
+}  // namespace
 
-void encode_entry(WireWriter& out, const SnapshotEntry& entry) {
+void encode_snapshot_entry(WireWriter& out, const SnapshotEntry& entry) {
   const core::PlanKey& key = entry.first;
   const core::ScatterPlan& plan = entry.second;
   out.put_u32(static_cast<std::uint32_t>(key.costs.size()));
@@ -37,7 +37,7 @@ void encode_entry(WireWriter& out, const SnapshotEntry& entry) {
   for (double finish : plan.predicted_finish) out.put_f64(finish);
 }
 
-SnapshotEntry decode_entry(WireReader& in) {
+SnapshotEntry decode_snapshot_entry(WireReader& in) {
   SnapshotEntry entry;
   core::PlanKey& key = entry.first;
   core::ScatterPlan& plan = entry.second;
@@ -81,6 +81,8 @@ SnapshotEntry decode_entry(WireReader& in) {
   return entry;
 }
 
+namespace {
+
 std::vector<std::uint8_t> encode_header(std::uint32_t entry_count,
                                         const std::vector<std::uint8_t>& payload) {
   WireWriter out;
@@ -101,7 +103,7 @@ SnapshotStats write_snapshot(const std::string& path,
                 "snapshot: too many entries to persist");
 
   WireWriter body;
-  for (const SnapshotEntry& entry : entries) encode_entry(body, entry);
+  for (const SnapshotEntry& entry : entries) encode_snapshot_entry(body, entry);
   std::vector<std::uint8_t> payload = body.take();
   LBS_CHECK_MSG(payload.size() <= kMaxSnapshotPayloadBytes,
                 "snapshot: payload exceeds size bound");
@@ -166,7 +168,7 @@ std::vector<SnapshotEntry> read_snapshot(const std::string& path) {
   std::vector<SnapshotEntry> entries;
   entries.reserve(entry_count);
   for (std::uint32_t i = 0; i < entry_count; ++i) {
-    entries.push_back(decode_entry(body));
+    entries.push_back(decode_snapshot_entry(body));
   }
   body.expect_end();
   return entries;

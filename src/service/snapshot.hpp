@@ -49,6 +49,16 @@ inline constexpr std::uint32_t kMaxSnapshotPayloadBytes = 256u << 20;
 
 using SnapshotEntry = std::pair<core::PlanKey, core::ScatterPlan>;
 
+class WireReader;
+class WireWriter;
+
+// The per-entry codec, shared by the snapshot file format and the
+// SnapshotRange handoff frames (protocol.hpp): a joining replica's
+// warm-start entries travel the wire in exactly the bytes the snapshot
+// file would hold, so both paths restore bit-identical plans.
+void encode_snapshot_entry(WireWriter& out, const SnapshotEntry& entry);
+[[nodiscard]] SnapshotEntry decode_snapshot_entry(WireReader& in);
+
 struct SnapshotStats {
   std::size_t entries = 0;
   std::size_t bytes = 0;  // payload + header

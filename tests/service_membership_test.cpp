@@ -1,0 +1,297 @@
+// Membership unit + property tests: the view file format, the v4
+// membership/handoff wire frames, the serving-only ring, and THE
+// convergence property — replaying any sequence of MembershipUpdates in
+// any delivery order, to any subset of holders, converges every holder
+// to the max-epoch view, monotonically, with no flapping. That property
+// is the whole correctness argument for gossiping views over three
+// independent channels (file watcher, control frame, WrongEpoch
+// redirect) without any ordering guarantees between them.
+#include "service/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "model/testbed.hpp"
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+
+namespace lbs::service {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  static int counter = 0;
+  return "/tmp/lbs_membership_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(++counter);
+}
+
+MembershipView sample_view() {
+  MembershipView view;
+  view.epoch = 7;
+  view.members = {
+      Member{Endpoint::tcp("10.0.0.1", 4077), ReplicaState::Serving},
+      Member{Endpoint::tcp("10.0.0.2", 4077), ReplicaState::Serving},
+      Member{Endpoint::parse("unix:/tmp/old.sock"), ReplicaState::Draining},
+      Member{Endpoint::tcp("10.0.0.4", 4077), ReplicaState::Joining},
+  };
+  return view;
+}
+
+TEST(Membership, FileFormatRoundTripsAllStates) {
+  MembershipView view = sample_view();
+  std::string text = serialize_view(view);
+  EXPECT_EQ(parse_view(text), view);
+
+  const std::string path = temp_path("roundtrip");
+  write_view_file(path, view);
+  EXPECT_EQ(read_view_file(path), view);
+
+  // Overwrite is atomic (tmp + rename): re-writing leaves no .tmp debris
+  // and the reader sees the new view.
+  view.epoch = 8;
+  view.members[3].state = ReplicaState::Serving;
+  write_view_file(path, view);
+  EXPECT_EQ(read_view_file(path), view);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(Membership, ParseToleratesCommentsAndWhitespace) {
+  MembershipView view = parse_view(
+      "# fleet view\n"
+      "\n"
+      "  epoch 3\n"
+      "\tserving tcp:a:1\n"
+      "  draining unix:/tmp/b.sock  \n"
+      "# trailing comment\n");
+  EXPECT_EQ(view.epoch, 3u);
+  ASSERT_EQ(view.members.size(), 2u);
+  EXPECT_EQ(view.members[0].state, ReplicaState::Serving);
+  EXPECT_EQ(view.members[1].state, ReplicaState::Draining);
+}
+
+TEST(Membership, ParseRejectsGarbage) {
+  EXPECT_THROW(static_cast<void>(parse_view("")), lbs::Error);
+  EXPECT_THROW(static_cast<void>(parse_view("serving tcp:a:1\n")), lbs::Error);
+  EXPECT_THROW(static_cast<void>(parse_view("epoch banana\n")), lbs::Error);
+  EXPECT_THROW(static_cast<void>(parse_view("epoch 1\nflying tcp:a:1\n")), lbs::Error);
+  EXPECT_THROW(static_cast<void>(parse_view("epoch 1\nserving\n")), lbs::Error);
+  EXPECT_THROW(
+      static_cast<void>(parse_view("epoch 1\nserving tcp:a:1\nserving tcp:a:1\n")),
+      lbs::Error);
+  EXPECT_THROW(static_cast<void>(read_view_file("/nonexistent/view")), lbs::Error);
+}
+
+TEST(Membership, RingUsesServingMembersOnly) {
+  MembershipView view = sample_view();
+  support::HashRing ring = ring_of(view);
+  EXPECT_EQ(ring.node_count(), 2);  // draining + joining are invisible
+  std::vector<std::string> nodes = ring.nodes();
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes[0], "tcp:10.0.0.1:4077");
+  EXPECT_EQ(nodes[1], "tcp:10.0.0.2:4077");
+
+  EXPECT_EQ(view.serving_endpoints().size(), 2u);
+  EXPECT_NE(view.find(Endpoint::tcp("10.0.0.4", 4077)), nullptr);
+  EXPECT_EQ(view.find(Endpoint::tcp("10.0.0.9", 4077)), nullptr);
+}
+
+// Bounded remap, stated on views: promoting one joiner in a p-replica
+// fleet moves roughly 1/(p+1) of the keys and NEVER moves a key between
+// two replicas that are in both rings — the property the reshard bench
+// gates on (a key either stays home or moves to the new replica).
+TEST(Membership, PromotingAJoinerRemapsBoundedly) {
+  MembershipView before;
+  before.epoch = 1;
+  for (int i = 0; i < 3; ++i) {
+    before.members.push_back(
+        Member{Endpoint::tcp("replica" + std::to_string(i), 4077),
+               ReplicaState::Serving});
+  }
+  MembershipView after = before;
+  after.epoch = 2;
+  after.members.push_back(
+      Member{Endpoint::tcp("replica3", 4077), ReplicaState::Serving});
+
+  support::HashRing old_ring = ring_of(before);
+  support::HashRing new_ring = ring_of(after);
+  constexpr int kKeys = 4000;
+  int moved = 0;
+  for (int key = 0; key < kKeys; ++key) {
+    auto hash = support::HashRing::mix(static_cast<std::uint64_t>(key) * 761 + 13);
+    const std::string& old_home = old_ring.node_for(hash);
+    const std::string& new_home = new_ring.node_for(hash);
+    if (old_home != new_home) {
+      ++moved;
+      EXPECT_EQ(new_home, "tcp:replica3:4077")
+          << "key moved between two surviving replicas";
+    }
+  }
+  // Expect ≈ kKeys/4; allow generous slack for hash variance, but a
+  // naive mod-N rehash would move ~3/4 of the keys and trip this bound.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(MembershipWire, ViewFramesRoundTrip) {
+  MembershipView view = sample_view();
+
+  Message update = decode_message(encode_membership_update(42, view));
+  EXPECT_EQ(update.type, MessageType::MembershipUpdate);
+  EXPECT_EQ(update.id, 42u);
+  ASSERT_TRUE(update.view.has_value());
+  EXPECT_EQ(*update.view, view);
+
+  Message ack = decode_message(encode_membership_ack(43, view));
+  EXPECT_EQ(ack.type, MessageType::MembershipAck);
+  ASSERT_TRUE(ack.view.has_value());
+  EXPECT_EQ(*ack.view, view);
+
+  Message range = decode_message(encode_snapshot_range(44, view, "tcp:me:1"));
+  EXPECT_EQ(range.type, MessageType::SnapshotRange);
+  ASSERT_TRUE(range.view.has_value());
+  EXPECT_EQ(*range.view, view);
+  EXPECT_EQ(range.text, "tcp:me:1");
+}
+
+TEST(MembershipWire, WrongEpochResponseCarriesTheCurrentView) {
+  PlanResponse response;
+  response.id = 9;
+  response.status = PlanStatus::WrongEpoch;
+  response.current_view = sample_view();
+  Message decoded = decode_message(encode_plan_response(response));
+  ASSERT_TRUE(decoded.plan_response.has_value());
+  EXPECT_EQ(decoded.plan_response->status, PlanStatus::WrongEpoch);
+  EXPECT_EQ(decoded.plan_response->current_view, response.current_view);
+}
+
+TEST(MembershipWire, PlanRequestCarriesTheEpoch) {
+  auto grid = model::paper_testbed();
+  auto platform = model::make_platform(grid, model::paper_root(grid));
+  PlanRequest request;
+  request.id = 5;
+  request.items = 1000;
+  request.epoch = 31;
+  request.platform = platform;
+  Message decoded = decode_message(encode_plan_request(request));
+  ASSERT_TRUE(decoded.plan_request.has_value());
+  EXPECT_EQ(decoded.plan_request->epoch, 31u);
+}
+
+TEST(MembershipWire, SnapshotRangeDataRoundTripsEntries) {
+  auto grid = model::paper_testbed();
+  auto platform = model::make_platform(grid, model::paper_root(grid));
+  std::vector<SnapshotEntry> entries;
+  for (long long items : {1000LL, 2000LL}) {
+    core::ScatterPlan plan = core::plan_scatter(platform, items);
+    entries.emplace_back(core::make_plan_key(platform, items, core::Algorithm::Auto),
+                         plan);
+  }
+  Message decoded = decode_message(encode_snapshot_range_data(77, entries));
+  EXPECT_EQ(decoded.type, MessageType::SnapshotRangeData);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i].first, entries[i].first);
+    EXPECT_EQ(decoded.entries[i].second.distribution.counts,
+              entries[i].second.distribution.counts);
+  }
+}
+
+TEST(MembershipWire, RejectsHostileMemberCount) {
+  // A frame claiming kMaxViewMembers+1 members must die in the decoder
+  // before any allocation trusts the count.
+  WireWriter out;
+  out.put_u8(kProtocolVersion);
+  out.put_u8(static_cast<std::uint8_t>(MessageType::MembershipUpdate));
+  out.put_u64(1);
+  out.put_u64(99);                    // epoch
+  out.put_u32(kMaxViewMembers + 1);   // hostile count
+  EXPECT_THROW(static_cast<void>(decode_message(out.bytes())), lbs::Error);
+}
+
+// THE convergence property. Random lifecycle: a pool of endpoints churns
+// through join/promote/drain/remove transitions, minting one view per
+// epoch. Each of several "clients" receives a random SUBSET of those
+// updates in its own shuffled order (gossip with loss and reordering).
+// Every client that saw the max-epoch update must hold exactly the
+// max-epoch view; epochs must never decrease at any holder (no
+// flapping); and replaying everything a second time must change nothing
+// (idempotence).
+TEST(MembershipProperty, ShuffledLossyDeliveryConvergesToMaxEpoch) {
+  for (unsigned trial = 0; trial < 20; ++trial) {
+    std::mt19937 rng(0xE1A5 + trial);
+    std::vector<Endpoint> pool;
+    for (int i = 0; i < 6; ++i) {
+      pool.push_back(Endpoint::tcp("replica" + std::to_string(i), 4077));
+    }
+
+    // Mint the history: every epoch applies one random legal transition.
+    MembershipView current;
+    current.epoch = 1;
+    current.members = {Member{pool[0], ReplicaState::Serving},
+                       Member{pool[1], ReplicaState::Serving}};
+    std::vector<MembershipView> history{current};
+    for (int step = 0; step < 30; ++step) {
+      MembershipView next = current;
+      next.epoch = current.epoch + 1;
+      const Endpoint& endpoint = pool[rng() % pool.size()];
+      Member* member = next.find(endpoint);
+      if (member == nullptr) {
+        next.members.push_back(Member{endpoint, ReplicaState::Joining});
+      } else {
+        switch (rng() % 3) {
+          case 0: member->state = ReplicaState::Serving; break;
+          case 1: member->state = ReplicaState::Draining; break;
+          default:
+            next.members.erase(next.members.begin() +
+                               (member - next.members.data()));
+            break;
+        }
+      }
+      if (next.members.empty()) continue;  // keep the fleet non-empty
+      validate_view(next);
+      current = next;
+      history.push_back(current);
+    }
+    const MembershipView& final_view = history.back();
+
+    for (int client = 0; client < 8; ++client) {
+      // A random subset that always includes the final update, shuffled.
+      std::vector<MembershipView> delivery;
+      for (const MembershipView& view : history) {
+        if (view.epoch == final_view.epoch || rng() % 3 != 0) {
+          delivery.push_back(view);
+        }
+      }
+      std::shuffle(delivery.begin(), delivery.end(), rng);
+
+      MembershipView held;  // epoch 0: unversioned start
+      std::uint64_t watermark = 0;
+      for (const MembershipView& update : delivery) {
+        bool adopted = adopt(held, update);
+        EXPECT_GE(held.epoch, watermark) << "epoch flapped backwards";
+        EXPECT_EQ(adopted, held.epoch > watermark);
+        watermark = held.epoch;
+      }
+      EXPECT_EQ(held, final_view) << "client did not converge";
+
+      // Idempotence: replaying the whole delivery changes nothing.
+      for (const MembershipView& update : delivery) {
+        EXPECT_FALSE(adopt(held, update));
+      }
+      EXPECT_EQ(held, final_view);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbs::service

@@ -167,7 +167,7 @@ TEST(Wire, ControlMessagesRoundTrip) {
 
 TEST(Wire, RejectsTruncatedPayload) {
   auto bytes = encode_plan_request(
-      PlanRequest{1, core::Algorithm::Auto, 100, sample_platform()});
+      PlanRequest{1, core::Algorithm::Auto, 100, 0, sample_platform()});
   for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{3}}) {
     EXPECT_THROW(static_cast<void>(decode_message(bytes.data(), cut)), lbs::Error)
         << "cut at " << cut;
